@@ -1,0 +1,38 @@
+//! Experiment COC — the prior-work family the paper builds on.
+//!
+//! Bokhari's exact layered-graph DP is O(n²m); the probe method reaches
+//! the same optimum in O(n·m·log Σw). The crossover illustrates why the
+//! literature kept improving this problem between 1988 and 1994.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tgp_baselines::bokhari::bokhari_partition;
+use tgp_baselines::hansen_lih::hansen_lih_partition;
+use tgp_bench::chain_instance;
+
+fn bench_coc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chains_on_chains");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (n, m) in [(256usize, 8usize), (1_024, 8), (1_024, 32)] {
+        let path = chain_instance(n, 1, 100, 0xC0C + n as u64);
+        let id = format!("n{n}/m{m}");
+        group.bench_function(BenchmarkId::new("bokhari", &id), |b| {
+            b.iter(|| bokhari_partition(black_box(&path), black_box(m)).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("probe", &id), |b| {
+            b.iter(|| hansen_lih_partition(black_box(&path), black_box(m)).unwrap())
+        });
+    }
+    // The probe scales to sizes the quadratic DP cannot touch.
+    let big = chain_instance(100_000, 1, 100, 0xC0C);
+    group.bench_function("probe/n100000/m64", |b| {
+        b.iter(|| hansen_lih_partition(black_box(&big), black_box(64)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coc);
+criterion_main!(benches);

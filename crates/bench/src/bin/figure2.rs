@@ -1,0 +1,88 @@
+//! Regenerates the paper's Figure 2: the relation between `n`, `p`, `q`,
+//! `K`, `p log q` and the maximum vertex weight, plus the Appendix B
+//! TEMP_S-occupancy study.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tgp-bench --bin figure2 [-- --points N] [--appendix-b]
+//! ```
+
+use tgp_bench::{chain_instance, figure2_sweep, k_sweep};
+use tgp_core::bandwidth::analyze_bandwidth;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let appendix_b = args.iter().any(|a| a == "--appendix-b");
+    let points = args
+        .iter()
+        .position(|a| a == "--points")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+
+    println!("# Figure 2 reproduction — vertex weights uniform on [1, 100], seeds fixed");
+    println!();
+    println!("## F2a-c: p, q and p·log q versus K, for several n");
+    println!();
+    println!(
+        "{:>8} {:>12} {:>8} {:>8} {:>12} {:>14} {:>9}",
+        "n", "K", "p", "q", "p·log2 q", "n·log2 n", "ratio"
+    );
+    for n in [1_000usize, 10_000, 100_000] {
+        for row in figure2_sweep(n, 1, 100, points, 0xF162 + n as u64) {
+            let s = row.stats;
+            println!(
+                "{:>8} {:>12} {:>8} {:>8.2} {:>12.1} {:>14.1} {:>9.4}",
+                row.n,
+                row.k,
+                s.p,
+                s.q_bar,
+                s.p_log_q,
+                s.n_log_n,
+                s.advantage_ratio()
+            );
+        }
+        println!();
+    }
+
+    println!("## F2d: effect of the maximum vertex weight (n = 10 000)");
+    println!();
+    println!(
+        "{:>8} {:>12} {:>8} {:>8} {:>14} {:>18}",
+        "w_max", "K", "p", "q", "avg prime len", "2K/(w1+w2) bound"
+    );
+    for w_max in [2u64, 10, 100, 1000] {
+        for row in figure2_sweep(10_000, 1, w_max, points, 0xF16D + w_max) {
+            let s = row.stats;
+            let bound = 2.0 * row.k as f64 / (1.0 + w_max as f64);
+            println!(
+                "{:>8} {:>12} {:>8} {:>8.2} {:>14.2} {:>18.2}",
+                w_max, row.k, s.p, s.q_bar, s.avg_prime_edge_len, bound
+            );
+        }
+        println!();
+    }
+
+    if appendix_b {
+        println!("## Appendix B: TEMP_S occupancy (n = 100 000)");
+        println!();
+        println!(
+            "{:>12} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            "K", "p", "q", "avg TEMP_S", "max TEMP_S", "log2 q"
+        );
+        let path = chain_instance(100_000, 1, 100, 0xB);
+        for k in k_sweep(&path, points) {
+            let (_, s) = analyze_bandwidth(&path, k).expect("swept K is feasible");
+            println!(
+                "{:>12} {:>8} {:>8.2} {:>12.2} {:>12} {:>12.2}",
+                k.get(),
+                s.p,
+                s.q_bar,
+                s.avg_deque_len,
+                s.max_deque_len,
+                s.q_bar.max(1.0).log2()
+            );
+        }
+    }
+}

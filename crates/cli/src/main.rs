@@ -1,0 +1,517 @@
+//! `tgp` — command-line front end for the task-graph partitioning
+//! workspace.
+//!
+//! ```text
+//! tgp generate chain --n 1000 --seed 7 > chain.json
+//! tgp partition bandwidth --bound 500 --input chain.json
+//! tgp analyze --bound 500 --input chain.json
+//! tgp generate tree --n 1000 | tgp partition compose --bound 800
+//! tgp coc --processors 8 --input chain.json
+//! tgp simulate --bound 500 --items 100 --input chain.json
+//! ```
+//!
+//! Graphs are exchanged as JSON: chains as
+//! `{"node_weights": [...], "edge_weights": [...]}` and trees as
+//! `{"node_weights": [...], "edges": [{"a": 0, "b": 1, "weight": 5}, ...]}`
+//! (the `serde` encodings of `tgp_graph::PathGraph` / `tgp_graph::Tree`).
+
+use std::error::Error;
+use std::io::Read;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+
+use tgp_baselines::bokhari::bokhari_partition;
+use tgp_baselines::hansen_lih::hansen_lih_partition;
+use tgp_baselines::hetero::{hetero_partition, HeteroArray};
+use tgp_baselines::host_satellite::host_satellite_partition;
+use tgp_core::approx::{partition_process_graph_best, ApproxMethod};
+use tgp_core::bandwidth::{analyze_bandwidth, min_bandwidth_cut_lexicographic};
+use tgp_core::bottleneck::min_bottleneck_cut;
+use tgp_core::pipeline::{partition_chain, partition_tree};
+use tgp_core::procmin::proc_min;
+use tgp_core::tree_bandwidth::min_tree_bandwidth_cut;
+use tgp_graph::generators::{random_chain, random_tree, WeightDist};
+use tgp_graph::{EdgeId, NodeId, PathGraph, ProcessGraph, Tree, Weight};
+use tgp_shmem::machine::{Interconnect, Machine};
+use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
+
+type CliResult<T> = Result<T, Box<dyn Error>>;
+
+/// Parsed `--key value` options (flags after the positional words).
+#[derive(Debug, Default)]
+struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> CliResult<Self> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Options { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> CliResult<Option<T>>
+    where
+        T::Err: Error + Send + Sync + 'static,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => Ok(Some(v.parse::<T>().map_err(|e| format!("--{key}: {e}"))?)),
+        }
+    }
+
+    fn required<T: std::str::FromStr>(&self, key: &str) -> CliResult<T>
+    where
+        T::Err: Error + Send + Sync + 'static,
+    {
+        self.num::<T>(key)?
+            .ok_or_else(|| format!("missing required option --{key}").into())
+    }
+}
+
+const USAGE: &str = "\
+tgp — tree and linear task graph partitioning for shared-memory machines
+(reproduction of Ray & Jiang, ICDCS 1994)
+
+USAGE:
+  tgp generate chain --n N [--seed S] [--node-lo 1] [--node-hi 100]
+                          [--edge-lo 1] [--edge-hi 1000]
+  tgp generate tree  --n N [same options]
+  tgp partition bandwidth  --bound K [--input FILE]   # chains, O(n + p log q)
+  tgp partition bottleneck --bound K [--input FILE]   # trees, Algorithm 2.1
+  tgp partition procmin    --bound K [--input FILE]   # trees, Algorithm 2.2
+  tgp partition compose    --bound K [--input FILE]   # trees, 2.1 + 2.2
+  tgp partition lexicographic --bound K [--input FILE] # chains, §3 bicriteria
+  tgp partition tree-bandwidth --bound K [--input FILE] # trees, exact O(n·K²)
+  tgp analyze --bound K [--input FILE]                # Figure 2 statistics
+  tgp coc --processors M [--algorithm bokhari|probe] [--input FILE]
+  tgp hetero --speeds 4,2,1,1 [--input FILE]          # mixed-speed array
+  tgp host-satellite --satellites M [--root 0] [--input FILE]  # trees
+  tgp approx --bound K [--input FILE]                 # general graphs
+  tgp simulate --bound K --items N [--processors P]
+               [--interconnect bus|crossbar] [--input FILE]
+
+Graphs are read from --input or stdin as JSON; results go to stdout as JSON.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            use std::io::Write;
+            let text = serde_json::to_string_pretty(&output).expect("valid json");
+            // Tolerate a closed pipe (e.g. `tgp analyze ... | head`).
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{text}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> CliResult<Value> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "generate" => {
+            let kind = args.get(1).map(String::as_str).unwrap_or("");
+            let opts = Options::parse(&args[2..])?;
+            generate(kind, &opts)
+        }
+        "partition" => {
+            let objective = args.get(1).map(String::as_str).unwrap_or("");
+            let opts = Options::parse(&args[2..])?;
+            partition(objective, &opts)
+        }
+        "analyze" => {
+            let opts = Options::parse(&args[1..])?;
+            analyze(&opts)
+        }
+        "coc" => {
+            let opts = Options::parse(&args[1..])?;
+            coc(&opts)
+        }
+        "hetero" => {
+            let opts = Options::parse(&args[1..])?;
+            hetero(&opts)
+        }
+        "host-satellite" => {
+            let opts = Options::parse(&args[1..])?;
+            host_satellite(&opts)
+        }
+        "approx" => {
+            let opts = Options::parse(&args[1..])?;
+            approx(&opts)
+        }
+        "simulate" => {
+            let opts = Options::parse(&args[1..])?;
+            simulate(&opts)
+        }
+        "help" | "--help" | "-h" => Err(USAGE.into()),
+        other => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+fn dists(opts: &Options) -> CliResult<(WeightDist, WeightDist)> {
+    let node = WeightDist::Uniform {
+        lo: opts.num("node-lo")?.unwrap_or(1),
+        hi: opts.num("node-hi")?.unwrap_or(100),
+    };
+    let edge = WeightDist::Uniform {
+        lo: opts.num("edge-lo")?.unwrap_or(1),
+        hi: opts.num("edge-hi")?.unwrap_or(1000),
+    };
+    Ok((node, edge))
+}
+
+fn generate(kind: &str, opts: &Options) -> CliResult<Value> {
+    let n: usize = opts.required("n")?;
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    let seed: u64 = opts.num("seed")?.unwrap_or(0);
+    let (node, edge) = dists(opts)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match kind {
+        "chain" => Ok(serde_json::to_value(random_chain(n, node, edge, &mut rng))?),
+        "tree" => Ok(serde_json::to_value(random_tree(n, node, edge, &mut rng))?),
+        other => Err(format!("generate expects 'chain' or 'tree', got {other:?}").into()),
+    }
+}
+
+fn read_input(opts: &Options) -> CliResult<Value> {
+    let text = match opts.get("input") {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(serde_json::from_str(&text)?)
+}
+
+fn load_chain(opts: &Options) -> CliResult<PathGraph> {
+    let value = read_input(opts)?;
+    let mut chain: PathGraph = serde_json::from_value(value).map_err(|e| {
+        format!("input is not a chain (expected node_weights + edge_weights): {e}")
+    })?;
+    chain.rebuild_cache()?;
+    Ok(chain)
+}
+
+fn load_tree(opts: &Options) -> CliResult<Tree> {
+    let value = read_input(opts)?;
+    let mut tree: Tree = serde_json::from_value(value)
+        .map_err(|e| format!("input is not a tree (expected node_weights + edges): {e}"))?;
+    tree.rebuild_cache();
+    Ok(tree)
+}
+
+fn cut_to_json(cut: impl Iterator<Item = EdgeId>) -> Value {
+    Value::Array(cut.map(|e| json!(e.index())).collect())
+}
+
+fn partition(objective: &str, opts: &Options) -> CliResult<Value> {
+    let bound = Weight::new(opts.required("bound")?);
+    match objective {
+        "bandwidth" => {
+            let chain = load_chain(opts)?;
+            let part = partition_chain(&chain, bound)?;
+            Ok(json!({
+                "objective": "bandwidth",
+                "bound": bound.get(),
+                "cut": cut_to_json(part.cut.iter()),
+                "segments": part.segments.iter().map(|s| json!({
+                    "start": s.start, "end": s.end, "weight": s.weight.get(),
+                })).collect::<Vec<_>>(),
+                "processors": part.processors,
+                "bandwidth": part.bandwidth.get(),
+                "bottleneck": part.bottleneck.get(),
+            }))
+        }
+        "bottleneck" => {
+            let tree = load_tree(opts)?;
+            let r = min_bottleneck_cut(&tree, bound)?;
+            Ok(json!({
+                "objective": "bottleneck",
+                "bound": bound.get(),
+                "cut": cut_to_json(r.cut.iter()),
+                "bottleneck": r.bottleneck.get(),
+                "components": tree.components(&r.cut)?.count(),
+            }))
+        }
+        "procmin" => {
+            let tree = load_tree(opts)?;
+            let r = proc_min(&tree, bound)?;
+            Ok(json!({
+                "objective": "procmin",
+                "bound": bound.get(),
+                "cut": cut_to_json(r.cut.iter()),
+                "processors": r.component_count,
+            }))
+        }
+        "compose" => {
+            let tree = load_tree(opts)?;
+            let part = partition_tree(&tree, bound)?;
+            Ok(json!({
+                "objective": "compose",
+                "bound": bound.get(),
+                "cut": cut_to_json(part.cut.iter()),
+                "processors": part.processors,
+                "bottleneck": part.bottleneck.get(),
+                "bandwidth": part.bandwidth.get(),
+            }))
+        }
+        "lexicographic" => {
+            let chain = load_chain(opts)?;
+            let cut = min_bandwidth_cut_lexicographic(&chain, bound)?;
+            Ok(json!({
+                "objective": "lexicographic",
+                "bound": bound.get(),
+                "cut": cut_to_json(cut.iter()),
+                "bottleneck": chain.bottleneck(&cut)?.get(),
+                "bandwidth": chain.cut_weight(&cut)?.get(),
+                "processors": cut.len() + 1,
+            }))
+        }
+        "tree-bandwidth" => {
+            let tree = load_tree(opts)?;
+            let cut = min_tree_bandwidth_cut(&tree, bound)?;
+            Ok(json!({
+                "objective": "tree-bandwidth",
+                "bound": bound.get(),
+                "cut": cut_to_json(cut.iter()),
+                "bandwidth": tree.cut_weight(&cut)?.get(),
+                "processors": tree.components(&cut)?.count(),
+            }))
+        }
+        other => Err(format!(
+            "partition expects bandwidth|bottleneck|procmin|compose|lexicographic|tree-bandwidth, \
+             got {other:?}"
+        )
+        .into()),
+    }
+}
+
+fn analyze(opts: &Options) -> CliResult<Value> {
+    let bound = Weight::new(opts.required("bound")?);
+    let chain = load_chain(opts)?;
+    let (cut, stats) = analyze_bandwidth(&chain, bound)?;
+    Ok(json!({
+        "bound": bound.get(),
+        "n": stats.n,
+        "p": stats.p,
+        "r": stats.r,
+        "q": stats.q_bar,
+        "p_log_q": stats.p_log_q,
+        "n_log_n": stats.n_log_n,
+        "advantage_ratio": stats.advantage_ratio(),
+        "avg_prime_edge_len": stats.avg_prime_edge_len,
+        "max_temps_occupancy": stats.max_deque_len,
+        "avg_temps_occupancy": stats.avg_deque_len,
+        "cut": cut_to_json(cut.iter()),
+        "cut_weight": stats.cut_weight,
+    }))
+}
+
+fn coc(opts: &Options) -> CliResult<Value> {
+    let m: usize = opts.required("processors")?;
+    let chain = load_chain(opts)?;
+    let algorithm = opts.get("algorithm").unwrap_or("probe");
+    let result = match algorithm {
+        "bokhari" => bokhari_partition(&chain, m)?,
+        "probe" => hansen_lih_partition(&chain, m)?,
+        other => {
+            return Err(format!("--algorithm must be bokhari or probe, got {other:?}").into())
+        }
+    };
+    Ok(json!({
+        "algorithm": algorithm,
+        "processors": m,
+        "boundaries": result.assignment.boundaries(),
+        "bottleneck": result.bottleneck.get(),
+    }))
+}
+
+fn hetero(opts: &Options) -> CliResult<Value> {
+    let speeds: Vec<u64> = opts
+        .get("speeds")
+        .ok_or("missing required option --speeds (e.g. --speeds 4,2,1)")?
+        .split(',')
+        .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--speeds: {e}")))
+        .collect::<Result<_, _>>()?;
+    if speeds.is_empty() || speeds.contains(&0) {
+        return Err("--speeds needs at least one positive speed".into());
+    }
+    let chain = load_chain(opts)?;
+    let array = HeteroArray::new(speeds.clone());
+    let r = hetero_partition(&chain, &array)?;
+    Ok(json!({
+        "speeds": speeds,
+        "boundaries": r.assignment.boundaries(),
+        "bottleneck": r.bottleneck.get(),
+    }))
+}
+
+fn host_satellite(opts: &Options) -> CliResult<Value> {
+    let m: usize = opts.required("satellites")?;
+    let root: usize = opts.num("root")?.unwrap_or(0);
+    let tree = load_tree(opts)?;
+    if root >= tree.len() {
+        return Err(format!("--root {root} out of range for {} nodes", tree.len()).into());
+    }
+    let r = host_satellite_partition(&tree, NodeId::new(root), m)?;
+    Ok(json!({
+        "root": root,
+        "max_satellites": m,
+        "satellites_used": r.satellites,
+        "uplinks": cut_to_json(r.cut.iter()),
+        "bottleneck": r.bottleneck.get(),
+    }))
+}
+
+fn approx(opts: &Options) -> CliResult<Value> {
+    let bound = Weight::new(opts.required("bound")?);
+    let value = read_input(opts)?;
+    let g: ProcessGraph = serde_json::from_value(value)
+        .map_err(|e| format!("input is not a process graph (node_weights + edges): {e}"))?;
+    let part = partition_process_graph_best(&g, bound)?;
+    let method = match part.method {
+        ApproxMethod::LinearIdentity => "linear-identity",
+        ApproxMethod::LinearBfs => "linear-bfs",
+        ApproxMethod::SpanningTree => "spanning-tree",
+        _ => "unknown",
+    };
+    Ok(json!({
+        "bound": bound.get(),
+        "method": method,
+        "parts": part.parts,
+        "part_of": part.part_of,
+        "part_weights": part.part_weights.iter().map(|w| w.get()).collect::<Vec<_>>(),
+        "cut_weight": part.cut_weight.get(),
+    }))
+}
+
+fn simulate(opts: &Options) -> CliResult<Value> {
+    let bound = Weight::new(opts.required("bound")?);
+    let items: usize = opts.required("items")?;
+    let chain = load_chain(opts)?;
+    let part = partition_chain(&chain, bound)?;
+    let processors = opts.num("processors")?.unwrap_or(part.processors);
+    let interconnect = match opts.get("interconnect").unwrap_or("bus") {
+        "bus" => Interconnect::Bus,
+        "crossbar" => Interconnect::Crossbar,
+        other => {
+            return Err(format!("--interconnect must be bus or crossbar, got {other:?}").into())
+        }
+    };
+    let machine = Machine::new(processors, 1, 1, 0, interconnect)?;
+    let spec = PipelineSpec::from_partition(&chain, &part.cut)?;
+    let report = simulate_pipeline(&spec, &machine, items)?;
+    Ok(json!({
+        "bound": bound.get(),
+        "processors": processors,
+        "items": items,
+        "makespan": report.makespan,
+        "throughput": report.throughput(),
+        "mean_utilization": report.mean_utilization(),
+        "interconnect_utilization": report.interconnect_utilization(),
+        "total_traffic": report.total_traffic,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_key_value_pairs() {
+        let opts = Options::parse(&strs(&["--n", "10", "--seed", "7"])).unwrap();
+        assert_eq!(opts.get("n"), Some("10"));
+        assert_eq!(opts.num::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(opts.num::<u64>("missing").unwrap(), None);
+        assert_eq!(opts.required::<usize>("n").unwrap(), 10);
+    }
+
+    #[test]
+    fn options_reject_malformed_input() {
+        assert!(Options::parse(&strs(&["n", "10"])).is_err());
+        assert!(Options::parse(&strs(&["--n"])).is_err());
+        let opts = Options::parse(&strs(&["--n", "ten"])).unwrap();
+        assert!(opts.num::<u64>("n").is_err());
+        assert!(opts.required::<u64>("x").is_err());
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let opts = Options::parse(&strs(&["--n", "1", "--n", "2"])).unwrap();
+        assert_eq!(opts.get("n"), Some("2"));
+    }
+
+    #[test]
+    fn generate_chain_is_valid_json_roundtrip() {
+        let opts = Options::parse(&strs(&["--n", "25", "--seed", "3"])).unwrap();
+        let value = generate("chain", &opts).unwrap();
+        let mut chain: PathGraph = serde_json::from_value(value).unwrap();
+        chain.rebuild_cache().unwrap();
+        assert_eq!(chain.len(), 25);
+        assert_eq!(chain.edge_count(), 24);
+    }
+
+    #[test]
+    fn generate_tree_is_valid_json_roundtrip() {
+        let opts = Options::parse(&strs(&["--n", "25", "--seed", "3"])).unwrap();
+        let value = generate("tree", &opts).unwrap();
+        let mut tree: Tree = serde_json::from_value(value).unwrap();
+        tree.rebuild_cache();
+        assert_eq!(tree.len(), 25);
+    }
+
+    #[test]
+    fn generate_rejects_bad_kind_and_n() {
+        let opts = Options::parse(&strs(&["--n", "5"])).unwrap();
+        assert!(generate("pentagon", &opts).is_err());
+        let zero = Options::parse(&strs(&["--n", "0"])).unwrap();
+        assert!(generate("chain", &zero).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&strs(&["help"])).is_err()); // usage via Err channel
+    }
+
+    #[test]
+    fn cut_serialization_is_plain_indices() {
+        let cut = tgp_graph::CutSet::new(vec![EdgeId::new(4), EdgeId::new(1)]);
+        let v = cut_to_json(cut.iter());
+        assert_eq!(v, json!([1, 4]));
+    }
+}

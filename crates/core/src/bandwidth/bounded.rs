@@ -1,0 +1,268 @@
+//! Bandwidth minimization under a bottleneck ceiling, and the
+//! lexicographic bicriteria solve the paper's real-time application
+//! demands.
+//!
+//! §3's real-time constraints ask for a partition where "Σ w(dp_im) is
+//! minimum **and** max w(dp_im) is minimized". Both cannot always be
+//! optimized simultaneously; the standard reading is lexicographic:
+//! first drive the bottleneck to its optimum `B*` (Algorithm 2.1 applies
+//! — a chain is a tree), then minimize the total cut weight among cuts
+//! that only use edges of weight `≤ B*`.
+//!
+//! [`min_bandwidth_cut_bounded`] is the constrained solver (a sliding-
+//! window DP over the *allowed* edges, `O(n)`), and
+//! [`min_bandwidth_cut_lexicographic`] composes it with the bottleneck
+//! optimum.
+
+use std::collections::VecDeque;
+
+use tgp_graph::{CutSet, EdgeId, PathGraph, Weight};
+
+use crate::bottleneck::min_bottleneck_cut;
+use crate::error::{check_bound, PartitionError};
+use crate::pipeline::tree_from_path;
+
+const INF: u64 = u64::MAX;
+
+/// Minimum-weight cut keeping every segment within `bound`, using only
+/// edges of weight at most `bottleneck_limit`. Returns `Ok(None)` when no
+/// such cut exists (some over-weight window contains no allowed edge).
+///
+/// `O(n)` time via a monotonic-deque window minimum.
+///
+/// # Errors
+///
+/// [`PartitionError::BoundTooSmall`] if a single vertex outweighs `bound`
+/// (then no cut of any kind is feasible).
+///
+/// # Examples
+///
+/// ```
+/// use tgp_core::bandwidth::min_bandwidth_cut_bounded;
+/// use tgp_graph::{PathGraph, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = PathGraph::from_raw(&[4, 4, 4, 4], &[9, 1, 9])?;
+/// // With the bottleneck capped at 1, only the middle edge may be cut.
+/// let cut = min_bandwidth_cut_bounded(&p, Weight::new(8), Weight::new(1))?.unwrap();
+/// assert_eq!(p.cut_weight(&cut)?, Weight::new(1));
+/// // Capping below every edge weight makes the instance infeasible.
+/// assert!(min_bandwidth_cut_bounded(&p, Weight::new(8), Weight::new(0))?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_bandwidth_cut_bounded(
+    path: &PathGraph,
+    bound: Weight,
+    bottleneck_limit: Weight,
+) -> Result<Option<CutSet>, PartitionError> {
+    check_bound(path.node_weights(), bound)?;
+    if path.total_weight() <= bound {
+        return Ok(Some(CutSet::empty()));
+    }
+    let m = path.edge_count();
+    let n = path.len();
+    let mut cost = vec![INF; m];
+    let mut parent = vec![usize::MAX; m];
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    let mut lo = 0usize;
+    for j in 0..m {
+        if j >= 1 && cost[j - 1] < INF {
+            let i = j - 1;
+            while deque.back().is_some_and(|&b| cost[b] >= cost[i]) {
+                deque.pop_back();
+            }
+            deque.push_back(i);
+        }
+        while lo < j && path.span_weight(lo + 1, j) > bound {
+            lo += 1;
+        }
+        while deque.front().is_some_and(|&f| f < lo) {
+            deque.pop_front();
+        }
+        let beta = path.edge_weight(EdgeId::new(j));
+        if beta > bottleneck_limit {
+            continue; // this edge may not be cut
+        }
+        if path.span_weight(0, j) <= bound {
+            cost[j] = beta.get();
+            parent[j] = usize::MAX;
+        }
+        if let Some(&i) = deque.front() {
+            let candidate = cost[i] + beta.get();
+            if candidate < cost[j] {
+                cost[j] = candidate;
+                parent[j] = i;
+            }
+        }
+    }
+    let mut best: Option<usize> = None;
+    for j in (0..m).rev() {
+        if path.span_weight(j + 1, n - 1) > bound {
+            break;
+        }
+        if cost[j] < INF && best.is_none_or(|b| cost[j] < cost[b]) {
+            best = Some(j);
+        }
+    }
+    let Some(mut j) = best else {
+        return Ok(None);
+    };
+    let mut edges = Vec::new();
+    loop {
+        edges.push(EdgeId::new(j));
+        if parent[j] == usize::MAX {
+            break;
+        }
+        j = parent[j];
+    }
+    let cut = CutSet::new(edges);
+    debug_assert_eq!(path.is_feasible_cut(&cut, bound), Ok(true));
+    debug_assert!(path.bottleneck(&cut).expect("valid cut") <= bottleneck_limit);
+    Ok(Some(cut))
+}
+
+/// The lexicographic bicriteria cut of §3's real-time application: the
+/// minimum-total-weight cut among all feasible cuts whose bottleneck
+/// equals the optimum `B*` of Algorithm 2.1.
+///
+/// # Errors
+///
+/// [`PartitionError::BoundTooSmall`] if a single vertex outweighs `bound`.
+///
+/// # Examples
+///
+/// ```
+/// use tgp_core::bandwidth::min_bandwidth_cut_lexicographic;
+/// use tgp_graph::{PathGraph, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Pure bandwidth minimization would cut the single weight-6 edge; the
+/// // lexicographic solve prefers two weight-4 cuts (bottleneck 4 < 6).
+/// let p = PathGraph::from_raw(&[5, 5, 5, 5], &[4, 6, 4])?;
+/// let cut = min_bandwidth_cut_lexicographic(&p, Weight::new(10))?;
+/// assert_eq!(p.bottleneck(&cut)?, Weight::new(4));
+/// assert_eq!(p.cut_weight(&cut)?, Weight::new(8));
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_bandwidth_cut_lexicographic(
+    path: &PathGraph,
+    bound: Weight,
+) -> Result<CutSet, PartitionError> {
+    // A chain is a tree, so Algorithm 2.1 yields the optimal bottleneck.
+    let b_star = min_bottleneck_cut(&tree_from_path(path), bound)?.bottleneck;
+    let cut = min_bandwidth_cut_bounded(path, bound, b_star)?
+        .expect("the bottleneck-optimal cut itself satisfies the limit");
+    Ok(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::min_bandwidth_cut;
+
+    fn path(nodes: &[u64], edges: &[u64]) -> PathGraph {
+        PathGraph::from_raw(nodes, edges).unwrap()
+    }
+
+    fn all_cuts(m: usize) -> impl Iterator<Item = CutSet> {
+        (0u32..(1 << m)).map(move |mask| {
+            (0..m)
+                .filter(|&j| mask & (1 << j) != 0)
+                .map(EdgeId::new)
+                .collect()
+        })
+    }
+
+    #[test]
+    fn unbounded_limit_recovers_plain_bandwidth() {
+        let p = path(&[4, 4, 4, 4], &[9, 1, 9]);
+        let bounded = min_bandwidth_cut_bounded(&p, Weight::new(8), Weight::MAX)
+            .unwrap()
+            .unwrap();
+        let plain = min_bandwidth_cut(&p, Weight::new(8)).unwrap();
+        assert_eq!(
+            p.cut_weight(&bounded).unwrap(),
+            p.cut_weight(&plain).unwrap()
+        );
+    }
+
+    #[test]
+    fn infeasible_limit_returns_none() {
+        let p = path(&[6, 6, 6], &[5, 7]);
+        // K = 11: every adjacent pair bursts, so both edges must be cut;
+        // a limit below 7 forbids the second.
+        assert!(min_bandwidth_cut_bounded(&p, Weight::new(11), Weight::new(6))
+            .unwrap()
+            .is_none());
+        assert!(min_bandwidth_cut_bounded(&p, Weight::new(11), Weight::new(7))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn lexicographic_trades_total_for_bottleneck() {
+        let p = path(&[5, 5, 5, 5], &[4, 6, 4]);
+        let lex = min_bandwidth_cut_lexicographic(&p, Weight::new(10)).unwrap();
+        let plain = min_bandwidth_cut(&p, Weight::new(10)).unwrap();
+        assert_eq!(p.bottleneck(&lex).unwrap(), Weight::new(4));
+        assert_eq!(p.cut_weight(&lex).unwrap(), Weight::new(8));
+        assert_eq!(p.cut_weight(&plain).unwrap(), Weight::new(6));
+        assert_eq!(p.bottleneck(&plain).unwrap(), Weight::new(6));
+    }
+
+    #[test]
+    fn matches_brute_force_lexicographic_order() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x1E);
+        for round in 0..200 {
+            let n: usize = rng.gen_range(1..11);
+            let nodes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10)).collect();
+            let edges: Vec<u64> = (0..n - 1).map(|_| rng.gen_range(0..15)).collect();
+            let p = path(&nodes, &edges);
+            let max = nodes.iter().copied().max().unwrap();
+            let k = Weight::new(rng.gen_range(max..=max + 15));
+            let lex = min_bandwidth_cut_lexicographic(&p, k).unwrap();
+            // Brute force: minimize (bottleneck, total) lexicographically.
+            let best = all_cuts(p.edge_count())
+                .filter(|c| p.is_feasible_cut(c, k).unwrap())
+                .map(|c| {
+                    (
+                        p.bottleneck(&c).unwrap().get(),
+                        p.cut_weight(&c).unwrap().get(),
+                    )
+                })
+                .min()
+                .unwrap();
+            let got = (
+                p.bottleneck(&lex).unwrap().get(),
+                p.cut_weight(&lex).unwrap().get(),
+            );
+            assert_eq!(got, best, "round={round} nodes={nodes:?} edges={edges:?} k={k}");
+        }
+    }
+
+    #[test]
+    fn bound_errors_propagate() {
+        let p = path(&[1, 9], &[1]);
+        assert!(matches!(
+            min_bandwidth_cut_bounded(&p, Weight::new(8), Weight::MAX),
+            Err(PartitionError::BoundTooSmall { .. })
+        ));
+        assert!(matches!(
+            min_bandwidth_cut_lexicographic(&p, Weight::new(8)),
+            Err(PartitionError::BoundTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_cut_ignores_the_limit() {
+        let p = path(&[2, 2], &[99]);
+        let cut = min_bandwidth_cut_bounded(&p, Weight::new(4), Weight::ZERO)
+            .unwrap()
+            .unwrap();
+        assert!(cut.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Non-redundant edge reduction.
+//!
+//! §2.3: "if two edges belong to exactly the same subpaths under
+//! consideration, then the edge with higher weight will never belong to any
+//! S_r". Grouping edges by their prime-subpath membership interval and
+//! keeping only the cheapest representative leaves at most `2p − 1` edges.
+
+use tgp_graph::{EdgeId, PathGraph, Weight};
+
+use super::prime::PrimeSubpath;
+
+/// An edge that survives the redundancy reduction, annotated with the
+/// contiguous range of prime subpaths it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NrEdge {
+    /// The edge id in the original path.
+    pub edge: EdgeId,
+    /// The edge weight `β`.
+    pub weight: Weight,
+    /// Index of the first prime subpath containing the edge (the paper's
+    /// `c_j`), 0-based.
+    pub first_prime: usize,
+    /// Index of the last prime subpath containing the edge (the paper's
+    /// `d_j`), 0-based inclusive.
+    pub last_prime: usize,
+}
+
+impl NrEdge {
+    /// The paper's `γ_j = c_j − 1` expressed as the number of prime
+    /// subpaths wholly to the left of this edge. `0` means no subpath
+    /// precedes it (the paper's `S_0 = ∅` base case).
+    pub fn gamma(&self) -> usize {
+        self.first_prime
+    }
+}
+
+/// Computes the non-redundant edges of `path` with respect to the given
+/// prime subpaths, in O(n) time.
+///
+/// Edges belonging to no prime subpath are dropped (they can never be
+/// needed in an optimal cut). Among edges with identical membership the
+/// cheapest one is kept; ties keep the leftmost for determinism.
+///
+/// The result is ordered by edge index, and both `first_prime` and
+/// `last_prime` are strictly increasing across the result (each group has
+/// a distinct membership interval).
+pub fn nonredundant_edges(path: &PathGraph, primes: &[PrimeSubpath]) -> Vec<NrEdge> {
+    if primes.is_empty() {
+        return Vec::new();
+    }
+    let p = primes.len();
+    let first_edge = primes[0].first_edge();
+    let last_edge = primes[p - 1].last_edge();
+    let mut out: Vec<NrEdge> = Vec::new();
+    // c = first prime with last_edge >= j; d = last prime with
+    // first_edge <= j. Both are monotone in j.
+    let mut c = 0usize;
+    let mut d = 0usize;
+    for j in first_edge..=last_edge {
+        while c < p && primes[c].last_edge() < j {
+            c += 1;
+        }
+        while d + 1 < p && primes[d + 1].first_edge() <= j {
+            d += 1;
+        }
+        if c > d {
+            continue; // edge in a gap between consecutive primes
+        }
+        let w = path.edge_weight(EdgeId::new(j));
+        match out.last_mut() {
+            Some(prev) if prev.first_prime == c && prev.last_prime == d => {
+                if w < prev.weight {
+                    prev.weight = w;
+                    prev.edge = EdgeId::new(j);
+                }
+            }
+            _ => out.push(NrEdge {
+                edge: EdgeId::new(j),
+                weight: w,
+                first_prime: c,
+                last_prime: d,
+            }),
+        }
+    }
+    debug_assert!(out.len() < 2 * p, "at most 2p - 1 non-redundant edges");
+    debug_assert!(out
+        .windows(2)
+        .all(|w| w[0].first_prime <= w[1].first_prime && w[0].last_prime <= w[1].last_prime));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::prime_subpaths;
+
+    fn path(nodes: &[u64], edges: &[u64]) -> PathGraph {
+        PathGraph::from_raw(nodes, edges).unwrap()
+    }
+
+    #[test]
+    fn empty_primes_give_no_edges() {
+        let p = path(&[1, 1, 1], &[5, 5]);
+        assert!(nonredundant_edges(&p, &[]).is_empty());
+    }
+
+    #[test]
+    fn identical_membership_keeps_cheapest() {
+        // One prime subpath covering all of [4,4,4] with K = 11:
+        // total 12 > 11; inner windows fit. Edges 0 and 1 both belong to
+        // exactly that subpath; the cheaper one must survive.
+        let p = path(&[4, 4, 4], &[7, 3]);
+        let primes = prime_subpaths(&p, Weight::new(11)).unwrap();
+        assert_eq!(primes.len(), 1);
+        let nr = nonredundant_edges(&p, &primes);
+        assert_eq!(nr.len(), 1);
+        assert_eq!(nr[0].edge, EdgeId::new(1));
+        assert_eq!(nr[0].weight, Weight::new(3));
+        assert_eq!((nr[0].first_prime, nr[0].last_prime), (0, 0));
+        assert_eq!(nr[0].gamma(), 0);
+    }
+
+    #[test]
+    fn ties_keep_leftmost() {
+        let p = path(&[4, 4, 4], &[3, 3]);
+        let primes = prime_subpaths(&p, Weight::new(11)).unwrap();
+        let nr = nonredundant_edges(&p, &primes);
+        assert_eq!(nr.len(), 1);
+        assert_eq!(nr[0].edge, EdgeId::new(0));
+    }
+
+    #[test]
+    fn membership_intervals_are_correct() {
+        // [4, 4, 4, 4] with K = 7: primes are the three 2-node windows
+        // [0,1], [1,2], [2,3]; edge j belongs only to prime j.
+        let p = path(&[4, 4, 4, 4], &[9, 8, 7]);
+        let primes = prime_subpaths(&p, Weight::new(7)).unwrap();
+        let nr = nonredundant_edges(&p, &primes);
+        assert_eq!(nr.len(), 3);
+        for (j, e) in nr.iter().enumerate() {
+            assert_eq!(e.edge, EdgeId::new(j));
+            assert_eq!((e.first_prime, e.last_prime), (j, j));
+        }
+    }
+
+    #[test]
+    fn overlapping_primes_share_edges() {
+        // [10, 1, 1, 10] with K = 11: primes [0..=2] (edges 0,1) and
+        // [1..=3] (edges 1,2). Edge 1 belongs to both.
+        let p = path(&[10, 1, 1, 10], &[5, 6, 7]);
+        let primes = prime_subpaths(&p, Weight::new(11)).unwrap();
+        let nr = nonredundant_edges(&p, &primes);
+        assert_eq!(nr.len(), 3);
+        assert_eq!((nr[0].first_prime, nr[0].last_prime), (0, 0));
+        assert_eq!((nr[1].first_prime, nr[1].last_prime), (0, 1));
+        assert_eq!((nr[2].first_prime, nr[2].last_prime), (1, 1));
+        assert_eq!(nr[1].gamma(), 0);
+        assert_eq!(nr[2].gamma(), 1);
+    }
+
+    #[test]
+    fn gap_edges_are_dropped() {
+        // [9, 1, 1, 1, 9] with K = 9: the minimal critical windows are
+        // [0..=1] (weight 10, edge 0) and [3..=4] (weight 10, edge 3);
+        // every wider critical window is dominated by one of them. Edges 1
+        // and 2 lie in the gap between the two primes and are dropped.
+        let p = path(&[9, 1, 1, 1, 9], &[1, 2, 3, 4]);
+        let primes = prime_subpaths(&p, Weight::new(9)).unwrap();
+        assert_eq!(primes.len(), 2);
+        assert_eq!((primes[0].first_node, primes[0].last_node), (0, 1));
+        assert_eq!((primes[1].first_node, primes[1].last_node), (3, 4));
+        let nr = nonredundant_edges(&p, &primes);
+        assert_eq!(nr.len(), 2);
+        assert_eq!(nr[0].edge, EdgeId::new(0));
+        assert_eq!(nr[1].edge, EdgeId::new(3));
+    }
+
+    #[test]
+    fn count_never_exceeds_2p_minus_1() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..60);
+            let nodes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..20)).collect();
+            let edges: Vec<u64> = (0..n - 1).map(|_| rng.gen_range(1..100)).collect();
+            let p = path(&nodes, &edges);
+            let k = rng.gen_range(20..60);
+            let primes = prime_subpaths(&p, Weight::new(k)).unwrap();
+            let nr = nonredundant_edges(&p, &primes);
+            if primes.is_empty() {
+                assert!(nr.is_empty());
+            } else {
+                assert!(nr.len() < 2 * primes.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Instance statistics backing the paper's Figure 2.
+//!
+//! The paper's evaluation studies the relation between `n`, `p`, `q`, `K`,
+//! `p log q` and the maximum vertex weight; [`BandwidthStats`] captures all
+//! of those for one solved instance, plus the TEMP_S occupancy telemetry
+//! that Appendix B reasons about.
+
+/// Statistics of one bandwidth-minimization run (the quantities plotted in
+/// the paper's Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthStats {
+    /// Number of tasks `n` in the chain.
+    pub n: usize,
+    /// Number of prime subpaths `p`.
+    pub p: usize,
+    /// Number of non-redundant edges `r` (`r ≤ min(n − 1, 2p − 1)`).
+    pub r: usize,
+    /// `Σ q_i` over non-redundant edges, where `q_i` is the number of prime
+    /// subpaths edge `i` belongs to.
+    pub q_sum: u64,
+    /// The paper's `q = Σ q_i / r` (0 when there are no primes).
+    pub q_bar: f64,
+    /// `p · log₂ q` — the paper's adaptive cost term (log clamped below at
+    /// 1 so the term never vanishes for `q < 2`).
+    pub p_log_q: f64,
+    /// `n · log₂ n` — the cost term of the best previously known algorithm.
+    pub n_log_n: f64,
+    /// Average prime-subpath length in edges (bounded by `2K/(w₁+w₂)` for
+    /// uniform weights, §2.3.2).
+    pub avg_prime_edge_len: f64,
+    /// Largest TEMP_S occupancy observed (Appendix B studies its average).
+    pub max_deque_len: usize,
+    /// Mean TEMP_S occupancy per processed non-redundant edge.
+    pub avg_deque_len: f64,
+    /// Weight of the optimal cut, `β(S_p)`.
+    pub cut_weight: u64,
+    /// Number of edges in the optimal cut.
+    pub cut_len: usize,
+}
+
+impl BandwidthStats {
+    /// Statistics for an instance with no critical subpaths (empty cut).
+    pub(crate) fn trivial(n: usize) -> Self {
+        BandwidthStats {
+            n,
+            p: 0,
+            r: 0,
+            q_sum: 0,
+            q_bar: 0.0,
+            p_log_q: 0.0,
+            n_log_n: n_log_n(n),
+            avg_prime_edge_len: 0.0,
+            max_deque_len: 0,
+            avg_deque_len: 0.0,
+            cut_weight: 0,
+            cut_len: 0,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        n: usize,
+        p: usize,
+        r: usize,
+        q_sum: u64,
+        prime_edge_len_sum: usize,
+        deque_len_sum: u64,
+        max_deque_len: usize,
+        cut_weight: u64,
+        cut_len: usize,
+    ) -> Self {
+        let q_bar = if r == 0 { 0.0 } else { q_sum as f64 / r as f64 };
+        let p_log_q = p as f64 * q_bar.max(2.0).log2();
+        BandwidthStats {
+            n,
+            p,
+            r,
+            q_sum,
+            q_bar,
+            p_log_q,
+            n_log_n: n_log_n(n),
+            avg_prime_edge_len: if p == 0 {
+                0.0
+            } else {
+                prime_edge_len_sum as f64 / p as f64
+            },
+            max_deque_len,
+            avg_deque_len: if r == 0 {
+                0.0
+            } else {
+                deque_len_sum as f64 / r as f64
+            },
+            cut_weight,
+            cut_len,
+        }
+    }
+
+    /// The paper's headline ratio: how far below `n log n` the adaptive
+    /// cost `p log q` falls (1.0 means no advantage; small values mean a
+    /// large advantage). Returns 0 for instances with no primes.
+    pub fn advantage_ratio(&self) -> f64 {
+        if self.n_log_n == 0.0 {
+            0.0
+        } else {
+            self.p_log_q / self.n_log_n
+        }
+    }
+}
+
+fn n_log_n(n: usize) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        n as f64 * (n as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_stats_are_all_zero_except_n() {
+        let s = BandwidthStats::trivial(100);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.p, 0);
+        assert_eq!(s.q_bar, 0.0);
+        assert_eq!(s.advantage_ratio(), 0.0);
+        assert!(s.n_log_n > 0.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = BandwidthStats::new(1000, 50, 80, 240, 500, 400, 9, 1234, 50);
+        assert!((s.q_bar - 3.0).abs() < 1e-9);
+        assert!((s.p_log_q - 50.0 * 3.0f64.log2()).abs() < 1e-9);
+        assert!((s.avg_prime_edge_len - 10.0).abs() < 1e-9);
+        assert!((s.avg_deque_len - 5.0).abs() < 1e-9);
+        assert!(s.advantage_ratio() > 0.0 && s.advantage_ratio() < 1.0);
+    }
+
+    #[test]
+    fn log_clamp_keeps_cost_positive_for_small_q() {
+        let s = BandwidthStats::new(10, 5, 5, 5, 5, 5, 1, 0, 0);
+        assert!((s.q_bar - 1.0).abs() < 1e-9);
+        assert!((s.p_log_q - 5.0).abs() < 1e-9); // 5 * log2(2)
+    }
+
+    #[test]
+    fn n_log_n_edge_cases() {
+        assert_eq!(n_log_n(0), 0.0);
+        assert_eq!(n_log_n(1), 0.0);
+        assert!((n_log_n(8) - 24.0).abs() < 1e-9);
+    }
+}

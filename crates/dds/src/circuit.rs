@@ -1,0 +1,418 @@
+//! Gate-level logic circuits.
+//!
+//! The paper's second application (§3) is distributed discrete-event
+//! simulation of logic circuits: each gate is a simulation process, each
+//! wire a message channel. This module models the circuits themselves;
+//! [`crate::sim`] runs them to measure activity, and [`crate::partition`]
+//! turns the measurements into a weighted process graph for partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a gate within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub usize);
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The logic function of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// A primary input (driven by the testbench each cycle).
+    Input,
+    /// Logical AND of all inputs.
+    And,
+    /// Logical OR of all inputs.
+    Or,
+    /// Logical NOT (exactly one input).
+    Not,
+    /// Logical XOR of all inputs.
+    Xor,
+    /// Logical NAND of all inputs.
+    Nand,
+    /// A D flip-flop: latches its single input at the clock edge.
+    Dff,
+}
+
+impl GateKind {
+    /// Whether the gate's output updates only at clock edges.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Evaluates the combinational function over the input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on clocked kinds ([`GateKind::Input`], [`GateKind::Dff`]) —
+    /// their values come from the testbench or the previous cycle, not
+    /// from combinational evaluation — and on a NOT gate with no input.
+    pub fn eval(self, mut inputs: impl Iterator<Item = bool>) -> bool {
+        match self {
+            GateKind::And => inputs.all(|b| b),
+            GateKind::Nand => !inputs.all(|b| b),
+            GateKind::Or => inputs.any(|b| b),
+            GateKind::Xor => inputs.fold(false, |acc, b| acc ^ b),
+            GateKind::Not => !inputs.next().expect("NOT has one input"),
+            GateKind::Input | GateKind::Dff => {
+                panic!("clocked elements are not combinationally evaluated")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gate {
+    kind: GateKind,
+    inputs: Vec<GateId>,
+}
+
+/// Errors constructing a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate input refers to a gate id that does not exist (yet).
+    UnknownGate {
+        /// The referencing gate.
+        gate: GateId,
+        /// The missing input.
+        input: GateId,
+    },
+    /// A gate has the wrong number of inputs for its kind.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Its kind.
+        kind: GateKind,
+        /// The number of inputs supplied.
+        inputs: usize,
+    },
+    /// The combinational part of the circuit contains a cycle (cycles are
+    /// only allowed through flip-flops).
+    CombinationalCycle,
+    /// The circuit has no gates.
+    Empty,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownGate { gate, input } => {
+                write!(f, "gate {gate} references unknown input {input}")
+            }
+            CircuitError::BadArity { gate, kind, inputs } => {
+                write!(f, "gate {gate} of kind {kind:?} cannot take {inputs} input(s)")
+            }
+            CircuitError::CombinationalCycle => {
+                write!(f, "combinational cycle (cycles must pass through a flip-flop)")
+            }
+            CircuitError::Empty => write!(f, "circuit has no gates"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// An incrementally built gate-level circuit.
+///
+/// # Examples
+///
+/// ```
+/// use tgp_dds::circuit::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new();
+/// let a = b.input();
+/// let bb = b.input();
+/// let x = b.gate(GateKind::Xor, vec![a, bb])?;
+/// let _q = b.gate(GateKind::Dff, vec![x])?;
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CircuitBuilder::default()
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self) -> GateId {
+        self.gates.push(Gate {
+            kind: GateKind::Input,
+            inputs: Vec::new(),
+        });
+        GateId(self.gates.len() - 1)
+    }
+
+    /// Adds a gate of `kind` fed by `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::BadArity`] or [`CircuitError::UnknownGate`] for
+    /// malformed gates. Forward references (e.g. a feedback wire into an
+    /// earlier gate through a DFF) are allowed only to *existing* gate ids
+    /// at build time, so create the DFF first and rewire with
+    /// [`CircuitBuilder::set_inputs`].
+    pub fn gate(&mut self, kind: GateKind, inputs: Vec<GateId>) -> Result<GateId, CircuitError> {
+        let id = GateId(self.gates.len());
+        Self::check_arity(id, kind, inputs.len())?;
+        self.gates.push(Gate { kind, inputs });
+        Ok(id)
+    }
+
+    /// Replaces the inputs of an existing gate (used to close feedback
+    /// loops through flip-flops).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::BadArity`] / [`CircuitError::UnknownGate`].
+    pub fn set_inputs(&mut self, gate: GateId, inputs: Vec<GateId>) -> Result<(), CircuitError> {
+        let kind = self
+            .gates
+            .get(gate.0)
+            .ok_or(CircuitError::UnknownGate {
+                gate,
+                input: gate,
+            })?
+            .kind;
+        Self::check_arity(gate, kind, inputs.len())?;
+        self.gates[gate.0].inputs = inputs;
+        Ok(())
+    }
+
+    fn check_arity(gate: GateId, kind: GateKind, inputs: usize) -> Result<(), CircuitError> {
+        let ok = match kind {
+            GateKind::Input => inputs == 0,
+            GateKind::Not | GateKind::Dff => inputs == 1,
+            GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Nand => inputs >= 1,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CircuitError::BadArity { gate, kind, inputs })
+        }
+    }
+
+    /// Validates and freezes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] if a reference is dangling, the circuit is empty,
+    /// or a cycle avoids every flip-flop.
+    pub fn build(self) -> Result<Circuit, CircuitError> {
+        let n = self.gates.len();
+        if n == 0 {
+            return Err(CircuitError::Empty);
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            for &input in &g.inputs {
+                if input.0 >= n {
+                    return Err(CircuitError::UnknownGate {
+                        gate: GateId(i),
+                        input,
+                    });
+                }
+            }
+        }
+        let topo = combinational_topo_order(&self.gates).ok_or(CircuitError::CombinationalCycle)?;
+        Ok(Circuit {
+            gates: self.gates,
+            topo,
+        })
+    }
+}
+
+/// Topological order of the combinational gates (inputs and DFFs act as
+/// sources); `None` if a combinational cycle exists.
+fn combinational_topo_order(gates: &[Gate]) -> Option<Vec<GateId>> {
+    let n = gates.len();
+    // In-degree counting only combinational dependencies: an edge u -> v
+    // exists when v is combinational and reads u.
+    let mut indeg = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, g) in gates.iter().enumerate() {
+        if g.kind == GateKind::Input || g.kind.is_sequential() {
+            continue;
+        }
+        for &u in &g.inputs {
+            fanout[u.0].push(v);
+            indeg[v] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(GateId(v));
+        for &w in &fanout[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A validated gate-level circuit.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    /// Evaluation order: all gates, sources first, combinational gates
+    /// after every gate they read.
+    topo: Vec<GateId>,
+}
+
+impl Circuit {
+    /// Number of gates (including inputs).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Always `false`: construction rejects empty circuits.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Kind of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    pub fn kind(&self, gate: GateId) -> GateKind {
+        self.gates[gate.0].kind
+    }
+
+    /// Inputs of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    pub fn inputs(&self, gate: GateId) -> &[GateId] {
+        &self.gates[gate.0].inputs
+    }
+
+    /// Ids of the primary inputs, ascending.
+    pub fn primary_inputs(&self) -> Vec<GateId> {
+        (0..self.len())
+            .map(GateId)
+            .filter(|&g| self.kind(g) == GateKind::Input)
+            .collect()
+    }
+
+    /// The combinational evaluation order.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// All wires as `(driver, reader)` pairs, in reader order.
+    pub fn wires(&self) -> Vec<(GateId, GateId)> {
+        let mut out = Vec::new();
+        for (v, g) in self.gates.iter().enumerate() {
+            for &u in &g.inputs {
+                out.push((u, GateId(v)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_combinational() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let c = b.input();
+        let x = b.gate(GateKind::And, vec![a, c]).unwrap();
+        let y = b.gate(GateKind::Not, vec![x]).unwrap();
+        let circuit = b.build().unwrap();
+        assert_eq!(circuit.len(), 4);
+        assert_eq!(circuit.kind(y), GateKind::Not);
+        assert_eq!(circuit.inputs(x), &[a, c]);
+        assert_eq!(circuit.primary_inputs(), vec![a, c]);
+        assert_eq!(circuit.wires().len(), 3);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        assert!(matches!(
+            b.gate(GateKind::Not, vec![a, a]),
+            Err(CircuitError::BadArity { .. })
+        ));
+        assert!(matches!(
+            b.gate(GateKind::And, vec![]),
+            Err(CircuitError::BadArity { .. })
+        ));
+        assert!(matches!(
+            b.gate(GateKind::Dff, vec![]),
+            Err(CircuitError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        assert_eq!(CircuitBuilder::new().build().unwrap_err(), CircuitError::Empty);
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let x = b.gate(GateKind::And, vec![a]).unwrap();
+        let y = b.gate(GateKind::Or, vec![x]).unwrap();
+        b.set_inputs(x, vec![y]).unwrap();
+        assert_eq!(b.build().unwrap_err(), CircuitError::CombinationalCycle);
+    }
+
+    #[test]
+    fn cycle_through_dff_is_allowed() {
+        // Classic toggle: DFF feeding a NOT feeding the DFF.
+        let mut b = CircuitBuilder::new();
+        let q = b.gate(GateKind::Dff, vec![GateId(0)]).unwrap(); // temp self
+        let nq = b.gate(GateKind::Not, vec![q]).unwrap();
+        b.set_inputs(q, vec![nq]).unwrap();
+        let circuit = b.build().unwrap();
+        assert_eq!(circuit.len(), 2);
+        // Topo order contains everything.
+        assert_eq!(circuit.topo_order().len(), 2);
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        b.gate(GateKind::Not, vec![GateId(99)]).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, CircuitError::UnknownGate { .. }));
+        let _ = a;
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CircuitError::BadArity {
+            gate: GateId(3),
+            kind: GateKind::Not,
+            inputs: 2,
+        };
+        assert!(e.to_string().contains("g3"));
+        assert!(CircuitError::CombinationalCycle
+            .to_string()
+            .contains("flip-flop"));
+    }
+}

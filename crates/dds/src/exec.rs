@@ -1,0 +1,166 @@
+//! Estimating the distributed simulation's execution on the machine.
+//!
+//! Once a circuit is partitioned, the measured activity tells us exactly
+//! how much computation each processor performs and how many messages
+//! cross each processor pair over the whole run. Replaying that aggregate
+//! as a compute-then-exchange round on the `tgp-shmem` machine yields an
+//! estimated parallel runtime — and hence the speed-up the partition
+//! actually buys, which is the quantity a DDS practitioner cares about.
+
+use std::collections::BTreeMap;
+
+use tgp_shmem::exchange::{simulate_compute_exchange, Transfer};
+use tgp_shmem::machine::Machine;
+use tgp_shmem::pipeline::SimError;
+use tgp_shmem::SimReport;
+
+use crate::circuit::Circuit;
+use crate::partition::CircuitPartition;
+use crate::sim::ActivityProfile;
+
+/// Replays the measured workload of a partitioned circuit as one
+/// compute-and-exchange round on `machine`.
+///
+/// # Errors
+///
+/// [`SimError::TooManyStages`] if the partition uses more processors than
+/// the machine has.
+///
+/// # Panics
+///
+/// Panics if `partition` does not belong to `circuit`/`profile` (gate
+/// counts must match).
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use tgp_dds::exec::estimate_execution;
+/// use tgp_dds::generators::shift_register;
+/// use tgp_dds::partition::partition_circuit;
+/// use tgp_dds::sim::simulate_activity;
+/// use tgp_graph::Weight;
+/// use tgp_shmem::machine::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = shift_register(32)?;
+/// let profile = simulate_activity(&circuit, 100, &mut SmallRng::seed_from_u64(1));
+/// let total: u64 = profile.evaluations.iter().map(|e| e + 1).sum();
+/// let part = partition_circuit(&circuit, &profile, Weight::new(total / 2))?;
+/// let report = estimate_execution(&circuit, &profile, &part, &Machine::bus(4)?)?;
+/// assert!(report.makespan > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_execution(
+    circuit: &Circuit,
+    profile: &ActivityProfile,
+    partition: &CircuitPartition,
+    machine: &Machine,
+) -> Result<SimReport, SimError> {
+    assert_eq!(
+        partition.processor_of.len(),
+        circuit.len(),
+        "partition must cover every gate of the circuit"
+    );
+    // Aggregate cross-processor wire messages per processor pair.
+    let mut volumes: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    for ((u, v), &m) in circuit.wires().iter().zip(&profile.wire_messages) {
+        let (pu, pv) = (partition.processor_of[u.0], partition.processor_of[v.0]);
+        if pu != pv && m > 0 {
+            *volumes.entry((pu.min(pv), pu.max(pv))).or_insert(0) += m;
+        }
+    }
+    let transfers: Vec<Transfer> = volumes
+        .into_iter()
+        .map(|((from, to), volume)| Transfer { from, to, volume })
+        .collect();
+    simulate_compute_exchange(&partition.load, &transfers, machine)
+}
+
+/// The speed-up of running the partitioned simulation on `machine`
+/// relative to running everything on a single processor of the same
+/// speed: `serial time / parallel makespan`.
+///
+/// # Errors
+///
+/// Same as [`estimate_execution`].
+pub fn estimate_speedup(
+    circuit: &Circuit,
+    profile: &ActivityProfile,
+    partition: &CircuitPartition,
+    machine: &Machine,
+) -> Result<f64, SimError> {
+    let report = estimate_execution(circuit, profile, partition, machine)?;
+    let serial_work: u64 = partition.load.iter().sum();
+    let serial = machine.compute_time(serial_work);
+    if report.makespan == 0 {
+        return Ok(1.0);
+    }
+    Ok(serial as f64 / report.makespan as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::shift_register;
+    use crate::partition::{partition_circuit, partition_circuit_block};
+    use crate::sim::simulate_activity;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tgp_graph::Weight;
+
+    fn setup() -> (crate::Circuit, ActivityProfile) {
+        let c = shift_register(64).unwrap();
+        let p = simulate_activity(&c, 300, &mut SmallRng::seed_from_u64(9));
+        (c, p)
+    }
+
+    #[test]
+    fn traffic_matches_inter_processor_messages() {
+        let (c, p) = setup();
+        let total: u64 = p.evaluations.iter().map(|e| e + 1).sum();
+        let part = partition_circuit(&c, &p, Weight::new(total / 3)).unwrap();
+        let machine = Machine::bus(part.processors).unwrap();
+        let report = estimate_execution(&c, &p, &part, &machine).unwrap();
+        assert_eq!(report.total_traffic, part.inter_messages);
+        assert_eq!(
+            report.processor_busy.iter().sum::<u64>(),
+            part.load.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn speedup_is_positive_and_bounded_by_processors() {
+        let (c, p) = setup();
+        let total: u64 = p.evaluations.iter().map(|e| e + 1).sum();
+        let part = partition_circuit(&c, &p, Weight::new(total / 3)).unwrap();
+        let machine = Machine::bus(part.processors).unwrap();
+        let s = estimate_speedup(&c, &p, &part, &machine).unwrap();
+        assert!(s > 1.0, "parallel run should beat serial: {s}");
+        assert!(s <= part.processors as f64 + 1e-9);
+    }
+
+    #[test]
+    fn good_partitions_beat_block_partitions_end_to_end() {
+        let (c, p) = setup();
+        let total: u64 = p.evaluations.iter().map(|e| e + 1).sum();
+        let part = partition_circuit(&c, &p, Weight::new(total / 3)).unwrap();
+        let block = partition_circuit_block(&c, &p, part.processors);
+        let machine = Machine::bus(part.processors).unwrap();
+        let smart = estimate_execution(&c, &p, &part, &machine).unwrap();
+        let naive = estimate_execution(&c, &p, &block, &machine).unwrap();
+        assert!(smart.total_traffic <= naive.total_traffic);
+    }
+
+    #[test]
+    fn machine_too_small_is_rejected() {
+        let (c, p) = setup();
+        let total: u64 = p.evaluations.iter().map(|e| e + 1).sum();
+        let part = partition_circuit(&c, &p, Weight::new(total / 4)).unwrap();
+        assert!(part.processors > 1);
+        let err = estimate_execution(&c, &p, &part, &Machine::bus(1).unwrap()).unwrap_err();
+        assert!(matches!(err, SimError::TooManyStages { .. }));
+    }
+}

@@ -1,0 +1,242 @@
+//! Circuit generators for the DDS experiments.
+//!
+//! The paper's DDS application targets systems that are "circular or
+//! linear in nature or can be approximated by a linear task graph, such as
+//! a circular type logic circuit" (§3). These generators produce exactly
+//! those families, plus layered random circuits for stress.
+
+use rand::Rng;
+
+use crate::circuit::{Circuit, CircuitBuilder, CircuitError, GateId, GateKind};
+
+/// A Johnson (twisted-ring) counter with `stages` flip-flops: the chain
+/// feeds forward, the last output is inverted back into the first, so the
+/// counter is self-starting from the all-zero state. A canonical
+/// "circular type logic circuit".
+///
+/// # Errors
+///
+/// Never fails for `stages >= 1`; returns [`CircuitError`] only on
+/// internal misuse.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn johnson_counter(stages: usize) -> Result<Circuit, CircuitError> {
+    assert!(stages > 0, "a counter needs at least one stage");
+    let mut b = CircuitBuilder::new();
+    let mut dffs = Vec::with_capacity(stages);
+    for _ in 0..stages {
+        // Temporarily self-fed; rewired below.
+        let id = b.gate(GateKind::Dff, vec![GateId(0)])?;
+        dffs.push(id);
+    }
+    let inv = b.gate(GateKind::Not, vec![dffs[stages - 1]])?;
+    b.set_inputs(dffs[0], vec![inv])?;
+    for s in 1..stages {
+        b.set_inputs(dffs[s], vec![dffs[s - 1]])?;
+    }
+    b.build()
+}
+
+/// A shift register: one primary input feeding a chain of `stages`
+/// flip-flops — a purely linear circuit.
+///
+/// # Errors
+///
+/// Never fails for `stages >= 1`.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn shift_register(stages: usize) -> Result<Circuit, CircuitError> {
+    assert!(stages > 0, "a shift register needs at least one stage");
+    let mut b = CircuitBuilder::new();
+    let mut prev = b.input();
+    for _ in 0..stages {
+        prev = b.gate(GateKind::Dff, vec![prev])?;
+    }
+    b.build()
+}
+
+/// A ripple-carry adder on `bits` bits: full adders chained through the
+/// carry wire — combinational and linear, the textbook pipeline workload.
+///
+/// # Errors
+///
+/// Never fails for `bits >= 1`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(bits: usize) -> Result<Circuit, CircuitError> {
+    assert!(bits > 0, "an adder needs at least one bit");
+    let mut b = CircuitBuilder::new();
+    let mut carry: Option<GateId> = None;
+    for _ in 0..bits {
+        let a = b.input();
+        let x = b.input();
+        match carry {
+            None => {
+                let _sum = b.gate(GateKind::Xor, vec![a, x])?;
+                carry = Some(b.gate(GateKind::And, vec![a, x])?);
+            }
+            Some(c) => {
+                let axb = b.gate(GateKind::Xor, vec![a, x])?;
+                let _sum = b.gate(GateKind::Xor, vec![axb, c])?;
+                let and1 = b.gate(GateKind::And, vec![a, x])?;
+                let and2 = b.gate(GateKind::And, vec![axb, c])?;
+                carry = Some(b.gate(GateKind::Or, vec![and1, and2])?);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A layered random circuit: `width` primary inputs, then `depth` layers
+/// of `width` random two-input gates. Every gate of a layer is read by at
+/// least one gate of the next, so the circuit is connected.
+///
+/// # Errors
+///
+/// Never fails for positive dimensions.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `depth == 0`.
+pub fn random_layered<R: Rng + ?Sized>(
+    width: usize,
+    depth: usize,
+    rng: &mut R,
+) -> Result<Circuit, CircuitError> {
+    assert!(width > 0 && depth > 0, "dimensions must be positive");
+    let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand];
+    let mut b = CircuitBuilder::new();
+    let mut layer: Vec<GateId> = (0..width).map(|_| b.input()).collect();
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            // Coverage input keeps the layer graph connected; the second
+            // is random.
+            let covered = layer[i % layer.len()];
+            let other = layer[rng.gen_range(0..layer.len())];
+            next.push(b.gate(kind, vec![covered, other])?);
+        }
+        layer = next;
+    }
+    b.build()
+}
+
+/// A Fibonacci linear-feedback shift register over `stages` flip-flops
+/// with feedback `taps` (1-based stage indices whose outputs are XORed
+/// into the input). Self-starting via an inverted feedback (an "LFSR with
+/// XNOR" convention), so the all-zero state is not a fixed point — a
+/// classic circular logic circuit in the paper's sense.
+///
+/// # Errors
+///
+/// Never fails for valid taps.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`, `taps` is empty, or a tap exceeds `stages`.
+pub fn lfsr(stages: usize, taps: &[usize]) -> Result<Circuit, CircuitError> {
+    assert!(stages > 0, "an LFSR needs at least one stage");
+    assert!(!taps.is_empty(), "an LFSR needs at least one tap");
+    assert!(
+        taps.iter().all(|&t| (1..=stages).contains(&t)),
+        "taps are 1-based stage indices"
+    );
+    let mut b = CircuitBuilder::new();
+    let mut dffs = Vec::with_capacity(stages);
+    for _ in 0..stages {
+        let id = b.gate(GateKind::Dff, vec![GateId(0)])?; // rewired below
+        dffs.push(id);
+    }
+    // Feedback: XNOR of the tapped stages (NOT over XOR), so all-zeros
+    // feeds a one back in.
+    let tapped: Vec<GateId> = taps.iter().map(|&t| dffs[t - 1]).collect();
+    let xor = b.gate(GateKind::Xor, tapped)?;
+    let feedback = b.gate(GateKind::Not, vec![xor])?;
+    b.set_inputs(dffs[0], vec![feedback])?;
+    for s in 1..stages {
+        b.set_inputs(dffs[s], vec![dffs[s - 1]])?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_activity;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn johnson_counter_is_active() {
+        let c = johnson_counter(5).unwrap();
+        assert_eq!(c.len(), 6); // 5 DFFs + 1 NOT
+        let p = simulate_activity(&c, 100, &mut SmallRng::seed_from_u64(1));
+        // A Johnson counter of 5 stages cycles with period 10; every stage
+        // toggles 2 times per period → about 20 toggles per stage.
+        for s in 0..5 {
+            assert!(p.toggles[s] >= 15, "stage {s}: {}", p.toggles[s]);
+        }
+    }
+
+    #[test]
+    fn shift_register_propagates_stimulus() {
+        let c = shift_register(8).unwrap();
+        assert_eq!(c.len(), 9);
+        let p = simulate_activity(&c, 400, &mut SmallRng::seed_from_u64(2));
+        // Every stage eventually sees the (delayed) input stream: toggles
+        // roughly half the cycles.
+        let last = c.len() - 1;
+        assert!(p.toggles[last] > 100, "last stage toggles {}", p.toggles[last]);
+    }
+
+    #[test]
+    fn ripple_carry_adder_shape() {
+        let c = ripple_carry_adder(8).unwrap();
+        // 2 inputs per bit + gates; bit 0 has 2 gates, others 5.
+        assert_eq!(c.len(), 8 * 2 + 2 + 7 * 5);
+        let p = simulate_activity(&c, 100, &mut SmallRng::seed_from_u64(3));
+        assert!(p.total_messages() > 0);
+    }
+
+    #[test]
+    fn random_layered_is_connected_and_deterministic() {
+        let mut r1 = SmallRng::seed_from_u64(9);
+        let mut r2 = SmallRng::seed_from_u64(9);
+        let a = random_layered(6, 4, &mut r1).unwrap();
+        let b = random_layered(6, 4, &mut r2).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 6 * 5);
+        assert_eq!(a.wires().len(), b.wires().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_counter_panics() {
+        let _ = johnson_counter(0);
+    }
+
+    #[test]
+    fn lfsr_is_active_and_circular() {
+        // A maximal-length 5-bit LFSR (taps 5, 3) cycles through 31
+        // non-repeating states; every stage toggles often.
+        let c = lfsr(5, &[5, 3]).unwrap();
+        assert_eq!(c.len(), 7); // 5 DFFs + XOR + NOT
+        let p = simulate_activity(&c, 124, &mut SmallRng::seed_from_u64(4));
+        for stage in 0..5 {
+            assert!(p.toggles[stage] > 20, "stage {stage}: {}", p.toggles[stage]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based stage indices")]
+    fn lfsr_tap_out_of_range_panics() {
+        let _ = lfsr(4, &[5]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Distributed discrete-event simulation of logic circuits — the second
+//! application of the reproduced paper (§3).
+//!
+//! Pipeline: build a gate-level circuit ([`circuit`]), simulate it under
+//! random stimulus to *measure* per-gate computation and per-wire message
+//! counts ([`sim`]), then partition the resulting weighted process graph
+//! across the processors of a shared-memory machine via the paper's
+//! linear super-graph approximation and bandwidth-minimization algorithm
+//! ([`partition`]). Circuit families from the paper's motivation (ring
+//! counters, shift registers, adders) are in [`generators`].
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use tgp_dds::generators::shift_register;
+//! use tgp_dds::partition::partition_circuit;
+//! use tgp_dds::sim::simulate_activity;
+//! use tgp_graph::Weight;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = shift_register(16)?;
+//! let profile = simulate_activity(&circuit, 200, &mut SmallRng::seed_from_u64(7));
+//! let total: u64 = profile.evaluations.iter().map(|e| e + 1).sum();
+//! let part = partition_circuit(&circuit, &profile, Weight::new(total / 2))?;
+//! assert!(part.processors >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod exec;
+pub mod generators;
+pub mod parallel;
+pub mod partition;
+pub mod sim;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitError, GateId, GateKind};
+pub use partition::{
+    partition_circuit, partition_circuit_with_ordering, CircuitPartition, DdsError,
+};
+pub use exec::{estimate_execution, estimate_speedup};
+pub use parallel::{simulate_parallel, ParallelSimReport};
+pub use sim::{simulate_activity, ActivityProfile};

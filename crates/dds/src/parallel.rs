@@ -1,0 +1,291 @@
+//! Conservative distributed simulation of a partitioned circuit.
+//!
+//! The paper's DDS application ultimately runs as a *distributed*
+//! discrete-event simulation (it cites Misra's survey): each processor
+//! hosts a logical process (LP) simulating its gates, and LPs synchronize
+//! conservatively — an LP may only advance once every incoming channel
+//! has either delivered a real event or a **null message** promising none
+//! (the Chandy-Misra-Bryant protocol with lookahead of one clock cycle).
+//!
+//! For a synchronous circuit this has a crisp cost model: per simulated
+//! cycle, every directed cross-LP channel carries either one event
+//! message (some wire on it toggled) or one null message (none did). The
+//! partition therefore controls the synchronization bill twice over —
+//! fewer cross-LP channels mean fewer nulls, and higher message locality
+//! means the channels that do exist carry useful events more often.
+//!
+//! [`simulate_parallel`] replays the same deterministic logic simulation
+//! as [`crate::sim`] while accounting messages per LP channel, so
+//! partitions can be compared by *synchronization overhead*, not just by
+//! static cut weight.
+
+use rand::Rng;
+
+use crate::circuit::{Circuit, GateKind};
+use crate::partition::CircuitPartition;
+
+/// Message accounting of a conservative parallel simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSimReport {
+    /// Simulated clock cycles.
+    pub cycles: u64,
+    /// Directed cross-LP channels (processor pairs connected by at least
+    /// one wire).
+    pub channels: usize,
+    /// Channel-cycles that carried a real event (≥ 1 toggled wire).
+    pub event_messages: u64,
+    /// Channel-cycles that carried only a null message.
+    pub null_messages: u64,
+    /// Gate evaluations performed per LP.
+    pub lp_evaluations: Vec<u64>,
+}
+
+impl ParallelSimReport {
+    /// Fraction of synchronization traffic that is pure overhead
+    /// (null messages); 0.0 for a single-LP run.
+    pub fn sync_overhead(&self) -> f64 {
+        let total = self.event_messages + self.null_messages;
+        if total == 0 {
+            0.0
+        } else {
+            self.null_messages as f64 / total as f64
+        }
+    }
+
+    /// Load imbalance across LPs (max over mean); 0 when idle.
+    pub fn lp_imbalance(&self) -> f64 {
+        let max = self.lp_evaluations.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.lp_evaluations.iter().sum();
+        if sum == 0 {
+            0.0
+        } else {
+            max as f64 / (sum as f64 / self.lp_evaluations.len() as f64)
+        }
+    }
+}
+
+/// Runs `cycles` clock cycles of the circuit under random stimulus,
+/// partitioned across LPs as in `partition`, counting conservative
+/// synchronization traffic (lookahead = one cycle).
+///
+/// The logic results are identical to [`crate::sim::simulate_activity`]
+/// with the same seed — partitioning never changes simulated behaviour,
+/// only where gates run and what crosses LP boundaries.
+///
+/// # Panics
+///
+/// Panics if `partition` does not cover exactly the gates of `circuit`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use tgp_dds::generators::shift_register;
+/// use tgp_dds::parallel::simulate_parallel;
+/// use tgp_dds::partition::partition_circuit;
+/// use tgp_dds::sim::simulate_activity;
+/// use tgp_graph::Weight;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = shift_register(32)?;
+/// let profile = simulate_activity(&circuit, 100, &mut SmallRng::seed_from_u64(1));
+/// let total: u64 = profile.evaluations.iter().map(|e| e + 1).sum();
+/// let part = partition_circuit(&circuit, &profile, Weight::new(total / 3))?;
+/// let report = simulate_parallel(&circuit, &part, 100, &mut SmallRng::seed_from_u64(1));
+/// assert!(report.sync_overhead() <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_parallel<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    partition: &CircuitPartition,
+    cycles: u64,
+    rng: &mut R,
+) -> ParallelSimReport {
+    let n = circuit.len();
+    assert_eq!(
+        partition.processor_of.len(),
+        n,
+        "partition must cover every gate of the circuit"
+    );
+    let lps = partition.processors;
+    // Directed cross-LP channels: channel_of[(src, dst)] exists when some
+    // wire goes from a gate on `src` to a gate on `dst`, src != dst.
+    let wires = circuit.wires();
+    let mut channel_index = std::collections::BTreeMap::new();
+    let mut wire_channel: Vec<Option<usize>> = Vec::with_capacity(wires.len());
+    for &(u, v) in &wires {
+        let (src, dst) = (
+            partition.processor_of[u.0],
+            partition.processor_of[v.0],
+        );
+        if src == dst {
+            wire_channel.push(None);
+        } else {
+            let next = channel_index.len();
+            let idx = *channel_index.entry((src, dst)).or_insert(next);
+            wire_channel.push(Some(idx));
+        }
+    }
+    let channels = channel_index.len();
+    // Replay the deterministic simulation (same scheme as crate::sim).
+    let mut values = vec![false; n];
+    let mut toggled = vec![false; n];
+    let mut lp_evaluations = vec![0u64; lps];
+    let mut event_messages = 0u64;
+    let mut null_messages = 0u64;
+    let mut channel_active = vec![false; channels];
+    // Initial combinational settle (uncounted).
+    for &gid in circuit.topo_order() {
+        let kind = circuit.kind(gid);
+        if kind == GateKind::Input || kind.is_sequential() {
+            continue;
+        }
+        let inputs = circuit.inputs(gid);
+        values[gid.0] = kind.eval(inputs.iter().map(|&u| values[u.0]));
+    }
+    for _ in 0..cycles {
+        let prev = values.clone();
+        for g in 0..n {
+            match circuit.kind(crate::circuit::GateId(g)) {
+                GateKind::Dff => {
+                    let d = circuit.inputs(crate::circuit::GateId(g))[0];
+                    values[g] = prev[d.0];
+                    lp_evaluations[partition.processor_of[g]] += 1;
+                }
+                GateKind::Input => {
+                    values[g] = rng.gen_bool(0.5);
+                    lp_evaluations[partition.processor_of[g]] += 1;
+                }
+                _ => {}
+            }
+        }
+        for g in 0..n {
+            toggled[g] = values[g] != prev[g];
+        }
+        for &gid in circuit.topo_order() {
+            let g = gid.0;
+            let kind = circuit.kind(gid);
+            if kind == GateKind::Input || kind.is_sequential() {
+                continue;
+            }
+            let inputs = circuit.inputs(gid);
+            if !inputs.iter().any(|&u| toggled[u.0]) {
+                continue;
+            }
+            lp_evaluations[partition.processor_of[g]] += 1;
+            let out = kind.eval(inputs.iter().map(|&u| values[u.0]));
+            if out != values[g] {
+                values[g] = out;
+                toggled[g] = true;
+            }
+        }
+        // Channel accounting: one message per directed channel per cycle —
+        // an event if any wire on it toggled, a null otherwise.
+        channel_active.iter_mut().for_each(|a| *a = false);
+        for (w, &(u, _)) in wires.iter().enumerate() {
+            if let Some(c) = wire_channel[w] {
+                if toggled[u.0] {
+                    channel_active[c] = true;
+                }
+            }
+        }
+        for &active in &channel_active {
+            if active {
+                event_messages += 1;
+            } else {
+                null_messages += 1;
+            }
+        }
+    }
+    ParallelSimReport {
+        cycles,
+        channels,
+        event_messages,
+        null_messages,
+        lp_evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{johnson_counter, shift_register};
+    use crate::partition::{partition_circuit, partition_circuit_block};
+    use crate::sim::simulate_activity;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tgp_graph::Weight;
+
+    #[test]
+    fn single_lp_has_no_synchronization() {
+        let c = shift_register(20).unwrap();
+        let profile = simulate_activity(&c, 50, &mut SmallRng::seed_from_u64(1));
+        let part = partition_circuit_block(&c, &profile, 1);
+        let r = simulate_parallel(&c, &part, 50, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(r.channels, 0);
+        assert_eq!(r.event_messages + r.null_messages, 0);
+        assert_eq!(r.sync_overhead(), 0.0);
+    }
+
+    #[test]
+    fn total_messages_equal_channels_times_cycles() {
+        let c = shift_register(30).unwrap();
+        let profile = simulate_activity(&c, 80, &mut SmallRng::seed_from_u64(2));
+        let part = partition_circuit_block(&c, &profile, 3);
+        let r = simulate_parallel(&c, &part, 80, &mut SmallRng::seed_from_u64(2));
+        assert!(r.channels >= 2);
+        assert_eq!(
+            r.event_messages + r.null_messages,
+            r.channels as u64 * 80
+        );
+    }
+
+    #[test]
+    fn evaluations_match_serial_simulation() {
+        // Partitioning must not change what is simulated.
+        let c = johnson_counter(16).unwrap();
+        let profile = simulate_activity(&c, 120, &mut SmallRng::seed_from_u64(3));
+        let part = partition_circuit_block(&c, &profile, 4);
+        let r = simulate_parallel(&c, &part, 120, &mut SmallRng::seed_from_u64(3));
+        let lp_total: u64 = r.lp_evaluations.iter().sum();
+        assert_eq!(lp_total, profile.total_work());
+    }
+
+    #[test]
+    fn better_partitions_have_no_more_channels() {
+        let c = shift_register(60).unwrap();
+        let profile = simulate_activity(&c, 200, &mut SmallRng::seed_from_u64(4));
+        let total: u64 = profile.evaluations.iter().map(|e| e + 1).sum();
+        let smart = partition_circuit(&c, &profile, Weight::new(total / 3)).unwrap();
+        let block = partition_circuit_block(&c, &profile, smart.processors);
+        let rs = simulate_parallel(&c, &smart, 200, &mut SmallRng::seed_from_u64(4));
+        let rb = simulate_parallel(&c, &block, 200, &mut SmallRng::seed_from_u64(4));
+        assert!(rs.channels <= rb.channels);
+    }
+
+    #[test]
+    fn sync_overhead_is_a_ratio() {
+        let c = johnson_counter(12).unwrap();
+        let profile = simulate_activity(&c, 100, &mut SmallRng::seed_from_u64(5));
+        let part = partition_circuit_block(&c, &profile, 3);
+        let r = simulate_parallel(&c, &part, 100, &mut SmallRng::seed_from_u64(5));
+        let s = r.sync_overhead();
+        assert!((0.0..=1.0).contains(&s));
+        // A Johnson counter toggles rarely relative to its channel count,
+        // so most channel-cycles are nulls.
+        assert!(s > 0.5, "expected null-heavy sync, got {s}");
+        assert!(r.lp_imbalance() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every gate")]
+    fn mismatched_partition_panics() {
+        let c = shift_register(5).unwrap();
+        let other = shift_register(9).unwrap();
+        let profile = simulate_activity(&other, 10, &mut SmallRng::seed_from_u64(6));
+        let part = partition_circuit_block(&other, &profile, 2);
+        simulate_parallel(&c, &part, 10, &mut SmallRng::seed_from_u64(6));
+    }
+}

@@ -1,0 +1,242 @@
+//! Cycle-based logic simulation with activity measurement.
+//!
+//! Runs a circuit for a number of clock cycles under random primary-input
+//! stimulus and records, per gate, how often it had to be evaluated and,
+//! per wire, how many value-change messages it carried. In a distributed
+//! discrete-event simulation these are exactly the computation and
+//! communication loads of the simulation processes — "both quantities in
+//! general are determined by the requirement of the simulation" (§3).
+
+use rand::Rng;
+
+use crate::circuit::{Circuit, GateKind};
+
+/// Measured per-gate and per-wire activity of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityProfile {
+    /// Evaluations per gate: clocked elements (inputs, flip-flops)
+    /// evaluate every cycle; combinational gates evaluate when an input
+    /// changed.
+    pub evaluations: Vec<u64>,
+    /// Output toggles per gate.
+    pub toggles: Vec<u64>,
+    /// Value-change messages per wire, in [`Circuit::wires`] order.
+    pub wire_messages: Vec<u64>,
+    /// Number of simulated cycles.
+    pub cycles: u64,
+}
+
+impl ActivityProfile {
+    /// Total evaluations across all gates.
+    pub fn total_work(&self) -> u64 {
+        self.evaluations.iter().sum()
+    }
+
+    /// Total messages across all wires.
+    pub fn total_messages(&self) -> u64 {
+        self.wire_messages.iter().sum()
+    }
+}
+
+/// Simulates `cycles` clock cycles with uniformly random input stimulus,
+/// starting from the all-zero state.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use tgp_dds::circuit::{CircuitBuilder, GateKind};
+/// use tgp_dds::sim::simulate_activity;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new();
+/// let a = b.input();
+/// let _n = b.gate(GateKind::Not, vec![a])?;
+/// let c = b.build()?;
+/// let profile = simulate_activity(&c, 100, &mut SmallRng::seed_from_u64(1));
+/// assert_eq!(profile.cycles, 100);
+/// assert!(profile.total_work() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_activity<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    cycles: u64,
+    rng: &mut R,
+) -> ActivityProfile {
+    let n = circuit.len();
+    let mut values = vec![false; n];
+    let mut evaluations = vec![0u64; n];
+    let mut toggles = vec![0u64; n];
+    let wires = circuit.wires();
+    let mut wire_messages = vec![0u64; wires.len()];
+    let mut toggled = vec![false; n];
+    // Initial settle: make the all-zero state combinationally consistent
+    // (e.g. a NOT of a zero wire must start at one). Uncounted — this is
+    // initialization, not simulated activity.
+    for &gid in circuit.topo_order() {
+        let kind = circuit.kind(gid);
+        if kind == GateKind::Input || kind.is_sequential() {
+            continue;
+        }
+        let inputs = circuit.inputs(gid);
+        values[gid.0] = kind.eval(inputs.iter().map(|&u| values[u.0]));
+    }
+    for _ in 0..cycles {
+        let prev = values.clone();
+        // Phase 1: clocked elements. Flip-flops latch their input's value
+        // as of the end of the previous cycle; primary inputs take fresh
+        // random stimulus.
+        for g in 0..n {
+            match circuit.kind(crate::circuit::GateId(g)) {
+                GateKind::Dff => {
+                    let d = circuit.inputs(crate::circuit::GateId(g))[0];
+                    values[g] = prev[d.0];
+                    evaluations[g] += 1;
+                }
+                GateKind::Input => {
+                    values[g] = rng.gen_bool(0.5);
+                    evaluations[g] += 1;
+                }
+                _ => {}
+            }
+        }
+        // Phase 2: combinational settle in topological order; a gate
+        // re-evaluates only when one of its inputs changed this cycle
+        // (the event-driven cost model).
+        for g in 0..n {
+            toggled[g] = values[g] != prev[g];
+        }
+        for &gid in circuit.topo_order() {
+            let g = gid.0;
+            let kind = circuit.kind(gid);
+            if kind == GateKind::Input || kind.is_sequential() {
+                continue;
+            }
+            let inputs = circuit.inputs(gid);
+            if !inputs.iter().any(|&u| toggled[u.0]) {
+                continue;
+            }
+            evaluations[g] += 1;
+            let out = kind.eval(inputs.iter().map(|&u| values[u.0]));
+            if out != values[g] {
+                values[g] = out;
+                toggled[g] = true;
+            }
+        }
+        // Accounting: toggles and wire messages.
+        for g in 0..n {
+            if toggled[g] {
+                toggles[g] += 1;
+            }
+        }
+        for (w, &(u, _)) in wires.iter().enumerate() {
+            if toggled[u.0] {
+                wire_messages[w] += 1;
+            }
+        }
+    }
+    ActivityProfile {
+        evaluations,
+        toggles,
+        wire_messages,
+        cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{CircuitBuilder, GateId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn toggle_flip_flop_oscillates() {
+        // DFF -> NOT -> DFF loop toggles every cycle after start-up.
+        let mut b = CircuitBuilder::new();
+        let q = b.gate(GateKind::Dff, vec![GateId(0)]).unwrap();
+        let nq = b.gate(GateKind::Not, vec![q]).unwrap();
+        b.set_inputs(q, vec![nq]).unwrap();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, 100, &mut rng());
+        // q toggles every cycle except possibly the first.
+        assert!(p.toggles[q.0] >= 99, "toggles = {}", p.toggles[q.0]);
+        assert_eq!(p.evaluations[q.0], 100);
+        assert_eq!(p.cycles, 100);
+    }
+
+    #[test]
+    fn constant_subcircuit_is_never_reevaluated() {
+        // AND of two inputs that we never drive: a NOT of a constant.
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let x = b.gate(GateKind::And, vec![a, a]).unwrap();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, 200, &mut rng());
+        // x evaluates only on cycles where a toggled.
+        assert!(p.evaluations[x.0] < 200);
+        assert_eq!(p.evaluations[x.0], p.toggles[a.0]);
+    }
+
+    #[test]
+    fn wire_messages_count_driver_toggles() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let x = b.gate(GateKind::Not, vec![a]).unwrap();
+        let y = b.gate(GateKind::Not, vec![a]).unwrap();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, 500, &mut rng());
+        let wires = c.wires();
+        assert_eq!(wires.len(), 2);
+        for (w, &(u, _)) in wires.iter().enumerate() {
+            assert_eq!(u, a);
+            assert_eq!(p.wire_messages[w], p.toggles[a.0]);
+        }
+        // NOT gates toggle exactly when their input does.
+        assert_eq!(p.toggles[x.0], p.toggles[a.0]);
+        assert_eq!(p.toggles[y.0], p.toggles[a.0]);
+        // Random input toggles roughly half the cycles.
+        assert!(p.toggles[a.0] > 150 && p.toggles[a.0] < 350);
+    }
+
+    #[test]
+    fn xor_identity() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let bb = b.input();
+        let x = b.gate(GateKind::Xor, vec![a, bb]).unwrap();
+        let nx = b.gate(GateKind::Nand, vec![a, bb]).unwrap();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, 50, &mut rng());
+        assert!(p.total_work() >= 100); // inputs always evaluate
+        assert!(p.total_messages() > 0);
+        let _ = (x, nx);
+    }
+
+    #[test]
+    fn zero_cycles_yields_zero_activity() {
+        let mut b = CircuitBuilder::new();
+        b.input();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, 0, &mut rng());
+        assert_eq!(p.total_work(), 0);
+        assert_eq!(p.total_messages(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let _x = b.gate(GateKind::Not, vec![a]).unwrap();
+        let c = b.build().unwrap();
+        let p1 = simulate_activity(&c, 100, &mut SmallRng::seed_from_u64(7));
+        let p2 = simulate_activity(&c, 100, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests on the logic simulator and the partitioning
+//! pipeline of the DDS application.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tgp_dds::circuit::{CircuitBuilder, GateKind};
+use tgp_dds::generators::{johnson_counter, random_layered, shift_register};
+use tgp_dds::partition::{partition_circuit, partition_circuit_block, process_graph};
+use tgp_dds::sim::simulate_activity;
+use tgp_graph::Weight;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// De Morgan check at the simulation level: a NAND gate always toggles
+    /// exactly when NOT(AND) toggles, for any stimulus.
+    #[test]
+    fn nand_equals_not_and(cycles in 1u64..200, seed in any::<u64>()) {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let nand = b.gate(GateKind::Nand, vec![x, y]).unwrap();
+        let and = b.gate(GateKind::And, vec![x, y]).unwrap();
+        let not_and = b.gate(GateKind::Not, vec![and]).unwrap();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, cycles, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(p.toggles[nand.0], p.toggles[not_and.0]);
+    }
+
+    /// A DFF delays its input by one cycle, so over the whole run it can
+    /// toggle at most as often as its input (plus the initial latch).
+    #[test]
+    fn dff_toggles_at_most_input_toggles(cycles in 1u64..300, seed in any::<u64>()) {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let q = b.gate(GateKind::Dff, vec![x]).unwrap();
+        let c = b.build().unwrap();
+        let p = simulate_activity(&c, cycles, &mut SmallRng::seed_from_u64(seed));
+        prop_assert!(p.toggles[q.0] <= p.toggles[x.0] + 1);
+    }
+
+    /// Wire messages are conserved: the per-wire counts sum to the total,
+    /// and every wire's count equals its driver's toggle count.
+    #[test]
+    fn wire_messages_match_driver_toggles(
+        width in 2usize..6,
+        depth in 1usize..4,
+        cycles in 1u64..100,
+        seed in any::<u64>(),
+    ) {
+        let c = random_layered(width, depth, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        let p = simulate_activity(&c, cycles, &mut SmallRng::seed_from_u64(seed ^ 1));
+        for ((u, _), &m) in c.wires().iter().zip(&p.wire_messages) {
+            prop_assert_eq!(m, p.toggles[u.0]);
+        }
+        prop_assert_eq!(
+            p.wire_messages.iter().sum::<u64>(),
+            p.total_messages()
+        );
+    }
+
+    /// Partitioning respects the load bound, covers every gate, conserves
+    /// messages, and never loses to the block split on linear circuits.
+    #[test]
+    fn partition_contract(stages in 4usize..40, seed in any::<u64>()) {
+        let c = shift_register(stages).unwrap();
+        let p = simulate_activity(&c, 200, &mut SmallRng::seed_from_u64(seed));
+        let total: u64 = p.evaluations.iter().map(|e| e + 1).sum();
+        let bound = total / 3 + total / 10;
+        let part = partition_circuit(&c, &p, Weight::new(bound)).unwrap();
+        prop_assert!(part.max_load() <= bound);
+        prop_assert_eq!(part.processor_of.len(), c.len());
+        prop_assert_eq!(part.load.iter().sum::<u64>(), total);
+        prop_assert_eq!(
+            part.intra_messages + part.inter_messages,
+            p.total_messages()
+        );
+        let block = partition_circuit_block(&c, &p, part.processors);
+        prop_assert!(part.inter_messages <= block.inter_messages);
+    }
+}
+
+#[test]
+fn process_graph_weights_never_vanish() {
+    // Even an all-idle gate gets weight 1 so the load bound semantics
+    // remain well defined.
+    let c = johnson_counter(6).unwrap();
+    let p = simulate_activity(&c, 0, &mut SmallRng::seed_from_u64(1));
+    let g = process_graph(&c, &p).unwrap();
+    assert!(g.node_weights().iter().all(|w| w.get() >= 1));
+    assert_eq!(g.len(), c.len());
+}
+
+#[test]
+fn johnson_counter_period_is_2n() {
+    // A Johnson counter with s stages has period 2s; over 4s cycles every
+    // stage toggles exactly 4 times (two rising, two falling edges per
+    // period... i.e. 2 toggles per period).
+    let s = 5;
+    let c = johnson_counter(s).unwrap();
+    let cycles = 4 * s as u64;
+    let p = simulate_activity(&c, cycles, &mut SmallRng::seed_from_u64(3));
+    for stage in 0..s {
+        assert_eq!(p.toggles[stage], 4, "stage {stage}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Super-node contraction: lumping the components of `T − S` into a new tree.
+//!
+//! Section 2.2 of the paper observes that after bottleneck minimization cuts
+//! a tree into components, "there may be at most one edge between two
+//! connected components", so lumping every component into a super-node
+//! (whose weight is the component's total vertex weight) yields another
+//! tree whose edges are exactly the cut edges. Processor minimization then
+//! runs on that contracted tree.
+
+use crate::{Components, CutSet, EdgeId, GraphError, NodeId, Tree, TreeEdge};
+
+/// The result of contracting the components of `T − S` into super-nodes.
+///
+/// # Examples
+///
+/// ```
+/// use tgp_graph::{contract, CutSet, EdgeId, Tree, Weight};
+///
+/// # fn main() -> Result<(), tgp_graph::GraphError> {
+/// let t = Tree::from_raw(&[1, 2, 3, 4], &[(0, 1, 10), (1, 2, 20), (2, 3, 30)])?;
+/// let cut = CutSet::new(vec![EdgeId::new(1)]);
+/// let c = contract(&t, &cut)?;
+/// assert_eq!(c.tree().len(), 2);           // two super-nodes
+/// assert_eq!(c.tree().total_weight(), t.total_weight());
+/// assert_eq!(c.original_edge(EdgeId::new(0)), EdgeId::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    tree: Tree,
+    /// `node_map[v]` = super-node containing original node `v`.
+    node_map: Vec<NodeId>,
+    /// `edge_map[e']` = original edge id of contracted edge `e'`.
+    edge_map: Vec<EdgeId>,
+    components: Components,
+}
+
+impl Contraction {
+    /// The contracted tree of super-nodes.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The super-node containing original node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the original tree.
+    pub fn super_node_of(&self, v: NodeId) -> NodeId {
+        self.node_map[v.index()]
+    }
+
+    /// The original edge that became contracted edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the contracted tree.
+    pub fn original_edge(&self, e: EdgeId) -> EdgeId {
+        self.edge_map[e.index()]
+    }
+
+    /// The components of the original tree under the cut.
+    pub fn components(&self) -> &Components {
+        &self.components
+    }
+
+    /// Translates a cut on the contracted tree back to original edge ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` refers to edges outside the contracted tree.
+    pub fn lift_cut(&self, cut: &CutSet) -> CutSet {
+        cut.iter().map(|e| self.original_edge(e)).collect()
+    }
+}
+
+/// Contracts each component of `tree − cut` into a super-node.
+///
+/// The resulting tree has one node per component (weight = component weight)
+/// and one edge per cut edge (same weight). Mapping tables relating original
+/// and contracted ids are kept in the returned [`Contraction`].
+///
+/// # Errors
+///
+/// [`GraphError::EdgeOutOfRange`] if the cut refers to edges the tree does
+/// not have.
+pub fn contract(tree: &Tree, cut: &CutSet) -> Result<Contraction, GraphError> {
+    let components = tree.components(cut)?;
+    let node_map: Vec<NodeId> = (0..tree.len())
+        .map(|v| NodeId::new(components.component_of(NodeId::new(v))))
+        .collect();
+    let super_weights = components.weights().to_vec();
+    let mut edges = Vec::with_capacity(cut.len());
+    let mut edge_map = Vec::with_capacity(cut.len());
+    for e in cut.iter() {
+        let TreeEdge { a, b, weight } = tree.edge(e);
+        edges.push(TreeEdge::new(
+            node_map[a.index()],
+            node_map[b.index()],
+            weight,
+        ));
+        edge_map.push(e);
+    }
+    let contracted = Tree::from_edges(super_weights, edges)
+        .expect("components of a tree minus a cut always contract to a tree");
+    Ok(Contraction {
+        tree: contracted,
+        node_map,
+        edge_map,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weight;
+
+    fn caterpillar() -> Tree {
+        Tree::from_raw(
+            &[1, 2, 3, 4, 5, 6, 7],
+            &[
+                (0, 1, 10),
+                (1, 2, 20),
+                (2, 3, 30),
+                (1, 4, 40),
+                (1, 5, 50),
+                (2, 6, 60),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_cut_contracts_to_single_node() {
+        let t = caterpillar();
+        let c = contract(&t, &CutSet::empty()).unwrap();
+        assert_eq!(c.tree().len(), 1);
+        assert_eq!(c.tree().total_weight(), t.total_weight());
+        assert_eq!(c.tree().edge_count(), 0);
+    }
+
+    #[test]
+    fn full_cut_contracts_to_original_shape() {
+        let t = caterpillar();
+        let cut: CutSet = (0..t.edge_count()).map(EdgeId::new).collect();
+        let c = contract(&t, &cut).unwrap();
+        assert_eq!(c.tree().len(), t.len());
+        assert_eq!(c.tree().edge_count(), t.edge_count());
+        assert_eq!(c.tree().total_weight(), t.total_weight());
+    }
+
+    #[test]
+    fn weights_are_preserved_and_mapped() {
+        let t = caterpillar();
+        let cut = CutSet::new(vec![EdgeId::new(1)]); // split {0,1,4,5} | {2,3,6}
+        let c = contract(&t, &cut).unwrap();
+        assert_eq!(c.tree().len(), 2);
+        assert_eq!(c.tree().total_weight(), Weight::new(28));
+        let s0 = c.super_node_of(NodeId::new(0));
+        assert_eq!(c.super_node_of(NodeId::new(4)), s0);
+        assert_eq!(c.super_node_of(NodeId::new(5)), s0);
+        let s2 = c.super_node_of(NodeId::new(2));
+        assert_ne!(s0, s2);
+        assert_eq!(c.super_node_of(NodeId::new(6)), s2);
+        // Component weights: {1,2,5,6}=14 and {3,4,7}=14.
+        assert_eq!(c.tree().node_weight(s0), Weight::new(14));
+        assert_eq!(c.tree().node_weight(s2), Weight::new(14));
+        // Contracted edge carries original weight and maps back.
+        assert_eq!(c.tree().edge_weight(EdgeId::new(0)), Weight::new(20));
+        assert_eq!(c.original_edge(EdgeId::new(0)), EdgeId::new(1));
+    }
+
+    #[test]
+    fn lift_cut_translates_ids() {
+        let t = caterpillar();
+        let cut = CutSet::new(vec![EdgeId::new(1), EdgeId::new(3)]);
+        let c = contract(&t, &cut).unwrap();
+        let all: CutSet = (0..c.tree().edge_count()).map(EdgeId::new).collect();
+        let lifted = c.lift_cut(&all);
+        assert_eq!(lifted, cut);
+        let none = c.lift_cut(&CutSet::empty());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_cut_rejected() {
+        let t = caterpillar();
+        let cut = CutSet::new(vec![EdgeId::new(99)]);
+        assert!(matches!(
+            contract(&t, &cut),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+    }
+}

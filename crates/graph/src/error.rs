@@ -1,0 +1,153 @@
+//! Error type for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced when constructing or querying graphs.
+///
+/// Every constructor in this crate validates its input (C-VALIDATE); the
+/// variants below describe exactly which invariant was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph must contain at least one node.
+    Empty,
+    /// A graph with `nodes` nodes must have exactly `nodes - 1` edges to be
+    /// a path or tree; `edges` were supplied.
+    WrongEdgeCount {
+        /// Number of nodes supplied.
+        nodes: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// An edge refers to a node index outside `0..len`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop {
+        /// The node with the self loop.
+        node: NodeId,
+    },
+    /// The supplied edges contain a cycle (so the graph is not a tree).
+    Cycle {
+        /// The edge whose insertion closed a cycle.
+        edge: EdgeId,
+    },
+    /// The supplied edges leave the graph disconnected.
+    Disconnected,
+    /// Two parallel edges connect the same pair of nodes.
+    DuplicateEdge {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// An edge id is outside `0..edge_count`.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// Number of edges in the graph.
+        len: usize,
+    },
+    /// The total weight of the graph overflows `u64`.
+    WeightOverflow,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph must contain at least one node"),
+            GraphError::WrongEdgeCount { nodes, edges } => write!(
+                f,
+                "a path or tree on {nodes} node(s) needs exactly {} edge(s), got {edges}",
+                nodes - 1
+            ),
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} is out of range for a graph of {len} node(s)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::Cycle { edge } => write!(f, "edge {edge} closes a cycle"),
+            GraphError::Disconnected => write!(f, "graph is disconnected"),
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "duplicate edge between {a} and {b}")
+            }
+            GraphError::EdgeOutOfRange { edge, len } => {
+                write!(f, "edge {edge} is out of range for a graph of {len} edge(s)")
+            }
+            GraphError::WeightOverflow => write!(f, "total graph weight overflows u64"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::Empty, "at least one node"),
+            (
+                GraphError::WrongEdgeCount { nodes: 3, edges: 5 },
+                "needs exactly 2 edge(s), got 5",
+            ),
+            (
+                GraphError::NodeOutOfRange {
+                    node: NodeId::new(9),
+                    len: 3,
+                },
+                "v9 is out of range",
+            ),
+            (
+                GraphError::SelfLoop {
+                    node: NodeId::new(1),
+                },
+                "self loop at node v1",
+            ),
+            (
+                GraphError::Cycle {
+                    edge: EdgeId::new(2),
+                },
+                "e2 closes a cycle",
+            ),
+            (GraphError::Disconnected, "disconnected"),
+            (
+                GraphError::DuplicateEdge {
+                    a: NodeId::new(0),
+                    b: NodeId::new(1),
+                },
+                "duplicate edge",
+            ),
+            (
+                GraphError::EdgeOutOfRange {
+                    edge: EdgeId::new(4),
+                    len: 2,
+                },
+                "e4 is out of range",
+            ),
+            (GraphError::WeightOverflow, "overflows"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error messages start lowercase: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Index newtypes for nodes and edges.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (task) within a graph.
+///
+/// Node ids are dense indices `0..n`. They are only meaningful relative to
+/// the graph that produced them.
+///
+/// # Examples
+///
+/// ```
+/// use tgp_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// Identifier of an edge (data dependency) within a graph.
+///
+/// Edge ids are dense indices `0..m`. In a [`PathGraph`](crate::PathGraph)
+/// edge `i` connects nodes `i` and `i + 1`, matching the paper's
+/// `e_i = (v_i, v_{i+1})`.
+///
+/// # Examples
+///
+/// ```
+/// use tgp_graph::EdgeId;
+/// let e = EdgeId::new(0);
+/// assert_eq!(e.index(), 0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        EdgeId(index)
+    }
+}
+
+impl From<EdgeId> for usize {
+    #[inline]
+    fn from(id: EdgeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(5);
+        assert_eq!(v.index(), 5);
+        assert_eq!(usize::from(v), 5);
+        assert_eq!(NodeId::from(5usize), v);
+        assert_eq!(v.to_string(), "v5");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(usize::from(e), 7);
+        assert_eq!(EdgeId::from(7usize), e);
+        assert_eq!(e.to_string(), "e7");
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(1));
+    }
+}

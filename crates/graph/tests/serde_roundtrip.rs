@@ -1,0 +1,94 @@
+//! Serde round trips: graphs survive JSON (the C-SERDE contract), and the
+//! skipped caches are rebuilt correctly afterwards.
+
+use tgp_graph::{EdgeId, NodeId, PathGraph, ProcessGraph, Tree, Weight};
+
+#[test]
+fn path_graph_round_trips() {
+    let p = PathGraph::from_raw(&[2, 3, 5, 7], &[10, 20, 30]).unwrap();
+    let json = serde_json::to_string(&p).unwrap();
+    assert!(json.contains("node_weights"));
+    assert!(json.contains("edge_weights"));
+    assert!(!json.contains("prefix"), "cache must not be serialized");
+    let mut back: PathGraph = serde_json::from_str(&json).unwrap();
+    back.rebuild_cache().unwrap();
+    assert_eq!(back, p);
+    assert_eq!(back.total_weight(), Weight::new(17));
+    assert_eq!(back.span_weight(1, 2), Weight::new(8));
+}
+
+#[test]
+fn tree_round_trips() {
+    let t = Tree::from_raw(&[1, 2, 3, 4], &[(0, 1, 5), (1, 2, 6), (1, 3, 7)]).unwrap();
+    let json = serde_json::to_string(&t).unwrap();
+    assert!(!json.contains("adjacency"), "cache must not be serialized");
+    let mut back: Tree = serde_json::from_str(&json).unwrap();
+    back.rebuild_cache();
+    assert_eq!(back, t);
+    assert_eq!(back.degree(NodeId::new(1)), 3);
+    assert_eq!(back.edge_weight(EdgeId::new(2)), Weight::new(7));
+}
+
+#[test]
+fn process_graph_round_trips() {
+    let g = ProcessGraph::from_raw(&[1, 1, 1], &[(0, 1, 4), (1, 2, 5), (2, 0, 6)]).unwrap();
+    let json = serde_json::to_string(&g).unwrap();
+    let mut back: ProcessGraph = serde_json::from_str(&json).unwrap();
+    back.rebuild_cache();
+    assert_eq!(back, g);
+    assert_eq!(back.neighbors(NodeId::new(0)).len(), 2);
+}
+
+#[test]
+fn cutset_and_ids_round_trip() {
+    let cut = tgp_graph::CutSet::new(vec![EdgeId::new(3), EdgeId::new(1)]);
+    let json = serde_json::to_string(&cut).unwrap();
+    let back: tgp_graph::CutSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cut);
+    let w: Weight = serde_json::from_str("42").unwrap();
+    assert_eq!(w, Weight::new(42));
+    let v: NodeId = serde_json::from_str("7").unwrap();
+    assert_eq!(v, NodeId::new(7));
+}
+
+#[test]
+fn malformed_json_is_rejected() {
+    assert!(serde_json::from_str::<PathGraph>("{\"node_weights\": [1]}").is_err());
+    assert!(serde_json::from_str::<Tree>("{\"oops\": true}").is_err());
+}
+
+#[test]
+fn deserialization_validates_invariants() {
+    // Deserialization funnels through the validating constructors
+    // (#[serde(try_from = ...)]), so structurally valid JSON that breaks
+    // graph invariants is rejected with the constructor's message.
+    let bad_dims = "{\"node_weights\": [1, 2], \"edge_weights\": [1, 2, 3]}";
+    let err = serde_json::from_str::<PathGraph>(bad_dims).unwrap_err();
+    assert!(err.to_string().contains("edge"), "{err}");
+
+    let cyclic = r#"{"node_weights": [1, 1, 1],
+        "edges": [{"a": 0, "b": 1, "weight": 1},
+                  {"a": 1, "b": 0, "weight": 1}]}"#;
+    let err = serde_json::from_str::<Tree>(cyclic).unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate") || err.to_string().contains("cycle"),
+        "{err}"
+    );
+
+    let disconnected = r#"{"node_weights": [1, 1, 1],
+        "edges": [{"a": 0, "b": 1, "weight": 1}]}"#;
+    let err = serde_json::from_str::<ProcessGraph>(disconnected).unwrap_err();
+    assert!(err.to_string().contains("disconnected"), "{err}");
+}
+
+#[test]
+fn deserialized_graphs_are_immediately_usable() {
+    // try_from runs the constructor, so caches are built — no explicit
+    // rebuild_cache needed after deserializing.
+    let json = serde_json::to_string(&PathGraph::from_raw(&[1, 2, 3], &[4, 5]).unwrap()).unwrap();
+    let p: PathGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(p.span_weight(0, 2), Weight::new(6)); // needs the prefix cache
+    let tjson = serde_json::to_string(&Tree::from_raw(&[1, 2], &[(0, 1, 3)]).unwrap()).unwrap();
+    let t: Tree = serde_json::from_str(&tjson).unwrap();
+    assert_eq!(t.degree(NodeId::new(0)), 1); // needs the adjacency cache
+}

@@ -1,0 +1,70 @@
+//! Property-based tests on the real-time application's contracts.
+
+use proptest::prelude::*;
+
+use tgp_graph::Weight;
+use tgp_realtime::Strategy as RtStrategy;
+use tgp_realtime::{admit, RealTimeTask, RtError};
+use tgp_shmem::machine::Machine;
+
+fn arb_task() -> impl Strategy<Value = RealTimeTask> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1u64..15, n),
+            prop::collection::vec(0u64..50, n - 1),
+            15u64..80,
+        )
+            .prop_map(|(durations, deps, k)| {
+                RealTimeTask::new(&durations, &deps, Weight::new(k))
+                    .expect("durations are below the deadline by construction")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Both strategies produce deadline-feasible partitions; each one is
+    /// at least as good as the other on its own objective.
+    #[test]
+    fn strategies_win_their_own_objective(task in arb_task()) {
+        let bw = task.partition(RtStrategy::MinBandwidth).unwrap();
+        let bn = task.partition(RtStrategy::MinBottleneck).unwrap();
+        for part in [&bw, &bn] {
+            prop_assert!(part.groups.iter().all(|g| g.weight <= task.deadline()));
+            prop_assert_eq!(part.processors, part.groups.len());
+            prop_assert_eq!(part.cut.len() + 1, part.processors);
+        }
+        prop_assert!(bw.bandwidth <= bn.bandwidth);
+        prop_assert!(bn.bottleneck <= bw.bottleneck);
+    }
+
+    /// Admission control: accepted exactly when the machine is big
+    /// enough; accepted runs conserve traffic.
+    #[test]
+    fn admission_is_sound(task in arb_task(), extra in 0usize..3, items in 1usize..30) {
+        let part = task.partition(RtStrategy::default()).unwrap();
+        let machine = Machine::bus(part.processors + extra).unwrap();
+        let report = admit(&task, &part, &machine, items).unwrap();
+        prop_assert_eq!(report.items, items);
+        prop_assert_eq!(report.total_traffic, part.bandwidth.get() * items as u64);
+        if part.processors > 1 {
+            let small = Machine::bus(part.processors - 1).unwrap();
+            let rejected = matches!(
+                admit(&task, &part, &small, items),
+                Err(RtError::TooFewProcessors { .. })
+            );
+            prop_assert!(rejected);
+        }
+    }
+
+    /// The rendered schedule names every processor exactly once.
+    #[test]
+    fn render_covers_all_processors(task in arb_task()) {
+        let part = task.partition(RtStrategy::default()).unwrap();
+        let text = part.render();
+        for p in 0..part.processors {
+            prop_assert_eq!(text.matches(&format!("P{p}:")).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Analytic pipeline performance model.
+//!
+//! Closed-form bounds for the streaming pipeline of [`crate::pipeline`],
+//! used to sanity-check the simulator and to let users size machines
+//! without running a simulation:
+//!
+//! * the **steady-state period** is bounded below by the slowest stage
+//!   and by the interconnect's per-item transfer load divided by its
+//!   concurrency;
+//! * the **fill latency** is one item's end-to-end traversal;
+//! * `makespan ≥ max(fill, items · period)` and, for well-formed
+//!   pipelines, the simulator approaches this bound from above.
+//!
+//! The integration tests in this module *prove the bound empirically*:
+//! every simulated makespan is at least the prediction, and within a
+//! small factor of it in steady state.
+
+use tgp_graph::Weight;
+
+use crate::machine::Machine;
+use crate::pipeline::PipelineSpec;
+
+/// Analytic bounds for streaming `items` through a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinePrediction {
+    /// Lower bound on the steady-state period (time between consecutive
+    /// item completions).
+    pub period: u64,
+    /// One item's end-to-end latency on an idle machine.
+    pub fill_latency: u64,
+    /// Lower bound on the total makespan.
+    pub makespan_lower_bound: u64,
+}
+
+/// Computes the analytic bounds for `spec` on `machine`.
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent (`stage_comm.len() + 1 !=
+/// stage_work.len()`).
+///
+/// # Examples
+///
+/// ```
+/// use tgp_graph::Weight;
+/// use tgp_shmem::analysis::predict_pipeline;
+/// use tgp_shmem::machine::Machine;
+/// use tgp_shmem::pipeline::PipelineSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = PipelineSpec {
+///     stage_work: vec![Weight::new(4), Weight::new(9)],
+///     stage_comm: vec![Weight::new(2)],
+/// };
+/// let p = predict_pipeline(&spec, &Machine::bus(2)?, 100);
+/// assert_eq!(p.period, 9); // the slow stage dominates
+/// assert!(p.makespan_lower_bound >= 900);
+/// # Ok(())
+/// # }
+/// ```
+pub fn predict_pipeline(
+    spec: &PipelineSpec,
+    machine: &Machine,
+    items: usize,
+) -> PipelinePrediction {
+    assert_eq!(
+        spec.stage_comm.len() + 1,
+        spec.stage_work.len(),
+        "spec dimensions are inconsistent"
+    );
+    let compute: Vec<u64> = spec
+        .stage_work
+        .iter()
+        .map(|w| machine.compute_time(w.get()))
+        .collect();
+    let transfer: Vec<u64> = spec
+        .stage_comm
+        .iter()
+        .map(|w| machine.transfer_time(w.get()))
+        .collect();
+    let channels = machine.interconnect().concurrency(machine.processors()) as u64;
+    let max_stage = compute.iter().copied().max().unwrap_or(0);
+    let transfer_total: u64 = transfer.iter().sum();
+    // Each item occupies the interconnect for `transfer_total` channel
+    // time in aggregate; `channels` of those can proceed concurrently.
+    let interconnect_period = transfer_total.div_ceil(channels.max(1));
+    // A single channel also serializes each individual link's traffic.
+    let max_transfer = transfer.iter().copied().max().unwrap_or(0);
+    let period = max_stage.max(interconnect_period.max(max_transfer.min(interconnect_period)));
+    let fill_latency: u64 = compute.iter().sum::<u64>() + transfer_total;
+    let makespan_lower_bound = if items == 0 {
+        0
+    } else {
+        fill_latency.max(period * items as u64)
+    };
+    PipelinePrediction {
+        period,
+        fill_latency,
+        makespan_lower_bound,
+    }
+}
+
+/// Convenience: the minimum load bound `K` for which a chain partition
+/// could ever reach a target steady-state `period` on `machine` — i.e.
+/// the largest per-stage computation the period budget admits. Useful for
+/// choosing `K` before partitioning.
+pub fn max_stage_work_for_period(machine: &Machine, period: u64) -> Weight {
+    Weight::new(period.saturating_mul(machine.speed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Interconnect;
+    use crate::pipeline::simulate_pipeline;
+
+    fn spec(work: &[u64], comm: &[u64]) -> PipelineSpec {
+        PipelineSpec {
+            stage_work: work.iter().copied().map(Weight::new).collect(),
+            stage_comm: comm.iter().copied().map(Weight::new).collect(),
+        }
+    }
+
+    #[test]
+    fn compute_bound_pipeline() {
+        let s = spec(&[2, 10, 3], &[0, 0]);
+        let m = Machine::new(3, 1, 1, 0, Interconnect::Crossbar).unwrap();
+        let p = predict_pipeline(&s, &m, 50);
+        assert_eq!(p.period, 10);
+        assert_eq!(p.fill_latency, 15); // compute 15; zero-volume, zero-latency transfers are free
+    }
+
+    #[test]
+    fn zero_items() {
+        let s = spec(&[5], &[]);
+        let m = Machine::bus(1).unwrap();
+        assert_eq!(predict_pipeline(&s, &m, 0).makespan_lower_bound, 0);
+    }
+
+    #[test]
+    fn simulation_respects_the_lower_bound() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xA11A);
+        for _ in 0..60 {
+            let stages: usize = rng.gen_range(1..7);
+            let work: Vec<u64> = (0..stages).map(|_| rng.gen_range(0..30)).collect();
+            let comm: Vec<u64> = (0..stages - 1).map(|_| rng.gen_range(0..30)).collect();
+            let s = spec(&work, &comm);
+            let net = if rng.gen_bool(0.5) {
+                Interconnect::Bus
+            } else {
+                Interconnect::Crossbar
+            };
+            let m = Machine::new(stages, 1, 1, rng.gen_range(0..3), net).unwrap();
+            let items = rng.gen_range(1..40);
+            let predicted = predict_pipeline(&s, &m, items);
+            let simulated = simulate_pipeline(&s, &m, items).unwrap();
+            assert!(
+                simulated.makespan >= predicted.makespan_lower_bound,
+                "work={work:?} comm={comm:?} items={items} net={net:?}: \
+                 sim {} < bound {}",
+                simulated.makespan,
+                predicted.makespan_lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_approaches_the_bound() {
+        // With many items and a dominant stage, the bound is tight to
+        // within the fill latency.
+        let s = spec(&[3, 12, 5], &[2, 2]);
+        let m = Machine::bus(3).unwrap();
+        let items = 500;
+        let predicted = predict_pipeline(&s, &m, items);
+        let simulated = simulate_pipeline(&s, &m, items).unwrap();
+        assert!(simulated.makespan >= predicted.makespan_lower_bound);
+        assert!(
+            simulated.makespan <= predicted.makespan_lower_bound + predicted.fill_latency * 2,
+            "sim {} vs bound {} + fill {}",
+            simulated.makespan,
+            predicted.makespan_lower_bound,
+            predicted.fill_latency
+        );
+    }
+
+    #[test]
+    fn bus_contention_raises_the_period() {
+        let s = spec(&[1, 1, 1, 1], &[10, 10, 10]);
+        let bus = Machine::bus(4).unwrap();
+        let xbar = Machine::new(4, 1, 1, 0, Interconnect::Crossbar).unwrap();
+        let p_bus = predict_pipeline(&s, &bus, 10);
+        let p_xbar = predict_pipeline(&s, &xbar, 10);
+        assert_eq!(p_bus.period, 30); // all three transfers share one channel
+        assert!(p_xbar.period < p_bus.period);
+    }
+
+    #[test]
+    fn period_to_bound_helper() {
+        let m = Machine::new(4, 3, 1, 0, Interconnect::Bus).unwrap();
+        assert_eq!(max_stage_work_for_period(&m, 10), Weight::new(30));
+    }
+}

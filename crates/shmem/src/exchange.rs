@@ -1,0 +1,156 @@
+//! Generic compute-then-exchange simulation.
+//!
+//! The common skeleton behind [`crate::onepass`] and application-level
+//! estimators (e.g. `tgp-dds`): every processor computes its assigned
+//! work in parallel, then a set of inter-processor transfers contends for
+//! the interconnect channels (FIFO in request order; a transfer becomes
+//! ready when both endpoint processors have finished computing).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::machine::Machine;
+use crate::metrics::SimReport;
+use crate::pipeline::SimError;
+
+/// An inter-processor transfer: `volume` units from processor `from` to
+/// processor `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source processor.
+    pub from: usize,
+    /// Destination processor.
+    pub to: usize,
+    /// Message volume.
+    pub volume: u64,
+}
+
+/// Simulates one compute-and-exchange round: `work[p]` units on each
+/// processor `p`, then the given transfers over the interconnect.
+///
+/// # Errors
+///
+/// [`SimError::TooManyStages`] if `work` names more processors than the
+/// machine has.
+///
+/// # Panics
+///
+/// Panics if a transfer references a processor outside `0..work.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use tgp_shmem::exchange::{simulate_compute_exchange, Transfer};
+/// use tgp_shmem::machine::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let report = simulate_compute_exchange(
+///     &[6, 6],
+///     &[Transfer { from: 0, to: 1, volume: 4 }],
+///     &Machine::bus(2)?,
+/// )?;
+/// assert_eq!(report.makespan, 10); // 6 compute + 4 transfer
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_compute_exchange(
+    work: &[u64],
+    transfers: &[Transfer],
+    machine: &Machine,
+) -> Result<SimReport, SimError> {
+    let k = work.len();
+    if k > machine.processors() {
+        return Err(SimError::TooManyStages {
+            stages: k,
+            processors: machine.processors(),
+        });
+    }
+    let finish: Vec<u64> = work.iter().map(|&w| machine.compute_time(w)).collect();
+    let mut processor_busy = vec![0u64; machine.processors()];
+    processor_busy[..k].copy_from_slice(&finish);
+    let mut requests: Vec<(u64, u64)> = transfers
+        .iter()
+        .map(|t| {
+            assert!(t.from < k && t.to < k, "transfer endpoints must be assigned processors");
+            (finish[t.from].max(finish[t.to]), t.volume)
+        })
+        .collect();
+    requests.sort_unstable();
+    let channels = machine.interconnect().concurrency(machine.processors());
+    let mut channel_free: BinaryHeap<Reverse<u64>> = (0..channels).map(|_| Reverse(0)).collect();
+    let mut makespan = finish.iter().copied().max().unwrap_or(0);
+    let mut channel_busy = 0u64;
+    let mut link_traffic = Vec::with_capacity(requests.len());
+    for (ready, volume) in &requests {
+        let Reverse(free) = channel_free.pop().expect("at least one channel");
+        let start = free.max(*ready);
+        let dur = machine.transfer_time(*volume);
+        channel_busy += dur;
+        link_traffic.push(*volume);
+        let end = start + dur;
+        makespan = makespan.max(end);
+        channel_free.push(Reverse(end));
+    }
+    Ok(SimReport {
+        makespan,
+        items: 1,
+        processor_busy,
+        total_traffic: link_traffic.iter().sum(),
+        link_traffic,
+        channel_busy,
+        channels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Interconnect;
+
+    #[test]
+    fn compute_only_round() {
+        let r = simulate_compute_exchange(&[5, 9, 2], &[], &Machine::bus(4).unwrap()).unwrap();
+        assert_eq!(r.makespan, 9);
+        assert_eq!(r.total_traffic, 0);
+        assert_eq!(r.processor_busy, vec![5, 9, 2, 0]);
+    }
+
+    #[test]
+    fn transfers_serialize_on_a_bus() {
+        let transfers = [
+            Transfer { from: 0, to: 1, volume: 3 },
+            Transfer { from: 1, to: 2, volume: 3 },
+        ];
+        let r =
+            simulate_compute_exchange(&[1, 1, 1], &transfers, &Machine::bus(3).unwrap()).unwrap();
+        assert_eq!(r.makespan, 1 + 6);
+        let xbar = Machine::new(3, 1, 1, 0, Interconnect::Crossbar).unwrap();
+        let r2 = simulate_compute_exchange(&[1, 1, 1], &transfers, &xbar).unwrap();
+        assert_eq!(r2.makespan, 1 + 3);
+    }
+
+    #[test]
+    fn transfer_waits_for_both_endpoints() {
+        let transfers = [Transfer { from: 0, to: 1, volume: 2 }];
+        let r =
+            simulate_compute_exchange(&[1, 10], &transfers, &Machine::bus(2).unwrap()).unwrap();
+        assert_eq!(r.makespan, 12);
+    }
+
+    #[test]
+    fn too_many_processors_rejected() {
+        let err = simulate_compute_exchange(&[1, 1, 1], &[], &Machine::bus(2).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SimError::TooManyStages { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned processors")]
+    fn out_of_range_transfer_panics() {
+        let _ = simulate_compute_exchange(
+            &[1],
+            &[Transfer { from: 0, to: 5, volume: 1 }],
+            &Machine::bus(8).unwrap(),
+        );
+    }
+}

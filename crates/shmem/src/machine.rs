@@ -1,0 +1,218 @@
+//! The shared-memory multiprocessor model.
+//!
+//! The paper's target architecture: identical processors behind an
+//! interconnection network with *uniform latency* — a crossbar, shared
+//! bus, or multistage network ("a unique characteristic of shared memory
+//! architecture"). Uniform latency is what makes the mapping of partition
+//! components to processors trivial; what still differs between networks
+//! is how much *concurrency* the interconnect offers, which is what this
+//! model captures.
+
+use std::error::Error;
+use std::fmt;
+
+/// The interconnection network of a shared-memory machine.
+///
+/// All variants have uniform latency; they differ in the number of
+/// transfers that can be in flight simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Interconnect {
+    /// A single shared bus: one transfer at a time.
+    Bus,
+    /// A full crossbar: every processor pair can communicate concurrently
+    /// (transfers serialize only per source port).
+    Crossbar,
+    /// A multistage network with the given number of parallel channels
+    /// (e.g. `p/2` for an omega network on `p` processors).
+    Multistage {
+        /// Number of concurrently usable channels.
+        channels: usize,
+    },
+}
+
+impl Interconnect {
+    /// Number of transfers that may progress concurrently on a machine
+    /// with `processors` processors.
+    pub fn concurrency(&self, processors: usize) -> usize {
+        match *self {
+            Interconnect::Bus => 1,
+            Interconnect::Crossbar => processors.max(1),
+            Interconnect::Multistage { channels } => channels.max(1),
+        }
+    }
+}
+
+/// Configuration of a shared-memory multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Machine {
+    processors: usize,
+    /// Instructions per time unit, identical across processors
+    /// (homogeneous machine, as the paper assumes for shared memory).
+    speed: u64,
+    /// Bits per time unit per interconnect channel (the paper's uniform
+    /// `w(l_i)`).
+    channel_bandwidth: u64,
+    /// Fixed per-transfer latency in time units (uniform by assumption).
+    latency: u64,
+    interconnect: Interconnect,
+}
+
+/// Errors constructing a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// At least one processor is required.
+    NoProcessors,
+    /// Processor speed must be positive.
+    ZeroSpeed,
+    /// Channel bandwidth must be positive.
+    ZeroBandwidth,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NoProcessors => write!(f, "machine needs at least one processor"),
+            MachineError::ZeroSpeed => write!(f, "processor speed must be positive"),
+            MachineError::ZeroBandwidth => write!(f, "channel bandwidth must be positive"),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+impl Machine {
+    /// Creates a machine.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError`] if any parameter is degenerate.
+    pub fn new(
+        processors: usize,
+        speed: u64,
+        channel_bandwidth: u64,
+        latency: u64,
+        interconnect: Interconnect,
+    ) -> Result<Self, MachineError> {
+        if processors == 0 {
+            return Err(MachineError::NoProcessors);
+        }
+        if speed == 0 {
+            return Err(MachineError::ZeroSpeed);
+        }
+        if channel_bandwidth == 0 {
+            return Err(MachineError::ZeroBandwidth);
+        }
+        Ok(Machine {
+            processors,
+            speed,
+            channel_bandwidth,
+            latency,
+            interconnect,
+        })
+    }
+
+    /// A bus-based machine with unit speed/bandwidth and zero latency —
+    /// the simplest useful configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoProcessors`] if `processors == 0`.
+    pub fn bus(processors: usize) -> Result<Self, MachineError> {
+        Machine::new(processors, 1, 1, 0, Interconnect::Bus)
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Processor speed (work units per time unit).
+    pub fn speed(&self) -> u64 {
+        self.speed
+    }
+
+    /// Channel bandwidth (message units per time unit).
+    pub fn channel_bandwidth(&self) -> u64 {
+        self.channel_bandwidth
+    }
+
+    /// Uniform per-transfer latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// The interconnect model.
+    pub fn interconnect(&self) -> Interconnect {
+        self.interconnect
+    }
+
+    /// Time to execute `work` units of computation on one processor
+    /// (rounded up).
+    pub fn compute_time(&self, work: u64) -> u64 {
+        work.div_ceil(self.speed)
+    }
+
+    /// Time a transfer of `volume` units occupies a channel, including
+    /// latency (rounded up; zero-volume transfers still pay latency).
+    pub fn transfer_time(&self, volume: u64) -> u64 {
+        self.latency + volume.div_ceil(self.channel_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Machine::new(0, 1, 1, 0, Interconnect::Bus),
+            Err(MachineError::NoProcessors)
+        ));
+        assert!(matches!(
+            Machine::new(2, 0, 1, 0, Interconnect::Bus),
+            Err(MachineError::ZeroSpeed)
+        ));
+        assert!(matches!(
+            Machine::new(2, 1, 0, 0, Interconnect::Bus),
+            Err(MachineError::ZeroBandwidth)
+        ));
+        assert!(Machine::bus(4).is_ok());
+    }
+
+    #[test]
+    fn times_round_up() {
+        let m = Machine::new(2, 3, 4, 1, Interconnect::Bus).unwrap();
+        assert_eq!(m.compute_time(7), 3); // ceil(7/3)
+        assert_eq!(m.compute_time(0), 0);
+        assert_eq!(m.transfer_time(9), 1 + 3); // latency + ceil(9/4)
+        assert_eq!(m.transfer_time(0), 1);
+    }
+
+    #[test]
+    fn interconnect_concurrency() {
+        assert_eq!(Interconnect::Bus.concurrency(8), 1);
+        assert_eq!(Interconnect::Crossbar.concurrency(8), 8);
+        assert_eq!(Interconnect::Multistage { channels: 4 }.concurrency(8), 4);
+        assert_eq!(Interconnect::Multistage { channels: 0 }.concurrency(8), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Machine::new(3, 5, 7, 2, Interconnect::Crossbar).unwrap();
+        assert_eq!(m.processors(), 3);
+        assert_eq!(m.speed(), 5);
+        assert_eq!(m.channel_bandwidth(), 7);
+        assert_eq!(m.latency(), 2);
+        assert_eq!(m.interconnect(), Interconnect::Crossbar);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(MachineError::NoProcessors.to_string().contains("processor"));
+        assert!(MachineError::ZeroSpeed.to_string().contains("speed"));
+        assert!(MachineError::ZeroBandwidth.to_string().contains("bandwidth"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Simulation reports and derived metrics.
+
+/// The outcome of a simulation run on a shared-memory machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Time at which the last event completed.
+    pub makespan: u64,
+    /// Number of work items processed (1 for one-pass simulations).
+    pub items: usize,
+    /// Busy time per processor, indexed by processor.
+    pub processor_busy: Vec<u64>,
+    /// Total message volume moved across the interconnect.
+    pub total_traffic: u64,
+    /// Message volume per cut edge / inter-stage link.
+    pub link_traffic: Vec<u64>,
+    /// Total channel-occupancy time summed over all channels.
+    pub channel_busy: u64,
+    /// Number of interconnect channels available concurrently.
+    pub channels: usize,
+}
+
+impl SimReport {
+    /// Per-processor utilization in `[0, 1]`.
+    pub fn processor_utilization(&self) -> Vec<f64> {
+        self.processor_busy
+            .iter()
+            .map(|&b| {
+                if self.makespan == 0 {
+                    0.0
+                } else {
+                    b as f64 / self.makespan as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Mean processor utilization in `[0, 1]`.
+    pub fn mean_utilization(&self) -> f64 {
+        let u = self.processor_utilization();
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+
+    /// Load imbalance: max processor busy time divided by mean (1.0 is
+    /// perfectly balanced; 0 if no work).
+    pub fn load_imbalance(&self) -> f64 {
+        let max = self.processor_busy.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.processor_busy.iter().sum();
+        if sum == 0 {
+            0.0
+        } else {
+            let mean = sum as f64 / self.processor_busy.len() as f64;
+            max as f64 / mean
+        }
+    }
+
+    /// Interconnect utilization in `[0, 1]`: channel busy time over the
+    /// total channel-time available.
+    pub fn interconnect_utilization(&self) -> f64 {
+        if self.makespan == 0 || self.channels == 0 {
+            0.0
+        } else {
+            self.channel_busy as f64 / (self.makespan as f64 * self.channels as f64)
+        }
+    }
+
+    /// Items completed per time unit.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.makespan as f64
+        }
+    }
+
+    /// The heaviest single link (the bottleneck objective observed at run
+    /// time); 0 with no links.
+    pub fn max_link_traffic(&self) -> u64 {
+        self.link_traffic.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: 100,
+            items: 10,
+            processor_busy: vec![100, 50, 50],
+            total_traffic: 400,
+            link_traffic: vec![300, 100],
+            channel_busy: 80,
+            channels: 2,
+        }
+    }
+
+    #[test]
+    fn utilizations() {
+        let r = report();
+        assert_eq!(r.processor_utilization(), vec![1.0, 0.5, 0.5]);
+        assert!((r.mean_utilization() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.interconnect_utilization() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_and_throughput() {
+        let r = report();
+        // mean busy = 200/3; max = 100 → imbalance 1.5.
+        assert!((r.load_imbalance() - 1.5).abs() < 1e-9);
+        assert!((r.throughput() - 0.1).abs() < 1e-9);
+        assert_eq!(r.max_link_traffic(), 300);
+    }
+
+    #[test]
+    fn zero_makespan_is_safe() {
+        let r = SimReport {
+            makespan: 0,
+            items: 0,
+            processor_busy: vec![0],
+            total_traffic: 0,
+            link_traffic: vec![],
+            channel_busy: 0,
+            channels: 1,
+        };
+        assert_eq!(r.processor_utilization(), vec![0.0]);
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.load_imbalance(), 0.0);
+        assert_eq!(r.interconnect_utilization(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.max_link_traffic(), 0);
+    }
+}

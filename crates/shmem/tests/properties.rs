@@ -1,0 +1,99 @@
+//! Property-based tests on the simulator's physical invariants: work and
+//! traffic conservation, lower/upper makespan bounds, and monotonicity in
+//! interconnect concurrency.
+
+use proptest::prelude::*;
+
+use tgp_graph::Weight;
+use tgp_shmem::exchange::{simulate_compute_exchange, Transfer};
+use tgp_shmem::machine::{Interconnect, Machine};
+use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
+
+fn arb_pipeline() -> impl Strategy<Value = PipelineSpec> {
+    (1usize..8).prop_flat_map(|stages| {
+        (
+            prop::collection::vec(0u64..30, stages),
+            prop::collection::vec(0u64..30, stages - 1),
+        )
+            .prop_map(|(work, comm)| PipelineSpec {
+                stage_work: work.into_iter().map(Weight::new).collect(),
+                stage_comm: comm.into_iter().map(Weight::new).collect(),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Conservation: total traffic equals items × Σ link volumes, busy
+    /// time equals items × Σ stage work.
+    #[test]
+    fn pipeline_conserves_work_and_traffic(spec in arb_pipeline(), items in 0usize..20) {
+        let machine = Machine::bus(spec.stages()).unwrap();
+        let r = simulate_pipeline(&spec, &machine, items).unwrap();
+        let comm_total: u64 = spec.stage_comm.iter().map(|w| w.get()).sum();
+        prop_assert_eq!(r.total_traffic, comm_total * items as u64);
+        let work_total: u64 = spec.stage_work.iter().map(|w| w.get()).sum();
+        let busy_total: u64 = r.processor_busy.iter().sum();
+        prop_assert_eq!(busy_total, work_total * items as u64);
+    }
+
+    /// The makespan is at least the bottleneck stage's serial time and at
+    /// most the fully serialized execution.
+    #[test]
+    fn pipeline_makespan_bounds(spec in arb_pipeline(), items in 1usize..20) {
+        let machine = Machine::bus(spec.stages()).unwrap();
+        let r = simulate_pipeline(&spec, &machine, items).unwrap();
+        let max_stage = spec.stage_work.iter().map(|w| w.get()).max().unwrap_or(0);
+        prop_assert!(r.makespan >= max_stage * items as u64);
+        let serial: u64 = spec.stage_work.iter().map(|w| w.get()).sum::<u64>()
+            + spec.stage_comm.iter().map(|w| w.get()).sum::<u64>();
+        prop_assert!(r.makespan <= serial * items as u64);
+    }
+
+    /// More interconnect concurrency never hurts the one-round exchange.
+    #[test]
+    fn exchange_concurrency_is_monotone(
+        work in prop::collection::vec(0u64..40, 1..8),
+        raw_transfers in prop::collection::vec((0usize..100, 0usize..100, 0u64..40), 0..12),
+    ) {
+        let k = work.len();
+        let transfers: Vec<Transfer> = raw_transfers
+            .iter()
+            .map(|&(a, b, v)| Transfer { from: a % k, to: b % k, volume: v })
+            .collect();
+        let mut prev: Option<u64> = None;
+        for channels in 1..=4 {
+            let machine = Machine::new(
+                k,
+                1,
+                1,
+                0,
+                Interconnect::Multistage { channels },
+            )
+            .unwrap();
+            let r = simulate_compute_exchange(&work, &transfers, &machine).unwrap();
+            if let Some(p) = prev {
+                prop_assert!(r.makespan <= p, "channels={channels}");
+            }
+            prev = Some(r.makespan);
+            // Conservation holds at every concurrency level.
+            let vol: u64 = transfers.iter().map(|t| t.volume).sum();
+            prop_assert_eq!(r.total_traffic, vol);
+        }
+    }
+
+    /// Faster processors never increase the makespan.
+    #[test]
+    fn speed_is_monotone(
+        work in prop::collection::vec(1u64..50, 1..6),
+        speed in 1u64..6,
+    ) {
+        let k = work.len();
+        let slow = Machine::new(k, speed, 1, 0, Interconnect::Bus).unwrap();
+        let fast = Machine::new(k, speed + 1, 1, 0, Interconnect::Bus).unwrap();
+        let r_slow = simulate_compute_exchange(&work, &[], &slow).unwrap();
+        let r_fast = simulate_compute_exchange(&work, &[], &fast).unwrap();
+        prop_assert!(r_fast.makespan <= r_slow.makespan);
+    }
+}

@@ -1,0 +1,83 @@
+//! Partitioning a *general* process graph — the route the paper's
+//! conclusion sketches: "more general cases may be approximated by
+//! generating a linear or tree supergraph of the original process graph."
+//!
+//! We build a 2D mesh of communicating processes (a stencil computation),
+//! try all three super-graph approximations, and render the winning
+//! partition as Graphviz DOT.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example general_graph
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tgp::core::approx::{partition_process_graph, partition_process_graph_best, ApproxMethod};
+use tgp::graph::{dot, ProcessGraph, Weight};
+
+/// A `rows × cols` mesh: process (r, c) talks to its right and down
+/// neighbours, with mildly non-uniform weights (a refined region in the
+/// middle works harder).
+fn mesh(rows: usize, cols: usize, seed: u64) -> ProcessGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut nodes = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let refined = (rows / 3..2 * rows / 3).contains(&r);
+        for _ in 0..cols {
+            nodes.push(if refined {
+                rng.gen_range(20..40)
+            } else {
+                rng.gen_range(2..8)
+            });
+        }
+    }
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1), rng.gen_range(1..10)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c), rng.gen_range(1..10)));
+            }
+        }
+    }
+    ProcessGraph::from_raw(&nodes, &edges).expect("mesh is connected and consistent")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = mesh(9, 9, 0x9E5);
+    let bound = Weight::new(g.total_weight().get() / 5);
+    println!(
+        "mesh process graph: {} processes, {} channels, total work {}, bound {}",
+        g.len(),
+        g.edge_count(),
+        g.total_weight(),
+        bound
+    );
+
+    println!("\nper-method results (true cut cost on the mesh):");
+    for method in ApproxMethod::ALL {
+        let part = partition_process_graph(&g, bound, method)?;
+        println!(
+            "  {method:?}: {} parts, cut weight {}, heaviest part {}",
+            part.parts,
+            part.cut_weight,
+            part.max_part_weight()
+        );
+    }
+
+    let best = partition_process_graph_best(&g, bound)?;
+    println!(
+        "\nwinner: {:?} with cut weight {} over {} parts",
+        best.method, best.cut_weight, best.parts
+    );
+
+    println!("\nGraphviz DOT of the winning partition (dashed = cut):");
+    print!("{}", dot::process_to_dot(&g, Some(&best.part_of)));
+    Ok(())
+}
