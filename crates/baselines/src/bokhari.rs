@@ -225,7 +225,10 @@ mod tests {
             for m in 1..=n {
                 let r = bokhari_partition(&p, m).unwrap();
                 let expect = brute_force_bottleneck(&p, m).unwrap();
-                assert_eq!(r.bottleneck, expect, "nodes={nodes:?} edges={edges:?} m={m}");
+                assert_eq!(
+                    r.bottleneck, expect,
+                    "nodes={nodes:?} edges={edges:?} m={m}"
+                );
             }
         }
     }

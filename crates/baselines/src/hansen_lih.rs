@@ -131,10 +131,7 @@ pub fn hansen_lih_partition(path: &PathGraph, m: usize) -> Result<CocResult, Coc
         .max()
         .unwrap_or(0);
     let mut lo = 0u64;
-    let mut hi = path
-        .total_weight()
-        .get()
-        .saturating_add(2 * max_edge);
+    let mut hi = path.total_weight().get().saturating_add(2 * max_edge);
     debug_assert!(probe(path, m, hi).is_some());
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
@@ -196,7 +193,10 @@ mod tests {
             let nodes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..50)).collect();
             let edges: Vec<u64> = (0..n - 1).map(|_| rng.gen_range(0..50)).collect();
             let p = PathGraph::from_raw(&nodes, &edges).unwrap();
-            for m in [1, 2, 3, n / 2, n].into_iter().filter(|&m| (1..=n).contains(&m)) {
+            for m in [1, 2, 3, n / 2, n]
+                .into_iter()
+                .filter(|&m| (1..=n).contains(&m))
+            {
                 let a = hansen_lih_partition(&p, m).unwrap();
                 let b = bokhari_partition(&p, m).unwrap();
                 assert_eq!(

@@ -38,12 +38,7 @@ pub struct HostSatelliteResult {
 /// Per-node tree-knapsack state: `off[j]` = max weight off-loadable from
 /// this node's subtree using `j` satellites, *without* cutting the node's
 /// own uplink.
-fn solve_feasible(
-    tree: &Tree,
-    root: NodeId,
-    m: usize,
-    bound: u64,
-) -> Option<(u64, Vec<EdgeId>)> {
+fn solve_feasible(tree: &Tree, root: NodeId, m: usize, bound: u64) -> Option<(u64, Vec<EdgeId>)> {
     let order = tree.post_order(root);
     let parent = tree.parents(root);
     let n = tree.len();
@@ -78,9 +73,7 @@ fn solve_feasible(
             // Max-plus knapsack merge of this child's options into acc.
             // Every slot 0..=m is reachable via (j = slot, jc = 0), so no
             // unset sentinel is needed: seed with the jc = 0 diagonal.
-            let mut next: Vec<u64> = (0..=m)
-                .map(|slot| acc[slot] + off[ci][0])
-                .collect();
+            let mut next: Vec<u64> = (0..=m).map(|slot| acc[slot] + off[ci][0]).collect();
             let mut next_choice: Vec<Vec<(usize, bool)>> = (0..=m)
                 .map(|slot| {
                     let mut ch = acc_choice[slot].clone();

@@ -31,11 +31,7 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
                     .iter()
                     .enumerate()
                     .map(|(i, &(p, w))| {
-                        TreeEdge::new(
-                            NodeId::new(p % (i + 1)),
-                            NodeId::new(i + 1),
-                            Weight::new(w),
-                        )
+                        TreeEdge::new(NodeId::new(p % (i + 1)), NodeId::new(i + 1), Weight::new(w))
                     })
                     .collect();
                 Tree::from_edges(nodes.into_iter().map(Weight::new).collect(), edges).unwrap()

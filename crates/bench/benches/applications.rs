@@ -57,11 +57,14 @@ fn bench_applications(c: &mut Criterion) {
     };
     let ring_k = Weight::new(ring.total_weight().get() / 8);
     for method in [ApproxMethod::LinearIdentity, ApproxMethod::SpanningTree] {
-        group.bench_function(BenchmarkId::new("approx_ring512", format!("{method:?}")), |b| {
-            b.iter(|| {
-                partition_process_graph(black_box(&ring), black_box(ring_k), method).unwrap()
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("approx_ring512", format!("{method:?}")),
+            |b| {
+                b.iter(|| {
+                    partition_process_graph(black_box(&ring), black_box(ring_k), method).unwrap()
+                })
+            },
+        );
     }
 
     // Theorem 1 star solver (pseudo-polynomial knapsack DP).

@@ -13,14 +13,12 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use tgp_baselines::bokhari::bokhari_partition;
 use tgp_baselines::block::block_partition;
+use tgp_baselines::bokhari::bokhari_partition;
 use tgp_baselines::hansen_lih::hansen_lih_partition;
 use tgp_baselines::nicol::nicol_bandwidth_cut;
 use tgp_bench::{chain_instance, tree_instance};
-use tgp_core::bandwidth::{
-    analyze_bandwidth, min_bandwidth_cut_naive, min_bandwidth_cut_window,
-};
+use tgp_core::bandwidth::{analyze_bandwidth, min_bandwidth_cut_naive, min_bandwidth_cut_window};
 use tgp_core::bottleneck::{min_bottleneck_cut, min_bottleneck_cut_paper};
 use tgp_core::knapsack::{knapsack_to_star, min_star_bandwidth_cut, KnapsackInstance};
 use tgp_core::procmin::{proc_min, proc_min_paper};
@@ -87,7 +85,10 @@ fn exp_bandwidth_runtime() {
 fn exp_bottleneck_runtime() {
     println!("## A2.1 — bottleneck minimization (trees): optimized vs paper O(n²) (ms)");
     println!();
-    println!("{:>8} {:>12} {:>12} {:>10}", "n", "optimized", "paper", "equal?");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "n", "optimized", "paper", "equal?"
+    );
     for n in [500usize, 1_000, 2_000, 4_000] {
         let t = tree_instance(n, 1, 100, 0xA21 + n as u64);
         let k = Weight::new(t.total_weight().get() / 10);
@@ -167,16 +168,18 @@ fn exp_host_satellite() {
     );
     use tgp_baselines::host_satellite::host_satellite_partition;
     use tgp_graph::NodeId;
-    for (n, m) in [(200usize, 2usize), (200, 4), (200, 8), (2_000, 8), (2_000, 16)] {
+    for (n, m) in [
+        (200usize, 2usize),
+        (200, 4),
+        (200, 8),
+        (2_000, 8),
+        (2_000, 16),
+    ] {
         let tree = tree_instance(n, 1, 100, 0x405 + n as u64);
         let (r, ms) = time(|| host_satellite_partition(&tree, NodeId::new(0), m).unwrap());
         println!(
             "{:>8} {:>6} {:>12} {:>12} {:>12.2}",
-            n,
-            m,
-            r.bottleneck,
-            r.satellites,
-            ms
+            n, m, r.bottleneck, r.satellites, ms
         );
     }
     println!();
@@ -188,10 +191,19 @@ fn exp_hetero() {
     use tgp_baselines::hetero::{hetero_partition, HeteroArray};
     let path = chain_instance(512, 1, 100, 0x4E7);
     println!("{:>24} {:>12} {:>12}", "speeds", "bottleneck", "time (ms)");
-    for speeds in [vec![1u64; 8], vec![4, 4, 1, 1, 1, 1, 1, 1], vec![8, 1, 1, 1, 1, 1, 1, 1]] {
+    for speeds in [
+        vec![1u64; 8],
+        vec![4, 4, 1, 1, 1, 1, 1, 1],
+        vec![8, 1, 1, 1, 1, 1, 1, 1],
+    ] {
         let array = HeteroArray::new(speeds.clone());
         let (r, ms) = time(|| hetero_partition(&path, &array).unwrap());
-        println!("{:>24} {:>12} {:>12.2}", format!("{speeds:?}"), r.bottleneck, ms);
+        println!(
+            "{:>24} {:>12} {:>12.2}",
+            format!("{speeds:?}"),
+            r.bottleneck,
+            ms
+        );
     }
     println!();
 }
@@ -206,7 +218,10 @@ fn exp_theorem1() {
     let cut_weight = star.cut_weight(&cut).unwrap().get();
     println!("items (w, p): (6,10) (5,3) (9,14) (3,2) (4,7); capacity 12");
     println!("optimal packing profit      : {}", packing.profit);
-    println!("total profit − cut weight   : {}", inst.total_profit() - cut_weight);
+    println!(
+        "total profit − cut weight   : {}",
+        inst.total_profit() - cut_weight
+    );
     assert_eq!(packing.profit, inst.total_profit() - cut_weight);
     println!("round-trip identity holds   : true");
     println!();
@@ -218,12 +233,23 @@ fn exp_figure1() {
     // A spine with leaf clusters, as in the paper's worked example.
     let t = tgp_graph::Tree::from_raw(
         &[2, 3, 2, 4, 5, 6, 7],
-        &[(0, 1, 1), (1, 2, 1), (0, 3, 1), (0, 4, 1), (2, 5, 1), (2, 6, 1)],
+        &[
+            (0, 1, 1),
+            (1, 2, 1),
+            (0, 3, 1),
+            (0, 4, 1),
+            (2, 5, 1),
+            (2, 6, 1),
+        ],
     )
     .unwrap();
     for k in [29u64, 15, 9] {
         let r = proc_min(&t, Weight::new(k)).unwrap();
-        println!("K = {k:>2}: {} component(s), cut = {:?}", r.component_count, r.cut.as_slice());
+        println!(
+            "K = {k:>2}: {} component(s), cut = {:?}",
+            r.component_count,
+            r.cut.as_slice()
+        );
     }
     println!();
 }
@@ -317,7 +343,10 @@ fn exp_dds_quality() {
     let circuits: Vec<(&str, tgp_dds::Circuit)> = vec![
         ("shift_register(200)", shift_register(200).unwrap()),
         ("johnson_counter(100)", johnson_counter(100).unwrap()),
-        ("random_layered(16x12)", random_layered(16, 12, &mut rng).unwrap()),
+        (
+            "random_layered(16x12)",
+            random_layered(16, 12, &mut rng).unwrap(),
+        ),
     ];
     for (name, c) in circuits {
         let profile = simulate_activity(&c, 400, &mut SmallRng::seed_from_u64(1));
@@ -355,10 +384,15 @@ fn exp_realtime_and_shmem() {
     let block_report = simulate_pipeline(&block_spec, &machine, 200).unwrap();
     println!("deadline K                  : {}", deadline);
     println!("processors (algorithm)      : {}", part.processors);
-    println!("cut weight alg vs block     : {} vs {}",
+    println!(
+        "cut weight alg vs block     : {} vs {}",
         part.bandwidth,
-        task.chain().cut_weight(&block_cut).unwrap());
-    println!("bus makespan alg vs block   : {} vs {}", report.makespan, block_report.makespan);
+        task.chain().cut_weight(&block_cut).unwrap()
+    );
+    println!(
+        "bus makespan alg vs block   : {} vs {}",
+        report.makespan, block_report.makespan
+    );
     println!(
         "bus utilization alg vs block: {:.3} vs {:.3}",
         report.interconnect_utilization(),

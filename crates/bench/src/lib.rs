@@ -69,7 +69,13 @@ pub struct Figure2Row {
 
 /// Sweeps `K` over a chain, solving each instance with the TEMP_S
 /// algorithm and recording the paper's Figure 2 quantities.
-pub fn figure2_sweep(n: usize, w_lo: u64, w_hi: u64, k_points: usize, seed: u64) -> Vec<Figure2Row> {
+pub fn figure2_sweep(
+    n: usize,
+    w_lo: u64,
+    w_hi: u64,
+    k_points: usize,
+    seed: u64,
+) -> Vec<Figure2Row> {
     let path = chain_instance(n, w_lo, w_hi, seed);
     k_sweep(&path, k_points)
         .into_iter()

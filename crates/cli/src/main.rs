@@ -13,14 +13,16 @@
 //! Graphs are exchanged as JSON: chains as
 //! `{"node_weights": [...], "edge_weights": [...]}` and trees as
 //! `{"node_weights": [...], "edges": [{"a": 0, "b": 1, "weight": 5}, ...]}`
-//! (the `serde` encodings of `tgp_graph::PathGraph` / `tgp_graph::Tree`).
+//! (the `tgp_graph::json` encodings of `tgp_graph::PathGraph` /
+//! `tgp_graph::Tree`).
 
 use std::error::Error;
 use std::io::Read;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde_json::{json, Value};
+use tgp_graph::json;
+use tgp_graph::json::{FromJson, JsonError, ToJson, Value};
 
 use tgp_baselines::bokhari::bokhari_partition;
 use tgp_baselines::hansen_lih::hansen_lih_partition;
@@ -34,6 +36,7 @@ use tgp_core::procmin::proc_min;
 use tgp_core::tree_bandwidth::min_tree_bandwidth_cut;
 use tgp_graph::generators::{random_chain, random_tree, WeightDist};
 use tgp_graph::{EdgeId, NodeId, PathGraph, ProcessGraph, Tree, Weight};
+use tgp_service::{Server, ServerConfig};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 
@@ -110,6 +113,8 @@ USAGE:
   tgp approx --bound K [--input FILE]                 # general graphs
   tgp simulate --bound K --items N [--processors P]
                [--interconnect bus|crossbar] [--input FILE]
+  tgp serve [--addr 127.0.0.1:7070] [--workers 4] [--cache-capacity 1024]
+            [--queue-depth 64]                    # HTTP partition service
 
 Graphs are read from --input or stdin as JSON; results go to stdout as JSON.";
 
@@ -118,7 +123,7 @@ fn main() {
     match run(&args) {
         Ok(output) => {
             use std::io::Write;
-            let text = serde_json::to_string_pretty(&output).expect("valid json");
+            let text = output.pretty();
             // Tolerate a closed pipe (e.g. `tgp analyze ... | head`).
             let mut stdout = std::io::stdout().lock();
             let _ = writeln!(stdout, "{text}");
@@ -169,6 +174,10 @@ fn run(args: &[String]) -> CliResult<Value> {
             let opts = Options::parse(&args[1..])?;
             simulate(&opts)
         }
+        "serve" => {
+            let opts = Options::parse(&args[1..])?;
+            serve(&opts)
+        }
         "help" | "--help" | "-h" => Err(USAGE.into()),
         other => Err(format!("unknown command {other:?}").into()),
     }
@@ -195,8 +204,8 @@ fn generate(kind: &str, opts: &Options) -> CliResult<Value> {
     let (node, edge) = dists(opts)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     match kind {
-        "chain" => Ok(serde_json::to_value(random_chain(n, node, edge, &mut rng))?),
-        "tree" => Ok(serde_json::to_value(random_tree(n, node, edge, &mut rng))?),
+        "chain" => Ok(random_chain(n, node, edge, &mut rng).to_json()),
+        "tree" => Ok(random_tree(n, node, edge, &mut rng).to_json()),
         other => Err(format!("generate expects 'chain' or 'tree', got {other:?}").into()),
     }
 }
@@ -210,24 +219,19 @@ fn read_input(opts: &Options) -> CliResult<Value> {
             buf
         }
     };
-    Ok(serde_json::from_str(&text)?)
+    Ok(Value::parse(&text).map_err(|e: JsonError| format!("invalid JSON input: {e}"))?)
 }
 
 fn load_chain(opts: &Options) -> CliResult<PathGraph> {
     let value = read_input(opts)?;
-    let mut chain: PathGraph = serde_json::from_value(value).map_err(|e| {
-        format!("input is not a chain (expected node_weights + edge_weights): {e}")
-    })?;
-    chain.rebuild_cache()?;
-    Ok(chain)
+    Ok(PathGraph::from_json(&value)
+        .map_err(|e| format!("input is not a chain (expected node_weights + edge_weights): {e}"))?)
 }
 
 fn load_tree(opts: &Options) -> CliResult<Tree> {
     let value = read_input(opts)?;
-    let mut tree: Tree = serde_json::from_value(value)
-        .map_err(|e| format!("input is not a tree (expected node_weights + edges): {e}"))?;
-    tree.rebuild_cache();
-    Ok(tree)
+    Ok(Tree::from_json(&value)
+        .map_err(|e| format!("input is not a tree (expected node_weights + edges): {e}"))?)
 }
 
 fn cut_to_json(cut: impl Iterator<Item = EdgeId>) -> Value {
@@ -344,14 +348,12 @@ fn coc(opts: &Options) -> CliResult<Value> {
     let result = match algorithm {
         "bokhari" => bokhari_partition(&chain, m)?,
         "probe" => hansen_lih_partition(&chain, m)?,
-        other => {
-            return Err(format!("--algorithm must be bokhari or probe, got {other:?}").into())
-        }
+        other => return Err(format!("--algorithm must be bokhari or probe, got {other:?}").into()),
     };
     Ok(json!({
         "algorithm": algorithm,
         "processors": m,
-        "boundaries": result.assignment.boundaries(),
+        "boundaries": result.assignment.boundaries().to_vec(),
         "bottleneck": result.bottleneck.get(),
     }))
 }
@@ -361,7 +363,11 @@ fn hetero(opts: &Options) -> CliResult<Value> {
         .get("speeds")
         .ok_or("missing required option --speeds (e.g. --speeds 4,2,1)")?
         .split(',')
-        .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--speeds: {e}")))
+        .map(|s| {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("--speeds: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     if speeds.is_empty() || speeds.contains(&0) {
         return Err("--speeds needs at least one positive speed".into());
@@ -371,7 +377,7 @@ fn hetero(opts: &Options) -> CliResult<Value> {
     let r = hetero_partition(&chain, &array)?;
     Ok(json!({
         "speeds": speeds,
-        "boundaries": r.assignment.boundaries(),
+        "boundaries": r.assignment.boundaries().to_vec(),
         "bottleneck": r.bottleneck.get(),
     }))
 }
@@ -396,7 +402,7 @@ fn host_satellite(opts: &Options) -> CliResult<Value> {
 fn approx(opts: &Options) -> CliResult<Value> {
     let bound = Weight::new(opts.required("bound")?);
     let value = read_input(opts)?;
-    let g: ProcessGraph = serde_json::from_value(value)
+    let g = ProcessGraph::from_json(&value)
         .map_err(|e| format!("input is not a process graph (node_weights + edges): {e}"))?;
     let part = partition_process_graph_best(&g, bound)?;
     let method = match part.method {
@@ -443,6 +449,27 @@ fn simulate(opts: &Options) -> CliResult<Value> {
     }))
 }
 
+fn serve(opts: &Options) -> CliResult<Value> {
+    let config = ServerConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
+        workers: opts.num("workers")?.unwrap_or(4),
+        cache_capacity: opts.num("cache-capacity")?.unwrap_or(1024),
+        queue_depth: opts.num("queue-depth")?.unwrap_or(64),
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let mut server = Server::start(config)?;
+    eprintln!(
+        "tgp serve: listening on http://{} ({workers} workers); \
+         endpoints: POST /v1/partition, POST /v1/simulate, GET /healthz, GET /metrics",
+        server.local_addr()
+    );
+    // Blocks until the acceptor exits (it never does on its own; kill
+    // the process to stop serving).
+    server.wait();
+    Ok(json!({ "status": "stopped" }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,8 +506,7 @@ mod tests {
     fn generate_chain_is_valid_json_roundtrip() {
         let opts = Options::parse(&strs(&["--n", "25", "--seed", "3"])).unwrap();
         let value = generate("chain", &opts).unwrap();
-        let mut chain: PathGraph = serde_json::from_value(value).unwrap();
-        chain.rebuild_cache().unwrap();
+        let chain = PathGraph::from_json(&value).unwrap();
         assert_eq!(chain.len(), 25);
         assert_eq!(chain.edge_count(), 24);
     }
@@ -489,8 +515,7 @@ mod tests {
     fn generate_tree_is_valid_json_roundtrip() {
         let opts = Options::parse(&strs(&["--n", "25", "--seed", "3"])).unwrap();
         let value = generate("tree", &opts).unwrap();
-        let mut tree: Tree = serde_json::from_value(value).unwrap();
-        tree.rebuild_cache();
+        let tree = Tree::from_json(&value).unwrap();
         assert_eq!(tree.len(), 25);
     }
 

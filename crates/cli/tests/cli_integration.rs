@@ -3,21 +3,28 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
+use tgp_graph::json::Value;
+
 fn tgp() -> Command {
     Command::new(env!("CARGO_BIN_EXE_tgp"))
 }
 
-fn run_ok(args: &[&str]) -> serde_json::Value {
+fn parse_stdout(stdout: &[u8]) -> Value {
+    let text = std::str::from_utf8(stdout).expect("stdout is UTF-8");
+    Value::parse(text).expect("stdout is JSON")
+}
+
+fn run_ok(args: &[&str]) -> Value {
     let out = tgp().args(args).output().expect("binary runs");
     assert!(
         out.status.success(),
         "tgp {args:?} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    serde_json::from_slice(&out.stdout).expect("stdout is JSON")
+    parse_stdout(&out.stdout)
 }
 
-fn run_with_stdin(args: &[&str], stdin: &str) -> serde_json::Value {
+fn run_with_stdin(args: &[&str], stdin: &str) -> Value {
     let mut child = tgp()
         .args(args)
         .stdin(Stdio::piped())
@@ -37,7 +44,7 @@ fn run_with_stdin(args: &[&str], stdin: &str) -> serde_json::Value {
         "tgp {args:?} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    serde_json::from_slice(&out.stdout).expect("stdout is JSON")
+    parse_stdout(&out.stdout)
 }
 
 #[test]
@@ -48,10 +55,7 @@ fn generate_partition_roundtrip_via_stdin() {
     assert_eq!(part["objective"], "bandwidth");
     assert!(part["processors"].as_u64().unwrap() >= 1);
     let segments = part["segments"].as_array().unwrap();
-    assert_eq!(
-        segments.len() as u64,
-        part["processors"].as_u64().unwrap()
-    );
+    assert_eq!(segments.len() as u64, part["processors"].as_u64().unwrap());
     for seg in segments {
         assert!(seg["weight"].as_u64().unwrap() <= 400);
     }
@@ -85,18 +89,21 @@ fn analyze_reports_figure2_quantities() {
 #[test]
 fn coc_agrees_between_algorithms() {
     let chain = run_ok(&["generate", "chain", "--n", "60", "--seed", "2"]).to_string();
-    let a = run_with_stdin(&["coc", "--processors", "4", "--algorithm", "bokhari"], &chain);
-    let b = run_with_stdin(&["coc", "--processors", "4", "--algorithm", "probe"], &chain);
+    let a = run_with_stdin(
+        &["coc", "--processors", "4", "--algorithm", "bokhari"],
+        &chain,
+    );
+    let b = run_with_stdin(
+        &["coc", "--processors", "4", "--algorithm", "probe"],
+        &chain,
+    );
     assert_eq!(a["bottleneck"], b["bottleneck"]);
 }
 
 #[test]
 fn simulate_produces_throughput() {
     let chain = run_ok(&["generate", "chain", "--n", "30", "--seed", "4"]).to_string();
-    let sim = run_with_stdin(
-        &["simulate", "--bound", "600", "--items", "20"],
-        &chain,
-    );
+    let sim = run_with_stdin(&["simulate", "--bound", "600", "--items", "20"], &chain);
     assert_eq!(sim["items"], 20);
     assert!(sim["makespan"].as_u64().unwrap() > 0);
     assert!(sim["throughput"].as_f64().unwrap() > 0.0);
@@ -136,7 +143,7 @@ fn infeasible_bound_is_a_clean_error() {
 fn hetero_command_partitions_mixed_speeds() {
     let chain = run_ok(&["generate", "chain", "--n", "24", "--seed", "8"]).to_string();
     let r = run_with_stdin(&["hetero", "--speeds", "4,1,1"], &chain);
-    assert_eq!(r["speeds"], serde_json::json!([4, 1, 1]));
+    assert_eq!(r["speeds"], tgp_graph::json!([4, 1, 1]));
     assert!(r["bottleneck"].as_u64().unwrap() > 0);
     assert_eq!(r["boundaries"].as_array().unwrap().len(), 2);
 }
@@ -152,14 +159,14 @@ fn host_satellite_command_offloads_subtrees() {
 #[test]
 fn approx_command_handles_process_graphs() {
     // Hand-written ring process graph JSON.
-    let ring = serde_json::json!({
+    let ring = r#"{
         "node_weights": [3, 3, 3, 3, 3, 3],
         "edges": [
             {"a": 0, "b": 1, "weight": 5}, {"a": 1, "b": 2, "weight": 5},
             {"a": 2, "b": 3, "weight": 5}, {"a": 3, "b": 4, "weight": 5},
             {"a": 4, "b": 5, "weight": 5}, {"a": 5, "b": 0, "weight": 5}
         ]
-    })
+    }"#
     .to_string();
     let r = run_with_stdin(&["approx", "--bound", "9"], &ring);
     assert!(r["parts"].as_u64().unwrap() >= 2);
@@ -179,7 +186,16 @@ fn lexicographic_and_tree_bandwidth_objectives() {
     assert!(lex["bottleneck"].as_u64().unwrap() <= bw["bottleneck"].as_u64().unwrap());
 
     let tree = run_ok(&[
-        "generate", "tree", "--n", "40", "--seed", "12", "--node-hi", "20", "--edge-hi", "30",
+        "generate",
+        "tree",
+        "--n",
+        "40",
+        "--seed",
+        "12",
+        "--node-hi",
+        "20",
+        "--edge-hi",
+        "30",
     ])
     .to_string();
     let exact = run_with_stdin(&["partition", "tree-bandwidth", "--bound", "200"], &tree);

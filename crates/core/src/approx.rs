@@ -73,7 +73,11 @@ pub struct ProcessPartition {
 impl ProcessPartition {
     /// The heaviest part.
     pub fn max_part_weight(&self) -> Weight {
-        self.part_weights.iter().copied().max().unwrap_or(Weight::ZERO)
+        self.part_weights
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Weight::ZERO)
     }
 
     fn from_assignment(
@@ -203,8 +207,7 @@ mod tests {
 
     fn ring(n: usize, node_w: u64, edge_w: u64) -> ProcessGraph {
         let nodes = vec![node_w; n];
-        let edges: Vec<(usize, usize, u64)> =
-            (0..n).map(|i| (i, (i + 1) % n, edge_w)).collect();
+        let edges: Vec<(usize, usize, u64)> = (0..n).map(|i| (i, (i + 1) % n, edge_w)).collect();
         ProcessGraph::from_raw(&nodes, &edges).unwrap()
     }
 

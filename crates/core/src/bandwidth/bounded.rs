@@ -193,12 +193,16 @@ mod tests {
         let p = path(&[6, 6, 6], &[5, 7]);
         // K = 11: every adjacent pair bursts, so both edges must be cut;
         // a limit below 7 forbids the second.
-        assert!(min_bandwidth_cut_bounded(&p, Weight::new(11), Weight::new(6))
-            .unwrap()
-            .is_none());
-        assert!(min_bandwidth_cut_bounded(&p, Weight::new(11), Weight::new(7))
-            .unwrap()
-            .is_some());
+        assert!(
+            min_bandwidth_cut_bounded(&p, Weight::new(11), Weight::new(6))
+                .unwrap()
+                .is_none()
+        );
+        assert!(
+            min_bandwidth_cut_bounded(&p, Weight::new(11), Weight::new(7))
+                .unwrap()
+                .is_some()
+        );
     }
 
     #[test]
@@ -240,7 +244,10 @@ mod tests {
                 p.bottleneck(&lex).unwrap().get(),
                 p.cut_weight(&lex).unwrap().get(),
             );
-            assert_eq!(got, best, "round={round} nodes={nodes:?} edges={edges:?} k={k}");
+            assert_eq!(
+                got, best,
+                "round={round} nodes={nodes:?} edges={edges:?} k={k}"
+            );
         }
     }
 

@@ -81,10 +81,7 @@ fn run_dp(
 /// # Ok(())
 /// # }
 /// ```
-pub fn min_bandwidth_cut_oracle(
-    path: &PathGraph,
-    bound: Weight,
-) -> Result<CutSet, PartitionError> {
+pub fn min_bandwidth_cut_oracle(path: &PathGraph, bound: Weight) -> Result<CutSet, PartitionError> {
     run_dp(path, bound, |path, bound, cost, parent| {
         let m = path.edge_count();
         for j in 0..m {
@@ -114,10 +111,7 @@ pub fn min_bandwidth_cut_oracle(
 /// # Errors
 ///
 /// [`PartitionError::BoundTooSmall`] if a single vertex outweighs `bound`.
-pub fn min_bandwidth_cut_window(
-    path: &PathGraph,
-    bound: Weight,
-) -> Result<CutSet, PartitionError> {
+pub fn min_bandwidth_cut_window(path: &PathGraph, bound: Weight) -> Result<CutSet, PartitionError> {
     run_dp(path, bound, |path, bound, cost, parent| {
         let m = path.edge_count();
         // Deque of candidate predecessor edges i with strictly increasing

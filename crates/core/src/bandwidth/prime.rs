@@ -116,9 +116,9 @@ pub fn prime_subpaths(
         }
         prev_t = Some(t);
     }
-    debug_assert!(primes.windows(2).all(|w| {
-        w[0].first_node < w[1].first_node && w[0].last_node < w[1].last_node
-    }));
+    debug_assert!(primes
+        .windows(2)
+        .all(|w| { w[0].first_node < w[1].first_node && w[0].last_node < w[1].last_node }));
     Ok(primes)
 }
 

@@ -385,7 +385,11 @@ mod tests {
             let oracle = min_bandwidth_cut_oracle(&p, Weight::new(k)).unwrap();
             assert!(p.is_feasible_cut(&ours, Weight::new(k)).unwrap());
             let w = |c: &CutSet| p.cut_weight(c).unwrap();
-            assert_eq!(w(&ours), w(&oracle), "round={round} nodes={nodes:?} edges={edges:?} k={k}");
+            assert_eq!(
+                w(&ours),
+                w(&oracle),
+                "round={round} nodes={nodes:?} edges={edges:?} k={k}"
+            );
             assert_eq!(w(&ours), w(&naive), "round={round}");
         }
     }
@@ -401,9 +405,16 @@ mod tests {
             // Mix ascending, descending and random edge-weight shapes so
             // both gallop fast paths and deep merges are exercised.
             let edges: Vec<u64> = match round % 3 {
-                0 => (0..n.saturating_sub(1)).map(|i| (i as u64 + 1) * 3).collect(),
-                1 => (0..n.saturating_sub(1)).rev().map(|i| (i as u64 + 1) * 3).collect(),
-                _ => (0..n.saturating_sub(1)).map(|_| rng.gen_range(0..40)).collect(),
+                0 => (0..n.saturating_sub(1))
+                    .map(|i| (i as u64 + 1) * 3)
+                    .collect(),
+                1 => (0..n.saturating_sub(1))
+                    .rev()
+                    .map(|i| (i as u64 + 1) * 3)
+                    .collect(),
+                _ => (0..n.saturating_sub(1))
+                    .map(|_| rng.gen_range(0..40))
+                    .collect(),
             };
             let p = path(&nodes, &edges);
             let max = nodes.iter().copied().max().unwrap();

@@ -226,10 +226,7 @@ mod tests {
             let fast = min_bottleneck_cut(&t, Weight::new(k)).unwrap();
             let paper = min_bottleneck_cut_paper(&t, Weight::new(k)).unwrap();
             assert_eq!(fast, paper, "n={n} k={k}");
-            assert!(t
-                .components(&fast.cut)
-                .unwrap()
-                .is_feasible(Weight::new(k)));
+            assert!(t.components(&fast.cut).unwrap().is_feasible(Weight::new(k)));
         }
     }
 

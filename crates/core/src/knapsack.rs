@@ -159,7 +159,9 @@ pub fn star_to_knapsack(star: &Tree, load_bound: Weight) -> KnapsackInstance {
     KnapsackInstance::new(
         weights,
         profits,
-        load_bound.get().saturating_sub(star.node_weight(NodeId::new(0)).get()),
+        load_bound
+            .get()
+            .saturating_sub(star.node_weight(NodeId::new(0)).get()),
     )
 }
 

@@ -183,10 +183,10 @@ mod tests {
 
     #[test]
     fn pipeline_never_uses_more_processors_than_bottleneck_cut() {
+        use crate::bottleneck::min_bottleneck_cut;
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
         use tgp_graph::generators::{random_tree, WeightDist};
-        use crate::bottleneck::min_bottleneck_cut;
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..50 {
             let n = rng.gen_range(2..100);

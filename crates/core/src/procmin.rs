@@ -121,8 +121,7 @@ pub fn proc_min_paper(tree: &Tree, bound: Weight) -> Result<ProcMinResult, Parti
     let mut alive = vec![true; n];
     let mut degree: Vec<usize> = (0..n).map(|v| tree.degree(NodeId::new(v))).collect();
     let mut weight: Vec<u64> = tree.node_weights().iter().map(|w| w.get()).collect();
-    let is_internal =
-        |degree: &[usize], alive: &[bool], v: usize| alive[v] && degree[v] >= 2;
+    let is_internal = |degree: &[usize], alive: &[bool], v: usize| alive[v] && degree[v] >= 2;
     // internal_degree[v] = number of internal neighbours of v.
     let internal_count = |v: usize| {
         tree.neighbors(NodeId::new(v))
@@ -317,8 +316,10 @@ mod tests {
             );
             let k = rng.gen_range(9..=40);
             let expect = brute_min_components(&t, Weight::new(k));
-            for (name, f) in [("postorder", proc_min as fn(_, _) -> _), ("paper", proc_min_paper)]
-            {
+            for (name, f) in [
+                ("postorder", proc_min as fn(_, _) -> _),
+                ("paper", proc_min_paper),
+            ] {
                 let r = f(&t, Weight::new(k)).unwrap();
                 assert!(t.components(&r.cut).unwrap().is_feasible(Weight::new(k)));
                 assert_eq!(

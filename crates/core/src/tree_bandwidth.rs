@@ -129,9 +129,8 @@ pub fn min_tree_bandwidth_cut(tree: &Tree, bound: Weight) -> Result<CutSet, Part
             let child_best = best[c.index()];
             let beta = tree.edge_weight(e).get();
             // Option 1: uplink cut — prefix keeps (w, cost - child_best - beta).
-            let cut_works = child_best < INF
-                && before[w] < INF
-                && cost == before[w] + child_best + beta;
+            let cut_works =
+                child_best < INF && before[w] < INF && cost == before[w] + child_best + beta;
             if cut_works {
                 cut.push(e);
                 let wc = argmin(child);
@@ -201,7 +200,9 @@ mod tests {
     #[test]
     fn empty_cut_when_everything_fits() {
         let t = Tree::from_raw(&[1, 2, 3], &[(0, 1, 5), (1, 2, 5)]).unwrap();
-        assert!(min_tree_bandwidth_cut(&t, Weight::new(6)).unwrap().is_empty());
+        assert!(min_tree_bandwidth_cut(&t, Weight::new(6))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -21,10 +21,7 @@ fn arb_small_chain() -> impl Strategy<Value = (PathGraph, Weight)> {
             9u64..40,
         )
             .prop_map(|(nodes, edges, k)| {
-                (
-                    PathGraph::from_raw(&nodes, &edges).unwrap(),
-                    Weight::new(k),
-                )
+                (PathGraph::from_raw(&nodes, &edges).unwrap(), Weight::new(k))
             })
     })
 }
@@ -41,16 +38,11 @@ fn arb_small_tree() -> impl Strategy<Value = (Tree, Weight)> {
                     .iter()
                     .enumerate()
                     .map(|(i, &(p, w))| {
-                        TreeEdge::new(
-                            NodeId::new(p % (i + 1)),
-                            NodeId::new(i + 1),
-                            Weight::new(w),
-                        )
+                        TreeEdge::new(NodeId::new(p % (i + 1)), NodeId::new(i + 1), Weight::new(w))
                     })
                     .collect();
                 (
-                    Tree::from_edges(nodes.into_iter().map(Weight::new).collect(), edges)
-                        .unwrap(),
+                    Tree::from_edges(nodes.into_iter().map(Weight::new).collect(), edges).unwrap(),
                     Weight::new(k),
                 )
             })

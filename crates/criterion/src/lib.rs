@@ -1,0 +1,262 @@
+//! Vendored, dependency-free stand-in for the slice of the `criterion`
+//! API the workspace's benches use.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the same entry points (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`]) backed by a plain wall-clock
+//! harness: warm up for `warm_up_time`, then take `sample_size` samples
+//! inside `measurement_time` and report the median, minimum and maximum
+//! time per iteration. No statistics beyond that, no plots, no baselines —
+//! numbers land on stdout and in BENCH logs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; one per `criterion_group!` run.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        };
+        group.run_one(&id.to_string(), &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing timing parameters.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times `f` and prints one result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        self.run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, f: &mut F) {
+        // Warm-up pass: run until the warm-up budget elapses, counting
+        // iterations so the measurement pass can size its batches.
+        let mut bencher = Bencher {
+            mode: Mode::Warmup {
+                until: Instant::now() + self.warm_up_time,
+            },
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters_done > 0 {
+            bencher.elapsed.div_f64(bencher.iters_done as f64)
+        } else {
+            Duration::from_millis(1)
+        };
+        let budget = self.measurement_time.div_f64(self.sample_size as f64);
+        let batch = (budget.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+            .round()
+            .max(1.0) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                mode: Mode::Measure { batch },
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if bencher.iters_done > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters_done as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let min = samples.first().copied().unwrap_or(0.0);
+        let max = samples.last().copied().unwrap_or(0.0);
+        println!(
+            "{label:<40} time: [{} {} {}]  ({} samples, {batch} iters/sample)",
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(max),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Warmup { until: Instant },
+    Measure { batch: u64 },
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the
+/// workload.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` according to the current phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup { until } => {
+                let start = Instant::now();
+                while Instant::now() < until {
+                    black_box(f());
+                    self.iters_done += 1;
+                }
+                self.elapsed = start.elapsed();
+            }
+            Mode::Measure { batch } => {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters_done = batch;
+            }
+        }
+    }
+}
+
+/// A benchmark label of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds the id `"{function}/{parameter}"`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declares a group runner function calling each benchmark in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        for n in [10u64, 100] {
+            group.bench_function(BenchmarkId::new("sum", n), |b| {
+                b.iter(|| (0..black_box(n)).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_trivial);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("opt", 1000).to_string(), "opt/1000");
+    }
+}

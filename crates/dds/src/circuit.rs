@@ -106,10 +106,16 @@ impl fmt::Display for CircuitError {
                 write!(f, "gate {gate} references unknown input {input}")
             }
             CircuitError::BadArity { gate, kind, inputs } => {
-                write!(f, "gate {gate} of kind {kind:?} cannot take {inputs} input(s)")
+                write!(
+                    f,
+                    "gate {gate} of kind {kind:?} cannot take {inputs} input(s)"
+                )
             }
             CircuitError::CombinationalCycle => {
-                write!(f, "combinational cycle (cycles must pass through a flip-flop)")
+                write!(
+                    f,
+                    "combinational cycle (cycles must pass through a flip-flop)"
+                )
             }
             CircuitError::Empty => write!(f, "circuit has no gates"),
         }
@@ -182,10 +188,7 @@ impl CircuitBuilder {
         let kind = self
             .gates
             .get(gate.0)
-            .ok_or(CircuitError::UnknownGate {
-                gate,
-                input: gate,
-            })?
+            .ok_or(CircuitError::UnknownGate { gate, input: gate })?
             .kind;
         Self::check_arity(gate, kind, inputs.len())?;
         self.gates[gate.0].inputs = inputs;
@@ -367,7 +370,10 @@ mod tests {
 
     #[test]
     fn empty_circuit_rejected() {
-        assert_eq!(CircuitBuilder::new().build().unwrap_err(), CircuitError::Empty);
+        assert_eq!(
+            CircuitBuilder::new().build().unwrap_err(),
+            CircuitError::Empty
+        );
     }
 
     #[test]

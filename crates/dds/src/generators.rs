@@ -193,7 +193,11 @@ mod tests {
         // Every stage eventually sees the (delayed) input stream: toggles
         // roughly half the cycles.
         let last = c.len() - 1;
-        assert!(p.toggles[last] > 100, "last stage toggles {}", p.toggles[last]);
+        assert!(
+            p.toggles[last] > 100,
+            "last stage toggles {}",
+            p.toggles[last]
+        );
     }
 
     #[test]

@@ -40,9 +40,9 @@ pub mod partition;
 pub mod sim;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, GateId, GateKind};
+pub use exec::{estimate_execution, estimate_speedup};
+pub use parallel::{simulate_parallel, ParallelSimReport};
 pub use partition::{
     partition_circuit, partition_circuit_with_ordering, CircuitPartition, DdsError,
 };
-pub use exec::{estimate_execution, estimate_speedup};
-pub use parallel::{simulate_parallel, ParallelSimReport};
 pub use sim::{simulate_activity, ActivityProfile};

@@ -116,10 +116,7 @@ pub fn simulate_parallel<R: Rng + ?Sized>(
     let mut channel_index = std::collections::BTreeMap::new();
     let mut wire_channel: Vec<Option<usize>> = Vec::with_capacity(wires.len());
     for &(u, v) in &wires {
-        let (src, dst) = (
-            partition.processor_of[u.0],
-            partition.processor_of[v.0],
-        );
+        let (src, dst) = (partition.processor_of[u.0], partition.processor_of[v.0]);
         if src == dst {
             wire_channel.push(None);
         } else {
@@ -236,10 +233,7 @@ mod tests {
         let part = partition_circuit_block(&c, &profile, 3);
         let r = simulate_parallel(&c, &part, 80, &mut SmallRng::seed_from_u64(2));
         assert!(r.channels >= 2);
-        assert_eq!(
-            r.event_messages + r.null_messages,
-            r.channels as u64 * 80
-        );
+        assert_eq!(r.event_messages + r.null_messages, r.channels as u64 * 80);
     }
 
     #[test]

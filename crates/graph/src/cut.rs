@@ -1,7 +1,5 @@
 //! Edge cuts and the components they induce.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{EdgeId, GraphError, NodeId, PathGraph, Tree, UnionFind, Weight};
 
 /// A set of edges removed from a graph (the `S ⊆ E` of the paper).
@@ -19,7 +17,7 @@ use crate::{EdgeId, GraphError, NodeId, PathGraph, Tree, UnionFind, Weight};
 /// assert!(cut.contains(EdgeId::new(1)));
 /// assert!(!cut.contains(EdgeId::new(0)));
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
 pub struct CutSet {
     edges: Vec<EdgeId>,
 }
@@ -196,7 +194,7 @@ impl Components {
 }
 
 /// A maximal contiguous run of nodes of a [`PathGraph`] after a cut.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// First node index (inclusive).
     pub start: usize,

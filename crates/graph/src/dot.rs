@@ -90,7 +90,11 @@ pub fn process_to_dot(g: &ProcessGraph, part_of: Option<&[usize]>) -> String {
     }
     for e in g.edges() {
         let crossing = part_of.is_some_and(|p| p[e.a.index()] != p[e.b.index()]);
-        let style = if crossing { ", style=dashed, color=red" } else { "" };
+        let style = if crossing {
+            ", style=dashed, color=red"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  v{} -- v{} [label=\"{}\"{style}];",

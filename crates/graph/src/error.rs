@@ -69,7 +69,10 @@ impl fmt::Display for GraphError {
                 nodes - 1
             ),
             GraphError::NodeOutOfRange { node, len } => {
-                write!(f, "node {node} is out of range for a graph of {len} node(s)")
+                write!(
+                    f,
+                    "node {node} is out of range for a graph of {len} node(s)"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
             GraphError::Cycle { edge } => write!(f, "edge {edge} closes a cycle"),
@@ -78,7 +81,10 @@ impl fmt::Display for GraphError {
                 write!(f, "duplicate edge between {a} and {b}")
             }
             GraphError::EdgeOutOfRange { edge, len } => {
-                write!(f, "edge {edge} is out of range for a graph of {len} edge(s)")
+                write!(
+                    f,
+                    "edge {edge} is out of range for a graph of {len} edge(s)"
+                )
             }
             GraphError::WeightOverflow => write!(f, "total graph weight overflows u64"),
         }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (task) within a graph.
 ///
 /// Node ids are dense indices `0..n`. They are only meaningful relative to
@@ -16,10 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let v = NodeId::new(3);
 /// assert_eq!(v.index(), 3);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(usize);
 
 impl NodeId {
@@ -69,10 +64,7 @@ impl From<NodeId> for usize {
 /// let e = EdgeId::new(0);
 /// assert_eq!(e.index(), 0);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(usize);
 
 impl EdgeId {

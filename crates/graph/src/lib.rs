@@ -49,6 +49,7 @@ pub mod dot;
 mod error;
 pub mod generators;
 mod ids;
+pub mod json;
 mod path;
 mod process;
 pub mod spanning;

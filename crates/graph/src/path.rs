@@ -1,7 +1,5 @@
 //! Linear (path) task graphs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{EdgeId, GraphError, NodeId, Weight};
 
 /// A linear task graph `P = (V, E)` with `V = {v_0, …, v_{n-1}}` and
@@ -30,32 +28,12 @@ use crate::{EdgeId, GraphError, NodeId, Weight};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(try_from = "PathGraphRaw")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathGraph {
     node_weights: Vec<Weight>,
     edge_weights: Vec<Weight>,
     /// `prefix[i]` = sum of node weights `0..i`; length `n + 1`.
-    #[serde(skip, default)]
     prefix: Vec<u64>,
-}
-
-/// The unvalidated wire form of a [`PathGraph`]: deserialization funnels
-/// through [`PathGraph::from_weights`], so malformed JSON (wrong edge
-/// count, weight overflow) is rejected instead of producing a graph that
-/// violates invariants.
-#[derive(Deserialize)]
-struct PathGraphRaw {
-    node_weights: Vec<Weight>,
-    edge_weights: Vec<Weight>,
-}
-
-impl TryFrom<PathGraphRaw> for PathGraph {
-    type Error = GraphError;
-
-    fn try_from(raw: PathGraphRaw) -> Result<Self, GraphError> {
-        PathGraph::from_weights(raw.node_weights, raw.edge_weights)
-    }
 }
 
 impl PathGraph {
@@ -317,10 +295,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_rebuilds_cache() {
+    fn rebuild_cache_recomputes_prefix_sums() {
         let p = sample();
-        let json = serde_json_like(&p);
-        // Manual "round trip": clone weights into a fresh graph.
         let mut q = PathGraph {
             node_weights: p.node_weights().to_vec(),
             edge_weights: p.edge_weights().to_vec(),
@@ -328,12 +304,6 @@ mod tests {
         };
         q.rebuild_cache().unwrap();
         assert_eq!(q.total_weight(), p.total_weight());
-        assert!(!json.is_empty());
-    }
-
-    fn serde_json_like(p: &PathGraph) -> String {
-        // We avoid a serde_json dev-dependency; format the Debug output to
-        // prove Serialize derives compile and the skip attribute holds.
-        format!("{p:?}")
+        assert_eq!(q, p);
     }
 }

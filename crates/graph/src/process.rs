@@ -7,12 +7,10 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{GraphError, NodeId, UnionFind, Weight};
 
 /// An undirected edge of a [`ProcessGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProcessEdge {
     /// One endpoint.
     pub a: NodeId,
@@ -42,30 +40,11 @@ pub struct ProcessEdge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(try_from = "ProcessGraphRaw")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessGraph {
     node_weights: Vec<Weight>,
     edges: Vec<ProcessEdge>,
-    #[serde(skip, default)]
     adjacency: Vec<Vec<(NodeId, usize)>>,
-}
-
-/// The unvalidated wire form of a [`ProcessGraph`]: deserialization
-/// funnels through [`ProcessGraph::from_edges`] (connectivity, self-loop
-/// and overflow validation included).
-#[derive(Deserialize)]
-struct ProcessGraphRaw {
-    node_weights: Vec<Weight>,
-    edges: Vec<ProcessEdge>,
-}
-
-impl TryFrom<ProcessGraphRaw> for ProcessGraph {
-    type Error = GraphError;
-
-    fn try_from(raw: ProcessGraphRaw) -> Result<Self, GraphError> {
-        ProcessGraph::from_edges(raw.node_weights, raw.edges)
-    }
 }
 
 impl ProcessGraph {

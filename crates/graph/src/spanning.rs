@@ -112,8 +112,7 @@ pub fn tree_supergraph(g: &ProcessGraph) -> TreeSupergraph {
     }
     debug_assert_eq!(edges.len(), n - 1, "connected graphs span fully");
     let node_weights: Vec<Weight> = (0..n).map(|v| g.node_weight(NodeId::new(v))).collect();
-    let tree =
-        Tree::from_edges(node_weights, edges).expect("a spanning tree is a valid tree");
+    let tree = Tree::from_edges(node_weights, edges).expect("a spanning tree is a valid tree");
     TreeSupergraph { tree, graph_edge }
 }
 
@@ -125,7 +124,14 @@ mod tests {
     fn ring_with_chord() -> ProcessGraph {
         ProcessGraph::from_raw(
             &[1, 2, 3, 4, 5],
-            &[(0, 1, 10), (1, 2, 20), (2, 3, 30), (3, 4, 40), (4, 0, 50), (1, 3, 5)],
+            &[
+                (0, 1, 10),
+                (1, 2, 20),
+                (2, 3, 30),
+                (3, 4, 40),
+                (4, 0, 50),
+                (1, 3, 5),
+            ],
         )
         .unwrap()
     }
@@ -136,12 +142,7 @@ mod tests {
         let sup = tree_supergraph(&g);
         assert_eq!(sup.tree().len(), 5);
         assert_eq!(sup.tree().edge_count(), 4);
-        let kept: Vec<u64> = sup
-            .tree()
-            .edges()
-            .iter()
-            .map(|e| e.weight.get())
-            .collect();
+        let kept: Vec<u64> = sup.tree().edges().iter().map(|e| e.weight.get()).collect();
         // Heaviest four of {10, 20, 30, 40, 50, 5} that stay acyclic:
         // 50, 40, 30, 20.
         let mut sorted = kept.clone();

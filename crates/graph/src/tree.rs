@@ -1,11 +1,9 @@
 //! Weighted free trees (tree task graphs).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{EdgeId, GraphError, NodeId, UnionFind, Weight};
 
 /// An undirected edge of a [`Tree`] with a communication weight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TreeEdge {
     /// One endpoint.
     pub a: NodeId,
@@ -32,7 +30,10 @@ impl TreeEdge {
         } else if node == self.b {
             self.a
         } else {
-            panic!("node {node} is not an endpoint of edge ({}, {})", self.a, self.b)
+            panic!(
+                "node {node} is not an endpoint of edge ({}, {})",
+                self.a, self.b
+            )
         }
     }
 }
@@ -62,31 +63,12 @@ impl TreeEdge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(try_from = "TreeRaw")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     node_weights: Vec<Weight>,
     edges: Vec<TreeEdge>,
     /// `adjacency[v]` lists `(neighbor, edge id)` pairs.
-    #[serde(skip, default)]
     adjacency: Vec<Vec<(NodeId, EdgeId)>>,
-}
-
-/// The unvalidated wire form of a [`Tree`]: deserialization funnels
-/// through [`Tree::from_edges`], so malformed JSON (cycles, bad ids,
-/// wrong edge count) is rejected.
-#[derive(Deserialize)]
-struct TreeRaw {
-    node_weights: Vec<Weight>,
-    edges: Vec<TreeEdge>,
-}
-
-impl TryFrom<TreeRaw> for Tree {
-    type Error = GraphError;
-
-    fn try_from(raw: TreeRaw) -> Result<Self, GraphError> {
-        Tree::from_edges(raw.node_weights, raw.edges)
-    }
 }
 
 impl Tree {
@@ -162,7 +144,10 @@ impl Tree {
     /// # Errors
     ///
     /// Same as [`Tree::from_edges`].
-    pub fn from_raw(node_weights: &[u64], edges: &[(usize, usize, u64)]) -> Result<Self, GraphError> {
+    pub fn from_raw(
+        node_weights: &[u64],
+        edges: &[(usize, usize, u64)],
+    ) -> Result<Self, GraphError> {
         Self::from_edges(
             node_weights.iter().copied().map(Weight::new).collect(),
             edges
@@ -529,8 +514,7 @@ mod tests {
         let t = caterpillar();
         let order = t.post_order(NodeId::new(0));
         assert_eq!(order.len(), 7);
-        let pos =
-            |v: usize| order.iter().position(|&x| x == NodeId::new(v)).unwrap();
+        let pos = |v: usize| order.iter().position(|&x| x == NodeId::new(v)).unwrap();
         // Root last; every child precedes its parent under rooting at 0.
         assert_eq!(order.last(), Some(&NodeId::new(0)));
         assert!(pos(2) < pos(1));

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A non-negative integral weight.
 ///
 /// Vertex weights model processing requirements (e.g. instruction counts),
@@ -25,10 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((a + b).get(), 7);
 /// assert!(a < b);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Weight(u64);
 
 impl Weight {

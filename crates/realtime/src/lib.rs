@@ -180,12 +180,8 @@ impl RealTimeTask {
             Strategy::MinBottleneck => {
                 partition_tree(&tree_from_path(&self.chain), self.deadline)?.cut
             }
-            Strategy::MinProcessors => {
-                proc_min(&tree_from_path(&self.chain), self.deadline)?.cut
-            }
-            Strategy::Lexicographic => {
-                min_bandwidth_cut_lexicographic(&self.chain, self.deadline)?
-            }
+            Strategy::MinProcessors => proc_min(&tree_from_path(&self.chain), self.deadline)?.cut,
+            Strategy::Lexicographic => min_bandwidth_cut_lexicographic(&self.chain, self.deadline)?,
         };
         let groups = self.chain.segments(&cut)?;
         let bandwidth = self.chain.cut_weight(&cut)?;

@@ -1,0 +1,544 @@
+//! Request routing and the JSON API handlers.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/partition` — run a partitioning objective (`bandwidth` on
+//!   chains, `bottleneck`/`procmin` on trees). Accepts a single request
+//!   object or `{"requests": [...]}` for a batch.
+//! * `POST /v1/simulate` — partition a chain and replay it through the
+//!   shared-memory pipeline simulator.
+//! * `GET /healthz` — liveness probe.
+//! * `GET /metrics` — Prometheus text exposition.
+//!
+//! Handlers are pure functions of `(state, request)`; the transport layer
+//! in [`crate::server`] owns sockets and threads. Every partition
+//! response is cached under a canonical FNV-1a key of the *validated*
+//! content, so formatting differences (whitespace, key order, extra
+//! fields) between equivalent requests still hit.
+
+use std::time::Instant;
+
+use tgp_core::bottleneck::min_bottleneck_cut;
+use tgp_core::pipeline::partition_chain;
+use tgp_core::procmin::proc_min;
+use tgp_graph::json::{FromJson, ToJson, Value};
+use tgp_graph::{json, EdgeId, PathGraph, Tree, Weight};
+use tgp_shmem::machine::{Interconnect, Machine};
+use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
+
+use crate::cache::{KeyHasher, ResultCache};
+use crate::http::Request;
+use crate::metrics::Metrics;
+
+/// Shared handler state: one per server.
+#[derive(Debug)]
+pub struct AppState {
+    /// Rendered-response cache.
+    pub cache: ResultCache,
+    /// Service metrics.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Creates state with a cache of the given capacity.
+    pub fn new(cache_capacity: usize) -> Self {
+        AppState {
+            cache: ResultCache::new(cache_capacity),
+            metrics: Metrics::default(),
+        }
+    }
+}
+
+/// What a handler tells the transport to send.
+#[derive(Debug)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: String,
+    /// `content-type` header value.
+    pub content_type: &'static str,
+    /// Metrics endpoint label.
+    pub endpoint: &'static str,
+}
+
+fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiResponse {
+    ApiResponse {
+        status,
+        body,
+        content_type: "application/json",
+        endpoint,
+    }
+}
+
+fn error_response(status: u16, endpoint: &'static str, message: &str) -> ApiResponse {
+    json_response(
+        status,
+        endpoint,
+        format!("{}\n", json!({ "error": message })),
+    )
+}
+
+/// A handler-level failure: status code plus message.
+type Failure = (u16, String);
+
+fn bad(message: impl Into<String>) -> Failure {
+    (400, message.into())
+}
+
+fn unprocessable(message: impl Into<String>) -> Failure {
+    (422, message.into())
+}
+
+/// Routes one request and records its metrics.
+pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
+    let started = Instant::now();
+    let response = route(state, req);
+    state
+        .metrics
+        .record_request(response.endpoint, response.status, started.elapsed());
+    response
+}
+
+fn route(state: &AppState, req: &Request) -> ApiResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => json_response(200, "healthz", "{\"status\":\"ok\"}\n".into()),
+        ("GET", "/metrics") => ApiResponse {
+            status: 200,
+            body: state.metrics.render(),
+            content_type: "text/plain; version=0.0.4",
+            endpoint: "metrics",
+        },
+        ("POST", "/v1/partition") => partition_endpoint(state, &req.body),
+        ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/simulate") => {
+            error_response(405, "other", "method not allowed")
+        }
+        _ => error_response(404, "other", "no such endpoint"),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, Failure> {
+    let text = std::str::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Value::parse(text).map_err(|e| bad(format!("invalid JSON: {e}")))
+}
+
+fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err((status, msg)) => return error_response(status, "partition", &msg),
+    };
+    // Batch form: {"requests": [...]} → {"results": [...]} where each
+    // result is either a response object or {"error": ...}. The batch
+    // itself is 200 as long as the envelope parses; per-item failures
+    // are reported in place so one bad graph doesn't void its siblings.
+    if let Some(requests) = value.get("requests") {
+        let Some(items) = requests.as_array() else {
+            return error_response(400, "partition", "\"requests\" must be an array");
+        };
+        let results: Vec<Value> = items
+            .iter()
+            .map(|item| match partition_one(state, item) {
+                Ok(rendered) => Value::parse(&rendered).expect("rendered response is JSON"),
+                Err((_, msg)) => json!({ "error": msg.as_str() }),
+            })
+            .collect();
+        return json_response(
+            200,
+            "partition",
+            format!("{}\n", json!({ "results": results })),
+        );
+    }
+    match partition_one(state, &value) {
+        Ok(rendered) => json_response(200, "partition", format!("{rendered}\n")),
+        Err((status, msg)) => error_response(status, "partition", &msg),
+    }
+}
+
+/// Handles one partition request object, going through the cache.
+/// Returns the rendered (compact) response JSON.
+fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
+    let objective = value["objective"]
+        .as_str()
+        .ok_or_else(|| bad("missing string field \"objective\""))?
+        .to_string();
+    let bound = value["bound"]
+        .as_u64()
+        .ok_or_else(|| bad("missing non-negative integer field \"bound\""))?;
+    let graph = value
+        .get("graph")
+        .ok_or_else(|| bad("missing field \"graph\""))?;
+
+    match objective.as_str() {
+        "bandwidth" => {
+            let chain = PathGraph::from_json(graph)
+                .map_err(|e| bad(format!("\"graph\" is not a valid chain: {e}")))?;
+            let key = chain_key(&objective, bound, &chain);
+            with_cache(state, key, || {
+                let part = partition_chain(&chain, Weight::new(bound))
+                    .map_err(|e| unprocessable(e.to_string()))?;
+                Ok(json!({
+                    "objective": "bandwidth",
+                    "bound": bound,
+                    "cut": cut_values(part.cut.iter()),
+                    "segments": part.segments.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
+                    "processors": part.processors,
+                    "bandwidth": part.bandwidth.get(),
+                    "bottleneck": part.bottleneck.get(),
+                })
+                .to_string())
+            })
+        }
+        "bottleneck" => {
+            let tree = Tree::from_json(graph)
+                .map_err(|e| bad(format!("\"graph\" is not a valid tree: {e}")))?;
+            let key = tree_key(&objective, bound, &tree);
+            with_cache(state, key, || {
+                let r = min_bottleneck_cut(&tree, Weight::new(bound))
+                    .map_err(|e| unprocessable(e.to_string()))?;
+                let components = tree
+                    .components(&r.cut)
+                    .map_err(|e| unprocessable(e.to_string()))?
+                    .count();
+                Ok(json!({
+                    "objective": "bottleneck",
+                    "bound": bound,
+                    "cut": cut_values(r.cut.iter()),
+                    "bottleneck": r.bottleneck.get(),
+                    "components": components,
+                })
+                .to_string())
+            })
+        }
+        "procmin" => {
+            let tree = Tree::from_json(graph)
+                .map_err(|e| bad(format!("\"graph\" is not a valid tree: {e}")))?;
+            let key = tree_key(&objective, bound, &tree);
+            with_cache(state, key, || {
+                let r = proc_min(&tree, Weight::new(bound))
+                    .map_err(|e| unprocessable(e.to_string()))?;
+                Ok(json!({
+                    "objective": "procmin",
+                    "bound": bound,
+                    "cut": cut_values(r.cut.iter()),
+                    "processors": r.component_count,
+                })
+                .to_string())
+            })
+        }
+        other => Err(bad(format!(
+            "objective must be bandwidth, bottleneck or procmin, got {other:?}"
+        ))),
+    }
+}
+
+fn simulate_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err((status, msg)) => return error_response(status, "simulate", &msg),
+    };
+    match simulate_one(state, &value) {
+        Ok(rendered) => json_response(200, "simulate", format!("{rendered}\n")),
+        Err((status, msg)) => error_response(status, "simulate", &msg),
+    }
+}
+
+fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
+    let bound = value["bound"]
+        .as_u64()
+        .ok_or_else(|| bad("missing non-negative integer field \"bound\""))?;
+    let items = value["items"]
+        .as_u64()
+        .ok_or_else(|| bad("missing non-negative integer field \"items\""))?
+        as usize;
+    let graph = value
+        .get("graph")
+        .ok_or_else(|| bad("missing field \"graph\""))?;
+    let chain = PathGraph::from_json(graph)
+        .map_err(|e| bad(format!("\"graph\" is not a valid chain: {e}")))?;
+    let processors_override = match value.get("processors") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| bad("\"processors\" must be a non-negative integer"))?
+                as usize,
+        ),
+    };
+    let interconnect_name = match value.get("interconnect") {
+        None => "bus",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad("\"interconnect\" must be \"bus\" or \"crossbar\""))?,
+    };
+    let interconnect = match interconnect_name {
+        "bus" => Interconnect::Bus,
+        "crossbar" => Interconnect::Crossbar,
+        other => {
+            return Err(bad(format!(
+                "\"interconnect\" must be \"bus\" or \"crossbar\", got {other:?}"
+            )))
+        }
+    };
+
+    let mut hasher = KeyHasher::default();
+    hasher.write(b"simulate/");
+    hasher.write(interconnect_name.as_bytes());
+    hasher.write_u64(bound);
+    hasher.write_u64(items as u64);
+    hasher.write_u64(processors_override.map(|p| p as u64 + 1).unwrap_or(0));
+    hash_chain(&mut hasher, &chain);
+    let key = hasher.finish();
+
+    with_cache(state, key, || {
+        let part = partition_chain(&chain, Weight::new(bound))
+            .map_err(|e| unprocessable(e.to_string()))?;
+        let processors = processors_override.unwrap_or(part.processors);
+        let machine = Machine::new(processors, 1, 1, 0, interconnect)
+            .map_err(|e| unprocessable(e.to_string()))?;
+        let spec = PipelineSpec::from_partition(&chain, &part.cut)
+            .map_err(|e| unprocessable(e.to_string()))?;
+        let report =
+            simulate_pipeline(&spec, &machine, items).map_err(|e| unprocessable(e.to_string()))?;
+        Ok(json!({
+            "bound": bound,
+            "processors": processors,
+            "items": items,
+            "makespan": report.makespan,
+            "throughput": report.throughput(),
+            "mean_utilization": report.mean_utilization(),
+            "interconnect_utilization": report.interconnect_utilization(),
+            "total_traffic": report.total_traffic,
+        })
+        .to_string())
+    })
+}
+
+/// Cache-through: serve a rendered response from the cache or compute,
+/// render and remember it. Only successes are cached — a failure (e.g.
+/// infeasible bound) is cheap to recompute and should not occupy a slot.
+fn with_cache(
+    state: &AppState,
+    key: u64,
+    compute: impl FnOnce() -> Result<String, Failure>,
+) -> Result<String, Failure> {
+    if let Some(hit) = state.cache.get(key) {
+        state.metrics.record_cache(true);
+        return Ok(hit);
+    }
+    state.metrics.record_cache(false);
+    let rendered = compute()?;
+    state.cache.insert(key, rendered.clone());
+    Ok(rendered)
+}
+
+fn cut_values(cut: impl Iterator<Item = EdgeId>) -> Vec<Value> {
+    cut.map(|e| Value::from(e.index())).collect()
+}
+
+/// Canonical key for a chain request: objective, bound, then the
+/// validated weights — independent of the request's JSON formatting.
+fn chain_key(objective: &str, bound: u64, chain: &PathGraph) -> u64 {
+    let mut hasher = KeyHasher::default();
+    hasher.write(objective.as_bytes());
+    hasher.write(b"/chain");
+    hasher.write_u64(bound);
+    hash_chain(&mut hasher, chain);
+    hasher.finish()
+}
+
+fn hash_chain(hasher: &mut KeyHasher, chain: &PathGraph) {
+    hasher.write_u64(chain.len() as u64);
+    for w in chain.node_weights() {
+        hasher.write_u64(w.get());
+    }
+    for w in chain.edge_weights() {
+        hasher.write_u64(w.get());
+    }
+}
+
+/// Canonical key for a tree request.
+fn tree_key(objective: &str, bound: u64, tree: &Tree) -> u64 {
+    let mut hasher = KeyHasher::default();
+    hasher.write(objective.as_bytes());
+    hasher.write(b"/tree");
+    hasher.write_u64(bound);
+    hasher.write_u64(tree.len() as u64);
+    for w in tree.node_weights() {
+        hasher.write_u64(w.get());
+    }
+    for e in tree.edges() {
+        hasher.write_u64(e.a.index() as u64);
+        hasher.write_u64(e.b.index() as u64);
+        hasher.write_u64(e.weight.get());
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    const CHAIN: &str = r#"{"node_weights": [2, 3, 5, 7], "edge_weights": [10, 1, 10]}"#;
+    const TREE: &str = r#"{"node_weights": [1, 2, 3, 4],
+        "edges": [{"a": 0, "b": 1, "weight": 10},
+                  {"a": 0, "b": 2, "weight": 20},
+                  {"a": 2, "b": 3, "weight": 30}]}"#;
+
+    #[test]
+    fn healthz_is_ok() {
+        let state = AppState::new(16);
+        let r = handle(&state, &get("/healthz"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("ok"));
+    }
+
+    #[test]
+    fn bandwidth_partition_matches_direct_solver() {
+        let state = AppState::new(16);
+        let body = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+
+        let chain = PathGraph::from_json(&Value::parse(CHAIN).unwrap()).unwrap();
+        let direct = partition_chain(&chain, Weight::new(10)).unwrap();
+        assert_eq!(
+            v["processors"].as_u64().unwrap() as usize,
+            direct.processors
+        );
+        assert_eq!(v["bandwidth"].as_u64().unwrap(), direct.bandwidth.get());
+        let cut: Vec<u64> = v["cut"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e.as_u64().unwrap())
+            .collect();
+        let direct_cut: Vec<u64> = direct.cut.iter().map(|e| e.index() as u64).collect();
+        assert_eq!(cut, direct_cut);
+    }
+
+    #[test]
+    fn tree_objectives_work() {
+        let state = AppState::new(16);
+        for (objective, expect_key) in [("bottleneck", "components"), ("procmin", "processors")] {
+            let body = format!(r#"{{"objective": "{objective}", "bound": 10, "graph": {TREE}}}"#);
+            let r = handle(&state, &post("/v1/partition", &body));
+            assert_eq!(r.status, 200, "{objective}: {}", r.body);
+            let v = Value::parse(&r.body).unwrap();
+            assert!(v[expect_key].as_u64().is_some(), "{objective}: {}", r.body);
+        }
+    }
+
+    #[test]
+    fn equivalent_requests_hit_the_cache() {
+        let state = AppState::new(16);
+        let a = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
+        // Same content, different formatting and field order.
+        let b =
+            format!(r#"{{ "graph": {CHAIN},   "bound": 10, "objective": "bandwidth", "x": 1 }}"#);
+        let r1 = handle(&state, &post("/v1/partition", &a));
+        let r2 = handle(&state, &post("/v1/partition", &b));
+        assert_eq!(r1.body, r2.body);
+        assert_eq!(state.metrics.cache_hits(), 1);
+    }
+
+    #[test]
+    fn batch_requests_partition_independently() {
+        let state = AppState::new(16);
+        let body = format!(
+            r#"{{"requests": [
+                {{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}},
+                {{"objective": "nonsense", "bound": 10, "graph": {CHAIN}}},
+                {{"objective": "procmin", "bound": 10, "graph": {TREE}}}
+            ]}}"#
+        );
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        let results = v["results"].as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0]["objective"].as_str().is_some());
+        assert!(results[1]["error"].as_str().is_some());
+        assert!(results[2]["processors"].as_u64().is_some());
+    }
+
+    #[test]
+    fn malformed_bodies_are_400_not_panics() {
+        let state = AppState::new(16);
+        for bad_body in [
+            "",
+            "{",
+            "[]",
+            "null",
+            r#"{"objective": "bandwidth"}"#,
+            r#"{"objective": "bandwidth", "bound": -3, "graph": {}}"#,
+            r#"{"objective": "bandwidth", "bound": 10, "graph": {"node_weights": [1], "edge_weights": [1, 2]}}"#,
+            r#"{"objective": 7, "bound": 10, "graph": {}}"#,
+        ] {
+            let r = handle(&state, &post("/v1/partition", bad_body));
+            assert_eq!(r.status, 400, "body {bad_body:?} gave {}", r.body);
+            assert!(Value::parse(&r.body).unwrap()["error"].as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn infeasible_bound_is_422() {
+        let state = AppState::new(16);
+        let body = format!(r#"{{"objective": "bandwidth", "bound": 0, "graph": {CHAIN}}}"#);
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 422, "{}", r.body);
+    }
+
+    #[test]
+    fn simulate_reports_throughput() {
+        let state = AppState::new(16);
+        let body = format!(r#"{{"bound": 10, "items": 5, "graph": {CHAIN}}}"#);
+        let r = handle(&state, &post("/v1/simulate", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert!(v["makespan"].as_u64().unwrap() > 0);
+        assert!(v["throughput"].as_f64().unwrap() > 0.0);
+        // Identical request → cache hit.
+        let _ = handle(&state, &post("/v1/simulate", &body));
+        assert_eq!(state.metrics.cache_hits(), 1);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let state = AppState::new(16);
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+        assert_eq!(handle(&state, &get("/v1/partition")).status, 405);
+        assert_eq!(handle(&state, &post("/healthz", "")).status, 405);
+    }
+
+    #[test]
+    fn metrics_render_after_traffic() {
+        let state = AppState::new(16);
+        let _ = handle(&state, &get("/healthz"));
+        let r = handle(&state, &get("/metrics"));
+        assert_eq!(r.status, 200);
+        assert!(r
+            .body
+            .contains("tgp_requests_total{endpoint=\"healthz\",status=\"200\"} 1"));
+    }
+}

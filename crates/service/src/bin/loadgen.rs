@@ -1,0 +1,248 @@
+//! A small closed-loop load generator for the partition service.
+//!
+//! Spawns N client threads, each holding one keep-alive connection and
+//! issuing partition requests back-to-back for a fixed duration, then
+//! reports aggregate throughput and latency quantiles.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients N] [--seconds S]
+//!         [--nodes N] [--distinct D]
+//! ```
+//!
+//! `--distinct` controls how many distinct request bodies the clients
+//! cycle through: 1 measures the pure cache-hit path, a large value
+//! measures solver throughput.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Config {
+    addr: String,
+    clients: usize,
+    seconds: u64,
+    nodes: usize,
+    distinct: usize,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        addr: "127.0.0.1:7070".into(),
+        clients: 8,
+        seconds: 5,
+        nodes: 64,
+        distinct: 16,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--clients" => {
+                config.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--seconds" => {
+                config.seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?
+            }
+            "--nodes" => {
+                config.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--distinct" => {
+                config.distinct = value("--distinct")?
+                    .parse()
+                    .map_err(|e| format!("--distinct: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--clients N] [--seconds S] \
+                     [--nodes N] [--distinct D]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if config.clients == 0 || config.distinct == 0 || config.nodes < 2 {
+        return Err("--clients and --distinct must be > 0, --nodes >= 2".into());
+    }
+    Ok(config)
+}
+
+/// Builds `distinct` chain-partition request bodies of `nodes` nodes
+/// each, deterministically varied so their cache keys differ.
+fn request_bodies(nodes: usize, distinct: usize) -> Vec<String> {
+    (0..distinct)
+        .map(|v| {
+            let node_weights: Vec<String> =
+                (0..nodes).map(|i| ((i * 7 + v * 13) % 9 + 1).to_string()).collect();
+            let edge_weights: Vec<String> = (0..nodes - 1)
+                .map(|i| ((i * 5 + v * 3) % 17 + 1).to_string())
+                .collect();
+            let bound = 4 * nodes / 3;
+            format!(
+                r#"{{"objective":"bandwidth","bound":{bound},"graph":{{"node_weights":[{}],"edge_weights":[{}]}}}}"#,
+                node_weights.join(","),
+                edge_weights.join(",")
+            )
+        })
+        .collect()
+}
+
+/// One HTTP exchange on an existing keep-alive connection. Returns
+/// `false` when the connection is no longer usable.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    body: &str,
+) -> Result<u16, std::io::Error> {
+    write!(
+        writer,
+        "POST /v1/partition HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    writer.flush()?;
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+            })?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(status)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank]
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bodies = Arc::new(request_bodies(config.nodes, config.distinct));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    println!(
+        "loadgen: {} clients x {}s against {} ({} nodes/chain, {} distinct bodies)",
+        config.clients, config.seconds, config.addr, config.nodes, config.distinct
+    );
+
+    let workers: Vec<_> = (0..config.clients)
+        .map(|c| {
+            let addr = config.addr.clone();
+            let bodies = Arc::clone(&bodies);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                let mut non_200 = 0u64;
+                'reconnect: while !stop.load(Ordering::Relaxed) {
+                    let Ok(stream) = TcpStream::connect(&addr) else {
+                        errors += 1;
+                        std::thread::sleep(Duration::from_millis(50));
+                        continue;
+                    };
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let Ok(writer) = stream.try_clone() else {
+                        errors += 1;
+                        continue;
+                    };
+                    let mut writer = writer;
+                    let mut reader = BufReader::new(stream);
+                    let mut i = c; // de-phase clients across the body set
+                    while !stop.load(Ordering::Relaxed) {
+                        let body = &bodies[i % bodies.len()];
+                        i += 1;
+                        let started = Instant::now();
+                        match exchange(&mut reader, &mut writer, body) {
+                            Ok(status) => {
+                                latencies_us.push(started.elapsed().as_micros() as u64);
+                                if status != 200 {
+                                    non_200 += 1;
+                                    if status == 503 {
+                                        // Overloaded: connection was closed.
+                                        continue 'reconnect;
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                errors += 1;
+                                continue 'reconnect;
+                            }
+                        }
+                    }
+                }
+                (latencies_us, errors, non_200)
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_secs(config.seconds));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut non_200 = 0u64;
+    for worker in workers {
+        let (l, e, n) = worker.join().expect("client thread panicked");
+        latencies_us.extend(l);
+        errors += e;
+        non_200 += n;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    latencies_us.sort_unstable();
+    let completed = latencies_us.len();
+    println!("completed:  {completed} requests in {elapsed:.2}s");
+    println!("throughput: {:.0} req/s", completed as f64 / elapsed);
+    println!(
+        "latency:    p50 {} us, p90 {} us, p99 {} us, max {} us",
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.90),
+        percentile(&latencies_us, 0.99),
+        latencies_us.last().copied().unwrap_or(0),
+    );
+    if non_200 > 0 || errors > 0 {
+        println!("anomalies:  {non_200} non-200 responses, {errors} transport errors");
+    }
+}

@@ -1,0 +1,314 @@
+//! Sharded LRU cache for rendered partition responses.
+//!
+//! Keys are 64-bit FNV-1a digests of the canonical request content
+//! (objective, bound, weights — see [`KeyHasher`]); values are the
+//! rendered JSON response bodies, which are immutable once computed, so
+//! a hit can be served without re-running any solver.
+//!
+//! Sharding bounds lock contention: a key's shard is picked from its top
+//! hash bits, each shard holds `capacity / shards` entries behind its own
+//! mutex, and eviction is strict LRU per shard via an intrusive
+//! doubly-linked list over a slab (indices, not pointers — the crate
+//! forbids `unsafe`).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 8;
+
+const NIL: usize = usize::MAX;
+
+/// 64-bit FNV-1a, the canonical-content hash for cache keys.
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    state: u64,
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        KeyHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl KeyHasher {
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian), with a tag byte so that adjacent
+    /// fields can't collide by concatenation.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&[0xfe]);
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    value: String,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a slab of entries threaded into an LRU list plus a key
+/// index.
+#[derive(Debug, Default)]
+struct Shard {
+    slots: Vec<Entry>,
+    free: Vec<usize>,
+    index: HashMap<u64, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<String> {
+        let &i = self.index.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slots[i].value.clone())
+    }
+
+    fn insert(&mut self, key: u64, value: String, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.index.len() >= capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.index.remove(&self.slots[victim].key);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Entry {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Entry {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// The sharded LRU cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache holding roughly `capacity` entries in total.
+    /// `capacity = 0` disables caching (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // Top bits pick the shard; low bits index within the shard's map.
+        &self.shards[(key >> 61) as usize & (SHARDS - 1)]
+    }
+
+    /// Looks up a rendered response, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<String> {
+        if self.per_shard_capacity == 0 {
+            return None;
+        }
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+    }
+
+    /// Stores a rendered response, evicting the shard's LRU entry when
+    /// the shard is full.
+    pub fn insert(&self, key: u64, value: String) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value, self.per_shard_capacity);
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").index.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = KeyHasher::default();
+        assert_eq!(h.finish(), 0xcbf29ce484222325); // offset basis
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h = KeyHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn tagged_u64s_do_not_concatenate() {
+        let mut a = KeyHasher::default();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = KeyHasher::default();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache = ResultCache::new(64);
+        assert!(cache.get(42).is_none());
+        cache.insert(42, "payload".into());
+        assert_eq!(cache.get(42).as_deref(), Some("payload"));
+        cache.insert(42, "updated".into());
+        assert_eq!(cache.get(42).as_deref(), Some("updated"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_a_shard() {
+        let cache = ResultCache::new(SHARDS * 2); // 2 entries per shard
+                                                  // Three keys in the same shard (same top bits).
+        let keys = [0u64, 1, 2];
+        cache.insert(keys[0], "a".into());
+        cache.insert(keys[1], "b".into());
+        let _ = cache.get(keys[0]); // refresh key 0, key 1 becomes LRU
+        cache.insert(keys[2], "c".into()); // evicts key 1
+        assert!(cache.get(keys[0]).is_some());
+        assert!(cache.get(keys[1]).is_none());
+        assert!(cache.get(keys[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert(1, "x".into());
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn heavy_reuse_keeps_size_bounded() {
+        let cache = ResultCache::new(32);
+        for i in 0..10_000u64 {
+            cache.insert(i.wrapping_mul(0x9E3779B97F4A7C15), format!("v{i}"));
+        }
+        assert!(cache.len() <= 32 + SHARDS); // div_ceil slack per shard
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(ResultCache::new(128));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (t * 1_000 + i) % 300;
+                        if i % 3 == 0 {
+                            cache.insert(key, format!("{t}:{i}"));
+                        } else {
+                            let _ = cache.get(key);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 128 + SHARDS);
+    }
+}

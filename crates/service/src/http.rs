@@ -1,0 +1,255 @@
+//! A deliberately small HTTP/1.1 layer on top of `std::net`.
+//!
+//! Supports exactly what the partition service needs: request line +
+//! headers + `Content-Length` bodies, keep-alive, and plain-text or JSON
+//! responses. Transfer-encodings, multipart, TLS and HTTP/2 are out of
+//! scope. Every parse failure maps to a structured status code so
+//! malformed input can never panic a worker.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers, in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query string not split off; the service has
+    /// no query parameters).
+    pub path: String,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after this exchange.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// Peer closed (or timed out) before sending a complete request —
+    /// nothing to respond to.
+    Disconnected,
+    /// Request was syntactically invalid → respond 400.
+    BadRequest(String),
+    /// Declared body exceeds the service limit → respond 413.
+    BodyTooLarge {
+        /// The `Content-Length` the client declared.
+        declared: usize,
+        /// The server's body-size limit.
+        limit: usize,
+    },
+}
+
+/// Reads one request from the stream.
+///
+/// `max_body` bounds the accepted `Content-Length`; larger declarations
+/// are rejected *before* reading the body, so an oversized upload costs
+/// the server only the header bytes.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, RecvError> {
+    let mut head_bytes = 0usize;
+
+    let request_line = read_line(reader, &mut head_bytes)?;
+    if request_line.is_empty() {
+        return Err(RecvError::Disconnected);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RecvError::BadRequest("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| RecvError::BadRequest("request line has no path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| RecvError::BadRequest("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let http10 = version == "HTTP/1.0";
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RecvError::BadRequest("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RecvError::BadRequest(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => !http10,
+    };
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| RecvError::BadRequest(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(RecvError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| RecvError::Disconnected)?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF-terminated line, enforcing the head-size budget.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<String, RecvError> {
+    let mut line = Vec::new();
+    loop {
+        let available = reader.fill_buf().map_err(|_| RecvError::Disconnected)?;
+        if available.is_empty() {
+            if line.is_empty() {
+                return Err(RecvError::Disconnected);
+            }
+            return Err(RecvError::BadRequest("truncated header line".into()));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(available.len());
+        *head_bytes += take;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(RecvError::BadRequest("request head too large".into()));
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| RecvError::BadRequest("non-UTF-8 header bytes".into()));
+        }
+    }
+}
+
+/// Reason phrases for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response onto `stream`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The canned 503 the acceptor writes when the worker queue is full;
+/// precomputed because backpressure must stay cheap under load.
+pub fn overloaded_response() -> &'static [u8] {
+    concat!(
+        "HTTP/1.1 503 Service Unavailable\r\n",
+        "content-type: application/json\r\n",
+        "content-length: 45\r\n",
+        "connection: close\r\n",
+        "\r\n",
+        "{\"error\":\"server overloaded, retry shortly\"}\n"
+    )
+    .as_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_503_content_length_matches_body() {
+        let text = std::str::from_utf8(overloaded_response()).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(declared, body.len());
+    }
+
+    #[test]
+    fn reasons_cover_service_statuses() {
+        for s in [200, 400, 404, 405, 413, 422, 500, 503] {
+            assert_ne!(reason(s), "Unknown");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `tgp-service` — a concurrent, std-only HTTP service around the
+//! partitioning solvers.
+//!
+//! The crate turns the batch CLI workflow into a long-lived server so
+//! repeated partitioning queries (the common case in schedule tuning:
+//! same graph, sweeping bounds; or same bound, many graphs) amortize
+//! parsing and benefit from a result cache. Everything is built on
+//! `std::net` + `std::thread` — no external dependencies, matching the
+//! workspace's offline-build constraint.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             accept()           BoundedQueue            pop()
+//! clients ──▶ acceptor thread ──▶ [conn, conn, …] ──▶ worker pool ──▶ handlers
+//!                   │ full?                                              │
+//!                   └── canned 503 (load shedding)           ResultCache ┘
+//! ```
+//!
+//! * [`server`] — acceptor + bounded queue + worker pool + graceful
+//!   shutdown ([`Server`], [`ServerConfig`]).
+//! * [`api`] — routing and the JSON handlers ([`AppState`]).
+//! * [`cache`] — sharded LRU over canonical FNV-1a request keys.
+//! * [`metrics`] — atomic counters rendered as Prometheus text.
+//! * [`http`] — minimal HTTP/1.1 parsing/serialization.
+//! * [`pool`] — the bounded MPMC connection queue.
+//!
+//! # Endpoints
+//!
+//! | Route               | Method | Purpose                                   |
+//! |---------------------|--------|-------------------------------------------|
+//! | `/v1/partition`     | POST   | chain/tree partitioning (single or batch) |
+//! | `/v1/simulate`      | POST   | partition + pipeline simulation           |
+//! | `/healthz`          | GET    | liveness                                  |
+//! | `/metrics`          | GET    | Prometheus text exposition                |
+//!
+//! # Example
+//!
+//! ```
+//! use tgp_service::{Server, ServerConfig};
+//! use std::io::{Read, Write};
+//!
+//! let mut server = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
+//! conn.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+//!     .unwrap();
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200"));
+//!
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use api::AppState;
+pub use cache::{KeyHasher, ResultCache};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,256 @@
+//! Lock-free service metrics with Prometheus text rendering.
+//!
+//! Everything is `AtomicU64`, so the hot path (every request) costs a
+//! handful of relaxed increments; rendering `/metrics` is the only place
+//! the values are read coherently enough for scraping (Prometheus
+//! tolerates the slight skew between counters read at different
+//! instants).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (in microseconds) of the request-latency histogram
+/// buckets; the final `+Inf` bucket is implicit.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 1_000_000,
+];
+
+/// The endpoints tracked individually; everything else lands in `other`.
+const ENDPOINTS: [&str; 5] = ["partition", "simulate", "healthz", "metrics", "other"];
+
+/// The status classes tracked per endpoint.
+const STATUSES: [u16; 7] = [200, 400, 404, 405, 413, 422, 500];
+
+/// Central metrics registry shared by acceptor, workers and scrapers.
+#[derive(Debug)]
+pub struct Metrics {
+    /// `requests[endpoint][status]` counts completed exchanges.
+    requests: [[AtomicU64; STATUSES.len()]; ENDPOINTS.len()],
+    /// 503s written by the acceptor when the queue was full.
+    rejected_overload: AtomicU64,
+    /// Latency histogram bucket counts (cumulative on render).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+    /// Result-cache traffic.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Connections currently waiting in the bounded queue.
+    queue_depth: AtomicU64,
+    /// Worker threads currently handling a connection.
+    busy_workers: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            rejected_overload: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            busy_workers: AtomicU64::new(0),
+        }
+    }
+}
+
+fn endpoint_index(endpoint: &str) -> usize {
+    ENDPOINTS
+        .iter()
+        .position(|e| *e == endpoint)
+        .unwrap_or(ENDPOINTS.len() - 1)
+}
+
+fn status_index(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|s| *s == status)
+        .unwrap_or(STATUSES.len() - 1)
+}
+
+impl Metrics {
+    /// Records one completed request.
+    pub fn record_request(&self, endpoint: &str, status: u16, latency: Duration) {
+        self.requests[endpoint_index(endpoint)][status_index(status)]
+            .fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection refused with the canned 503.
+    pub fn record_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache lookup outcome.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the queued-connection gauge.
+    pub fn queue_changed(&self, delta: i64) {
+        if delta >= 0 {
+            self.queue_depth.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.queue_depth
+                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the busy-worker gauge.
+    pub fn workers_changed(&self, delta: i64) {
+        if delta >= 0 {
+            self.busy_workers.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.busy_workers
+                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    /// Total cache hits so far (used by tests asserting hit behaviour).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str(
+            "# HELP tgp_requests_total Completed HTTP exchanges by endpoint and status.\n",
+        );
+        out.push_str("# TYPE tgp_requests_total counter\n");
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            for (si, status) in STATUSES.iter().enumerate() {
+                let n = self.requests[ei][si].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "tgp_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
+
+        out.push_str("# HELP tgp_rejected_overload_total Connections refused with 503 because the queue was full.\n");
+        out.push_str("# TYPE tgp_rejected_overload_total counter\n");
+        out.push_str(&format!(
+            "tgp_rejected_overload_total {}\n",
+            self.rejected_overload.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP tgp_request_latency_seconds Request handling latency.\n");
+        out.push_str("# TYPE tgp_request_latency_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "tgp_request_latency_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+                *bound as f64 / 1e6
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "tgp_request_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "tgp_request_latency_seconds_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "tgp_request_latency_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        out.push_str("# HELP tgp_cache_hits_total Result-cache hits.\n");
+        out.push_str("# TYPE tgp_cache_hits_total counter\n");
+        out.push_str(&format!("tgp_cache_hits_total {hits}\n"));
+        out.push_str("# HELP tgp_cache_misses_total Result-cache misses.\n");
+        out.push_str("# TYPE tgp_cache_misses_total counter\n");
+        out.push_str(&format!("tgp_cache_misses_total {misses}\n"));
+        out.push_str("# HELP tgp_cache_hit_ratio Hits over lookups since start.\n");
+        out.push_str("# TYPE tgp_cache_hit_ratio gauge\n");
+        let ratio = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("tgp_cache_hit_ratio {ratio}\n"));
+
+        out.push_str("# HELP tgp_queue_depth Connections waiting for a worker.\n");
+        out.push_str("# TYPE tgp_queue_depth gauge\n");
+        out.push_str(&format!(
+            "tgp_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP tgp_busy_workers Workers currently serving a connection.\n");
+        out.push_str("# TYPE tgp_busy_workers gauge\n");
+        out.push_str(&format!(
+            "tgp_busy_workers {}\n",
+            self.busy_workers.load(Ordering::Relaxed)
+        ));
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_render() {
+        let m = Metrics::default();
+        m.record_request("partition", 200, Duration::from_micros(300));
+        m.record_request("partition", 200, Duration::from_micros(40));
+        m.record_request("simulate", 422, Duration::from_millis(2));
+        m.record_overload();
+        m.record_cache(true);
+        m.record_cache(false);
+        m.queue_changed(3);
+        m.queue_changed(-1);
+        let text = m.render();
+        assert!(text.contains("tgp_requests_total{endpoint=\"partition\",status=\"200\"} 2"));
+        assert!(text.contains("tgp_requests_total{endpoint=\"simulate\",status=\"422\"} 1"));
+        assert!(text.contains("tgp_rejected_overload_total 1"));
+        assert!(text.contains("tgp_cache_hits_total 1"));
+        assert!(text.contains("tgp_cache_misses_total 1"));
+        assert!(text.contains("tgp_cache_hit_ratio 0.5"));
+        assert!(text.contains("tgp_queue_depth 2"));
+        assert!(text.contains("tgp_request_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::default();
+        m.record_request("healthz", 200, Duration::from_micros(50));
+        m.record_request("healthz", 200, Duration::from_micros(200));
+        m.record_request("healthz", 200, Duration::from_secs(10)); // +Inf
+        let text = m.render();
+        assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"0.00025\"} 2"));
+        assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn unknown_endpoint_and_status_fold_into_catchall() {
+        let m = Metrics::default();
+        m.record_request("mystery", 501, Duration::from_micros(10));
+        let text = m.render();
+        assert!(text.contains("tgp_requests_total{endpoint=\"other\",status=\"500\"} 1"));
+    }
+}

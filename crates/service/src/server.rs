@@ -1,0 +1,235 @@
+//! The TCP transport: acceptor, bounded queue, worker pool, shutdown.
+//!
+//! One acceptor thread owns the listener. Each accepted connection is
+//! pushed onto a [`BoundedQueue`]; when the queue is full the acceptor
+//! immediately writes a canned 503 and closes — backpressure is shed at
+//! the door rather than queued into unbounded latency. A fixed pool of
+//! worker threads pops connections and serves HTTP/1.1 keep-alive
+//! exchanges until the peer closes, errors, times out, or the server
+//! shuts down.
+//!
+//! Shutdown: [`Server::shutdown`] raises a flag, connects to the
+//! listener once to unblock `accept()`, closes the queue so idle workers
+//! wake, and joins every thread. Workers notice the flag at their next
+//! request boundary (bounded by the read timeout), so shutdown completes
+//! in at most roughly one timeout interval.
+
+use std::io::BufReader;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::{handle, AppState};
+use crate::http::{overloaded_response, read_request, write_response, RecvError};
+use crate::pool::{BoundedQueue, PushError};
+use tgp_graph::json;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (port 0 picks an ephemeral
+    /// port — useful for tests).
+    pub addr: String,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Total result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Connections allowed to wait for a worker before the acceptor
+    /// sheds load with 503.
+    pub queue_depth: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout; also bounds shutdown latency.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".into(),
+            workers: 4,
+            cache_capacity: 1024,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20, // 1 MiB
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server; dropping it without [`Server::shutdown`] detaches
+/// the threads (they keep serving until the process exits).
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor plus worker pool.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(config.cache_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth.max(1)));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                let max_body = config.max_body_bytes;
+                let read_timeout = config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("tgp-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            state.metrics.queue_changed(-1);
+                            state.metrics.workers_changed(1);
+                            serve_connection(&state, &stop, stream, max_body, read_timeout);
+                            state.metrics.workers_changed(-1);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tgp-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        match queue.try_push(stream) {
+                            Ok(()) => state.metrics.queue_changed(1),
+                            Err(PushError::Full(mut stream)) => {
+                                state.metrics.record_overload();
+                                let _ = stream.write_all(overloaded_response());
+                                let _ = stream.flush();
+                            }
+                            Err(PushError::Closed(_)) => break,
+                        }
+                    }
+                    queue.close();
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            local_addr,
+            state,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Handler state, exposed for tests and embedding.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Blocks until the server stops (i.e. forever, unless another
+    /// thread calls [`Server::shutdown`] or the acceptor dies).
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops accepting, drains the queue, and joins all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept()` with a throwaway connection; the acceptor
+        // re-checks the stop flag before queueing it.
+        let _ = TcpStream::connect(self.local_addr);
+        self.wait();
+    }
+}
+
+/// Serves keep-alive exchanges on one connection until it ends.
+fn serve_connection(
+    state: &AppState,
+    stop: &AtomicBool,
+    stream: TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader, max_body) {
+            Ok(request) => {
+                let response = handle(state, &request);
+                let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+                if write_response(
+                    &mut write_half,
+                    response.status,
+                    response.content_type,
+                    response.body.as_bytes(),
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(RecvError::Disconnected) => return,
+            Err(RecvError::BadRequest(message)) => {
+                let body = format!("{}\n", json!({ "error": message.as_str() }));
+                state.metrics.record_request("other", 400, Duration::ZERO);
+                let _ = write_response(
+                    &mut write_half,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+            Err(RecvError::BodyTooLarge { declared, limit }) => {
+                let message = format!("body of {declared} bytes exceeds limit of {limit}");
+                let body = format!("{}\n", json!({ "error": message }));
+                state.metrics.record_request("other", 413, Duration::ZERO);
+                let _ = write_response(
+                    &mut write_half,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+        }
+    }
+}

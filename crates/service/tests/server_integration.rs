@@ -1,0 +1,321 @@
+//! End-to-end tests against a real server on an ephemeral port:
+//! concurrent clients, response correctness vs the solvers called
+//! directly, cache behaviour observed through `/metrics`, batching, and
+//! queue saturation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tgp_core::bottleneck::min_bottleneck_cut;
+use tgp_core::pipeline::partition_chain;
+use tgp_core::procmin::proc_min;
+use tgp_graph::json::{FromJson, Value};
+use tgp_graph::{PathGraph, Tree, Weight};
+use tgp_service::{Server, ServerConfig};
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind ephemeral port")
+}
+
+/// One complete HTTP exchange on a fresh connection.
+fn roundtrip(server: &Server, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("receive");
+    parse_response(&reply)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, String) {
+    let text = String::from_utf8_lossy(raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n")
+}
+
+const CHAIN: &str = r#"{"node_weights":[2,3,5,7,2,8],"edge_weights":[10,1,10,2,6]}"#;
+const TREE: &str = r#"{"node_weights":[1,2,3,4,5],"edges":[{"a":0,"b":1,"weight":10},{"a":0,"b":2,"weight":20},{"a":2,"b":3,"weight":30},{"a":2,"b":4,"weight":5}]}"#;
+
+#[test]
+fn health_and_metrics_respond() {
+    let mut server = start(ServerConfig::default());
+    let (status, body) = roundtrip(&server, &get("/healthz"));
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+    let (status, body) = roundtrip(&server, &get("/metrics"));
+    assert_eq!(status, 200);
+    assert!(body.contains("tgp_requests_total"));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_mixed_clients_match_direct_solvers() {
+    let mut server = start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Direct solver answers to compare against.
+    let chain = PathGraph::from_json(&Value::parse(CHAIN).unwrap()).unwrap();
+    let tree = Tree::from_json(&Value::parse(TREE).unwrap()).unwrap();
+    let chain_direct = partition_chain(&chain, Weight::new(12)).unwrap();
+    let bottleneck_direct = min_bottleneck_cut(&tree, Weight::new(8)).unwrap();
+    let procmin_direct = proc_min(&tree, Weight::new(8)).unwrap();
+
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let (objective, bound) = match i % 3 {
+                    0 => ("bandwidth", 12),
+                    1 => ("bottleneck", 8),
+                    _ => ("procmin", 8),
+                };
+                let graph = if objective == "bandwidth" {
+                    CHAIN
+                } else {
+                    TREE
+                };
+                let body =
+                    format!(r#"{{"objective":"{objective}","bound":{bound},"graph":{graph}}}"#);
+                let request = post("/v1/partition", &body);
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                stream.write_all(request.as_bytes()).expect("send");
+                let mut reply = Vec::new();
+                stream.read_to_end(&mut reply).expect("receive");
+                (i % 3, parse_response(&reply))
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (kind, (status, body)) = handle.join().expect("client thread");
+        assert_eq!(status, 200, "{body}");
+        let v = Value::parse(&body).unwrap();
+        match kind {
+            0 => {
+                assert_eq!(
+                    v["processors"].as_u64().unwrap() as usize,
+                    chain_direct.processors
+                );
+                assert_eq!(
+                    v["bandwidth"].as_u64().unwrap(),
+                    chain_direct.bandwidth.get()
+                );
+                let cut: Vec<u64> = v["cut"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|e| e.as_u64().unwrap())
+                    .collect();
+                let expected: Vec<u64> =
+                    chain_direct.cut.iter().map(|e| e.index() as u64).collect();
+                assert_eq!(cut, expected);
+            }
+            1 => {
+                assert_eq!(
+                    v["bottleneck"].as_u64().unwrap(),
+                    bottleneck_direct.bottleneck.get()
+                );
+            }
+            _ => {
+                assert_eq!(
+                    v["processors"].as_u64().unwrap() as usize,
+                    procmin_direct.component_count
+                );
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeated_request_is_a_cache_hit_per_metrics() {
+    let mut server = start(ServerConfig::default());
+    let body = format!(r#"{{"objective":"bandwidth","bound":12,"graph":{CHAIN}}}"#);
+    let (s1, b1) = roundtrip(&server, &post("/v1/partition", &body));
+    let (s2, b2) = roundtrip(&server, &post("/v1/partition", &body));
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2);
+
+    // Same content with shuffled keys and whitespace also hits.
+    let reordered = format!(r#"{{ "bound": 12, "graph": {CHAIN}, "objective": "bandwidth" }}"#);
+    let (s3, b3) = roundtrip(&server, &post("/v1/partition", &reordered));
+    assert_eq!(s3, 200);
+    assert_eq!(b1, b3);
+
+    let (_, metrics) = roundtrip(&server, &get("/metrics"));
+    let hits: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_cache_hits_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let misses: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_cache_misses_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(hits, 2, "second and third requests should hit:\n{metrics}");
+    assert_eq!(misses, 1);
+    server.shutdown();
+}
+
+#[test]
+fn batch_mixes_results_and_errors() {
+    let mut server = start(ServerConfig::default());
+    let body = format!(
+        r#"{{"requests":[
+            {{"objective":"bandwidth","bound":12,"graph":{CHAIN}}},
+            {{"objective":"bogus","bound":12,"graph":{CHAIN}}},
+            {{"objective":"procmin","bound":8,"graph":{TREE}}}
+        ]}}"#
+    );
+    let (status, body) = roundtrip(&server, &post("/v1/partition", &body));
+    assert_eq!(status, 200, "{body}");
+    let v = Value::parse(&body).unwrap();
+    let results = v["results"].as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0]["bandwidth"].as_u64().is_some());
+    assert!(results[1]["error"].as_str().is_some());
+    assert!(results[2]["processors"].as_u64().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn simulate_endpoint_reports_pipeline_stats() {
+    let mut server = start(ServerConfig::default());
+    let body = format!(r#"{{"bound":12,"items":50,"graph":{CHAIN},"interconnect":"crossbar"}}"#);
+    let (status, body) = roundtrip(&server, &post("/v1/simulate", &body));
+    assert_eq!(status, 200, "{body}");
+    let v = Value::parse(&body).unwrap();
+    assert!(v["makespan"].as_u64().unwrap() > 0);
+    assert!(v["throughput"].as_f64().unwrap() > 0.0);
+    assert!(v["mean_utilization"].as_f64().unwrap() > 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let mut server = start(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    for _ in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_gets_503_not_a_hang() {
+    // 1 worker + depth-1 queue: one connection occupies the worker, one
+    // waits in the queue, and the next connection must be shed with the
+    // canned 503 immediately (not after a timeout).
+    let mut server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Occupy the worker and the queue slot with idle connections: each
+    // is accepted, then its worker blocks reading a request that never
+    // arrives (until the read timeout).
+    let hold_worker = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // let it reach a worker
+    let hold_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // let it enter the queue
+
+    // Saturated: this connection must receive the canned 503.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read 503");
+    let (status, body) = parse_response(&reply);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("overloaded"));
+
+    // The overload shows up in metrics once capacity frees up.
+    drop(hold_worker);
+    drop(hold_queue);
+    std::thread::sleep(Duration::from_millis(150));
+    let (_, metrics) = roundtrip(&server, &get("/metrics"));
+    let rejected: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_rejected_overload_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(rejected >= 1, "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_quickly() {
+    let mut server = start(ServerConfig {
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let (status, _) = roundtrip(&server, &get("/healthz"));
+    assert_eq!(status, 200);
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?}",
+        started.elapsed()
+    );
+}

@@ -71,7 +71,10 @@ pub fn simulate_compute_exchange(
     let mut requests: Vec<(u64, u64)> = transfers
         .iter()
         .map(|t| {
-            assert!(t.from < k && t.to < k, "transfer endpoints must be assigned processors");
+            assert!(
+                t.from < k && t.to < k,
+                "transfer endpoints must be assigned processors"
+            );
             (finish[t.from].max(finish[t.to]), t.volume)
         })
         .collect();
@@ -118,8 +121,16 @@ mod tests {
     #[test]
     fn transfers_serialize_on_a_bus() {
         let transfers = [
-            Transfer { from: 0, to: 1, volume: 3 },
-            Transfer { from: 1, to: 2, volume: 3 },
+            Transfer {
+                from: 0,
+                to: 1,
+                volume: 3,
+            },
+            Transfer {
+                from: 1,
+                to: 2,
+                volume: 3,
+            },
         ];
         let r =
             simulate_compute_exchange(&[1, 1, 1], &transfers, &Machine::bus(3).unwrap()).unwrap();
@@ -131,16 +142,19 @@ mod tests {
 
     #[test]
     fn transfer_waits_for_both_endpoints() {
-        let transfers = [Transfer { from: 0, to: 1, volume: 2 }];
-        let r =
-            simulate_compute_exchange(&[1, 10], &transfers, &Machine::bus(2).unwrap()).unwrap();
+        let transfers = [Transfer {
+            from: 0,
+            to: 1,
+            volume: 2,
+        }];
+        let r = simulate_compute_exchange(&[1, 10], &transfers, &Machine::bus(2).unwrap()).unwrap();
         assert_eq!(r.makespan, 12);
     }
 
     #[test]
     fn too_many_processors_rejected() {
-        let err = simulate_compute_exchange(&[1, 1, 1], &[], &Machine::bus(2).unwrap())
-            .unwrap_err();
+        let err =
+            simulate_compute_exchange(&[1, 1, 1], &[], &Machine::bus(2).unwrap()).unwrap_err();
         assert!(matches!(err, SimError::TooManyStages { .. }));
     }
 
@@ -149,7 +163,11 @@ mod tests {
     fn out_of_range_transfer_panics() {
         let _ = simulate_compute_exchange(
             &[1],
-            &[Transfer { from: 0, to: 5, volume: 1 }],
+            &[Transfer {
+                from: 0,
+                to: 5,
+                volume: 1,
+            }],
             &Machine::bus(8).unwrap(),
         );
     }

@@ -213,6 +213,8 @@ mod tests {
     fn error_messages() {
         assert!(MachineError::NoProcessors.to_string().contains("processor"));
         assert!(MachineError::ZeroSpeed.to_string().contains("speed"));
-        assert!(MachineError::ZeroBandwidth.to_string().contains("bandwidth"));
+        assert!(MachineError::ZeroBandwidth
+            .to_string()
+            .contains("bandwidth"));
     }
 }

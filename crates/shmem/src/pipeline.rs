@@ -38,10 +38,7 @@ impl PipelineSpec {
     ///
     /// Propagates [`tgp_graph::GraphError`] if the cut does not fit the
     /// chain.
-    pub fn from_partition(
-        path: &PathGraph,
-        cut: &CutSet,
-    ) -> Result<Self, tgp_graph::GraphError> {
+    pub fn from_partition(path: &PathGraph, cut: &CutSet) -> Result<Self, tgp_graph::GraphError> {
         let segments = path.segments(cut)?;
         let stage_work = segments.iter().map(|s| s.weight).collect();
         let stage_comm = cut.iter().map(|e| path.edge_weight(e)).collect();

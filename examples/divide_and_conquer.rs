@@ -26,12 +26,7 @@ use tgp::shmem::onepass::simulate_onepass;
 /// of `base` items. Node weight ≈ merge cost (n log-ish), edge weight =
 /// data volume sent to the parent.
 fn mergesort_tree(elements: u64, base: u64) -> Tree {
-    fn build(
-        span: u64,
-        base: u64,
-        nodes: &mut Vec<Weight>,
-        edges: &mut Vec<TreeEdge>,
-    ) -> NodeId {
+    fn build(span: u64, base: u64, nodes: &mut Vec<Weight>, edges: &mut Vec<TreeEdge>) -> NodeId {
         // Merge cost at this node: proportional to span (a single merge
         // pass); leaves pay span * 4 for the base sort.
         let id = NodeId::new(nodes.len());
@@ -44,7 +39,11 @@ fn mergesort_tree(elements: u64, base: u64) -> Tree {
         let left = build(span / 2, base, nodes, edges);
         let right = build(span - span / 2, base, nodes, edges);
         // Children send their sorted halves up.
-        edges.push(TreeEdge::new(NodeId::new(placeholder), left, Weight::new(span / 2)));
+        edges.push(TreeEdge::new(
+            NodeId::new(placeholder),
+            left,
+            Weight::new(span / 2),
+        ));
         edges.push(TreeEdge::new(
             NodeId::new(placeholder),
             right,
@@ -79,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Naive comparison: cut the two top-level edges (subtree-per-branch).
-    let naive = CutSet::new(vec![EdgeId::new(tree.edge_count() - 1), EdgeId::new(tree.edge_count() - 2)]);
+    let naive = CutSet::new(vec![
+        EdgeId::new(tree.edge_count() - 1),
+        EdgeId::new(tree.edge_count() - 2),
+    ]);
     let machine = Machine::bus(part.processors.max(3))?;
     let smart_run = simulate_onepass(&tree, &part.cut, &machine)?;
     let naive_run = simulate_onepass(&tree, &naive, &machine)?;

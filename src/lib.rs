@@ -10,7 +10,9 @@
 //!   Hansen & Lih),
 //! * [`shmem`] — shared-memory multiprocessor simulator,
 //! * [`dds`] — distributed discrete-event logic simulation application,
-//! * [`realtime`] — real-time pipeline application.
+//! * [`realtime`] — real-time pipeline application,
+//! * [`service`] — concurrent HTTP partition service with caching and
+//!   metrics.
 //!
 //! # Quickstart
 //!
@@ -33,4 +35,5 @@ pub use tgp_core as core;
 pub use tgp_dds as dds;
 pub use tgp_graph as graph;
 pub use tgp_realtime as realtime;
+pub use tgp_service as service;
 pub use tgp_shmem as shmem;

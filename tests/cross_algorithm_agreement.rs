@@ -41,11 +41,7 @@ fn arb_tree() -> impl Strategy<Value = (Tree, Weight)> {
                     .iter()
                     .enumerate()
                     .map(|(i, &(p, w))| {
-                        TreeEdge::new(
-                            NodeId::new(p % (i + 1)),
-                            NodeId::new(i + 1),
-                            Weight::new(w),
-                        )
+                        TreeEdge::new(NodeId::new(p % (i + 1)), NodeId::new(i + 1), Weight::new(w))
                     })
                     .collect();
                 let weights = nodes.into_iter().map(Weight::new).collect();

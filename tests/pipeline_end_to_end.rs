@@ -41,7 +41,10 @@ fn observed_bus_traffic_equals_cut_weight_per_item() {
         part.bandwidth.get() * items as u64,
         "every item crosses every cut edge exactly once"
     );
-    assert_eq!(report.max_link_traffic(), part.bottleneck.get() * items as u64);
+    assert_eq!(
+        report.max_link_traffic(),
+        part.bottleneck.get() * items as u64
+    );
 }
 
 #[test]

@@ -68,7 +68,10 @@ fn bound_exactly_at_total_weight_needs_no_cut() {
     let p = PathGraph::from_raw(&[2, 3, 4], &[9, 9]).unwrap();
     assert!(min_bandwidth_cut(&p, Weight::new(9)).unwrap().is_empty());
     let t = Tree::from_raw(&[2, 3, 4], &[(0, 1, 9), (1, 2, 9)]).unwrap();
-    assert!(min_bottleneck_cut(&t, Weight::new(9)).unwrap().cut.is_empty());
+    assert!(min_bottleneck_cut(&t, Weight::new(9))
+        .unwrap()
+        .cut
+        .is_empty());
     assert!(proc_min(&t, Weight::new(9)).unwrap().cut.is_empty());
 }
 
@@ -96,11 +99,7 @@ fn all_equal_weights_have_deterministic_output() {
     let a = min_bandwidth_cut(&p, Weight::new(8)).unwrap();
     let b = min_bandwidth_cut(&p, Weight::new(8)).unwrap();
     assert_eq!(a, b);
-    let t = Tree::from_raw(
-        &[4, 4, 4, 4],
-        &[(0, 1, 7), (0, 2, 7), (0, 3, 7)],
-    )
-    .unwrap();
+    let t = Tree::from_raw(&[4, 4, 4, 4], &[(0, 1, 7), (0, 2, 7), (0, 3, 7)]).unwrap();
     let r1 = partition_tree(&t, Weight::new(8)).unwrap();
     let r2 = partition_tree(&t, Weight::new(8)).unwrap();
     assert_eq!(r1.cut, r2.cut);
@@ -114,7 +113,10 @@ fn single_node_graphs_work_everywhere() {
     assert!(cut.is_empty());
     assert_eq!(stats.p, 0);
     let t = Tree::from_raw(&[5], &[]).unwrap();
-    assert!(min_bottleneck_cut(&t, Weight::new(5)).unwrap().cut.is_empty());
+    assert!(min_bottleneck_cut(&t, Weight::new(5))
+        .unwrap()
+        .cut
+        .is_empty());
     assert_eq!(proc_min(&t, Weight::new(5)).unwrap().component_count, 1);
     let part = partition_tree(&t, Weight::new(5)).unwrap();
     assert_eq!(part.processors, 1);

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use tgp::core::knapsack::{
-    knapsack_to_star, min_star_bandwidth_cut, star_cut_decision, star_to_knapsack,
-    KnapsackInstance,
+    knapsack_to_star, min_star_bandwidth_cut, star_cut_decision, star_to_knapsack, KnapsackInstance,
 };
 use tgp::graph::Weight;
 
