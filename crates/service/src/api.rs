@@ -12,7 +12,7 @@
 //!
 //! Handlers are pure functions of `(state, request)`; the transport layer
 //! in [`crate::server`] owns sockets and threads. Every partition
-//! response is cached under a canonical FNV-1a key of the *validated*
+//! response is cached under a canonical byte key of the *validated*
 //! content, so formatting differences (whitespace, key order, extra
 //! fields) between equivalent requests still hit.
 
@@ -26,9 +26,19 @@ use tgp_graph::{json, EdgeId, PathGraph, Tree, Weight};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 
-use crate::cache::{KeyHasher, ResultCache};
+use crate::cache::{KeyBuilder, ResultCache};
 use crate::http::Request;
 use crate::metrics::Metrics;
+
+/// Largest `items` accepted by `/v1/simulate`. The simulator schedules
+/// one event per item, so this bounds per-request CPU and memory for a
+/// field a client controls with a handful of bytes.
+pub const MAX_SIMULATE_ITEMS: u64 = 1_000_000;
+
+/// Largest `processors` accepted by `/v1/simulate`. The machine model
+/// allocates per-processor state, so this bounds allocation the same
+/// way.
+pub const MAX_SIMULATE_PROCESSORS: u64 = 4_096;
 
 /// Shared handler state: one per server.
 #[derive(Debug)]
@@ -174,7 +184,7 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
             let chain = PathGraph::from_json(graph)
                 .map_err(|e| bad(format!("\"graph\" is not a valid chain: {e}")))?;
             let key = chain_key(&objective, bound, &chain);
-            with_cache(state, key, || {
+            with_cache(state, &key, || {
                 let part = partition_chain(&chain, Weight::new(bound))
                     .map_err(|e| unprocessable(e.to_string()))?;
                 Ok(json!({
@@ -193,7 +203,7 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
             let tree = Tree::from_json(graph)
                 .map_err(|e| bad(format!("\"graph\" is not a valid tree: {e}")))?;
             let key = tree_key(&objective, bound, &tree);
-            with_cache(state, key, || {
+            with_cache(state, &key, || {
                 let r = min_bottleneck_cut(&tree, Weight::new(bound))
                     .map_err(|e| unprocessable(e.to_string()))?;
                 let components = tree
@@ -214,7 +224,7 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
             let tree = Tree::from_json(graph)
                 .map_err(|e| bad(format!("\"graph\" is not a valid tree: {e}")))?;
             let key = tree_key(&objective, bound, &tree);
-            with_cache(state, key, || {
+            with_cache(state, &key, || {
                 let r = proc_min(&tree, Weight::new(bound))
                     .map_err(|e| unprocessable(e.to_string()))?;
                 Ok(json!({
@@ -249,8 +259,13 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
         .ok_or_else(|| bad("missing non-negative integer field \"bound\""))?;
     let items = value["items"]
         .as_u64()
-        .ok_or_else(|| bad("missing non-negative integer field \"items\""))?
-        as usize;
+        .ok_or_else(|| bad("missing non-negative integer field \"items\""))?;
+    if items > MAX_SIMULATE_ITEMS {
+        return Err(unprocessable(format!(
+            "\"items\" is {items}, which exceeds the limit of {MAX_SIMULATE_ITEMS}"
+        )));
+    }
+    let items = items as usize;
     let graph = value
         .get("graph")
         .ok_or_else(|| bad("missing field \"graph\""))?;
@@ -258,11 +273,17 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
         .map_err(|e| bad(format!("\"graph\" is not a valid chain: {e}")))?;
     let processors_override = match value.get("processors") {
         None => None,
-        Some(v) => Some(
-            v.as_u64()
-                .ok_or_else(|| bad("\"processors\" must be a non-negative integer"))?
-                as usize,
-        ),
+        Some(v) => {
+            let p = v
+                .as_u64()
+                .ok_or_else(|| bad("\"processors\" must be a non-negative integer"))?;
+            if p > MAX_SIMULATE_PROCESSORS {
+                return Err(unprocessable(format!(
+                    "\"processors\" is {p}, which exceeds the limit of {MAX_SIMULATE_PROCESSORS}"
+                )));
+            }
+            Some(p as usize)
+        }
     };
     let interconnect_name = match value.get("interconnect") {
         None => "bus",
@@ -280,16 +301,16 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
         }
     };
 
-    let mut hasher = KeyHasher::default();
-    hasher.write(b"simulate/");
-    hasher.write(interconnect_name.as_bytes());
-    hasher.write_u64(bound);
-    hasher.write_u64(items as u64);
-    hasher.write_u64(processors_override.map(|p| p as u64 + 1).unwrap_or(0));
-    hash_chain(&mut hasher, &chain);
-    let key = hasher.finish();
+    let mut builder = KeyBuilder::default();
+    builder.write(b"simulate/");
+    builder.write(interconnect_name.as_bytes());
+    builder.write_u64(bound);
+    builder.write_u64(items as u64);
+    builder.write_u64(processors_override.map(|p| p as u64 + 1).unwrap_or(0));
+    write_chain(&mut builder, &chain);
+    let key = builder.finish();
 
-    with_cache(state, key, || {
+    with_cache(state, &key, || {
         let part = partition_chain(&chain, Weight::new(bound))
             .map_err(|e| unprocessable(e.to_string()))?;
         let processors = processors_override.unwrap_or(part.processors);
@@ -318,7 +339,7 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
 /// infeasible bound) is cheap to recompute and should not occupy a slot.
 fn with_cache(
     state: &AppState,
-    key: u64,
+    key: &[u8],
     compute: impl FnOnce() -> Result<String, Failure>,
 ) -> Result<String, Failure> {
     if let Some(hit) = state.cache.get(key) {
@@ -337,41 +358,41 @@ fn cut_values(cut: impl Iterator<Item = EdgeId>) -> Vec<Value> {
 
 /// Canonical key for a chain request: objective, bound, then the
 /// validated weights — independent of the request's JSON formatting.
-fn chain_key(objective: &str, bound: u64, chain: &PathGraph) -> u64 {
-    let mut hasher = KeyHasher::default();
-    hasher.write(objective.as_bytes());
-    hasher.write(b"/chain");
-    hasher.write_u64(bound);
-    hash_chain(&mut hasher, chain);
-    hasher.finish()
+fn chain_key(objective: &str, bound: u64, chain: &PathGraph) -> Vec<u8> {
+    let mut builder = KeyBuilder::default();
+    builder.write(objective.as_bytes());
+    builder.write(b"/chain");
+    builder.write_u64(bound);
+    write_chain(&mut builder, chain);
+    builder.finish()
 }
 
-fn hash_chain(hasher: &mut KeyHasher, chain: &PathGraph) {
-    hasher.write_u64(chain.len() as u64);
+fn write_chain(builder: &mut KeyBuilder, chain: &PathGraph) {
+    builder.write_u64(chain.len() as u64);
     for w in chain.node_weights() {
-        hasher.write_u64(w.get());
+        builder.write_u64(w.get());
     }
     for w in chain.edge_weights() {
-        hasher.write_u64(w.get());
+        builder.write_u64(w.get());
     }
 }
 
 /// Canonical key for a tree request.
-fn tree_key(objective: &str, bound: u64, tree: &Tree) -> u64 {
-    let mut hasher = KeyHasher::default();
-    hasher.write(objective.as_bytes());
-    hasher.write(b"/tree");
-    hasher.write_u64(bound);
-    hasher.write_u64(tree.len() as u64);
+fn tree_key(objective: &str, bound: u64, tree: &Tree) -> Vec<u8> {
+    let mut builder = KeyBuilder::default();
+    builder.write(objective.as_bytes());
+    builder.write(b"/tree");
+    builder.write_u64(bound);
+    builder.write_u64(tree.len() as u64);
     for w in tree.node_weights() {
-        hasher.write_u64(w.get());
+        builder.write_u64(w.get());
     }
     for e in tree.edges() {
-        hasher.write_u64(e.a.index() as u64);
-        hasher.write_u64(e.b.index() as u64);
-        hasher.write_u64(e.weight.get());
+        builder.write_u64(e.a.index() as u64);
+        builder.write_u64(e.b.index() as u64);
+        builder.write_u64(e.weight.get());
     }
-    hasher.finish()
+    builder.finish()
 }
 
 #[cfg(test)]
@@ -521,6 +542,46 @@ mod tests {
         // Identical request → cache hit.
         let _ = handle(&state, &post("/v1/simulate", &body));
         assert_eq!(state.metrics.cache_hits(), 1);
+    }
+
+    #[test]
+    fn simulate_rejects_resource_exhausting_scalars() {
+        let state = AppState::new(16);
+        // One event is scheduled per item and per-processor state is
+        // allocated up front, so absurd scalars must be refused before
+        // any work or allocation happens.
+        for body in [
+            format!(r#"{{"bound": 10, "items": 10000000000, "graph": {CHAIN}}}"#),
+            format!(
+                r#"{{"bound": 10, "items": 5, "processors": 1000000000000000000, "graph": {CHAIN}}}"#
+            ),
+            format!(
+                r#"{{"bound": 10, "items": {}, "graph": {CHAIN}}}"#,
+                MAX_SIMULATE_ITEMS + 1
+            ),
+            format!(
+                r#"{{"bound": 10, "items": 5, "processors": {}, "graph": {CHAIN}}}"#,
+                MAX_SIMULATE_PROCESSORS + 1
+            ),
+        ] {
+            let r = handle(&state, &post("/v1/simulate", &body));
+            assert_eq!(r.status, 422, "body {body} gave {}", r.body);
+            assert!(
+                Value::parse(&r.body).unwrap()["error"]
+                    .as_str()
+                    .unwrap()
+                    .contains("exceeds the limit"),
+                "{}",
+                r.body
+            );
+        }
+        // At the caps themselves the request is structurally accepted
+        // (it may still fail for other reasons, but not the cap check).
+        let body = format!(
+            r#"{{"bound": 10, "items": 100, "processors": {MAX_SIMULATE_PROCESSORS}, "graph": {CHAIN}}}"#
+        );
+        let r = handle(&state, &post("/v1/simulate", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
     }
 
     #[test]

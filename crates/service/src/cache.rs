@@ -1,15 +1,21 @@
 //! Sharded LRU cache for rendered partition responses.
 //!
-//! Keys are 64-bit FNV-1a digests of the canonical request content
-//! (objective, bound, weights — see [`KeyHasher`]); values are the
-//! rendered JSON response bodies, which are immutable once computed, so
-//! a hit can be served without re-running any solver.
+//! Keys are the canonical request bytes themselves (objective, bound,
+//! weights — see [`KeyBuilder`]); values are the rendered JSON response
+//! bodies, which are immutable once computed, so a hit can be served
+//! without re-running any solver.
 //!
-//! Sharding bounds lock contention: a key's shard is picked from its top
-//! hash bits, each shard holds `capacity / shards` entries behind its own
-//! mutex, and eviction is strict LRU per shard via an intrusive
-//! doubly-linked list over a slab (indices, not pointers — the crate
-//! forbids `unsafe`).
+//! A 64-bit FNV-1a digest of the key picks the shard and the bucket
+//! within the shard, but it is *never* trusted for equality: FNV-1a is
+//! not collision-resistant, and the service handles untrusted input, so
+//! every lookup compares the full canonical key bytes before serving a
+//! hit. Two distinct requests that happen to share a digest simply land
+//! in the same bucket and coexist.
+//!
+//! Sharding bounds lock contention: each shard holds `capacity / shards`
+//! entries behind its own mutex, and eviction is strict LRU per shard
+//! via an intrusive doubly-linked list over a slab (indices, not
+//! pointers — the crate forbids `unsafe`).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -19,57 +25,62 @@ const SHARDS: usize = 8;
 
 const NIL: usize = usize::MAX;
 
-/// 64-bit FNV-1a, the canonical-content hash for cache keys.
-#[derive(Debug, Clone)]
-pub struct KeyHasher {
-    state: u64,
-}
-
-impl Default for KeyHasher {
-    fn default() -> Self {
-        KeyHasher {
-            state: 0xcbf2_9ce4_8422_2325,
-        }
+/// 64-bit FNV-1a digest, used only to pick shards and hash buckets.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
     }
+    state
 }
 
-impl KeyHasher {
-    /// Feeds raw bytes.
+/// Builds a canonical key byte string field by field.
+///
+/// The resulting bytes *are* the cache key — hits are served only on
+/// exact byte equality, so equal keys mean equal validated content and
+/// unequal content can never alias (unlike a bare 64-bit digest).
+#[derive(Debug, Clone, Default)]
+pub struct KeyBuilder {
+    bytes: Vec<u8>,
+}
+
+impl KeyBuilder {
+    /// Appends raw bytes.
     pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+        self.bytes.extend_from_slice(bytes);
     }
 
-    /// Feeds one `u64` (little-endian), with a tag byte so that adjacent
-    /// fields can't collide by concatenation.
+    /// Appends one `u64` (little-endian), with a tag byte so that
+    /// adjacent fields can't collide by concatenation.
     pub fn write_u64(&mut self, v: u64) {
-        self.write(&[0xfe]);
-        self.write(&v.to_le_bytes());
+        self.bytes.push(0xfe);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Final digest.
-    pub fn finish(&self) -> u64 {
-        self.state
+    /// The finished canonical key.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
     }
 }
 
 #[derive(Debug)]
 struct Entry {
-    key: u64,
+    hash: u64,
+    key: Box<[u8]>,
     value: String,
     prev: usize,
     next: usize,
 }
 
-/// One shard: a slab of entries threaded into an LRU list plus a key
-/// index.
+/// One shard: a slab of entries threaded into an LRU list plus a
+/// hash-bucket index. Buckets hold every slot whose key shares the
+/// digest; equality is decided by comparing the stored key bytes.
 #[derive(Debug, Default)]
 struct Shard {
     slots: Vec<Entry>,
     free: Vec<usize>,
-    index: HashMap<u64, usize>,
+    index: HashMap<u64, Vec<usize>>,
     head: usize, // most recently used
     tail: usize, // least recently used
 }
@@ -83,6 +94,10 @@ impl Shard {
             head: NIL,
             tail: NIL,
         }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
     }
 
     fn unlink(&mut self, i: usize) {
@@ -111,50 +126,65 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: u64) -> Option<String> {
-        let &i = self.index.get(&key)?;
+    /// The slot holding exactly `key`, if cached.
+    fn lookup(&self, hash: u64, key: &[u8]) -> Option<usize> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&i| *self.slots[i].key == *key)
+    }
+
+    fn remove_from_index(&mut self, i: usize) {
+        let hash = self.slots[i].hash;
+        let bucket = self.index.get_mut(&hash).expect("indexed entry");
+        bucket.retain(|&j| j != i);
+        if bucket.is_empty() {
+            self.index.remove(&hash);
+        }
+    }
+
+    fn get(&mut self, hash: u64, key: &[u8]) -> Option<String> {
+        let i = self.lookup(hash, key)?;
         self.unlink(i);
         self.push_front(i);
         Some(self.slots[i].value.clone())
     }
 
-    fn insert(&mut self, key: u64, value: String, capacity: usize) {
+    fn insert(&mut self, hash: u64, key: &[u8], value: String, capacity: usize) {
         if capacity == 0 {
             return;
         }
-        if let Some(&i) = self.index.get(&key) {
+        if let Some(i) = self.lookup(hash, key) {
             self.slots[i].value = value;
             self.unlink(i);
             self.push_front(i);
             return;
         }
-        if self.index.len() >= capacity {
+        if self.len() >= capacity {
             let victim = self.tail;
             self.unlink(victim);
-            self.index.remove(&self.slots[victim].key);
+            self.remove_from_index(victim);
             self.free.push(victim);
         }
+        let entry = Entry {
+            hash,
+            key: key.into(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
         let i = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Entry {
-                    key,
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                };
+                self.slots[i] = entry;
                 i
             }
             None => {
-                self.slots.push(Entry {
-                    key,
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
+                self.slots.push(entry);
                 self.slots.len() - 1
             }
         };
-        self.index.insert(key, i);
+        self.index.entry(hash).or_default().push(i);
         self.push_front(i);
     }
 }
@@ -176,39 +206,41 @@ impl ResultCache {
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<Shard> {
-        // Top bits pick the shard; low bits index within the shard's map.
-        &self.shards[(key >> 61) as usize & (SHARDS - 1)]
+    fn shard_index(key_hash: u64) -> usize {
+        // Top bits pick the shard; the full hash buckets within it.
+        (key_hash >> 61) as usize & (SHARDS - 1)
     }
 
     /// Looks up a rendered response, refreshing its recency on hit.
-    pub fn get(&self, key: u64) -> Option<String> {
+    pub fn get(&self, key: &[u8]) -> Option<String> {
         if self.per_shard_capacity == 0 {
             return None;
         }
-        self.shard(key)
+        let hash = fnv1a(key);
+        self.shards[Self::shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
-            .get(key)
+            .get(hash, key)
     }
 
     /// Stores a rendered response, evicting the shard's LRU entry when
     /// the shard is full.
-    pub fn insert(&self, key: u64, value: String) {
+    pub fn insert(&self, key: &[u8], value: String) {
         if self.per_shard_capacity == 0 {
             return;
         }
-        self.shard(key)
+        let hash = fnv1a(key);
+        self.shards[Self::shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value, self.per_shard_capacity);
+            .insert(hash, key, value, self.per_shard_capacity);
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").index.len())
+            .map(|s| s.lock().expect("cache shard poisoned").len())
             .sum()
     }
 
@@ -225,21 +257,17 @@ mod tests {
     #[test]
     fn fnv_vectors() {
         // Standard FNV-1a test vectors.
-        let mut h = KeyHasher::default();
-        assert_eq!(h.finish(), 0xcbf29ce484222325); // offset basis
-        h.write(b"a");
-        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
-        let mut h = KeyHasher::default();
-        h.write(b"foobar");
-        assert_eq!(h.finish(), 0x85944171f73967e8);
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325); // offset basis
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]
     fn tagged_u64s_do_not_concatenate() {
-        let mut a = KeyHasher::default();
+        let mut a = KeyBuilder::default();
         a.write_u64(1);
         a.write_u64(2);
-        let mut b = KeyHasher::default();
+        let mut b = KeyBuilder::default();
         b.write_u64(2);
         b.write_u64(1);
         assert_ne!(a.finish(), b.finish());
@@ -248,33 +276,66 @@ mod tests {
     #[test]
     fn get_after_insert_round_trips() {
         let cache = ResultCache::new(64);
-        assert!(cache.get(42).is_none());
-        cache.insert(42, "payload".into());
-        assert_eq!(cache.get(42).as_deref(), Some("payload"));
-        cache.insert(42, "updated".into());
-        assert_eq!(cache.get(42).as_deref(), Some("updated"));
+        assert!(cache.get(b"k42").is_none());
+        cache.insert(b"k42", "payload".into());
+        assert_eq!(cache.get(b"k42").as_deref(), Some("payload"));
+        cache.insert(b"k42", "updated".into());
+        assert_eq!(cache.get(b"k42").as_deref(), Some("updated"));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn digest_collisions_do_not_alias_entries() {
+        // Force two *different* keys into the same hash bucket by
+        // driving the shard directly with an identical digest: the
+        // byte comparison must keep them apart.
+        let mut shard = Shard::new();
+        shard.insert(7, b"alpha", "va".into(), 8);
+        shard.insert(7, b"beta", "vb".into(), 8);
+        assert_eq!(shard.get(7, b"alpha").as_deref(), Some("va"));
+        assert_eq!(shard.get(7, b"beta").as_deref(), Some("vb"));
+        assert_eq!(shard.get(7, b"gamma"), None);
+        assert_eq!(shard.len(), 2);
+
+        // Evicting one colliding entry must leave the other reachable.
+        let mut shard = Shard::new();
+        shard.insert(7, b"alpha", "va".into(), 2);
+        shard.insert(7, b"beta", "vb".into(), 2);
+        shard.insert(9, b"gamma", "vc".into(), 2); // evicts LRU "alpha"
+        assert_eq!(shard.get(7, b"alpha"), None);
+        assert_eq!(shard.get(7, b"beta").as_deref(), Some("vb"));
+        assert_eq!(shard.get(9, b"gamma").as_deref(), Some("vc"));
     }
 
     #[test]
     fn lru_evicts_oldest_within_a_shard() {
         let cache = ResultCache::new(SHARDS * 2); // 2 entries per shard
-                                                  // Three keys in the same shard (same top bits).
-        let keys = [0u64, 1, 2];
-        cache.insert(keys[0], "a".into());
-        cache.insert(keys[1], "b".into());
-        let _ = cache.get(keys[0]); // refresh key 0, key 1 becomes LRU
-        cache.insert(keys[2], "c".into()); // evicts key 1
-        assert!(cache.get(keys[0]).is_some());
-        assert!(cache.get(keys[1]).is_none());
-        assert!(cache.get(keys[2]).is_some());
+                                                  // Three keys that land in the same shard.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let target = ResultCache::shard_index(fnv1a(b"k0"));
+        for i in 0u32.. {
+            let key = format!("k{i}").into_bytes();
+            if ResultCache::shard_index(fnv1a(&key)) == target {
+                keys.push(key);
+                if keys.len() == 3 {
+                    break;
+                }
+            }
+        }
+        cache.insert(&keys[0], "a".into());
+        cache.insert(&keys[1], "b".into());
+        let _ = cache.get(&keys[0]); // refresh key 0, key 1 becomes LRU
+        cache.insert(&keys[2], "c".into()); // evicts key 1
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[1]).is_none());
+        assert!(cache.get(&keys[2]).is_some());
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = ResultCache::new(0);
-        cache.insert(1, "x".into());
-        assert!(cache.get(1).is_none());
+        cache.insert(b"x", "x".into());
+        assert!(cache.get(b"x").is_none());
         assert!(cache.is_empty());
     }
 
@@ -282,7 +343,7 @@ mod tests {
     fn heavy_reuse_keeps_size_bounded() {
         let cache = ResultCache::new(32);
         for i in 0..10_000u64 {
-            cache.insert(i.wrapping_mul(0x9E3779B97F4A7C15), format!("v{i}"));
+            cache.insert(format!("key-{i}").as_bytes(), format!("v{i}"));
         }
         assert!(cache.len() <= 32 + SHARDS); // div_ceil slack per shard
     }
@@ -296,11 +357,11 @@ mod tests {
                 let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
                     for i in 0..2_000u64 {
-                        let key = (t * 1_000 + i) % 300;
+                        let key = format!("key-{}", (t * 1_000 + i) % 300);
                         if i % 3 == 0 {
-                            cache.insert(key, format!("{t}:{i}"));
+                            cache.insert(key.as_bytes(), format!("{t}:{i}"));
                         } else {
-                            let _ = cache.get(key);
+                            let _ = cache.get(key.as_bytes());
                         }
                     }
                 })

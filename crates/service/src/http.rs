@@ -2,9 +2,10 @@
 //!
 //! Supports exactly what the partition service needs: request line +
 //! headers + `Content-Length` bodies, keep-alive, and plain-text or JSON
-//! responses. Transfer-encodings, multipart, TLS and HTTP/2 are out of
-//! scope. Every parse failure maps to a structured status code so
-//! malformed input can never panic a worker.
+//! responses. Transfer-encodings are rejected with 400 (only
+//! `Content-Length` framing is understood); multipart, TLS and HTTP/2
+//! are out of scope. Every parse failure maps to a structured status
+//! code so malformed input can never panic a worker.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -117,6 +118,17 @@ pub fn read_request(
         Some("keep-alive") => true,
         _ => !http10,
     };
+
+    // This layer only understands Content-Length framing. A request
+    // bearing Transfer-Encoding (chunked or otherwise) must be rejected
+    // outright: treating it as body-less would leave the chunked payload
+    // in the buffer to be misread as the next pipelined request —
+    // request smuggling behind any proxy.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(RecvError::BadRequest(
+            "transfer-encoding is not supported; use content-length".into(),
+        ));
+    }
 
     let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
         None => 0,

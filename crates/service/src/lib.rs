@@ -20,7 +20,7 @@
 //! * [`server`] — acceptor + bounded queue + worker pool + graceful
 //!   shutdown ([`Server`], [`ServerConfig`]).
 //! * [`api`] — routing and the JSON handlers ([`AppState`]).
-//! * [`cache`] — sharded LRU over canonical FNV-1a request keys.
+//! * [`cache`] — sharded LRU over canonical request-byte keys.
 //! * [`metrics`] — atomic counters rendered as Prometheus text.
 //! * [`http`] — minimal HTTP/1.1 parsing/serialization.
 //! * [`pool`] — the bounded MPMC connection queue.
@@ -67,6 +67,6 @@ pub mod pool;
 pub mod server;
 
 pub use api::AppState;
-pub use cache::{KeyHasher, ResultCache};
+pub use cache::{KeyBuilder, ResultCache};
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig};

@@ -71,6 +71,20 @@ fn status_index(status: u16) -> usize {
         .unwrap_or(STATUSES.len() - 1)
 }
 
+/// Saturating gauge adjustment: a decrement can never wrap below zero,
+/// so a scrape during an increment/decrement race reads 0 rather than
+/// `u64::MAX`.
+fn adjust_gauge(gauge: &AtomicU64, delta: i64) {
+    if delta >= 0 {
+        gauge.fetch_add(delta as u64, Ordering::Relaxed);
+    } else {
+        let d = delta.unsigned_abs();
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(d))
+        });
+    }
+}
+
 impl Metrics {
     /// Records one completed request.
     pub fn record_request(&self, endpoint: &str, status: u16, latency: Duration) {
@@ -102,22 +116,12 @@ impl Metrics {
 
     /// Adjusts the queued-connection gauge.
     pub fn queue_changed(&self, delta: i64) {
-        if delta >= 0 {
-            self.queue_depth.fetch_add(delta as u64, Ordering::Relaxed);
-        } else {
-            self.queue_depth
-                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
-        }
+        adjust_gauge(&self.queue_depth, delta);
     }
 
     /// Adjusts the busy-worker gauge.
     pub fn workers_changed(&self, delta: i64) {
-        if delta >= 0 {
-            self.busy_workers.fetch_add(delta as u64, Ordering::Relaxed);
-        } else {
-            self.busy_workers
-                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
-        }
+        adjust_gauge(&self.busy_workers, delta);
     }
 
     /// Total cache hits so far (used by tests asserting hit behaviour).

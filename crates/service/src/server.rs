@@ -112,14 +112,23 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
+                        // Raise the gauge *before* the push: a worker may
+                        // pop (and decrement) the instant the push lands,
+                        // and increment-after would transiently wrap the
+                        // gauge below zero.
+                        state.metrics.queue_changed(1);
                         match queue.try_push(stream) {
-                            Ok(()) => state.metrics.queue_changed(1),
+                            Ok(()) => {}
                             Err(PushError::Full(mut stream)) => {
+                                state.metrics.queue_changed(-1);
                                 state.metrics.record_overload();
                                 let _ = stream.write_all(overloaded_response());
                                 let _ = stream.flush();
                             }
-                            Err(PushError::Closed(_)) => break,
+                            Err(PushError::Closed(_)) => {
+                                state.metrics.queue_changed(-1);
+                                break;
+                            }
                         }
                     }
                     queue.close();

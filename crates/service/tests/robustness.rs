@@ -176,6 +176,57 @@ fn enormous_header_section_is_bounded() {
 }
 
 #[test]
+fn resource_exhausting_simulate_scalars_get_422() {
+    let mut server = start();
+    // `items` schedules one event each and `processors` sizes per-CPU
+    // allocations; a few bytes of JSON must not be able to pin a worker
+    // or abort the process on allocation failure.
+    let chain = r#"{"node_weights":[1,2,3],"edge_weights":[1,1]}"#;
+    let bodies = [
+        format!(r#"{{"bound":10,"items":10000000000,"graph":{chain}}}"#),
+        format!(r#"{{"bound":10,"items":18446744073709551615,"graph":{chain}}}"#),
+        format!(r#"{{"bound":10,"items":5,"processors":1000000000000000000,"graph":{chain}}}"#),
+    ];
+    for body in &bodies {
+        let raw = format!(
+            "POST /v1/simulate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let (status, reply) = send_raw(&server, raw.as_bytes()).expect("got a response");
+        assert_eq!(status, 422, "body {body} → {reply}");
+        assert!(reply.contains("\"error\""), "{reply}");
+    }
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn chunked_transfer_encoding_is_rejected_not_smuggled() {
+    let mut server = start();
+    // Only Content-Length framing is supported. If the server parsed
+    // this as a body-less request, the chunked payload would be read as
+    // a second pipelined request — the smuggling primitive. It must be
+    // a 400 and the connection must close without serving the payload.
+    let raw = b"POST /v1/partition HTTP/1.1\r\n\
+        transfer-encoding: chunked\r\n\
+        connection: keep-alive\r\n\r\n\
+        1c\r\nGET /healthz HTTP/1.1\r\n\r\n\r\n0\r\n\r\n";
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("send");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("receive");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    // Exactly one response: the smuggled GET must not have been served.
+    assert_eq!(text.matches("HTTP/1.1").count(), 1, "{text}");
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
 fn infeasible_bounds_get_422() {
     let mut server = start();
     let body =
