@@ -24,21 +24,14 @@ use rand::SeedableRng;
 use tgp_graph::json;
 use tgp_graph::json::{FromJson, JsonError, ToJson, Value};
 
-use tgp_baselines::bokhari::bokhari_partition;
-use tgp_baselines::hansen_lih::hansen_lih_partition;
-use tgp_baselines::hetero::{hetero_partition, HeteroArray};
-use tgp_baselines::host_satellite::host_satellite_partition;
-use tgp_core::approx::{partition_process_graph_best, ApproxMethod};
-use tgp_core::bandwidth::{analyze_bandwidth, min_bandwidth_cut_lexicographic};
-use tgp_core::bottleneck::min_bottleneck_cut;
-use tgp_core::pipeline::{partition_chain, partition_tree};
-use tgp_core::procmin::proc_min;
-use tgp_core::tree_bandwidth::min_tree_bandwidth_cut;
+use tgp_core::bandwidth::analyze_bandwidth;
+use tgp_core::pipeline::partition_chain;
 use tgp_graph::generators::{random_chain, random_tree, WeightDist};
-use tgp_graph::{EdgeId, NodeId, PathGraph, ProcessGraph, Tree, Weight};
+use tgp_graph::{EdgeId, PathGraph, Weight};
 use tgp_service::{Server, ServerConfig};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
+use tgp_solvers::{ParamKind, Registry};
 
 type CliResult<T> = Result<T, Box<dyn Error>>;
 
@@ -92,7 +85,11 @@ impl Options {
     }
 }
 
-const USAGE: &str = "\
+/// Usage text, with the objective table generated from the solver
+/// registry so it can never drift from what `tgp partition` accepts.
+fn usage() -> String {
+    let mut text = String::from(
+        "\
 tgp — tree and linear task graph partitioning for shared-memory machines
 (reproduction of Ray & Jiang, ICDCS 1994)
 
@@ -100,12 +97,7 @@ USAGE:
   tgp generate chain --n N [--seed S] [--node-lo 1] [--node-hi 100]
                           [--edge-lo 1] [--edge-hi 1000]
   tgp generate tree  --n N [same options]
-  tgp partition bandwidth  --bound K [--input FILE]   # chains, O(n + p log q)
-  tgp partition bottleneck --bound K [--input FILE]   # trees, Algorithm 2.1
-  tgp partition procmin    --bound K [--input FILE]   # trees, Algorithm 2.2
-  tgp partition compose    --bound K [--input FILE]   # trees, 2.1 + 2.2
-  tgp partition lexicographic --bound K [--input FILE] # chains, §3 bicriteria
-  tgp partition tree-bandwidth --bound K [--input FILE] # trees, exact O(n·K²)
+  tgp partition <objective> [options] [--input FILE]
   tgp analyze --bound K [--input FILE]                # Figure 2 statistics
   tgp coc --processors M [--algorithm bokhari|probe] [--input FILE]
   tgp hetero --speeds 4,2,1,1 [--input FILE]          # mixed-speed array
@@ -114,73 +106,149 @@ USAGE:
   tgp simulate --bound K --items N [--processors P]
                [--interconnect bus|crossbar] [--input FILE]
   tgp serve [--addr 127.0.0.1:7070] [--workers 4] [--cache-capacity 1024]
-            [--queue-depth 64]                    # HTTP partition service
+            [--queue-depth 64] [--log-requests]   # HTTP partition service
 
-Graphs are read from --input or stdin as JSON; results go to stdout as JSON.";
+OBJECTIVES (shared with POST /v1/partition; identical JSON responses):
+",
+    );
+    for solver in Registry::shared().iter() {
+        let params: Vec<String> = solver
+            .params()
+            .iter()
+            .map(|p| {
+                if p.required {
+                    format!("--{} <{}>", p.name, param_hint(p.kind))
+                } else {
+                    format!("[--{} <{}>]", p.name, param_hint(p.kind))
+                }
+            })
+            .collect();
+        text.push_str(&format!(
+            "  {:<16} {:<8} {:<34} {}\n",
+            solver.name(),
+            solver.graph_kind().as_str(),
+            params.join(" "),
+            solver.summary()
+        ));
+    }
+    text.push_str("\nGraphs are read from --input or stdin as JSON; results go to stdout as JSON.");
+    text
+}
+
+fn param_hint(kind: ParamKind) -> &'static str {
+    match kind {
+        ParamKind::U64 => "N",
+        ParamKind::U64List => "N,N,...",
+        ParamKind::Str => "S",
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
+        Ok(text) => {
             use std::io::Write;
-            let text = output.pretty();
             // Tolerate a closed pipe (e.g. `tgp analyze ... | head`).
             let mut stdout = std::io::stdout().lock();
             let _ = writeln!(stdout, "{text}");
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            // `help` travels the Err channel carrying the usage text
+            // itself; don't prefix or repeat it.
+            let msg = e.to_string();
+            if msg == usage() {
+                eprintln!("{msg}");
+            } else {
+                eprintln!("error: {msg}");
+                eprintln!();
+                eprintln!("{}", usage());
+            }
             std::process::exit(1);
         }
     }
 }
 
-fn run(args: &[String]) -> CliResult<Value> {
+/// Runs one command and returns the rendered stdout text (without the
+/// trailing newline `main` appends).
+///
+/// Registry-backed commands (`partition` and the objective aliases)
+/// render their response *compactly*, exactly as the HTTP service does:
+/// the printed line plus the newline is byte-for-byte the body of the
+/// equivalent `POST /v1/partition`. The other commands pretty-print.
+fn run(args: &[String]) -> CliResult<String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     match command {
         "generate" => {
             let kind = args.get(1).map(String::as_str).unwrap_or("");
             let opts = Options::parse(&args[2..])?;
-            generate(kind, &opts)
+            Ok(generate(kind, &opts)?.pretty())
         }
         "partition" => {
             let objective = args.get(1).map(String::as_str).unwrap_or("");
             let opts = Options::parse(&args[2..])?;
-            partition(objective, &opts)
+            Ok(partition(objective, &opts)?.to_string())
+        }
+        // Top-level aliases into the same registry dispatch, kept from
+        // the pre-registry CLI.
+        "coc" | "hetero" | "host-satellite" | "approx" => {
+            let opts = Options::parse(&args[1..])?;
+            Ok(partition(command, &opts)?.to_string())
         }
         "analyze" => {
             let opts = Options::parse(&args[1..])?;
-            analyze(&opts)
-        }
-        "coc" => {
-            let opts = Options::parse(&args[1..])?;
-            coc(&opts)
-        }
-        "hetero" => {
-            let opts = Options::parse(&args[1..])?;
-            hetero(&opts)
-        }
-        "host-satellite" => {
-            let opts = Options::parse(&args[1..])?;
-            host_satellite(&opts)
-        }
-        "approx" => {
-            let opts = Options::parse(&args[1..])?;
-            approx(&opts)
+            Ok(analyze(&opts)?.pretty())
         }
         "simulate" => {
             let opts = Options::parse(&args[1..])?;
-            simulate(&opts)
+            Ok(simulate(&opts)?.pretty())
         }
         "serve" => {
-            let opts = Options::parse(&args[1..])?;
-            serve(&opts)
+            // `--log-requests` is a bare flag, unlike every other
+            // `--key value` option; strip it before pair parsing.
+            let mut rest = Vec::new();
+            let mut log_requests = false;
+            for arg in &args[1..] {
+                if arg == "--log-requests" {
+                    log_requests = true;
+                } else {
+                    rest.push(arg.clone());
+                }
+            }
+            let opts = Options::parse(&rest)?;
+            Ok(serve(&opts, log_requests)?.pretty())
         }
-        "help" | "--help" | "-h" => Err(USAGE.into()),
+        "objectives" => Ok(objectives_table().to_string()),
+        "help" | "--help" | "-h" => Err(usage().into()),
         other => Err(format!("unknown command {other:?}").into()),
     }
+}
+
+/// `tgp objectives` — machine-readable registry listing, for tooling
+/// and doc generation.
+fn objectives_table() -> Value {
+    let solvers: Vec<Value> = Registry::shared()
+        .iter()
+        .map(|solver| {
+            let params: Vec<Value> = solver
+                .params()
+                .iter()
+                .map(|p| {
+                    json!({
+                        "name": p.name,
+                        "kind": param_hint(p.kind),
+                        "required": p.required,
+                    })
+                })
+                .collect();
+            json!({
+                "name": solver.name(),
+                "graph": solver.graph_kind().as_str(),
+                "params": params,
+                "summary": solver.summary(),
+            })
+        })
+        .collect();
+    json!({ "objectives": solvers })
 }
 
 fn dists(opts: &Options) -> CliResult<(WeightDist, WeightDist)> {
@@ -228,96 +296,78 @@ fn load_chain(opts: &Options) -> CliResult<PathGraph> {
         .map_err(|e| format!("input is not a chain (expected node_weights + edge_weights): {e}"))?)
 }
 
-fn load_tree(opts: &Options) -> CliResult<Tree> {
-    let value = read_input(opts)?;
-    Ok(Tree::from_json(&value)
-        .map_err(|e| format!("input is not a tree (expected node_weights + edges): {e}"))?)
-}
-
 fn cut_to_json(cut: impl Iterator<Item = EdgeId>) -> Value {
     Value::Array(cut.map(|e| json!(e.index())).collect())
 }
 
+/// Runs any registered objective through the shared solver registry:
+/// flags become the request's parameter fields, the graph comes from
+/// `--input`/stdin, and the returned value is the solver's response —
+/// the same `Value` the HTTP service renders for the same request.
 fn partition(objective: &str, opts: &Options) -> CliResult<Value> {
-    let bound = Weight::new(opts.required("bound")?);
-    match objective {
-        "bandwidth" => {
-            let chain = load_chain(opts)?;
-            let part = partition_chain(&chain, bound)?;
-            Ok(json!({
-                "objective": "bandwidth",
-                "bound": bound.get(),
-                "cut": cut_to_json(part.cut.iter()),
-                "segments": part.segments.iter().map(|s| json!({
-                    "start": s.start, "end": s.end, "weight": s.weight.get(),
-                })).collect::<Vec<_>>(),
-                "processors": part.processors,
-                "bandwidth": part.bandwidth.get(),
-                "bottleneck": part.bottleneck.get(),
-            }))
-        }
-        "bottleneck" => {
-            let tree = load_tree(opts)?;
-            let r = min_bottleneck_cut(&tree, bound)?;
-            Ok(json!({
-                "objective": "bottleneck",
-                "bound": bound.get(),
-                "cut": cut_to_json(r.cut.iter()),
-                "bottleneck": r.bottleneck.get(),
-                "components": tree.components(&r.cut)?.count(),
-            }))
-        }
-        "procmin" => {
-            let tree = load_tree(opts)?;
-            let r = proc_min(&tree, bound)?;
-            Ok(json!({
-                "objective": "procmin",
-                "bound": bound.get(),
-                "cut": cut_to_json(r.cut.iter()),
-                "processors": r.component_count,
-            }))
-        }
-        "compose" => {
-            let tree = load_tree(opts)?;
-            let part = partition_tree(&tree, bound)?;
-            Ok(json!({
-                "objective": "compose",
-                "bound": bound.get(),
-                "cut": cut_to_json(part.cut.iter()),
-                "processors": part.processors,
-                "bottleneck": part.bottleneck.get(),
-                "bandwidth": part.bandwidth.get(),
-            }))
-        }
-        "lexicographic" => {
-            let chain = load_chain(opts)?;
-            let cut = min_bandwidth_cut_lexicographic(&chain, bound)?;
-            Ok(json!({
-                "objective": "lexicographic",
-                "bound": bound.get(),
-                "cut": cut_to_json(cut.iter()),
-                "bottleneck": chain.bottleneck(&cut)?.get(),
-                "bandwidth": chain.cut_weight(&cut)?.get(),
-                "processors": cut.len() + 1,
-            }))
-        }
-        "tree-bandwidth" => {
-            let tree = load_tree(opts)?;
-            let cut = min_tree_bandwidth_cut(&tree, bound)?;
-            Ok(json!({
-                "objective": "tree-bandwidth",
-                "bound": bound.get(),
-                "cut": cut_to_json(cut.iter()),
-                "bandwidth": tree.cut_weight(&cut)?.get(),
-                "processors": tree.components(&cut)?.count(),
-            }))
-        }
-        other => Err(format!(
-            "partition expects bandwidth|bottleneck|procmin|compose|lexicographic|tree-bandwidth, \
-             got {other:?}"
+    let registry = Registry::shared();
+    let (_, solver) = registry.get(objective).ok_or_else(|| {
+        format!(
+            "unknown objective {objective:?}; known: {}",
+            registry.names().join(", ")
         )
-        .into()),
+    })?;
+
+    // Reject flags outside the solver's schema, mirroring the strict
+    // field check HTTP requests get (typo protection).
+    for (key, _) in &opts.pairs {
+        let known = key == "input" || solver.params().iter().any(|p| p.name == key);
+        if !known {
+            return Err(format!(
+                "objective {objective:?} does not accept --{key}; it takes {}",
+                if solver.params().is_empty() {
+                    "no options".to_string()
+                } else {
+                    solver
+                        .params()
+                        .iter()
+                        .map(|p| format!("--{}", p.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            )
+            .into());
+        }
     }
+
+    let mut fields: Vec<(String, Value)> =
+        vec![("objective".to_string(), Value::from(solver.name()))];
+    for spec in solver.params() {
+        let Some(raw) = opts.get(spec.name) else {
+            if spec.required {
+                return Err(format!("missing required option --{}", spec.name).into());
+            }
+            continue;
+        };
+        let value = match spec.kind {
+            ParamKind::U64 => Value::from(
+                raw.parse::<u64>()
+                    .map_err(|e| format!("--{}: {e}", spec.name))?,
+            ),
+            ParamKind::U64List => Value::Array(
+                raw.split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map(Value::from)
+                            .map_err(|e| format!("--{}: {e}", spec.name))
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            ParamKind::Str => Value::from(raw),
+        };
+        fields.push((spec.name.to_string(), value));
+    }
+    fields.push(("graph".to_string(), read_input(opts)?));
+
+    let request = solver.parse(&Value::Object(fields))?;
+    let response = solver.run(&request)?;
+    Ok(solver.to_json(&response))
 }
 
 fn analyze(opts: &Options) -> CliResult<Value> {
@@ -338,86 +388,6 @@ fn analyze(opts: &Options) -> CliResult<Value> {
         "avg_temps_occupancy": stats.avg_deque_len,
         "cut": cut_to_json(cut.iter()),
         "cut_weight": stats.cut_weight,
-    }))
-}
-
-fn coc(opts: &Options) -> CliResult<Value> {
-    let m: usize = opts.required("processors")?;
-    let chain = load_chain(opts)?;
-    let algorithm = opts.get("algorithm").unwrap_or("probe");
-    let result = match algorithm {
-        "bokhari" => bokhari_partition(&chain, m)?,
-        "probe" => hansen_lih_partition(&chain, m)?,
-        other => return Err(format!("--algorithm must be bokhari or probe, got {other:?}").into()),
-    };
-    Ok(json!({
-        "algorithm": algorithm,
-        "processors": m,
-        "boundaries": result.assignment.boundaries().to_vec(),
-        "bottleneck": result.bottleneck.get(),
-    }))
-}
-
-fn hetero(opts: &Options) -> CliResult<Value> {
-    let speeds: Vec<u64> = opts
-        .get("speeds")
-        .ok_or("missing required option --speeds (e.g. --speeds 4,2,1)")?
-        .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<u64>()
-                .map_err(|e| format!("--speeds: {e}"))
-        })
-        .collect::<Result<_, _>>()?;
-    if speeds.is_empty() || speeds.contains(&0) {
-        return Err("--speeds needs at least one positive speed".into());
-    }
-    let chain = load_chain(opts)?;
-    let array = HeteroArray::new(speeds.clone());
-    let r = hetero_partition(&chain, &array)?;
-    Ok(json!({
-        "speeds": speeds,
-        "boundaries": r.assignment.boundaries().to_vec(),
-        "bottleneck": r.bottleneck.get(),
-    }))
-}
-
-fn host_satellite(opts: &Options) -> CliResult<Value> {
-    let m: usize = opts.required("satellites")?;
-    let root: usize = opts.num("root")?.unwrap_or(0);
-    let tree = load_tree(opts)?;
-    if root >= tree.len() {
-        return Err(format!("--root {root} out of range for {} nodes", tree.len()).into());
-    }
-    let r = host_satellite_partition(&tree, NodeId::new(root), m)?;
-    Ok(json!({
-        "root": root,
-        "max_satellites": m,
-        "satellites_used": r.satellites,
-        "uplinks": cut_to_json(r.cut.iter()),
-        "bottleneck": r.bottleneck.get(),
-    }))
-}
-
-fn approx(opts: &Options) -> CliResult<Value> {
-    let bound = Weight::new(opts.required("bound")?);
-    let value = read_input(opts)?;
-    let g = ProcessGraph::from_json(&value)
-        .map_err(|e| format!("input is not a process graph (node_weights + edges): {e}"))?;
-    let part = partition_process_graph_best(&g, bound)?;
-    let method = match part.method {
-        ApproxMethod::LinearIdentity => "linear-identity",
-        ApproxMethod::LinearBfs => "linear-bfs",
-        ApproxMethod::SpanningTree => "spanning-tree",
-        _ => "unknown",
-    };
-    Ok(json!({
-        "bound": bound.get(),
-        "method": method,
-        "parts": part.parts,
-        "part_of": part.part_of,
-        "part_weights": part.part_weights.iter().map(|w| w.get()).collect::<Vec<_>>(),
-        "cut_weight": part.cut_weight.get(),
     }))
 }
 
@@ -449,12 +419,13 @@ fn simulate(opts: &Options) -> CliResult<Value> {
     }))
 }
 
-fn serve(opts: &Options) -> CliResult<Value> {
+fn serve(opts: &Options, log_requests: bool) -> CliResult<Value> {
     let config = ServerConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
         workers: opts.num("workers")?.unwrap_or(4),
         cache_capacity: opts.num("cache-capacity")?.unwrap_or(1024),
         queue_depth: opts.num("queue-depth")?.unwrap_or(64),
+        log_requests,
         ..ServerConfig::default()
     };
     let workers = config.workers;
@@ -473,6 +444,7 @@ fn serve(opts: &Options) -> CliResult<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tgp_graph::Tree;
 
     fn strs(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()

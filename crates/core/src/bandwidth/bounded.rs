@@ -18,9 +18,7 @@ use std::collections::VecDeque;
 
 use tgp_graph::{CutSet, EdgeId, PathGraph, Weight};
 
-use crate::bottleneck::min_bottleneck_cut;
 use crate::error::{check_bound, PartitionError};
-use crate::pipeline::tree_from_path;
 
 const INF: u64 = u64::MAX;
 
@@ -150,11 +148,42 @@ pub fn min_bandwidth_cut_lexicographic(
     path: &PathGraph,
     bound: Weight,
 ) -> Result<CutSet, PartitionError> {
-    // A chain is a tree, so Algorithm 2.1 yields the optimal bottleneck.
-    let b_star = min_bottleneck_cut(&tree_from_path(path), bound)?.bottleneck;
-    let cut = min_bandwidth_cut_bounded(path, bound, b_star)?
-        .expect("the bottleneck-optimal cut itself satisfies the limit");
-    Ok(cut)
+    // `B*` is the smallest bottleneck limit admitting any feasible cut.
+    // Feasibility of [`min_bandwidth_cut_bounded`] is monotone in the
+    // limit (raising it only adds cuttable edges), and a cut's
+    // bottleneck is one of the edge weights (or zero, for the empty
+    // cut), so a binary search over those candidates finds `B*` with
+    // `O(log n)` linear probes — no tree materialization, unlike
+    // delegating to Algorithm 2.1 via `tree_from_path`.
+    let mut limits: Vec<Weight> = std::iter::once(Weight::ZERO)
+        .chain((0..path.edge_count()).map(|j| path.edge_weight(EdgeId::new(j))))
+        .collect();
+    limits.sort_unstable();
+    limits.dedup();
+
+    let (mut lo, mut hi) = (0usize, limits.len() - 1);
+    let mut best: Option<CutSet> = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match min_bandwidth_cut_bounded(path, bound, limits[mid])? {
+            // `best` always holds the cut for the current `hi`.
+            Some(cut) => {
+                best = Some(cut);
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    match best {
+        Some(cut) => Ok(cut),
+        // Every probe failed (or there was nothing to search), so the
+        // search converged on the largest limit without testing it.
+        // With the limit at the maximum edge weight, cutting every edge
+        // is allowed, and `check_bound` inside the probe guarantees
+        // single-vertex segments fit — so this probe cannot miss.
+        None => Ok(min_bandwidth_cut_bounded(path, bound, limits[lo])?
+            .expect("cutting every edge is feasible once all weights are allowed")),
+    }
 }
 
 #[cfg(test)]

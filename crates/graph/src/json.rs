@@ -10,7 +10,7 @@
 //!   depth limit, suitable for untrusted input (it returns errors, never
 //!   panics),
 //! * [`Value::pretty`] / `Display` — pretty and compact writers,
-//! * [`json!`] — literal construction macro (nested literals are written
+//! * [`json!`](macro@crate::json) — literal construction macro (nested literals are written
 //!   as nested `json!` calls),
 //! * [`ToJson`] / [`FromJson`] — conversions for the graph types, always
 //!   funnelled through the validating constructors so a decoded graph

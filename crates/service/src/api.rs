@@ -2,31 +2,47 @@
 //!
 //! Endpoints:
 //!
-//! * `POST /v1/partition` — run a partitioning objective (`bandwidth` on
-//!   chains, `bottleneck`/`procmin` on trees). Accepts a single request
-//!   object or `{"requests": [...]}` for a batch.
+//! * `POST /v1/partition` — run any objective registered in
+//!   [`tgp_solvers::Registry`] (all thirteen: chains, trees and general
+//!   process graphs). Accepts a single request object or
+//!   `{"requests": [...]}` for a batch.
 //! * `POST /v1/simulate` — partition a chain and replay it through the
 //!   shared-memory pipeline simulator.
 //! * `GET /healthz` — liveness probe.
 //! * `GET /metrics` — Prometheus text exposition.
 //!
 //! Handlers are pure functions of `(state, request)`; the transport layer
-//! in [`crate::server`] owns sockets and threads. Every partition
-//! response is cached under a canonical byte key of the *validated*
-//! content, so formatting differences (whitespace, key order, extra
-//! fields) between equivalent requests still hit.
+//! in [`crate::server`] owns sockets and threads. The partition endpoint
+//! is a thin shell over the solver registry: dispatch resolves the
+//! objective, the solver parses and runs, and the service only moves
+//! bytes — which is what keeps HTTP responses byte-identical to the CLI's.
+//!
+//! # Error contract
+//!
+//! * `400` — the body is not usable JSON at all (bad UTF-8, syntax
+//!   error, or the wrong JSON shape for the envelope).
+//! * `422` — the body parsed but the request is semantically unusable:
+//!   unknown objective, missing/invalid/undeclared field, wrong graph
+//!   kind, cost-cap refusal, infeasible instance.
+//!
+//! Every error body is `{"error": <message>, "code": <stable tag>}`;
+//! the codes for 422s come from [`SolveError::code`].
+//!
+//! Every partition response is cached under the solver's canonical key
+//! ([`tgp_solvers::Solver::canonical_key`]) of the *validated* content,
+//! so formatting differences (whitespace, key order) between equivalent
+//! requests still hit.
 
 use std::time::Instant;
 
-use tgp_core::bottleneck::min_bottleneck_cut;
 use tgp_core::pipeline::partition_chain;
-use tgp_core::procmin::proc_min;
-use tgp_graph::json::{FromJson, ToJson, Value};
-use tgp_graph::{json, EdgeId, PathGraph, Tree, Weight};
+use tgp_graph::json::{FromJson, Value};
+use tgp_graph::{json, PathGraph, Weight};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
+use tgp_solvers::{KeyBuilder, Registry, SolveError};
 
-use crate::cache::{KeyBuilder, ResultCache};
+use crate::cache::ResultCache;
 use crate::http::Request;
 use crate::metrics::Metrics;
 
@@ -47,6 +63,8 @@ pub struct AppState {
     pub cache: ResultCache,
     /// Service metrics.
     pub metrics: Metrics,
+    /// Emit one structured access-log line per request to stderr.
+    pub log_requests: bool,
 }
 
 impl AppState {
@@ -55,7 +73,14 @@ impl AppState {
         AppState {
             cache: ResultCache::new(cache_capacity),
             metrics: Metrics::default(),
+            log_requests: false,
         }
+    }
+
+    /// Enables or disables the per-request access log.
+    pub fn with_access_log(mut self, enabled: bool) -> Self {
+        self.log_requests = enabled;
+        self
     }
 }
 
@@ -70,6 +95,9 @@ pub struct ApiResponse {
     pub content_type: &'static str,
     /// Metrics endpoint label.
     pub endpoint: &'static str,
+    /// Objective label for the access log: the dispatched solver's name,
+    /// `"batch"` for batch requests, `"-"` when no objective applies.
+    pub objective: &'static str,
 }
 
 fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiResponse {
@@ -78,35 +106,76 @@ fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiRespon
         body,
         content_type: "application/json",
         endpoint,
+        objective: "-",
     }
 }
 
-fn error_response(status: u16, endpoint: &'static str, message: &str) -> ApiResponse {
+/// A handler-level failure: status code, human message, stable code.
+#[derive(Debug)]
+struct Failure {
+    status: u16,
+    message: String,
+    code: &'static str,
+}
+
+impl Failure {
+    fn body(&self) -> String {
+        format!(
+            "{}\n",
+            json!({ "error": self.message.as_str(), "code": self.code })
+        )
+    }
+}
+
+/// 400: the body never made it to a JSON object.
+fn bad(message: impl Into<String>) -> Failure {
+    Failure {
+        status: 400,
+        message: message.into(),
+        code: "bad_request",
+    }
+}
+
+/// 422: a registry-level rejection, carrying the solver error's code.
+fn solve_failure(error: SolveError) -> Failure {
+    Failure {
+        status: 422,
+        message: error.to_string(),
+        code: error.code(),
+    }
+}
+
+fn error_response(endpoint: &'static str, failure: &Failure) -> ApiResponse {
+    json_response(failure.status, endpoint, failure.body())
+}
+
+fn simple_error(status: u16, endpoint: &'static str, message: &str) -> ApiResponse {
     json_response(
         status,
         endpoint,
-        format!("{}\n", json!({ "error": message })),
+        format!("{}\n", json!({ "error": message, "code": "bad_request" })),
     )
 }
 
-/// A handler-level failure: status code plus message.
-type Failure = (u16, String);
-
-fn bad(message: impl Into<String>) -> Failure {
-    (400, message.into())
-}
-
-fn unprocessable(message: impl Into<String>) -> Failure {
-    (422, message.into())
-}
-
-/// Routes one request and records its metrics.
+/// Routes one request, records its metrics, and (when enabled) writes
+/// one structured access-log line to stderr.
 pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
     let started = Instant::now();
     let response = route(state, req);
+    let elapsed = started.elapsed();
     state
         .metrics
-        .record_request(response.endpoint, response.status, started.elapsed());
+        .record_request(response.endpoint, response.status, elapsed);
+    if state.log_requests {
+        eprintln!(
+            "tgp-access method={} path={} objective={} status={} micros={}",
+            req.method,
+            req.path,
+            response.objective,
+            response.status,
+            elapsed.as_micros()
+        );
+    }
     response
 }
 
@@ -118,13 +187,14 @@ fn route(state: &AppState, req: &Request) -> ApiResponse {
             body: state.metrics.render(),
             content_type: "text/plain; version=0.0.4",
             endpoint: "metrics",
+            objective: "-",
         },
         ("POST", "/v1/partition") => partition_endpoint(state, &req.body),
         ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/simulate") => {
-            error_response(405, "other", "method not allowed")
+            simple_error(405, "other", "method not allowed")
         }
-        _ => error_response(404, "other", "no such endpoint"),
+        _ => simple_error(404, "other", "no such endpoint"),
     }
 }
 
@@ -136,149 +206,160 @@ fn parse_body(body: &[u8]) -> Result<Value, Failure> {
 fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
     let value = match parse_body(body) {
         Ok(v) => v,
-        Err((status, msg)) => return error_response(status, "partition", &msg),
+        Err(failure) => return error_response("partition", &failure),
     };
     // Batch form: {"requests": [...]} → {"results": [...]} where each
-    // result is either a response object or {"error": ...}. The batch
-    // itself is 200 as long as the envelope parses; per-item failures
-    // are reported in place so one bad graph doesn't void its siblings.
+    // result is either a response object or {"error": ..., "code": ...}.
+    // The batch itself is 200 as long as the envelope parses; per-item
+    // failures are reported in place so one bad graph doesn't void its
+    // siblings.
     if let Some(requests) = value.get("requests") {
         let Some(items) = requests.as_array() else {
-            return error_response(400, "partition", "\"requests\" must be an array");
+            return error_response("partition", &bad("\"requests\" must be an array"));
         };
         let results: Vec<Value> = items
             .iter()
             .map(|item| match partition_one(state, item) {
                 Ok(rendered) => Value::parse(&rendered).expect("rendered response is JSON"),
-                Err((_, msg)) => json!({ "error": msg.as_str() }),
+                Err(failure) => json!({
+                    "error": failure.message.as_str(),
+                    "code": failure.code,
+                }),
             })
             .collect();
-        return json_response(
+        let mut response = json_response(
             200,
             "partition",
             format!("{}\n", json!({ "results": results })),
         );
+        response.objective = "batch";
+        return response;
     }
-    match partition_one(state, &value) {
+    let objective = dispatched_objective(&value);
+    let mut response = match partition_one(state, &value) {
         Ok(rendered) => json_response(200, "partition", format!("{rendered}\n")),
-        Err((status, msg)) => error_response(status, "partition", &msg),
-    }
+        Err(failure) => error_response("partition", &failure),
+    };
+    response.objective = objective;
+    response
 }
 
-/// Handles one partition request object, going through the cache.
-/// Returns the rendered (compact) response JSON.
-fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
-    let objective = value["objective"]
-        .as_str()
-        .ok_or_else(|| bad("missing string field \"objective\""))?
-        .to_string();
-    let bound = value["bound"]
-        .as_u64()
-        .ok_or_else(|| bad("missing non-negative integer field \"bound\""))?;
-    let graph = value
-        .get("graph")
-        .ok_or_else(|| bad("missing field \"graph\""))?;
+/// The registered name the request dispatches to, for log labels —
+/// `"-"` when the objective is missing or unknown.
+fn dispatched_objective(value: &Value) -> &'static str {
+    value
+        .get("objective")
+        .and_then(Value::as_str)
+        .and_then(|name| Registry::shared().get(name))
+        .map(|(_, solver)| solver.name())
+        .unwrap_or("-")
+}
 
-    match objective.as_str() {
-        "bandwidth" => {
-            let chain = PathGraph::from_json(graph)
-                .map_err(|e| bad(format!("\"graph\" is not a valid chain: {e}")))?;
-            let key = chain_key(&objective, bound, &chain);
-            with_cache(state, &key, || {
-                let part = partition_chain(&chain, Weight::new(bound))
-                    .map_err(|e| unprocessable(e.to_string()))?;
-                Ok(json!({
-                    "objective": "bandwidth",
-                    "bound": bound,
-                    "cut": cut_values(part.cut.iter()),
-                    "segments": part.segments.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
-                    "processors": part.processors,
-                    "bandwidth": part.bandwidth.get(),
-                    "bottleneck": part.bottleneck.get(),
+/// Handles one partition request object: registry dispatch, then the
+/// cache, then the solver. Returns the rendered (compact) response JSON.
+/// Per-objective metrics are recorded here so batch items count too.
+fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
+    let started = Instant::now();
+    let registry = Registry::shared();
+    let outcome =
+        registry
+            .dispatch(value)
+            .map_err(solve_failure)
+            .and_then(|(index, solver, request)| {
+                let key = solver.canonical_key(&request);
+                with_cache(state, &key, || {
+                    let response = solver.run(&request).map_err(solve_failure)?;
+                    Ok(solver.to_json(&response).to_string())
                 })
-                .to_string())
-            })
+                .map(|rendered| (index, rendered))
+            });
+    match outcome {
+        Ok((index, rendered)) => {
+            state
+                .metrics
+                .record_objective(index, true, started.elapsed());
+            Ok(rendered)
         }
-        "bottleneck" => {
-            let tree = Tree::from_json(graph)
-                .map_err(|e| bad(format!("\"graph\" is not a valid tree: {e}")))?;
-            let key = tree_key(&objective, bound, &tree);
-            with_cache(state, &key, || {
-                let r = min_bottleneck_cut(&tree, Weight::new(bound))
-                    .map_err(|e| unprocessable(e.to_string()))?;
-                let components = tree
-                    .components(&r.cut)
-                    .map_err(|e| unprocessable(e.to_string()))?
-                    .count();
-                Ok(json!({
-                    "objective": "bottleneck",
-                    "bound": bound,
-                    "cut": cut_values(r.cut.iter()),
-                    "bottleneck": r.bottleneck.get(),
-                    "components": components,
-                })
-                .to_string())
-            })
+        Err(failure) => {
+            // Label the failure when the objective at least resolved;
+            // unknown objectives have no series to attribute to.
+            if let Some((index, _)) = value
+                .get("objective")
+                .and_then(Value::as_str)
+                .and_then(|name| registry.get(name))
+            {
+                state
+                    .metrics
+                    .record_objective(index, false, started.elapsed());
+            }
+            Err(failure)
         }
-        "procmin" => {
-            let tree = Tree::from_json(graph)
-                .map_err(|e| bad(format!("\"graph\" is not a valid tree: {e}")))?;
-            let key = tree_key(&objective, bound, &tree);
-            with_cache(state, &key, || {
-                let r = proc_min(&tree, Weight::new(bound))
-                    .map_err(|e| unprocessable(e.to_string()))?;
-                Ok(json!({
-                    "objective": "procmin",
-                    "bound": bound,
-                    "cut": cut_values(r.cut.iter()),
-                    "processors": r.component_count,
-                })
-                .to_string())
-            })
-        }
-        other => Err(bad(format!(
-            "objective must be bandwidth, bottleneck or procmin, got {other:?}"
-        ))),
     }
 }
 
 fn simulate_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
     let value = match parse_body(body) {
         Ok(v) => v,
-        Err((status, msg)) => return error_response(status, "simulate", &msg),
+        Err(failure) => return error_response("simulate", &failure),
     };
     match simulate_one(state, &value) {
         Ok(rendered) => json_response(200, "simulate", format!("{rendered}\n")),
-        Err((status, msg)) => error_response(status, "simulate", &msg),
+        Err(failure) => error_response("simulate", &failure),
     }
+}
+
+/// 422 constructors matching the registry's error codes, for the
+/// simulate endpoint (which takes no objective and so bypasses the
+/// registry but follows the same error contract).
+fn missing_field(field: &'static str, expected: &'static str) -> Failure {
+    solve_failure(SolveError::MissingField { field, expected })
+}
+
+fn invalid_field(field: &str, message: impl Into<String>) -> Failure {
+    solve_failure(SolveError::InvalidField {
+        field: field.into(),
+        message: message.into(),
+    })
+}
+
+fn too_expensive(message: String) -> Failure {
+    Failure {
+        status: 422,
+        message,
+        code: "too_expensive",
+    }
+}
+
+fn infeasible(error: impl std::fmt::Display) -> Failure {
+    solve_failure(SolveError::infeasible(error))
 }
 
 fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
     let bound = value["bound"]
         .as_u64()
-        .ok_or_else(|| bad("missing non-negative integer field \"bound\""))?;
+        .ok_or_else(|| missing_field("bound", "a non-negative integer"))?;
     let items = value["items"]
         .as_u64()
-        .ok_or_else(|| bad("missing non-negative integer field \"items\""))?;
+        .ok_or_else(|| missing_field("items", "a non-negative integer"))?;
     if items > MAX_SIMULATE_ITEMS {
-        return Err(unprocessable(format!(
+        return Err(too_expensive(format!(
             "\"items\" is {items}, which exceeds the limit of {MAX_SIMULATE_ITEMS}"
         )));
     }
     let items = items as usize;
     let graph = value
         .get("graph")
-        .ok_or_else(|| bad("missing field \"graph\""))?;
+        .ok_or_else(|| missing_field("graph", "a chain graph object"))?;
     let chain = PathGraph::from_json(graph)
-        .map_err(|e| bad(format!("\"graph\" is not a valid chain: {e}")))?;
+        .map_err(|e| invalid_field("graph", format!("not a valid chain: {e}")))?;
     let processors_override = match value.get("processors") {
         None => None,
         Some(v) => {
             let p = v
                 .as_u64()
-                .ok_or_else(|| bad("\"processors\" must be a non-negative integer"))?;
+                .ok_or_else(|| invalid_field("processors", "must be a non-negative integer"))?;
             if p > MAX_SIMULATE_PROCESSORS {
-                return Err(unprocessable(format!(
+                return Err(too_expensive(format!(
                     "\"processors\" is {p}, which exceeds the limit of {MAX_SIMULATE_PROCESSORS}"
                 )));
             }
@@ -289,15 +370,16 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
         None => "bus",
         Some(v) => v
             .as_str()
-            .ok_or_else(|| bad("\"interconnect\" must be \"bus\" or \"crossbar\""))?,
+            .ok_or_else(|| invalid_field("interconnect", "must be \"bus\" or \"crossbar\""))?,
     };
     let interconnect = match interconnect_name {
         "bus" => Interconnect::Bus,
         "crossbar" => Interconnect::Crossbar,
         other => {
-            return Err(bad(format!(
-                "\"interconnect\" must be \"bus\" or \"crossbar\", got {other:?}"
-            )))
+            return Err(invalid_field(
+                "interconnect",
+                format!("must be \"bus\" or \"crossbar\", got {other:?}"),
+            ))
         }
     };
 
@@ -307,19 +389,21 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
     builder.write_u64(bound);
     builder.write_u64(items as u64);
     builder.write_u64(processors_override.map(|p| p as u64 + 1).unwrap_or(0));
-    write_chain(&mut builder, &chain);
+    builder.write_u64(chain.len() as u64);
+    for w in chain.node_weights() {
+        builder.write_u64(w.get());
+    }
+    for w in chain.edge_weights() {
+        builder.write_u64(w.get());
+    }
     let key = builder.finish();
 
     with_cache(state, &key, || {
-        let part = partition_chain(&chain, Weight::new(bound))
-            .map_err(|e| unprocessable(e.to_string()))?;
+        let part = partition_chain(&chain, Weight::new(bound)).map_err(infeasible)?;
         let processors = processors_override.unwrap_or(part.processors);
-        let machine = Machine::new(processors, 1, 1, 0, interconnect)
-            .map_err(|e| unprocessable(e.to_string()))?;
-        let spec = PipelineSpec::from_partition(&chain, &part.cut)
-            .map_err(|e| unprocessable(e.to_string()))?;
-        let report =
-            simulate_pipeline(&spec, &machine, items).map_err(|e| unprocessable(e.to_string()))?;
+        let machine = Machine::new(processors, 1, 1, 0, interconnect).map_err(infeasible)?;
+        let spec = PipelineSpec::from_partition(&chain, &part.cut).map_err(infeasible)?;
+        let report = simulate_pipeline(&spec, &machine, items).map_err(infeasible)?;
         Ok(json!({
             "bound": bound,
             "processors": processors,
@@ -352,52 +436,10 @@ fn with_cache(
     Ok(rendered)
 }
 
-fn cut_values(cut: impl Iterator<Item = EdgeId>) -> Vec<Value> {
-    cut.map(|e| Value::from(e.index())).collect()
-}
-
-/// Canonical key for a chain request: objective, bound, then the
-/// validated weights — independent of the request's JSON formatting.
-fn chain_key(objective: &str, bound: u64, chain: &PathGraph) -> Vec<u8> {
-    let mut builder = KeyBuilder::default();
-    builder.write(objective.as_bytes());
-    builder.write(b"/chain");
-    builder.write_u64(bound);
-    write_chain(&mut builder, chain);
-    builder.finish()
-}
-
-fn write_chain(builder: &mut KeyBuilder, chain: &PathGraph) {
-    builder.write_u64(chain.len() as u64);
-    for w in chain.node_weights() {
-        builder.write_u64(w.get());
-    }
-    for w in chain.edge_weights() {
-        builder.write_u64(w.get());
-    }
-}
-
-/// Canonical key for a tree request.
-fn tree_key(objective: &str, bound: u64, tree: &Tree) -> Vec<u8> {
-    let mut builder = KeyBuilder::default();
-    builder.write(objective.as_bytes());
-    builder.write(b"/tree");
-    builder.write_u64(bound);
-    builder.write_u64(tree.len() as u64);
-    for w in tree.node_weights() {
-        builder.write_u64(w.get());
-    }
-    for e in tree.edges() {
-        builder.write_u64(e.a.index() as u64);
-        builder.write_u64(e.b.index() as u64);
-        builder.write_u64(e.weight.get());
-    }
-    builder.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tgp_solvers::GraphKind;
 
     fn post(path: &str, body: &str) -> Request {
         Request {
@@ -425,12 +467,54 @@ mod tests {
                   {"a": 0, "b": 2, "weight": 20},
                   {"a": 2, "b": 3, "weight": 30}]}"#;
 
+    /// A runnable request for any registered objective, used to prove
+    /// the endpoint really exposes the whole registry.
+    fn golden_body(objective: &str) -> String {
+        let (_, solver) = Registry::shared().get(objective).expect("registered");
+        let graph = match solver.graph_kind() {
+            GraphKind::Chain => CHAIN,
+            GraphKind::Tree | GraphKind::Process => TREE,
+        };
+        let params = match objective {
+            "coc" | "bokhari" | "hansen-lih" => r#""processors": 2"#,
+            "hetero" => r#""speeds": [2, 1]"#,
+            "host-satellite" => r#""satellites": 2"#,
+            _ => r#""bound": 10"#,
+        };
+        format!(r#"{{"objective": "{objective}", {params}, "graph": {graph}}}"#)
+    }
+
     #[test]
     fn healthz_is_ok() {
         let state = AppState::new(16);
         let r = handle(&state, &get("/healthz"));
         assert_eq!(r.status, 200);
         assert!(r.body.contains("ok"));
+    }
+
+    #[test]
+    fn every_registered_objective_is_served() {
+        let state = AppState::new(16);
+        for solver in Registry::shared().iter() {
+            let body = golden_body(solver.name());
+            let r = handle(&state, &post("/v1/partition", &body));
+            assert_eq!(r.status, 200, "{}: {}", solver.name(), r.body);
+            let v = Value::parse(&r.body).unwrap();
+            assert_eq!(v["objective"].as_str(), Some(solver.name()), "{}", r.body);
+            assert_eq!(r.objective, solver.name());
+        }
+        // Each objective produced one request + one miss in the metrics.
+        let text = state.metrics.render();
+        for solver in Registry::shared().iter() {
+            assert!(
+                text.contains(&format!(
+                    "tgp_objective_requests_total{{objective=\"{}\"}} 1",
+                    solver.name()
+                )),
+                "missing metrics for {}",
+                solver.name()
+            );
+        }
     }
 
     #[test]
@@ -475,8 +559,7 @@ mod tests {
         let state = AppState::new(16);
         let a = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
         // Same content, different formatting and field order.
-        let b =
-            format!(r#"{{ "graph": {CHAIN},   "bound": 10, "objective": "bandwidth", "x": 1 }}"#);
+        let b = format!(r#"{{ "graph": {CHAIN},   "bound": 10, "objective": "bandwidth" }}"#);
         let r1 = handle(&state, &post("/v1/partition", &a));
         let r2 = handle(&state, &post("/v1/partition", &b));
         assert_eq!(r1.body, r2.body);
@@ -495,30 +578,63 @@ mod tests {
         );
         let r = handle(&state, &post("/v1/partition", &body));
         assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.objective, "batch");
         let v = Value::parse(&r.body).unwrap();
         let results = v["results"].as_array().unwrap();
         assert_eq!(results.len(), 3);
         assert!(results[0]["objective"].as_str().is_some());
-        assert!(results[1]["error"].as_str().is_some());
+        assert_eq!(results[1]["code"].as_str(), Some("unknown_objective"));
         assert!(results[2]["processors"].as_u64().is_some());
     }
 
     #[test]
-    fn malformed_bodies_are_400_not_panics() {
+    fn non_json_bodies_are_400() {
         let state = AppState::new(16);
-        for bad_body in [
-            "",
-            "{",
-            "[]",
-            "null",
-            r#"{"objective": "bandwidth"}"#,
-            r#"{"objective": "bandwidth", "bound": -3, "graph": {}}"#,
-            r#"{"objective": "bandwidth", "bound": 10, "graph": {"node_weights": [1], "edge_weights": [1, 2]}}"#,
-            r#"{"objective": 7, "bound": 10, "graph": {}}"#,
-        ] {
+        for bad_body in ["", "{", "\"just a string\"x"] {
             let r = handle(&state, &post("/v1/partition", bad_body));
             assert_eq!(r.status, 400, "body {bad_body:?} gave {}", r.body);
-            assert!(Value::parse(&r.body).unwrap()["error"].as_str().is_some());
+            let v = Value::parse(&r.body).unwrap();
+            assert!(v["error"].as_str().is_some());
+            assert_eq!(v["code"].as_str(), Some("bad_request"));
+        }
+    }
+
+    #[test]
+    fn semantic_rejections_are_422_with_stable_codes() {
+        let state = AppState::new(16);
+        for (body, code) in [
+            ("[]".to_string(), "missing_field"),
+            ("null".to_string(), "missing_field"),
+            (r#"{"objective": "bandwidth"}"#.to_string(), "missing_field"),
+            (r#"{"objective": 7, "bound": 10, "graph": {}}"#.to_string(), "missing_field"),
+            (
+                r#"{"objective": "frobnicate", "bound": 10, "graph": {}}"#.to_string(),
+                "unknown_objective",
+            ),
+            (
+                format!(r#"{{"objective": "bandwidth", "bound": -3, "graph": {CHAIN}}}"#),
+                "missing_field",
+            ),
+            (
+                r#"{"objective": "bandwidth", "bound": 10, "graph": {"node_weights": [1], "edge_weights": [1, 2]}}"#.to_string(),
+                "wrong_graph_kind",
+            ),
+            (
+                // `bottleneck` is a tree objective; a chain graph body
+                // lacks the "edges" field.
+                format!(r#"{{"objective": "bottleneck", "bound": 10, "graph": {CHAIN}}}"#),
+                "wrong_graph_kind",
+            ),
+            (
+                // Undeclared field: likely a typo, reject loudly.
+                format!(r#"{{"objective": "bandwidth", "buond": 10, "bound": 10, "graph": {CHAIN}}}"#),
+                "unknown_field",
+            ),
+        ] {
+            let r = handle(&state, &post("/v1/partition", &body));
+            assert_eq!(r.status, 422, "body {body} gave {}", r.body);
+            let v = Value::parse(&r.body).unwrap();
+            assert_eq!(v["code"].as_str(), Some(code), "body {body} gave {}", r.body);
         }
     }
 
@@ -528,6 +644,13 @@ mod tests {
         let body = format!(r#"{{"objective": "bandwidth", "bound": 0, "graph": {CHAIN}}}"#);
         let r = handle(&state, &post("/v1/partition", &body));
         assert_eq!(r.status, 422, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["code"].as_str(), Some("infeasible"));
+        // The failure is attributed to the objective in /metrics.
+        assert!(state
+            .metrics
+            .render()
+            .contains("tgp_objective_errors_total{objective=\"bandwidth\"} 1"));
     }
 
     #[test]
@@ -566,14 +689,13 @@ mod tests {
         ] {
             let r = handle(&state, &post("/v1/simulate", &body));
             assert_eq!(r.status, 422, "body {body} gave {}", r.body);
+            let v = Value::parse(&r.body).unwrap();
             assert!(
-                Value::parse(&r.body).unwrap()["error"]
-                    .as_str()
-                    .unwrap()
-                    .contains("exceeds the limit"),
+                v["error"].as_str().unwrap().contains("exceeds the limit"),
                 "{}",
                 r.body
             );
+            assert_eq!(v["code"].as_str(), Some("too_expensive"), "{}", r.body);
         }
         // At the caps themselves the request is structurally accepted
         // (it may still fail for other reasons, but not the cap check).

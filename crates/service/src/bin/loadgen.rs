@@ -6,12 +6,19 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--seconds S]
-//!         [--nodes N] [--distinct D]
+//!         [--nodes N] [--distinct D] [--mix chain|tree|simulate]
 //! ```
 //!
 //! `--distinct` controls how many distinct request bodies the clients
 //! cycle through: 1 measures the pure cache-hit path, a large value
 //! measures solver throughput.
+//!
+//! `--mix` picks the request population:
+//!
+//! * `chain` (default) — `bandwidth` partitions of random chains.
+//! * `tree` — tree objectives (`bottleneck`, `procmin`, `compose`)
+//!   round-robin over random caterpillar trees.
+//! * `simulate` — `/v1/simulate` pipeline replays of random chains.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -19,12 +26,30 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Chain,
+    Tree,
+    Simulate,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Chain => "chain",
+            Mix::Tree => "tree",
+            Mix::Simulate => "simulate",
+        }
+    }
+}
+
 struct Config {
     addr: String,
     clients: usize,
     seconds: u64,
     nodes: usize,
     distinct: usize,
+    mix: Mix,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -34,6 +59,7 @@ fn parse_args() -> Result<Config, String> {
         seconds: 5,
         nodes: 64,
         distinct: 16,
+        mix: Mix::Chain,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -63,10 +89,22 @@ fn parse_args() -> Result<Config, String> {
                     .parse()
                     .map_err(|e| format!("--distinct: {e}"))?
             }
+            "--mix" => {
+                config.mix = match value("--mix")?.as_str() {
+                    "chain" => Mix::Chain,
+                    "tree" => Mix::Tree,
+                    "simulate" => Mix::Simulate,
+                    other => {
+                        return Err(format!(
+                            "--mix must be chain, tree or simulate, got {other:?}"
+                        ))
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--seconds S] \
-                     [--nodes N] [--distinct D]"
+                     [--nodes N] [--distinct D] [--mix chain|tree|simulate]"
                 );
                 std::process::exit(0);
             }
@@ -79,22 +117,81 @@ fn parse_args() -> Result<Config, String> {
     Ok(config)
 }
 
-/// Builds `distinct` chain-partition request bodies of `nodes` nodes
-/// each, deterministically varied so their cache keys differ.
-fn request_bodies(nodes: usize, distinct: usize) -> Vec<String> {
+/// One pre-rendered request: target path plus JSON body.
+struct RequestBody {
+    path: &'static str,
+    body: String,
+}
+
+fn chain_graph(nodes: usize, v: usize) -> String {
+    let node_weights: Vec<String> = (0..nodes)
+        .map(|i| ((i * 7 + v * 13) % 9 + 1).to_string())
+        .collect();
+    let edge_weights: Vec<String> = (0..nodes - 1)
+        .map(|i| ((i * 5 + v * 3) % 17 + 1).to_string())
+        .collect();
+    format!(
+        r#"{{"node_weights":[{}],"edge_weights":[{}]}}"#,
+        node_weights.join(","),
+        edge_weights.join(",")
+    )
+}
+
+/// A deterministic caterpillar tree: node `i > 0` hangs off node
+/// `i - 1 - (i % 3)`, giving some branching without needing an RNG.
+fn tree_graph(nodes: usize, v: usize) -> String {
+    let node_weights: Vec<String> = (0..nodes)
+        .map(|i| ((i * 11 + v * 7) % 9 + 1).to_string())
+        .collect();
+    let edges: Vec<String> = (1..nodes)
+        .map(|i| {
+            let parent = i - 1 - (i % 3).min(i - 1);
+            let weight = (i * 3 + v * 5) % 17 + 1;
+            format!(r#"{{"a":{parent},"b":{i},"weight":{weight}}}"#)
+        })
+        .collect();
+    format!(
+        r#"{{"node_weights":[{}],"edges":[{}]}}"#,
+        node_weights.join(","),
+        edges.join(",")
+    )
+}
+
+/// Builds `distinct` request bodies of `nodes` nodes each for the given
+/// mix, deterministically varied so their cache keys differ.
+fn request_bodies(mix: Mix, nodes: usize, distinct: usize) -> Vec<RequestBody> {
     (0..distinct)
         .map(|v| {
-            let node_weights: Vec<String> =
-                (0..nodes).map(|i| ((i * 7 + v * 13) % 9 + 1).to_string()).collect();
-            let edge_weights: Vec<String> = (0..nodes - 1)
-                .map(|i| ((i * 5 + v * 3) % 17 + 1).to_string())
-                .collect();
+            // A bound around 4/3 of the mean node weight times a few
+            // nodes keeps every instance feasible but non-trivial.
             let bound = 4 * nodes / 3;
-            format!(
-                r#"{{"objective":"bandwidth","bound":{bound},"graph":{{"node_weights":[{}],"edge_weights":[{}]}}}}"#,
-                node_weights.join(","),
-                edge_weights.join(",")
-            )
+            match mix {
+                Mix::Chain => RequestBody {
+                    path: "/v1/partition",
+                    body: format!(
+                        r#"{{"objective":"bandwidth","bound":{bound},"graph":{}}}"#,
+                        chain_graph(nodes, v)
+                    ),
+                },
+                Mix::Tree => {
+                    let objective = ["bottleneck", "procmin", "compose"][v % 3];
+                    RequestBody {
+                        path: "/v1/partition",
+                        body: format!(
+                            r#"{{"objective":"{objective}","bound":{bound},"graph":{}}}"#,
+                            tree_graph(nodes, v)
+                        ),
+                    }
+                }
+                Mix::Simulate => RequestBody {
+                    path: "/v1/simulate",
+                    body: format!(
+                        r#"{{"bound":{bound},"items":{},"graph":{}}}"#,
+                        50 + v % 50,
+                        chain_graph(nodes, v)
+                    ),
+                },
+            }
         })
         .collect()
 }
@@ -104,13 +201,14 @@ fn request_bodies(nodes: usize, distinct: usize) -> Vec<String> {
 fn exchange(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
-    body: &str,
+    request: &RequestBody,
 ) -> Result<u16, std::io::Error> {
     write!(
         writer,
-        "POST /v1/partition HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
-        body.len(),
-        body
+        "POST {} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        request.path,
+        request.body.len(),
+        request.body
     )?;
     writer.flush()?;
 
@@ -157,12 +255,17 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let bodies = Arc::new(request_bodies(config.nodes, config.distinct));
+    let bodies = Arc::new(request_bodies(config.mix, config.nodes, config.distinct));
     let stop = Arc::new(AtomicBool::new(false));
 
     println!(
-        "loadgen: {} clients x {}s against {} ({} nodes/chain, {} distinct bodies)",
-        config.clients, config.seconds, config.addr, config.nodes, config.distinct
+        "loadgen: {} clients x {}s against {} (mix {}, {} nodes/graph, {} distinct bodies)",
+        config.clients,
+        config.seconds,
+        config.addr,
+        config.mix.name(),
+        config.nodes,
+        config.distinct
     );
 
     let workers: Vec<_> = (0..config.clients)

@@ -35,34 +35,10 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     state
 }
 
-/// Builds a canonical key byte string field by field.
-///
-/// The resulting bytes *are* the cache key — hits are served only on
-/// exact byte equality, so equal keys mean equal validated content and
-/// unequal content can never alias (unlike a bare 64-bit digest).
-#[derive(Debug, Clone, Default)]
-pub struct KeyBuilder {
-    bytes: Vec<u8>,
-}
-
-impl KeyBuilder {
-    /// Appends raw bytes.
-    pub fn write(&mut self, bytes: &[u8]) {
-        self.bytes.extend_from_slice(bytes);
-    }
-
-    /// Appends one `u64` (little-endian), with a tag byte so that
-    /// adjacent fields can't collide by concatenation.
-    pub fn write_u64(&mut self, v: u64) {
-        self.bytes.push(0xfe);
-        self.bytes.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// The finished canonical key.
-    pub fn finish(self) -> Vec<u8> {
-        self.bytes
-    }
-}
+// The canonical key builder moved to `tgp-solvers` (solvers define
+// their own keys via `Solver::canonical_key`); re-exported here so
+// existing embedders keep compiling.
+pub use tgp_solvers::KeyBuilder;
 
 #[derive(Debug)]
 struct Entry {

@@ -27,12 +27,17 @@
 //!
 //! # Endpoints
 //!
-//! | Route               | Method | Purpose                                   |
-//! |---------------------|--------|-------------------------------------------|
-//! | `/v1/partition`     | POST   | chain/tree partitioning (single or batch) |
-//! | `/v1/simulate`      | POST   | partition + pipeline simulation           |
-//! | `/healthz`          | GET    | liveness                                  |
-//! | `/metrics`          | GET    | Prometheus text exposition                |
+//! | Route               | Method | Purpose                                        |
+//! |---------------------|--------|------------------------------------------------|
+//! | `/v1/partition`     | POST   | any objective in [`tgp_solvers::Registry`] (single or batch) |
+//! | `/v1/simulate`      | POST   | partition + pipeline simulation                |
+//! | `/healthz`          | GET    | liveness                                       |
+//! | `/metrics`          | GET    | Prometheus text, incl. per-objective series    |
+//!
+//! The partition endpoint dispatches through the shared solver registry,
+//! so it accepts exactly the same requests as `tgp partition` and
+//! returns byte-identical JSON (see `docs/SERVICE.md` for the request
+//! table).
 //!
 //! # Example
 //!

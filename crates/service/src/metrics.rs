@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use tgp_solvers::Registry;
+
 /// Upper bounds (in microseconds) of the request-latency histogram
 /// buckets; the final `+Inf` bucket is implicit.
 pub const LATENCY_BUCKETS_US: [u64; 10] = [
@@ -21,11 +23,29 @@ const ENDPOINTS: [&str; 5] = ["partition", "simulate", "healthz", "metrics", "ot
 /// The status classes tracked per endpoint.
 const STATUSES: [u16; 7] = [200, 400, 404, 405, 413, 422, 500];
 
+/// Per-objective counters, indexed by the solver's registry index so the
+/// hot path never touches the objective name.
+#[derive(Debug, Default)]
+struct ObjectiveStats {
+    /// Requests dispatched to this objective (successes and failures).
+    requests: AtomicU64,
+    /// Requests that ended in an error after the objective was resolved
+    /// (parse rejections, infeasible instances, cost-cap refusals).
+    errors: AtomicU64,
+    /// Total handling latency, for a Prometheus summary.
+    latency_sum_us: AtomicU64,
+}
+
 /// Central metrics registry shared by acceptor, workers and scrapers.
 #[derive(Debug)]
 pub struct Metrics {
     /// `requests[endpoint][status]` counts completed exchanges.
     requests: [[AtomicU64; STATUSES.len()]; ENDPOINTS.len()],
+    /// Per-objective traffic, parallel to `objective_names`.
+    objectives: Vec<ObjectiveStats>,
+    /// Solver names in registry order — the label values for
+    /// `tgp_objective_*` series.
+    objective_names: &'static [&'static str],
     /// 503s written by the acceptor when the queue was full.
     rejected_overload: AtomicU64,
     /// Latency histogram bucket counts (cumulative on render).
@@ -43,8 +63,14 @@ pub struct Metrics {
 
 impl Default for Metrics {
     fn default() -> Self {
+        let objective_names = Registry::shared().names();
         Metrics {
             requests: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            objectives: objective_names
+                .iter()
+                .map(|_| ObjectiveStats::default())
+                .collect(),
+            objective_names,
             rejected_overload: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_us: AtomicU64::new(0),
@@ -100,6 +126,22 @@ impl Metrics {
         self.latency_count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one partition request against the objective at the given
+    /// registry index ([`tgp_solvers::Registry::get`] returns it next to
+    /// the solver). Out-of-range indexes are ignored rather than panic:
+    /// metrics must never take a worker down.
+    pub fn record_objective(&self, index: usize, ok: bool, latency: Duration) {
+        let Some(stats) = self.objectives.get(index) else {
+            return;
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        stats.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
     /// Records a connection refused with the canned 503.
     pub fn record_overload(&self) {
         self.rejected_overload.fetch_add(1, Ordering::Relaxed);
@@ -146,6 +188,38 @@ impl Metrics {
                     ));
                 }
             }
+        }
+
+        out.push_str(
+            "# HELP tgp_objective_requests_total Partition requests by objective (all outcomes).\n",
+        );
+        out.push_str("# TYPE tgp_objective_requests_total counter\n");
+        out.push_str("# HELP tgp_objective_errors_total Partition requests by objective that ended in an error.\n");
+        out.push_str("# TYPE tgp_objective_errors_total counter\n");
+        out.push_str(
+            "# HELP tgp_objective_latency_seconds Partition handling latency by objective.\n",
+        );
+        out.push_str("# TYPE tgp_objective_latency_seconds summary\n");
+        for (name, stats) in self.objective_names.iter().zip(&self.objectives) {
+            let requests = stats.requests.load(Ordering::Relaxed);
+            if requests == 0 {
+                continue; // keep the exposition small until an objective sees traffic
+            }
+            let errors = stats.errors.load(Ordering::Relaxed);
+            let sum_us = stats.latency_sum_us.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "tgp_objective_requests_total{{objective=\"{name}\"}} {requests}\n"
+            ));
+            out.push_str(&format!(
+                "tgp_objective_errors_total{{objective=\"{name}\"}} {errors}\n"
+            ));
+            out.push_str(&format!(
+                "tgp_objective_latency_seconds_sum{{objective=\"{name}\"}} {}\n",
+                sum_us as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "tgp_objective_latency_seconds_count{{objective=\"{name}\"}} {requests}\n"
+            ));
         }
 
         out.push_str("# HELP tgp_rejected_overload_total Connections refused with 503 because the queue was full.\n");
@@ -236,6 +310,25 @@ mod tests {
         assert!(text.contains("tgp_cache_hit_ratio 0.5"));
         assert!(text.contains("tgp_queue_depth 2"));
         assert!(text.contains("tgp_request_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn objective_series_appear_only_with_traffic() {
+        let m = Metrics::default();
+        let (bandwidth, _) = Registry::shared().get("bandwidth").unwrap();
+        let quiet = m.render();
+        assert!(!quiet.contains("tgp_objective_requests_total{"));
+
+        m.record_objective(bandwidth, true, Duration::from_micros(500));
+        m.record_objective(bandwidth, false, Duration::from_micros(100));
+        m.record_objective(usize::MAX, true, Duration::ZERO); // ignored, not a panic
+        let text = m.render();
+        assert!(text.contains("tgp_objective_requests_total{objective=\"bandwidth\"} 2"));
+        assert!(text.contains("tgp_objective_errors_total{objective=\"bandwidth\"} 1"));
+        assert!(text.contains("tgp_objective_latency_seconds_sum{objective=\"bandwidth\"} 0.0006"));
+        assert!(text.contains("tgp_objective_latency_seconds_count{objective=\"bandwidth\"} 2"));
+        // No traffic on the other objectives → no series for them.
+        assert!(!text.contains("objective=\"procmin\""));
     }
 
     #[test]

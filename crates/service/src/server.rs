@@ -44,6 +44,9 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Per-connection read timeout; also bounds shutdown latency.
     pub read_timeout: Duration,
+    /// Write one structured access-log line per request to stderr
+    /// (`tgp-access method=… path=… objective=… status=… micros=…`).
+    pub log_requests: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +58,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_body_bytes: 1 << 20, // 1 MiB
             read_timeout: Duration::from_secs(5),
+            log_requests: false,
         }
     }
 }
@@ -75,7 +79,8 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new(config.cache_capacity));
+        let state =
+            Arc::new(AppState::new(config.cache_capacity).with_access_log(config.log_requests));
         let stop = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth.max(1)));
 

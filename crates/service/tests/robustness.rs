@@ -68,8 +68,6 @@ fn malformed_json_bodies_get_structured_400() {
         "{\"objective\": \"bandwidth\", \"bound\": 1e999, \"graph\": {}}",
         "{\"objective\": \"bandwidth\" \"bound\": 1}",
         "\u{1}\u{2}\u{3}",
-        "{\"objective\": \"bandwidth\", \"bound\": 10, \"graph\": 42}",
-        "{\"objective\": \"bandwidth\", \"bound\": 10, \"graph\": {\"node_weights\": \"x\"}}",
         // Deeply nested arrays exceed the parser's depth limit.
         &("[".repeat(500) + &"]".repeat(500)),
     ];
@@ -86,9 +84,15 @@ fn malformed_json_bodies_get_structured_400() {
 }
 
 #[test]
-fn semantically_invalid_graphs_get_400() {
+fn semantically_invalid_graphs_get_422() {
     let mut server = start();
+    // Syntactically valid JSON that the solver registry must refuse:
+    // these are 422 (semantic), never 400 (reserved for non-JSON).
     let bodies = [
+        // Not an object at all.
+        r#"{"objective":"bandwidth","bound":10,"graph":42}"#,
+        // Wrong field type inside the graph.
+        r#"{"objective":"bandwidth","bound":10,"graph":{"node_weights":"x"}}"#,
         // Edge count mismatch for a chain.
         r#"{"objective":"bandwidth","bound":10,"graph":{"node_weights":[1,2],"edge_weights":[1,2,3]}}"#,
         // Tree with a cycle.
@@ -99,10 +103,16 @@ fn semantically_invalid_graphs_get_400() {
         r#"{"objective":"bandwidth","bound":10,"graph":{"node_weights":[1,-2],"edge_weights":[1]}}"#,
         // Wrong graph shape for the objective (chain given to a tree solver).
         r#"{"objective":"procmin","bound":10,"graph":{"node_weights":[1,2],"edge_weights":[3]}}"#,
+        // Field outside the objective's schema (typo protection).
+        r#"{"objective":"bandwidth","buond":10,"bound":10,"graph":{"node_weights":[1,2],"edge_weights":[1]}}"#,
     ];
     for body in bodies {
         let (status, reply) = send_raw(&server, &post_json(body)).expect("got a response");
-        assert_eq!(status, 400, "body {body:?} → {reply}");
+        assert_eq!(status, 422, "body {body:?} → {reply}");
+        assert!(
+            reply.contains("\"code\""),
+            "body {body:?} lacked a stable error code: {reply}"
+        );
     }
     assert_alive(&server);
     server.shutdown();

@@ -1,0 +1,44 @@
+//! One typed dispatch layer shared by every front end.
+//!
+//! `tgp-solvers` turns the workspace's partitioning algorithms into a
+//! uniform [`Solver`] registry: each objective declares its name, the
+//! graph class it accepts, its parameter schema, and how it renders a
+//! response. The CLI, the HTTP service and the benchmarks all resolve
+//! objectives through [`Registry::shared`], which is what guarantees
+//! that `tgp partition <objective>` and `POST /v1/partition` accept the
+//! same requests, reject the same malformed ones, and produce
+//! byte-identical JSON.
+//!
+//! The flow for a front end is three calls:
+//!
+//! ```
+//! use tgp_graph::json::Value;
+//! use tgp_solvers::Registry;
+//!
+//! let body: Value = Value::parse(
+//!     r#"{"objective": "bandwidth", "bound": 6,
+//!         "graph": {"node_weights": [2, 3, 5], "edge_weights": [4, 1]}}"#,
+//! ).unwrap();
+//! let (_index, solver, request) = Registry::shared().dispatch(&body).unwrap();
+//! let response = solver.run(&request).unwrap();
+//! assert_eq!(response.value["objective"].as_str(), Some("bandwidth"));
+//! ```
+//!
+//! Caches key on [`Solver::canonical_key`], which is derived from the
+//! *validated* request content, so formatting differences cannot
+//! fragment the cache and cannot alias distinct instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod key;
+mod objectives;
+mod registry;
+mod request;
+
+pub use error::SolveError;
+pub use key::KeyBuilder;
+pub use objectives::{MAX_SPEEDS, MAX_TREE_BANDWIDTH_COST};
+pub use registry::{Registry, Solver};
+pub use request::{GraphInput, GraphKind, ParamKind, ParamSpec, Params, Request, Response};

@@ -1,0 +1,782 @@
+//! The concrete solver implementations behind every registered
+//! objective.
+//!
+//! Each solver declares its schema (graph kind + parameters) and builds
+//! its response `Value` with a fixed field order, so the compact
+//! rendering is byte-stable across front ends. Response shapes are the
+//! ones the CLI has always produced; the registry made them the single
+//! source of truth.
+
+use tgp_baselines::bokhari::bokhari_partition;
+use tgp_baselines::hansen_lih::hansen_lih_partition;
+use tgp_baselines::hetero::{hetero_partition, HeteroArray};
+use tgp_baselines::host_satellite::host_satellite_partition;
+use tgp_baselines::nicol::nicol_bandwidth_cut;
+use tgp_core::approx::{partition_process_graph_best, ApproxMethod};
+use tgp_core::bandwidth::min_bandwidth_cut_lexicographic;
+use tgp_core::bottleneck::min_bottleneck_cut;
+use tgp_core::pipeline::{partition_chain, partition_tree};
+use tgp_core::procmin::proc_min;
+use tgp_core::tree_bandwidth::min_tree_bandwidth_cut;
+use tgp_graph::json::Value;
+use tgp_graph::{json, EdgeId, NodeId, Weight};
+
+use crate::error::SolveError;
+use crate::registry::Solver;
+use crate::request::{parse_request, GraphKind, ParamKind, ParamSpec, Request, Response};
+
+/// Work cap for the pseudo-polynomial `tree-bandwidth` DP: the solve
+/// runs in `O(n·K²)` time, so `n·K²` is refused beyond this budget —
+/// a handful of JSON bytes must not be able to pin a worker for minutes.
+pub const MAX_TREE_BANDWIDTH_COST: u64 = 1 << 32;
+
+/// Largest accepted `speeds` array for `hetero`: the DP sizes its tables
+/// by processor count, which a client controls with a few bytes.
+pub const MAX_SPEEDS: usize = 4_096;
+
+/// Every objective in the workspace, in the order they are registered
+/// (and therefore listed in docs, usage and `/metrics`).
+pub(crate) fn all() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(Bandwidth),
+        Box::new(Bottleneck),
+        Box::new(ProcMin),
+        Box::new(Compose),
+        Box::new(Lexicographic),
+        Box::new(TreeBandwidth),
+        Box::new(Approx),
+        Box::new(Nicol),
+        Box::new(Coc),
+        Box::new(Bokhari),
+        Box::new(HansenLih),
+        Box::new(Hetero),
+        Box::new(HostSatellite),
+    ]
+}
+
+const BOUND_ONLY: &[ParamSpec] = &[ParamSpec::required("bound", ParamKind::U64)];
+const PROCESSORS_ONLY: &[ParamSpec] = &[ParamSpec::required("processors", ParamKind::U64)];
+const COC_PARAMS: &[ParamSpec] = &[
+    ParamSpec::required("processors", ParamKind::U64),
+    ParamSpec::optional("algorithm", ParamKind::Str),
+];
+const HETERO_PARAMS: &[ParamSpec] = &[ParamSpec::required("speeds", ParamKind::U64List)];
+const HOST_SATELLITE_PARAMS: &[ParamSpec] = &[
+    ParamSpec::required("satellites", ParamKind::U64),
+    ParamSpec::optional("root", ParamKind::U64),
+];
+
+fn cut_json(cut: impl Iterator<Item = EdgeId>) -> Value {
+    Value::Array(cut.map(|e| Value::from(e.index())).collect())
+}
+
+fn bound_of(request: &Request) -> Weight {
+    Weight::new(request.params.bound.expect("declared required parameter"))
+}
+
+fn usize_param(value: u64, field: &'static str) -> Result<usize, SolveError> {
+    usize::try_from(value).map_err(|_| SolveError::InvalidField {
+        field: field.into(),
+        message: format!("{value} does not fit the platform's address space"),
+    })
+}
+
+/// `bandwidth` — the paper's headline `O(n + p log q)` chain solver.
+struct Bandwidth;
+
+impl Solver for Bandwidth {
+    fn name(&self) -> &'static str {
+        "bandwidth"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "minimum-bandwidth chain partition under a load bound (§2.3, O(n + p log q))"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let part = partition_chain(request.graph.chain(), bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(part.cut.iter()),
+            "segments": part
+                .segments
+                .iter()
+                .map(|s| json!({
+                    "start": s.start, "end": s.end, "weight": s.weight.get(),
+                }))
+                .collect::<Vec<_>>(),
+            "processors": part.processors,
+            "bandwidth": part.bandwidth.get(),
+            "bottleneck": part.bottleneck.get(),
+        })))
+    }
+}
+
+/// `bottleneck` — Algorithm 2.1 on trees.
+struct Bottleneck;
+
+impl Solver for Bottleneck {
+    fn name(&self) -> &'static str {
+        "bottleneck"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Tree
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "minimum-bottleneck tree cut under a load bound (Algorithm 2.1)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let tree = request.graph.tree();
+        let r = min_bottleneck_cut(tree, bound).map_err(SolveError::infeasible)?;
+        let components = tree
+            .components(&r.cut)
+            .map_err(SolveError::infeasible)?
+            .count();
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(r.cut.iter()),
+            "bottleneck": r.bottleneck.get(),
+            "components": components,
+        })))
+    }
+}
+
+/// `procmin` — Algorithm 2.2 on trees.
+struct ProcMin;
+
+impl Solver for ProcMin {
+    fn name(&self) -> &'static str {
+        "procmin"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Tree
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "minimum-processor tree partition under a load bound (Algorithm 2.2)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let r = proc_min(request.graph.tree(), bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(r.cut.iter()),
+            "processors": r.component_count,
+        })))
+    }
+}
+
+/// `compose` — 2.1 then 2.2 over the contracted tree (§3 workflow).
+struct Compose;
+
+impl Solver for Compose {
+    fn name(&self) -> &'static str {
+        "compose"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Tree
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "bottleneck-optimal tree partition with minimal processors (2.1 + 2.2)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let part = partition_tree(request.graph.tree(), bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(part.cut.iter()),
+            "processors": part.processors,
+            "bottleneck": part.bottleneck.get(),
+            "bandwidth": part.bandwidth.get(),
+        })))
+    }
+}
+
+/// `lexicographic` — §3 bicriteria on chains.
+struct Lexicographic;
+
+impl Solver for Lexicographic {
+    fn name(&self) -> &'static str {
+        "lexicographic"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "chain cut minimizing (bottleneck, bandwidth) lexicographically (§3)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let chain = request.graph.chain();
+        let cut = min_bandwidth_cut_lexicographic(chain, bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(cut.iter()),
+            "bottleneck": chain.bottleneck(&cut).map_err(SolveError::infeasible)?.get(),
+            "bandwidth": chain.cut_weight(&cut).map_err(SolveError::infeasible)?.get(),
+            "processors": cut.len() + 1,
+        })))
+    }
+}
+
+/// `tree-bandwidth` — the exact pseudo-polynomial tree DP.
+struct TreeBandwidth;
+
+impl Solver for TreeBandwidth {
+    fn name(&self) -> &'static str {
+        "tree-bandwidth"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Tree
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "exact minimum-bandwidth tree cut, O(n·K²) DP (Theorem 1 counterpart)"
+    }
+    fn parse(&self, value: &Value) -> Result<Request, SolveError> {
+        let request = parse_request(self.name(), self.graph_kind(), self.params(), value)?;
+        let k = request.params.bound.expect("declared required parameter");
+        let n = request.graph.tree().len() as u64;
+        let cost = n.saturating_mul(k).saturating_mul(k);
+        if cost > MAX_TREE_BANDWIDTH_COST {
+            return Err(SolveError::TooExpensive {
+                objective: self.name(),
+                message: format!(
+                    "n·K² = {n}·{k}² exceeds the work budget of {MAX_TREE_BANDWIDTH_COST}; \
+                     the DP is pseudo-polynomial in the bound"
+                ),
+            });
+        }
+        Ok(request)
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let tree = request.graph.tree();
+        let cut = min_tree_bandwidth_cut(tree, bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(cut.iter()),
+            "bandwidth": tree.cut_weight(&cut).map_err(SolveError::infeasible)?.get(),
+            "processors": tree.components(&cut).map_err(SolveError::infeasible)?.count(),
+        })))
+    }
+}
+
+/// `approx` — general process graphs via linearization/spanning tree.
+struct Approx;
+
+impl Solver for Approx {
+    fn name(&self) -> &'static str {
+        "approx"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Process
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "best-of heuristics for general process graphs under a load bound"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let part = partition_process_graph_best(request.graph.process(), bound)
+            .map_err(SolveError::infeasible)?;
+        let method = match part.method {
+            ApproxMethod::LinearIdentity => "linear-identity",
+            ApproxMethod::LinearBfs => "linear-bfs",
+            ApproxMethod::SpanningTree => "spanning-tree",
+            _ => "unknown",
+        };
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "method": method,
+            "parts": part.parts,
+            "part_of": part.part_of,
+            "part_weights": part.part_weights.iter().map(|w| w.get()).collect::<Vec<_>>(),
+            "cut_weight": part.cut_weight.get(),
+        })))
+    }
+}
+
+/// `nicol` — the O(n log n) prior-art bandwidth baseline.
+struct Nicol;
+
+impl Solver for Nicol {
+    fn name(&self) -> &'static str {
+        "nicol"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        BOUND_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "Nicol & O'Hallaron O(n log n) bandwidth baseline on chains"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let chain = request.graph.chain();
+        let cut = nicol_bandwidth_cut(chain, bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(cut.iter()),
+            "bandwidth": chain.cut_weight(&cut).map_err(SolveError::infeasible)?.get(),
+            "processors": cut.len() + 1,
+        })))
+    }
+}
+
+/// `coc` — chains-on-chains with a selectable sub-algorithm.
+struct Coc;
+
+impl Solver for Coc {
+    fn name(&self) -> &'static str {
+        "coc"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        COC_PARAMS
+    }
+    fn summary(&self) -> &'static str {
+        "chains-on-chains minimax partition (algorithm: bokhari | probe)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let m = usize_param(
+            request
+                .params
+                .processors
+                .expect("declared required parameter"),
+            "processors",
+        )?;
+        let algorithm = request.params.algorithm.as_deref().unwrap_or("probe");
+        let chain = request.graph.chain();
+        let result = match algorithm {
+            "bokhari" => bokhari_partition(chain, m).map_err(SolveError::infeasible)?,
+            "probe" => hansen_lih_partition(chain, m).map_err(SolveError::infeasible)?,
+            other => {
+                return Err(SolveError::InvalidField {
+                    field: "algorithm".into(),
+                    message: format!("must be \"bokhari\" or \"probe\", got {other:?}"),
+                })
+            }
+        };
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "algorithm": algorithm,
+            "processors": m,
+            "boundaries": result.assignment.boundaries().to_vec(),
+            "bottleneck": result.bottleneck.get(),
+        })))
+    }
+}
+
+/// `bokhari` — the layered-graph chains-on-chains solver, directly.
+struct Bokhari;
+
+impl Solver for Bokhari {
+    fn name(&self) -> &'static str {
+        "bokhari"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        PROCESSORS_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "Bokhari (1988) layered-graph minimax chain partition, O(n²m)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let m = usize_param(
+            request
+                .params
+                .processors
+                .expect("declared required parameter"),
+            "processors",
+        )?;
+        let result = bokhari_partition(request.graph.chain(), m).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "processors": m,
+            "boundaries": result.assignment.boundaries().to_vec(),
+            "bottleneck": result.bottleneck.get(),
+        })))
+    }
+}
+
+/// `hansen-lih` — probe-based chains-on-chains solver, directly.
+struct HansenLih;
+
+impl Solver for HansenLih {
+    fn name(&self) -> &'static str {
+        "hansen-lih"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        PROCESSORS_ONLY
+    }
+    fn summary(&self) -> &'static str {
+        "Hansen & Lih (1992) probe/binary-search minimax chain partition"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let m = usize_param(
+            request
+                .params
+                .processors
+                .expect("declared required parameter"),
+            "processors",
+        )?;
+        let result =
+            hansen_lih_partition(request.graph.chain(), m).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "processors": m,
+            "boundaries": result.assignment.boundaries().to_vec(),
+            "bottleneck": result.bottleneck.get(),
+        })))
+    }
+}
+
+/// `hetero` — chains over processors of different speeds.
+struct Hetero;
+
+impl Solver for Hetero {
+    fn name(&self) -> &'static str {
+        "hetero"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Chain
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        HETERO_PARAMS
+    }
+    fn summary(&self) -> &'static str {
+        "chain partition over a mixed-speed processor array (Bokhari variant)"
+    }
+    fn parse(&self, value: &Value) -> Result<Request, SolveError> {
+        let request = parse_request(self.name(), self.graph_kind(), self.params(), value)?;
+        let speeds = request
+            .params
+            .speeds
+            .as_deref()
+            .expect("required parameter");
+        if speeds.is_empty() || speeds.contains(&0) {
+            return Err(SolveError::InvalidField {
+                field: "speeds".into(),
+                message: "needs at least one positive speed".into(),
+            });
+        }
+        if speeds.len() > MAX_SPEEDS {
+            return Err(SolveError::TooExpensive {
+                objective: self.name(),
+                message: format!("{} speeds exceed the limit of {MAX_SPEEDS}", speeds.len()),
+            });
+        }
+        Ok(request)
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let speeds = request.params.speeds.clone().expect("required parameter");
+        let array = HeteroArray::new(speeds.clone());
+        let r = hetero_partition(request.graph.chain(), &array).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "speeds": speeds,
+            "boundaries": r.assignment.boundaries().to_vec(),
+            "bottleneck": r.bottleneck.get(),
+        })))
+    }
+}
+
+/// `host-satellite` — Bokhari's single-host / multiple-satellite trees.
+struct HostSatellite;
+
+impl Solver for HostSatellite {
+    fn name(&self) -> &'static str {
+        "host-satellite"
+    }
+    fn graph_kind(&self) -> GraphKind {
+        GraphKind::Tree
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        HOST_SATELLITE_PARAMS
+    }
+    fn summary(&self) -> &'static str {
+        "host/satellite tree offloading with at most m satellites (Bokhari)"
+    }
+    fn run(&self, request: &Request) -> Result<Response, SolveError> {
+        let m = usize_param(
+            request
+                .params
+                .satellites
+                .expect("declared required parameter"),
+            "satellites",
+        )?;
+        let root = usize_param(request.params.root.unwrap_or(0), "root")?;
+        let tree = request.graph.tree();
+        if root >= tree.len() {
+            return Err(SolveError::InvalidField {
+                field: "root".into(),
+                message: format!("{root} out of range for {} nodes", tree.len()),
+            });
+        }
+        let r =
+            host_satellite_partition(tree, NodeId::new(root), m).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "root": root,
+            "max_satellites": m,
+            "satellites_used": r.satellites,
+            "uplinks": cut_json(r.cut.iter()),
+            "bottleneck": r.bottleneck.get(),
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    const CHAIN: &str = r#"{"node_weights": [2, 3, 5, 7], "edge_weights": [10, 1, 10]}"#;
+    const TREE: &str = r#"{"node_weights": [1, 2, 3, 4],
+        "edges": [{"a": 0, "b": 1, "weight": 10},
+                  {"a": 0, "b": 2, "weight": 20},
+                  {"a": 2, "b": 3, "weight": 30}]}"#;
+
+    fn golden_request(name: &str) -> String {
+        let registry = Registry::shared();
+        let (_, solver) = registry.get(name).expect("registered");
+        let graph = match solver.graph_kind() {
+            GraphKind::Chain => CHAIN,
+            GraphKind::Tree | GraphKind::Process => TREE,
+        };
+        let params = match name {
+            "coc" | "bokhari" | "hansen-lih" => r#""processors": 2"#,
+            "hetero" => r#""speeds": [2, 1]"#,
+            "host-satellite" => r#""satellites": 2"#,
+            _ => r#""bound": 10"#,
+        };
+        format!(r#"{{"objective": "{name}", {params}, "graph": {graph}}}"#)
+    }
+
+    #[test]
+    fn registry_has_all_thirteen_objectives() {
+        let names = Registry::shared().names();
+        assert_eq!(
+            names,
+            [
+                "bandwidth",
+                "bottleneck",
+                "procmin",
+                "compose",
+                "lexicographic",
+                "tree-bandwidth",
+                "approx",
+                "nicol",
+                "coc",
+                "bokhari",
+                "hansen-lih",
+                "hetero",
+                "host-satellite",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_solver_runs_its_golden_request() {
+        let registry = Registry::shared();
+        for solver in registry.iter() {
+            let text = golden_request(solver.name());
+            let value = Value::parse(&text).unwrap();
+            let (_, dispatched, request) = registry.dispatch(&value).unwrap();
+            assert_eq!(dispatched.name(), solver.name());
+            let response = dispatched
+                .run(&request)
+                .unwrap_or_else(|e| panic!("{} failed on its golden request: {e}", solver.name()));
+            assert_eq!(
+                response.value["objective"].as_str(),
+                Some(solver.name()),
+                "every response must echo its objective"
+            );
+            assert_eq!(dispatched.to_json(&response), response.value);
+        }
+    }
+
+    #[test]
+    fn canonical_keys_ignore_field_order_but_not_content() {
+        let registry = Registry::shared();
+        for solver in registry.iter() {
+            let value = Value::parse(&golden_request(solver.name())).unwrap();
+            let Value::Object(mut fields) = value.clone() else {
+                unreachable!()
+            };
+            fields.reverse();
+            let reordered = Value::Object(fields);
+            let a = solver.canonical_key(&solver.parse(&value).unwrap());
+            let b = solver.canonical_key(&solver.parse(&reordered).unwrap());
+            assert_eq!(
+                a,
+                b,
+                "{}: key must not depend on field order",
+                solver.name()
+            );
+        }
+        // Distinct objectives on the same graph must never share a key.
+        let (_, bw) = registry.get("bandwidth").unwrap();
+        let (_, lex) = registry.get("lexicographic").unwrap();
+        let bw_req = bw
+            .parse(&Value::parse(&golden_request("bandwidth")).unwrap())
+            .unwrap();
+        let lex_req = lex
+            .parse(&Value::parse(&golden_request("lexicographic")).unwrap())
+            .unwrap();
+        assert_ne!(bw.canonical_key(&bw_req), lex.canonical_key(&lex_req));
+    }
+
+    #[test]
+    fn unknown_objective_lists_the_registry() {
+        let err = Registry::shared()
+            .dispatch(&Value::parse(r#"{"objective": "frobnicate"}"#).unwrap())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.code(), "unknown_objective");
+        assert!(err.to_string().contains("bandwidth"), "{err}");
+    }
+
+    #[test]
+    fn wrong_graph_kind_and_unknown_fields_are_rejected_for_every_solver() {
+        let registry = Registry::shared();
+        for solver in registry.iter() {
+            // Swap the graph for one of the wrong kind. (A tree *is* a
+            // valid process graph, so feed the process solver a chain.)
+            let wrong_graph = match solver.graph_kind() {
+                GraphKind::Chain => TREE,
+                GraphKind::Tree | GraphKind::Process => CHAIN,
+            };
+            let golden = golden_request(solver.name());
+            let swapped = golden.replace(
+                match solver.graph_kind() {
+                    GraphKind::Chain => CHAIN,
+                    GraphKind::Tree | GraphKind::Process => TREE,
+                },
+                wrong_graph,
+            );
+            let err = solver.parse(&Value::parse(&swapped).unwrap()).unwrap_err();
+            assert_eq!(err.code(), "wrong_graph_kind", "{}", solver.name());
+
+            // Add a field outside the declared schema.
+            let Value::Object(mut fields) = Value::parse(&golden).unwrap() else {
+                unreachable!()
+            };
+            fields.push(("bogus".into(), Value::from(1u64)));
+            let err = solver.parse(&Value::Object(fields)).unwrap_err();
+            assert_eq!(err.code(), "unknown_field", "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn coc_algorithms_agree_and_validate() {
+        let registry = Registry::shared();
+        let (_, coc) = registry.get("coc").unwrap();
+        let base = format!(
+            r#"{{"objective": "coc", "processors": 2, "algorithm": "bokhari", "graph": {CHAIN}}}"#
+        );
+        let a = coc
+            .run(&coc.parse(&Value::parse(&base).unwrap()).unwrap())
+            .unwrap();
+        let probe = base.replace("bokhari", "probe");
+        let b = coc
+            .run(&coc.parse(&Value::parse(&probe).unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(a.value["bottleneck"], b.value["bottleneck"]);
+
+        let junk = base.replace("bokhari", "quantum");
+        let err = coc
+            .run(&coc.parse(&Value::parse(&junk).unwrap()).unwrap())
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid_field");
+    }
+
+    #[test]
+    fn tree_bandwidth_refuses_expensive_instances() {
+        let (_, solver) = Registry::shared().get("tree-bandwidth").unwrap();
+        let body =
+            format!(r#"{{"objective": "tree-bandwidth", "bound": 10000000000, "graph": {TREE}}}"#);
+        let err = solver.parse(&Value::parse(&body).unwrap()).unwrap_err();
+        assert_eq!(err.code(), "too_expensive");
+    }
+
+    #[test]
+    fn hetero_rejects_zero_and_oversized_speed_arrays() {
+        let (_, solver) = Registry::shared().get("hetero").unwrap();
+        for speeds in ["[]", "[4, 0, 1]"] {
+            let body =
+                format!(r#"{{"objective": "hetero", "speeds": {speeds}, "graph": {CHAIN}}}"#);
+            let err = solver.parse(&Value::parse(&body).unwrap()).unwrap_err();
+            assert_eq!(err.code(), "invalid_field", "speeds {speeds}");
+        }
+        let huge: Vec<String> = (0..MAX_SPEEDS + 1).map(|_| "1".to_string()).collect();
+        let body = format!(
+            r#"{{"objective": "hetero", "speeds": [{}], "graph": {CHAIN}}}"#,
+            huge.join(",")
+        );
+        let err = solver.parse(&Value::parse(&body).unwrap()).unwrap_err();
+        assert_eq!(err.code(), "too_expensive");
+    }
+
+    #[test]
+    fn host_satellite_validates_root_range() {
+        let (_, solver) = Registry::shared().get("host-satellite").unwrap();
+        let body = format!(
+            r#"{{"objective": "host-satellite", "satellites": 2, "root": 99, "graph": {TREE}}}"#
+        );
+        let err = solver
+            .run(&solver.parse(&Value::parse(&body).unwrap()).unwrap())
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid_field");
+    }
+
+    #[test]
+    fn infeasible_instances_keep_their_solver_message() {
+        let (_, solver) = Registry::shared().get("bandwidth").unwrap();
+        let body = format!(r#"{{"objective": "bandwidth", "bound": 0, "graph": {CHAIN}}}"#);
+        let err = solver
+            .run(&solver.parse(&Value::parse(&body).unwrap()).unwrap())
+            .unwrap_err();
+        assert_eq!(err.code(), "infeasible");
+        assert!(err.to_string().contains("load bound"), "{err}");
+    }
+}

@@ -1,0 +1,168 @@
+//! The [`Solver`] trait and the [`Registry`] that dispatches on
+//! objective names.
+
+use std::sync::OnceLock;
+
+use tgp_graph::json::Value;
+
+use crate::error::SolveError;
+use crate::key::KeyBuilder;
+use crate::objectives;
+use crate::request::{parse_request, GraphKind, ParamSpec, Request, Response};
+
+/// One partitioning objective: everything a front end needs to accept,
+/// run, cache and render it.
+///
+/// A solver owns its request schema ([`Solver::params`]) and response
+/// shape; the CLI and the HTTP service are thin shells over
+/// [`Solver::parse`] → [`Solver::run`], which is what guarantees the two
+/// produce byte-identical JSON for the same request.
+pub trait Solver: Send + Sync {
+    /// The objective name used for dispatch, metrics labels and the
+    /// `"objective"` response field.
+    fn name(&self) -> &'static str;
+
+    /// The graph class the solver accepts.
+    fn graph_kind(&self) -> GraphKind;
+
+    /// The scalar parameters the solver accepts beyond `objective` and
+    /// `graph`. Undeclared fields are rejected by [`Solver::parse`].
+    fn params(&self) -> &'static [ParamSpec];
+
+    /// One human line for docs and usage listings.
+    fn summary(&self) -> &'static str;
+
+    /// Strictly validates a raw request object into a typed [`Request`].
+    ///
+    /// The default checks the declared schema and graph kind; solvers
+    /// override only to add extra validation (cost caps, range checks)
+    /// *after* delegating to the default (see `TreeBandwidth`).
+    fn parse(&self, value: &Value) -> Result<Request, SolveError> {
+        parse_request(self.name(), self.graph_kind(), self.params(), value)
+    }
+
+    /// Runs the objective on a validated request.
+    fn run(&self, request: &Request) -> Result<Response, SolveError>;
+
+    /// The canonical cache key of a validated request: objective name,
+    /// parameters, then graph content — independent of the original
+    /// JSON formatting. Two requests with equal keys are guaranteed to
+    /// produce equal responses, so a cache may serve one for the other.
+    fn canonical_key(&self, request: &Request) -> Vec<u8> {
+        let mut key = KeyBuilder::default();
+        key.write_str(self.name());
+        request.params.write_key(&mut key);
+        request.graph.write_key(&mut key);
+        key.finish()
+    }
+
+    /// Renders a response as JSON. The default returns the value the
+    /// solver already built; overriding is only for solvers whose
+    /// in-memory response is not its wire form.
+    fn to_json(&self, response: &Response) -> Value {
+        response.value.clone()
+    }
+}
+
+/// The set of registered solvers, dispatchable by objective name.
+pub struct Registry {
+    solvers: Vec<Box<dyn Solver>>,
+    names: Vec<&'static str>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Builds a registry with every objective in the workspace.
+    pub fn with_all() -> Self {
+        let mut registry = Registry {
+            solvers: Vec::new(),
+            names: Vec::new(),
+        };
+        for solver in objectives::all() {
+            registry.register(solver);
+        }
+        registry
+    }
+
+    /// Adds a solver.
+    ///
+    /// # Panics
+    ///
+    /// If another solver already claimed the name — duplicate objectives
+    /// would make dispatch ambiguous, so this is a programming error.
+    pub fn register(&mut self, solver: Box<dyn Solver>) {
+        let name = solver.name();
+        assert!(
+            !self.names.contains(&name),
+            "duplicate solver registration: {name}"
+        );
+        self.names.push(name);
+        self.solvers.push(solver);
+    }
+
+    /// The shared process-wide registry.
+    pub fn shared() -> &'static Registry {
+        static SHARED: OnceLock<Registry> = OnceLock::new();
+        SHARED.get_or_init(Registry::with_all)
+    }
+
+    /// Looks up a solver by objective name. The index is stable for the
+    /// registry's lifetime and usable as a dense metrics key.
+    pub fn get(&self, name: &str) -> Option<(usize, &dyn Solver)> {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| (i, self.solvers[i].as_ref()))
+    }
+
+    /// Every registered objective name, in registration order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Iterates the registered solvers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Full dispatch: resolves the request's `objective` field, then
+    /// strictly parses the request against that solver's schema.
+    /// Returns the solver's registry index alongside it so callers can
+    /// label metrics even when a later stage fails.
+    pub fn dispatch<'r>(
+        &'r self,
+        value: &Value,
+    ) -> Result<(usize, &'r dyn Solver, Request), SolveError> {
+        let name =
+            value
+                .get("objective")
+                .and_then(Value::as_str)
+                .ok_or(SolveError::MissingField {
+                    field: "objective",
+                    expected: "a string naming a registered objective",
+                })?;
+        let (index, solver) = self.get(name).ok_or_else(|| SolveError::UnknownObjective {
+            got: name.to_string(),
+            known: self.names.clone(),
+        })?;
+        let request = solver.parse(value)?;
+        Ok((index, solver, request))
+    }
+}

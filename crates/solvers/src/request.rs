@@ -1,0 +1,475 @@
+//! The typed request/response pair every solver shares, plus the strict
+//! field-level parser that turns a raw JSON object into a [`Request`].
+//!
+//! Parsing is *strict*: a request may only carry `objective`, `graph`
+//! and the parameters its solver declares — anything else is rejected
+//! with [`SolveError::UnknownField`]. This is what lets the CLI and the
+//! HTTP service guarantee identical behaviour: there is exactly one
+//! schema per objective and it lives here, not in each front end.
+
+use std::fmt;
+
+use tgp_graph::json::{FromJson, Value};
+use tgp_graph::{PathGraph, ProcessGraph, Tree};
+
+use crate::error::SolveError;
+use crate::key::KeyBuilder;
+
+/// The graph class a solver accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// A linear task graph: `{"node_weights": [...], "edge_weights": [...]}`.
+    Chain,
+    /// A tree task graph: `{"node_weights": [...], "edges": [{"a","b","weight"}, ...]}`.
+    Tree,
+    /// A general process graph (same encoding as a tree, cycles allowed).
+    Process,
+}
+
+impl GraphKind {
+    /// The kind's lowercase name, as used in error messages and docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GraphKind::Chain => "chain",
+            GraphKind::Tree => "tree",
+            GraphKind::Process => "process",
+        }
+    }
+}
+
+impl fmt::Display for GraphKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A validated input graph.
+#[derive(Debug, Clone)]
+pub enum GraphInput {
+    /// A linear task graph.
+    Chain(PathGraph),
+    /// A tree task graph.
+    Tree(Tree),
+    /// A general process graph.
+    Process(ProcessGraph),
+}
+
+impl GraphInput {
+    /// The chain, for solvers registered with [`GraphKind::Chain`].
+    ///
+    /// # Panics
+    ///
+    /// If the request was parsed for a different graph kind — the parser
+    /// guarantees the variant matches the solver's declared kind, so a
+    /// panic here is a registry bug, not bad input.
+    pub fn chain(&self) -> &PathGraph {
+        match self {
+            GraphInput::Chain(p) => p,
+            other => panic!("solver expected a chain, request holds {}", other.kind()),
+        }
+    }
+
+    /// The tree, for solvers registered with [`GraphKind::Tree`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`GraphInput::chain`].
+    pub fn tree(&self) -> &Tree {
+        match self {
+            GraphInput::Tree(t) => t,
+            other => panic!("solver expected a tree, request holds {}", other.kind()),
+        }
+    }
+
+    /// The process graph, for solvers registered with
+    /// [`GraphKind::Process`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`GraphInput::chain`].
+    pub fn process(&self) -> &ProcessGraph {
+        match self {
+            GraphInput::Process(g) => g,
+            other => panic!(
+                "solver expected a process graph, request holds {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Which graph class this input holds.
+    pub fn kind(&self) -> GraphKind {
+        match self {
+            GraphInput::Chain(_) => GraphKind::Chain,
+            GraphInput::Tree(_) => GraphKind::Tree,
+            GraphInput::Process(_) => GraphKind::Process,
+        }
+    }
+
+    /// Writes the graph's validated content into a canonical key.
+    pub fn write_key(&self, key: &mut KeyBuilder) {
+        match self {
+            GraphInput::Chain(p) => {
+                key.write(b"/chain");
+                key.write_u64(p.len() as u64);
+                for w in p.node_weights() {
+                    key.write_u64(w.get());
+                }
+                for w in p.edge_weights() {
+                    key.write_u64(w.get());
+                }
+            }
+            GraphInput::Tree(t) => {
+                key.write(b"/tree");
+                key.write_u64(t.len() as u64);
+                for w in t.node_weights() {
+                    key.write_u64(w.get());
+                }
+                for e in t.edges() {
+                    key.write_u64(e.a.index() as u64);
+                    key.write_u64(e.b.index() as u64);
+                    key.write_u64(e.weight.get());
+                }
+            }
+            GraphInput::Process(g) => {
+                key.write(b"/process");
+                key.write_u64(g.len() as u64);
+                for w in g.node_weights() {
+                    key.write_u64(w.get());
+                }
+                for e in g.edges() {
+                    key.write_u64(e.a.index() as u64);
+                    key.write_u64(e.b.index() as u64);
+                    key.write_u64(e.weight.get());
+                }
+            }
+        }
+    }
+}
+
+/// The JSON type a declared parameter must hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A non-negative integer.
+    U64,
+    /// A non-empty array of non-negative integers.
+    U64List,
+    /// A string.
+    Str,
+}
+
+/// One parameter a solver declares: its field name, type, and whether
+/// the request must carry it.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// The JSON field name.
+    pub name: &'static str,
+    /// The value type.
+    pub kind: ParamKind,
+    /// Whether omission is an error.
+    pub required: bool,
+}
+
+impl ParamSpec {
+    /// A required parameter.
+    pub const fn required(name: &'static str, kind: ParamKind) -> Self {
+        ParamSpec {
+            name,
+            kind,
+            required: true,
+        }
+    }
+
+    /// An optional parameter.
+    pub const fn optional(name: &'static str, kind: ParamKind) -> Self {
+        ParamSpec {
+            name,
+            kind,
+            required: false,
+        }
+    }
+}
+
+/// The scalar parameters of a validated request — the union of every
+/// solver's declared parameters, each present only when declared and
+/// supplied.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    /// Load bound `K` (most objectives).
+    pub bound: Option<u64>,
+    /// Processor count `m` (chains-on-chains objectives).
+    pub processors: Option<u64>,
+    /// Maximum satellite count (`host-satellite`).
+    pub satellites: Option<u64>,
+    /// Host/root vertex (`host-satellite`).
+    pub root: Option<u64>,
+    /// Sub-algorithm selector (`coc`: `"bokhari"` or `"probe"`).
+    pub algorithm: Option<String>,
+    /// Processor speeds (`hetero`).
+    pub speeds: Option<Vec<u64>>,
+}
+
+impl Params {
+    /// Writes every present parameter into a canonical key, in a fixed
+    /// order with presence tags, so two requests differing in any
+    /// parameter (or in which parameters they carry) never share a key.
+    pub fn write_key(&self, key: &mut KeyBuilder) {
+        for opt in [self.bound, self.processors, self.satellites, self.root] {
+            match opt {
+                Some(v) => {
+                    key.write_u64(1);
+                    key.write_u64(v);
+                }
+                None => key.write_u64(0),
+            }
+        }
+        match &self.algorithm {
+            Some(a) => {
+                key.write_u64(1);
+                key.write_str(a);
+            }
+            None => key.write_u64(0),
+        }
+        match &self.speeds {
+            Some(s) => {
+                key.write_u64(1 + s.len() as u64);
+                for &v in s {
+                    key.write_u64(v);
+                }
+            }
+            None => key.write_u64(0),
+        }
+    }
+}
+
+/// A fully validated request: the typed graph plus the solver's
+/// parameters. Constructed only by [`crate::Solver::parse`], so holding one
+/// means the graph kind and every declared parameter already check out.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The validated input graph (variant matches the solver's kind).
+    pub graph: GraphInput,
+    /// The validated scalar parameters.
+    pub params: Params,
+}
+
+/// A solver's result, rendered as a JSON value whose serialization *is*
+/// the response body both front ends emit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The response object. Field order is fixed by the solver, so the
+    /// compact rendering is byte-stable.
+    pub value: Value,
+}
+
+impl Response {
+    /// Wraps a rendered value.
+    pub fn new(value: Value) -> Self {
+        Response { value }
+    }
+}
+
+/// Strictly parses `value` against a solver's declared schema.
+///
+/// Checks, in order: the request is an object; it carries no field
+/// outside `objective`, `graph` and `params`; every required parameter
+/// is present with the right type; the graph parses as `kind`.
+pub fn parse_request(
+    objective: &'static str,
+    kind: GraphKind,
+    params: &[ParamSpec],
+    value: &Value,
+) -> Result<Request, SolveError> {
+    let fields = value.as_object().ok_or(SolveError::MissingField {
+        field: "graph",
+        expected: "a request must be a JSON object",
+    })?;
+    for (name, _) in fields {
+        let known = name == "objective" || name == "graph" || params.iter().any(|p| p.name == name);
+        if !known {
+            return Err(SolveError::UnknownField {
+                field: name.clone(),
+                objective,
+            });
+        }
+    }
+    if let Some(claimed) = value.get("objective") {
+        let claimed = claimed.as_str().ok_or(SolveError::MissingField {
+            field: "objective",
+            expected: "a string",
+        })?;
+        if claimed != objective {
+            return Err(SolveError::InvalidField {
+                field: "objective".into(),
+                message: format!("request names {claimed:?} but was parsed by {objective:?}"),
+            });
+        }
+    }
+
+    let mut parsed = Params::default();
+    for spec in params {
+        let Some(raw) = value.get(spec.name) else {
+            if spec.required {
+                return Err(SolveError::MissingField {
+                    field: spec.name,
+                    expected: expected_of(spec.kind),
+                });
+            }
+            continue;
+        };
+        match spec.kind {
+            ParamKind::U64 => {
+                let v = raw.as_u64().ok_or(SolveError::MissingField {
+                    field: spec.name,
+                    expected: expected_of(spec.kind),
+                })?;
+                let slot = match spec.name {
+                    "bound" => &mut parsed.bound,
+                    "processors" => &mut parsed.processors,
+                    "satellites" => &mut parsed.satellites,
+                    "root" => &mut parsed.root,
+                    other => unreachable!("undeclared u64 parameter {other}"),
+                };
+                *slot = Some(v);
+            }
+            ParamKind::U64List => {
+                let list = raw
+                    .as_array()
+                    .ok_or(SolveError::MissingField {
+                        field: spec.name,
+                        expected: expected_of(spec.kind),
+                    })?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64().ok_or(SolveError::InvalidField {
+                            field: spec.name.into(),
+                            message: "every element must be a non-negative integer".into(),
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, _>>()?;
+                debug_assert_eq!(spec.name, "speeds", "the only list parameter");
+                parsed.speeds = Some(list);
+            }
+            ParamKind::Str => {
+                let s = raw.as_str().ok_or(SolveError::MissingField {
+                    field: spec.name,
+                    expected: expected_of(spec.kind),
+                })?;
+                debug_assert_eq!(spec.name, "algorithm", "the only string parameter");
+                parsed.algorithm = Some(s.to_string());
+            }
+        }
+    }
+
+    let graph_value = value.get("graph").ok_or(SolveError::MissingField {
+        field: "graph",
+        expected: "a graph object",
+    })?;
+    let graph = parse_graph(objective, kind, graph_value)?;
+    Ok(Request {
+        graph,
+        params: parsed,
+    })
+}
+
+fn expected_of(kind: ParamKind) -> &'static str {
+    match kind {
+        ParamKind::U64 => "a non-negative integer",
+        ParamKind::U64List => "an array of non-negative integers",
+        ParamKind::Str => "a string",
+    }
+}
+
+fn parse_graph(
+    objective: &'static str,
+    kind: GraphKind,
+    value: &Value,
+) -> Result<GraphInput, SolveError> {
+    let wrong = |e: tgp_graph::json::JsonError| SolveError::WrongGraphKind {
+        objective,
+        expected: kind,
+        message: e.to_string(),
+    };
+    Ok(match kind {
+        GraphKind::Chain => GraphInput::Chain(PathGraph::from_json(value).map_err(wrong)?),
+        GraphKind::Tree => GraphInput::Tree(Tree::from_json(value).map_err(wrong)?),
+        GraphKind::Process => GraphInput::Process(ProcessGraph::from_json(value).map_err(wrong)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &[ParamSpec] = &[
+        ParamSpec::required("bound", ParamKind::U64),
+        ParamSpec::optional("algorithm", ParamKind::Str),
+    ];
+
+    fn parse(text: &str) -> Result<Request, SolveError> {
+        parse_request("demo", GraphKind::Chain, SPEC, &Value::parse(text).unwrap())
+    }
+
+    #[test]
+    fn accepts_declared_fields_only() {
+        let ok = parse(
+            r#"{"objective":"demo","bound":5,
+                "graph":{"node_weights":[1,2],"edge_weights":[3]}}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.params.bound, Some(5));
+        assert_eq!(ok.graph.chain().len(), 2);
+
+        let err = parse(
+            r#"{"objective":"demo","bound":5,"buond":6,
+                "graph":{"node_weights":[1],"edge_weights":[]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "unknown_field");
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_are_reported() {
+        let err = parse(r#"{"graph":{"node_weights":[1],"edge_weights":[]}}"#).unwrap_err();
+        assert_eq!(err.code(), "missing_field");
+        let err = parse(r#"{"bound":"five","graph":{"node_weights":[1],"edge_weights":[]}}"#)
+            .unwrap_err();
+        assert_eq!(err.code(), "missing_field");
+        let err = parse(r#"{"bound":5}"#).unwrap_err();
+        assert_eq!(err.code(), "missing_field");
+    }
+
+    #[test]
+    fn wrong_graph_kind_is_its_own_code() {
+        let err = parse(
+            r#"{"bound":5,"graph":{"node_weights":[1,2],
+                "edges":[{"a":0,"b":1,"weight":1}]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "wrong_graph_kind");
+        assert!(err.to_string().contains("chain"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_objective_name_is_rejected() {
+        let err = parse(
+            r#"{"objective":"other","bound":5,
+                "graph":{"node_weights":[1],"edge_weights":[]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "invalid_field");
+    }
+
+    #[test]
+    fn params_key_distinguishes_presence_from_value() {
+        let mut with_none = KeyBuilder::default();
+        Params::default().write_key(&mut with_none);
+        let mut with_zero = KeyBuilder::default();
+        Params {
+            bound: Some(0),
+            ..Params::default()
+        }
+        .write_key(&mut with_zero);
+        assert_ne!(with_none.finish(), with_zero.finish());
+    }
+}
