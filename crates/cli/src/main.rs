@@ -28,7 +28,7 @@ use tgp_core::bandwidth::analyze_bandwidth;
 use tgp_core::pipeline::partition_chain;
 use tgp_graph::generators::{random_chain, random_tree, WeightDist};
 use tgp_graph::{EdgeId, PathGraph, Weight};
-use tgp_service::{Server, ServerConfig};
+use tgp_service::{CacheConfig, Server, ServerConfig};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 use tgp_solvers::{ParamKind, Registry};
@@ -105,8 +105,10 @@ USAGE:
   tgp approx --bound K [--input FILE]                 # general graphs
   tgp simulate --bound K --items N [--processors P]
                [--interconnect bus|crossbar] [--input FILE]
-  tgp serve [--addr 127.0.0.1:7070] [--workers 4] [--cache-capacity 1024]
-            [--queue-depth 64] [--log-requests]   # HTTP partition service
+  tgp serve [--addr 127.0.0.1:7070] [--workers 4] [--cache-bytes 33554432]
+            [--cache-ttl SECS] [--cache-file PATH] [--queue-depth 64]
+            [--log-requests]                      # HTTP partition service
+  tgp objectives [--markdown | --check FILE]      # registry listing / docs table
 
 OBJECTIVES (shared with POST /v1/partition; identical JSON responses):
 ",
@@ -217,7 +219,19 @@ fn run(args: &[String]) -> CliResult<String> {
             let opts = Options::parse(&rest)?;
             Ok(serve(&opts, log_requests)?.pretty())
         }
-        "objectives" => Ok(objectives_table().to_string()),
+        "objectives" => match args.get(1).map(String::as_str) {
+            None => Ok(objectives_table().to_string()),
+            Some("--markdown") => Ok(objectives_markdown().trim_end().to_string()),
+            Some("--check") => {
+                let path = args
+                    .get(2)
+                    .ok_or("--check needs a file path (e.g. docs/SERVICE.md)")?;
+                objectives_check(path)
+            }
+            Some(other) => {
+                Err(format!("objectives takes --markdown or --check <file>, got {other:?}").into())
+            }
+        },
         "help" | "--help" | "-h" => Err(usage().into()),
         other => Err(format!("unknown command {other:?}").into()),
     }
@@ -249,6 +263,75 @@ fn objectives_table() -> Value {
         })
         .collect();
     json!({ "objectives": solvers })
+}
+
+/// `tgp objectives --markdown` — the registry rendered as a GitHub
+/// markdown table, the canonical content between the
+/// `<!-- objectives:begin -->` / `<!-- objectives:end -->` markers in
+/// `docs/SERVICE.md`. Optional parameters carry a `?` suffix.
+fn objectives_markdown() -> String {
+    let mut table =
+        String::from("| objective | graph | parameters | summary |\n|---|---|---|---|\n");
+    for solver in Registry::shared().iter() {
+        let params: Vec<String> = solver
+            .params()
+            .iter()
+            .map(|p| {
+                if p.required {
+                    format!("`{}`", p.name)
+                } else {
+                    format!("`{}?`", p.name)
+                }
+            })
+            .collect();
+        let params = if params.is_empty() {
+            "—".to_string()
+        } else {
+            params.join(", ")
+        };
+        table.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            solver.name(),
+            solver.graph_kind().as_str(),
+            params,
+            solver.summary().replace('|', "\\|") // keep `|` out of table cells
+        ));
+    }
+    table
+}
+
+/// `tgp objectives --check FILE` — fails (exit 1) when the table
+/// between the objectives markers in FILE differs from what
+/// `--markdown` generates, so docs can't drift from the registry.
+fn objectives_check(path: &str) -> CliResult<String> {
+    const BEGIN: &str = "<!-- objectives:begin -->";
+    const END: &str = "<!-- objectives:end -->";
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("objectives --check {path}: {e}"))?;
+    let start = text
+        .find(BEGIN)
+        .ok_or_else(|| format!("{path}: missing {BEGIN:?} marker"))?;
+    let end = text
+        .find(END)
+        .ok_or_else(|| format!("{path}: missing {END:?} marker"))?;
+    if end < start {
+        return Err(format!("{path}: {END:?} appears before {BEGIN:?}").into());
+    }
+    let found = text[start + BEGIN.len()..end].trim();
+    let expected = objectives_markdown();
+    let expected = expected.trim();
+    if found == expected {
+        Ok(format!(
+            "{path}: objectives table is up to date ({} objectives)",
+            Registry::shared().names().len()
+        ))
+    } else {
+        Err(format!(
+            "{path}: objectives table is stale; regenerate with `tgp objectives --markdown` \
+             and paste it between the markers\n--- expected ---\n{expected}\n--- found ---\n{found}"
+        )
+        .into())
+    }
 }
 
 fn dists(opts: &Options) -> CliResult<(WeightDist, WeightDist)> {
@@ -420,10 +503,24 @@ fn simulate(opts: &Options) -> CliResult<Value> {
 }
 
 fn serve(opts: &Options, log_requests: bool) -> CliResult<Value> {
+    if opts.get("cache-capacity").is_some() {
+        return Err(
+            "--cache-capacity was replaced in this release: the cache now budgets \
+                    bytes, not entries. Use --cache-bytes (default 33554432 = 32 MiB), and \
+                    see docs/SERVICE.md for --cache-ttl / --cache-file."
+                .into(),
+        );
+    }
+    let mut cache = CacheConfig::with_budget(opts.num("cache-bytes")?.unwrap_or(32 << 20));
+    let ttl_secs: u64 = opts.num("cache-ttl")?.unwrap_or(0);
+    if ttl_secs > 0 {
+        cache.ttl = Some(std::time::Duration::from_secs(ttl_secs));
+    }
     let config = ServerConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
         workers: opts.num("workers")?.unwrap_or(4),
-        cache_capacity: opts.num("cache-capacity")?.unwrap_or(1024),
+        cache,
+        cache_file: opts.get("cache-file").map(std::path::PathBuf::from),
         queue_depth: opts.num("queue-depth")?.unwrap_or(64),
         log_requests,
         ..ServerConfig::default()
@@ -503,6 +600,48 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run(&strs(&["frobnicate"])).is_err());
         assert!(run(&strs(&["help"])).is_err()); // usage via Err channel
+    }
+
+    #[test]
+    fn objectives_markdown_lists_every_objective() {
+        let table = objectives_markdown();
+        for name in Registry::shared().names() {
+            assert!(
+                table.contains(&format!("| `{name}` |")),
+                "objectives table is missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn objectives_check_accepts_fresh_and_rejects_stale_tables() {
+        let path = std::env::temp_dir().join(format!("tgp-objcheck-{}.md", std::process::id()));
+        let fresh = format!(
+            "# Docs\n\n<!-- objectives:begin -->\n{}<!-- objectives:end -->\ntail\n",
+            objectives_markdown()
+        );
+        std::fs::write(&path, &fresh).unwrap();
+        assert!(objectives_check(path.to_str().unwrap()).is_ok());
+
+        let stale = fresh.replace("| `bandwidth` |", "| `bandwidht` |");
+        std::fs::write(&path, &stale).unwrap();
+        let err = objectives_check(path.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("stale"));
+
+        std::fs::write(&path, "no markers here\n").unwrap();
+        let err = objectives_check(path.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("missing"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_rejects_removed_cache_capacity_flag() {
+        let opts = Options::parse(&strs(&["--cache-capacity", "1024"])).unwrap();
+        let err = serve(&opts, false).unwrap_err().to_string();
+        assert!(
+            err.contains("--cache-bytes"),
+            "migration hint missing: {err}"
+        );
     }
 
     #[test]

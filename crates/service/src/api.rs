@@ -5,7 +5,9 @@
 //! * `POST /v1/partition` — run any objective registered in
 //!   [`tgp_solvers::Registry`] (all thirteen: chains, trees and general
 //!   process graphs). Accepts a single request object or
-//!   `{"requests": [...]}` for a batch.
+//!   `{"requests": [...]}` for a batch; batch items are scattered
+//!   across the worker pool and gathered back in order (see
+//!   [`BatchSubtask`]).
 //! * `POST /v1/simulate` — partition a chain and replay it through the
 //!   shared-memory pipeline simulator.
 //! * `GET /healthz` — liveness probe.
@@ -33,6 +35,8 @@
 //! so formatting differences (whitespace, key order) between equivalent
 //! requests still hit.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use tgp_core::pipeline::partition_chain;
@@ -42,9 +46,10 @@ use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 use tgp_solvers::{KeyBuilder, Registry, SolveError};
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheConfig, ResultCache};
 use crate::http::Request;
 use crate::metrics::Metrics;
+use crate::pool::{BoundedQueue, Work};
 
 /// Largest `items` accepted by `/v1/simulate`. The simulator schedules
 /// one event per item, so this bounds per-request CPU and memory for a
@@ -65,15 +70,20 @@ pub struct AppState {
     pub metrics: Metrics,
     /// Emit one structured access-log line per request to stderr.
     pub log_requests: bool,
+    /// The worker-pool queue batch handlers scatter subtasks onto. Unset
+    /// when the state runs without a pool (unit tests, embedders calling
+    /// [`handle`] directly) — batches then execute inline.
+    fanout: OnceLock<Arc<BoundedQueue<Work>>>,
 }
 
 impl AppState {
-    /// Creates state with a cache of the given capacity.
-    pub fn new(cache_capacity: usize) -> Self {
+    /// Creates state with a cache under the given policy.
+    pub fn new(cache: CacheConfig) -> Self {
         AppState {
-            cache: ResultCache::new(cache_capacity),
+            cache: ResultCache::new(cache),
             metrics: Metrics::default(),
             log_requests: false,
+            fanout: OnceLock::new(),
         }
     }
 
@@ -81,6 +91,13 @@ impl AppState {
     pub fn with_access_log(mut self, enabled: bool) -> Self {
         self.log_requests = enabled;
         self
+    }
+
+    /// Attaches the worker-pool queue so batch requests can scatter
+    /// subtasks onto it. Called once by [`crate::server::Server::start`];
+    /// later calls are ignored.
+    pub fn attach_pool(&self, pool: Arc<BoundedQueue<Work>>) {
+        let _ = self.fanout.set(pool);
     }
 }
 
@@ -182,13 +199,17 @@ pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
 fn route(state: &AppState, req: &Request) -> ApiResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => json_response(200, "healthz", "{\"status\":\"ok\"}\n".into()),
-        ("GET", "/metrics") => ApiResponse {
-            status: 200,
-            body: state.metrics.render(),
-            content_type: "text/plain; version=0.0.4",
-            endpoint: "metrics",
-            objective: "-",
-        },
+        ("GET", "/metrics") => {
+            let mut body = state.metrics.render();
+            state.cache.render_metrics(&mut body);
+            ApiResponse {
+                status: 200,
+                body,
+                content_type: "text/plain; version=0.0.4",
+                endpoint: "metrics",
+                objective: "-",
+            }
+        }
         ("POST", "/v1/partition") => partition_endpoint(state, &req.body),
         ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/simulate") => {
@@ -208,30 +229,74 @@ fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
         Ok(v) => v,
         Err(failure) => return error_response("partition", &failure),
     };
-    // Batch form: {"requests": [...]} → {"results": [...]} where each
-    // result is either a response object or {"error": ..., "code": ...}.
-    // The batch itself is 200 as long as the envelope parses; per-item
-    // failures are reported in place so one bad graph doesn't void its
-    // siblings.
+    // Batch form: {"requests": [...]}. The batch itself is 200 as long
+    // as the envelope parses; per-item failures are reported in place so
+    // one bad graph doesn't void its siblings. Items are scattered
+    // across the worker pool and gathered back in request order.
     if let Some(requests) = value.get("requests") {
         let Some(items) = requests.as_array() else {
             return error_response("partition", &bad("\"requests\" must be an array"));
         };
-        let results: Vec<Value> = items
-            .iter()
-            .map(|item| match partition_one(state, item) {
-                Ok(rendered) => Value::parse(&rendered).expect("rendered response is JSON"),
-                Err(failure) => json!({
-                    "error": failure.message.as_str(),
-                    "code": failure.code,
-                }),
-            })
-            .collect();
-        let mut response = json_response(
-            200,
-            "partition",
-            format!("{}\n", json!({ "results": results })),
-        );
+        let compat = match value.get("compat") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => {
+                return error_response("partition", &bad("\"compat\" must be a boolean"));
+            }
+        };
+        let outcomes = run_batch(state, items.to_vec());
+        let body = if compat {
+            // Deprecated v1 shape: each result is either the response
+            // object or {"error", "code"} in place — kept one release
+            // for clients that haven't migrated (docs/SERVICE.md).
+            let results: Vec<Value> = outcomes
+                .into_iter()
+                .map(|outcome| match outcome {
+                    Ok(rendered) => Value::parse(&rendered).expect("rendered response is JSON"),
+                    Err(failure) => json!({
+                        "error": failure.message.as_str(),
+                        "code": failure.code,
+                    }),
+                })
+                .collect();
+            format!("{}\n", json!({ "results": results }))
+        } else {
+            // v2 envelope: every item is tagged with its index and an
+            // HTTP-style status, and the batch reports aggregate counts
+            // so callers can check success without walking the array.
+            let mut completed = 0u64;
+            let mut failed = 0u64;
+            let results: Vec<Value> = outcomes
+                .into_iter()
+                .enumerate()
+                .map(|(index, outcome)| match outcome {
+                    Ok(rendered) => {
+                        completed += 1;
+                        json!({
+                            "index": index as u64,
+                            "status": 200u64,
+                            "body": Value::parse(&rendered).expect("rendered response is JSON"),
+                        })
+                    }
+                    Err(failure) => {
+                        failed += 1;
+                        json!({
+                            "index": index as u64,
+                            "status": u64::from(failure.status),
+                            "body": json!({
+                                "error": failure.message.as_str(),
+                                "code": failure.code,
+                            }),
+                        })
+                    }
+                })
+                .collect();
+            format!(
+                "{}\n",
+                json!({ "completed": completed, "failed": failed, "results": results })
+            )
+        };
+        let mut response = json_response(200, "partition", body);
         response.objective = "batch";
         return response;
     }
@@ -242,6 +307,143 @@ fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
     };
     response.objective = objective;
     response
+}
+
+/// Runs a batch's items, scattering across the worker pool when one is
+/// attached and the batch is worth parallelising, and returns outcomes
+/// in request order.
+fn run_batch(state: &AppState, items: Vec<Value>) -> Vec<Result<String, Failure>> {
+    state.metrics.record_batch();
+    let pool = state.fanout.get();
+    if items.len() < 2 || pool.is_none() {
+        return items
+            .iter()
+            .map(|item| {
+                state.metrics.record_batch_subtask(false);
+                partition_one(state, item)
+            })
+            .collect();
+    }
+    let pool = pool.expect("checked above");
+    let job = Arc::new(BatchJob::new(items));
+    // Scatter: enqueue one subtask per item. A full queue is not an
+    // error — whatever fails to scatter simply runs inline below, so a
+    // saturated pool degrades to sequential execution instead of
+    // deadlocking the worker that is coordinating this batch.
+    for index in 0..job.len() {
+        // Raise the gauge before the push: a worker may pop (and
+        // decrement) the instant the push lands.
+        state.metrics.queue_changed(1);
+        let subtask = BatchSubtask {
+            job: Arc::clone(&job),
+            index,
+        };
+        if pool.try_push(Work::Batch(subtask)).is_err() {
+            state.metrics.queue_changed(-1);
+            break;
+        }
+    }
+    // Gather, stealing: claim and run every item no worker has started
+    // yet (including items we queued — a worker popping one later finds
+    // the claim taken and drops it). Because the coordinator can always
+    // claim its own unstarted work, batch completion never depends on
+    // queue capacity, which is what makes the scheme deadlock-free.
+    for index in 0..job.len() {
+        if job.run_claimed(state, index) {
+            state.metrics.record_batch_subtask(false);
+        }
+    }
+    // Items claimed by pool workers may still be in flight; wait for
+    // the last store. Every claimed item is actively executing on some
+    // thread, so this wait is bounded by solver time, not queue state.
+    job.wait()
+}
+
+/// A scattered `/v1/partition` batch: the items, one claim flag per
+/// item, and the gathered results.
+///
+/// Claims make work stealing race-free: whoever flips the flag first —
+/// a pool worker that popped the subtask, or the coordinator sweeping
+/// unstarted items — runs the item exactly once.
+#[derive(Debug)]
+struct BatchJob {
+    items: Vec<Value>,
+    claims: Vec<AtomicBool>,
+    slots: Mutex<BatchSlots>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct BatchSlots {
+    results: Vec<Option<Result<String, Failure>>>,
+    remaining: usize,
+}
+
+impl BatchJob {
+    fn new(items: Vec<Value>) -> Self {
+        let n = items.len();
+        BatchJob {
+            items,
+            claims: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            slots: Mutex::new(BatchSlots {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Claims and runs item `index`; returns `false` (without running)
+    /// when another thread already claimed it.
+    fn run_claimed(&self, state: &AppState, index: usize) -> bool {
+        if self.claims[index].swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let result = partition_one(state, &self.items[index]);
+        let mut slots = self.slots.lock().expect("batch slots poisoned");
+        slots.results[index] = Some(result);
+        slots.remaining -= 1;
+        if slots.remaining == 0 {
+            self.done.notify_all();
+        }
+        true
+    }
+
+    /// Blocks until every item has stored its result, then returns them
+    /// in request order.
+    fn wait(&self) -> Vec<Result<String, Failure>> {
+        let mut slots = self.slots.lock().expect("batch slots poisoned");
+        while slots.remaining > 0 {
+            slots = self.done.wait(slots).expect("batch slots poisoned");
+        }
+        slots
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().expect("all items completed"))
+            .collect()
+    }
+}
+
+/// One scattered batch item, executed by a pool worker (or dropped if
+/// the coordinator stole it first).
+#[derive(Debug)]
+pub struct BatchSubtask {
+    job: Arc<BatchJob>,
+    index: usize,
+}
+
+impl BatchSubtask {
+    /// Runs the item unless it was already claimed. Called from the
+    /// worker loop in [`crate::server`].
+    pub fn run(&self, state: &AppState) {
+        if self.job.run_claimed(state, self.index) {
+            state.metrics.record_batch_subtask(true);
+        }
+    }
 }
 
 /// The registered name the request dispatches to, for log labels —
@@ -267,7 +469,8 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
             .map_err(solve_failure)
             .and_then(|(index, solver, request)| {
                 let key = solver.canonical_key(&request);
-                with_cache(state, &key, || {
+                let cost = solver.cost_estimate(&request);
+                with_cache(state, &key, cost, || {
                     let response = solver.run(&request).map_err(solve_failure)?;
                     Ok(solver.to_json(&response).to_string())
                 })
@@ -398,7 +601,10 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
     }
     let key = builder.finish();
 
-    with_cache(state, &key, || {
+    // One simulation event per item per stage, roughly: the admission
+    // guard should treat long simulations as expensive to recompute.
+    let cost = (items as u64).saturating_mul(chain.len() as u64);
+    with_cache(state, &key, cost, || {
         let part = partition_chain(&chain, Weight::new(bound)).map_err(infeasible)?;
         let processors = processors_override.unwrap_or(part.processors);
         let machine = Machine::new(processors, 1, 1, 0, interconnect).map_err(infeasible)?;
@@ -420,10 +626,13 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
 
 /// Cache-through: serve a rendered response from the cache or compute,
 /// render and remember it. Only successes are cached — a failure (e.g.
-/// infeasible bound) is cheap to recompute and should not occupy a slot.
+/// infeasible bound) is cheap to recompute and should not occupy space.
+/// `cost` is the solver's work estimate, which the cache's admission
+/// guard uses to decide whether a large response is worth keeping.
 fn with_cache(
     state: &AppState,
     key: &[u8],
+    cost: u64,
     compute: impl FnOnce() -> Result<String, Failure>,
 ) -> Result<String, Failure> {
     if let Some(hit) = state.cache.get(key) {
@@ -432,7 +641,7 @@ fn with_cache(
     }
     state.metrics.record_cache(false);
     let rendered = compute()?;
-    state.cache.insert(key, rendered.clone());
+    state.cache.insert(key, rendered.clone(), cost);
     Ok(rendered)
 }
 
@@ -486,7 +695,7 @@ mod tests {
 
     #[test]
     fn healthz_is_ok() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let r = handle(&state, &get("/healthz"));
         assert_eq!(r.status, 200);
         assert!(r.body.contains("ok"));
@@ -494,7 +703,7 @@ mod tests {
 
     #[test]
     fn every_registered_objective_is_served() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         for solver in Registry::shared().iter() {
             let body = golden_body(solver.name());
             let r = handle(&state, &post("/v1/partition", &body));
@@ -519,7 +728,7 @@ mod tests {
 
     #[test]
     fn bandwidth_partition_matches_direct_solver() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let body = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
         let r = handle(&state, &post("/v1/partition", &body));
         assert_eq!(r.status, 200, "{}", r.body);
@@ -544,7 +753,7 @@ mod tests {
 
     #[test]
     fn tree_objectives_work() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         for (objective, expect_key) in [("bottleneck", "components"), ("procmin", "processors")] {
             let body = format!(r#"{{"objective": "{objective}", "bound": 10, "graph": {TREE}}}"#);
             let r = handle(&state, &post("/v1/partition", &body));
@@ -556,7 +765,7 @@ mod tests {
 
     #[test]
     fn equivalent_requests_hit_the_cache() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let a = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
         // Same content, different formatting and field order.
         let b = format!(r#"{{ "graph": {CHAIN},   "bound": 10, "objective": "bandwidth" }}"#);
@@ -568,7 +777,7 @@ mod tests {
 
     #[test]
     fn batch_requests_partition_independently() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let body = format!(
             r#"{{"requests": [
                 {{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}},
@@ -580,16 +789,148 @@ mod tests {
         assert_eq!(r.status, 200, "{}", r.body);
         assert_eq!(r.objective, "batch");
         let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["completed"].as_u64(), Some(2), "{}", r.body);
+        assert_eq!(v["failed"].as_u64(), Some(1), "{}", r.body);
         let results = v["results"].as_array().unwrap();
         assert_eq!(results.len(), 3);
+        // v2: every item is tagged {index, status, body}, in order.
+        for (i, item) in results.iter().enumerate() {
+            assert_eq!(item["index"].as_u64(), Some(i as u64));
+        }
+        assert_eq!(results[0]["status"].as_u64(), Some(200));
+        assert!(results[0]["body"]["objective"].as_str().is_some());
+        assert_eq!(results[1]["status"].as_u64(), Some(422));
+        assert_eq!(
+            results[1]["body"]["code"].as_str(),
+            Some("unknown_objective")
+        );
+        assert_eq!(results[2]["status"].as_u64(), Some(200));
+        assert!(results[2]["body"]["processors"].as_u64().is_some());
+    }
+
+    #[test]
+    fn batch_compat_flag_restores_v1_shape() {
+        let state = AppState::new(CacheConfig::default());
+        let body = format!(
+            r#"{{"compat": true, "requests": [
+                {{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}},
+                {{"objective": "nonsense", "bound": 10, "graph": {CHAIN}}}
+            ]}}"#
+        );
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert!(v.get("completed").is_none(), "v1 shape has no counts");
+        let results = v["results"].as_array().unwrap();
         assert!(results[0]["objective"].as_str().is_some());
         assert_eq!(results[1]["code"].as_str(), Some("unknown_objective"));
-        assert!(results[2]["processors"].as_u64().is_some());
+
+        // compat must be a boolean, not merely truthy.
+        let bad_flag = body.replace("\"compat\": true", "\"compat\": 1");
+        let r = handle(&state, &post("/v1/partition", &bad_flag));
+        assert_eq!(r.status, 400, "{}", r.body);
+    }
+
+    #[test]
+    fn batch_without_pool_runs_inline_and_counts_subtasks() {
+        let state = AppState::new(CacheConfig::default());
+        let body = format!(
+            r#"{{"requests": [
+                {{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}},
+                {{"objective": "nicol", "bound": 10, "graph": {CHAIN}}}
+            ]}}"#
+        );
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let text = state.metrics.render();
+        assert!(text.contains("tgp_batch_requests_total 1"), "{text}");
+        assert!(
+            text.contains("tgp_batch_subtasks_total{path=\"inline\"} 2"),
+            "no pool attached → both items inline: {text}"
+        );
+    }
+
+    #[test]
+    fn batch_scatters_across_an_attached_pool() {
+        use std::sync::Arc;
+        let state = Arc::new(AppState::new(CacheConfig::default()));
+        let pool = Arc::new(BoundedQueue::<Work>::new(64));
+        state.attach_pool(Arc::clone(&pool));
+        // Two pool "workers" draining subtasks, as the server would.
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Some(work) = pool.pop() {
+                        state.metrics.queue_changed(-1);
+                        if let Work::Batch(subtask) = work {
+                            subtask.run(&state);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let items: Vec<String> = (1..=32)
+            .map(|k| {
+                format!(
+                    r#"{{"objective": "bandwidth", "bound": {}, "graph": {CHAIN}}}"#,
+                    k + 9
+                )
+            })
+            .collect();
+        let body = format!(r#"{{"requests": [{}]}}"#, items.join(","));
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["completed"].as_u64(), Some(32), "{}", r.body);
+        let results = v["results"].as_array().unwrap();
+        // Results arrive in request order with matching bounds.
+        for (i, item) in results.iter().enumerate() {
+            assert_eq!(item["index"].as_u64(), Some(i as u64));
+            assert_eq!(item["body"]["bound"].as_u64(), Some(i as u64 + 10));
+        }
+        pool.close();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // All 32 ran exactly once, split between pool and inline paths.
+        let text = state.metrics.render();
+        let count = |path: &str| -> u64 {
+            let needle = format!("tgp_batch_subtasks_total{{path=\"{path}\"}} ");
+            text.lines()
+                .find_map(|l| l.strip_prefix(&needle))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        assert_eq!(count("pool") + count("inline"), 32, "{text}");
+    }
+
+    #[test]
+    fn batch_survives_a_saturated_pool_with_no_workers() {
+        use std::sync::Arc;
+        // A pool nobody drains, with capacity for only one subtask:
+        // the coordinator must steal everything back and still answer.
+        let state = Arc::new(AppState::new(CacheConfig::default()));
+        let pool = Arc::new(BoundedQueue::<Work>::new(1));
+        state.attach_pool(Arc::clone(&pool));
+        let body = format!(
+            r#"{{"requests": [
+                {{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}},
+                {{"objective": "bandwidth", "bound": 11, "graph": {CHAIN}}},
+                {{"objective": "bandwidth", "bound": 12, "graph": {CHAIN}}}
+            ]}}"#
+        );
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["completed"].as_u64(), Some(3), "{}", r.body);
     }
 
     #[test]
     fn non_json_bodies_are_400() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         for bad_body in ["", "{", "\"just a string\"x"] {
             let r = handle(&state, &post("/v1/partition", bad_body));
             assert_eq!(r.status, 400, "body {bad_body:?} gave {}", r.body);
@@ -601,7 +942,7 @@ mod tests {
 
     #[test]
     fn semantic_rejections_are_422_with_stable_codes() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         for (body, code) in [
             ("[]".to_string(), "missing_field"),
             ("null".to_string(), "missing_field"),
@@ -640,7 +981,7 @@ mod tests {
 
     #[test]
     fn infeasible_bound_is_422() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let body = format!(r#"{{"objective": "bandwidth", "bound": 0, "graph": {CHAIN}}}"#);
         let r = handle(&state, &post("/v1/partition", &body));
         assert_eq!(r.status, 422, "{}", r.body);
@@ -655,7 +996,7 @@ mod tests {
 
     #[test]
     fn simulate_reports_throughput() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let body = format!(r#"{{"bound": 10, "items": 5, "graph": {CHAIN}}}"#);
         let r = handle(&state, &post("/v1/simulate", &body));
         assert_eq!(r.status, 200, "{}", r.body);
@@ -669,7 +1010,7 @@ mod tests {
 
     #[test]
     fn simulate_rejects_resource_exhausting_scalars() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         // One event is scheduled per item and per-processor state is
         // allocated up front, so absurd scalars must be refused before
         // any work or allocation happens.
@@ -708,7 +1049,7 @@ mod tests {
 
     #[test]
     fn unknown_paths_and_methods() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         assert_eq!(handle(&state, &get("/nope")).status, 404);
         assert_eq!(handle(&state, &get("/v1/partition")).status, 405);
         assert_eq!(handle(&state, &post("/healthz", "")).status, 405);
@@ -716,7 +1057,7 @@ mod tests {
 
     #[test]
     fn metrics_render_after_traffic() {
-        let state = AppState::new(16);
+        let state = AppState::new(CacheConfig::default());
         let _ = handle(&state, &get("/healthz"));
         let r = handle(&state, &get("/metrics"));
         assert_eq!(r.status, 200);

@@ -1,17 +1,29 @@
-//! A small closed-loop load generator for the partition service.
-//!
-//! Spawns N client threads, each holding one keep-alive connection and
-//! issuing partition requests back-to-back for a fixed duration, then
-//! reports aggregate throughput and latency quantiles.
+//! A load generator for the partition service, closed- or open-loop.
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--seconds S]
 //!         [--nodes N] [--distinct D] [--mix chain|tree|simulate]
+//!         [--rate RPS] [--sweep MIN..MAX] [--strict]
 //! ```
+//!
+//! Closed-loop (default): N client threads, each holding one keep-alive
+//! connection and issuing requests back-to-back — measures capacity.
+//!
+//! Open-loop (`--rate`): requests are launched on a fixed schedule
+//! spread across the clients regardless of how fast replies come back —
+//! measures latency at a controlled offered load. Latency is taken from
+//! each request's *scheduled* start time, so a slow server's queueing
+//! delay is charged to it (no coordinated omission); the report prints
+//! the achieved rate so a saturated run is visible.
 //!
 //! `--distinct` controls how many distinct request bodies the clients
 //! cycle through: 1 measures the pure cache-hit path, a large value
 //! measures solver throughput.
+//!
+//! `--sweep MIN..MAX` replaces the random population with one fixed
+//! chain partitioned under every bound in the inclusive range — the
+//! schedule-tuning workload the result cache is built for. Repeating a
+//! sweep (or restarting a `--cache-file` server) hits warm entries.
 //!
 //! `--mix` picks the request population:
 //!
@@ -19,6 +31,10 @@
 //! * `tree` — tree objectives (`bottleneck`, `procmin`, `compose`)
 //!   round-robin over random caterpillar trees.
 //! * `simulate` — `/v1/simulate` pipeline replays of random chains.
+//!
+//! `--strict` exits 1 when any response was a 5xx other than a 503
+//! shed (for CI smoke runs, where sheds under deliberate overload are
+//! the server working as designed but anything else is a bug).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -50,6 +66,11 @@ struct Config {
     nodes: usize,
     distinct: usize,
     mix: Mix,
+    /// Open-loop offered load in requests/second; `None` is closed-loop.
+    rate: Option<f64>,
+    /// Bound-sweep range (inclusive); replaces the `--distinct` bodies.
+    sweep: Option<(u64, u64)>,
+    strict: bool,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -60,6 +81,9 @@ fn parse_args() -> Result<Config, String> {
         nodes: 64,
         distinct: 16,
         mix: Mix::Chain,
+        rate: None,
+        sweep: None,
+        strict: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -101,10 +125,33 @@ fn parse_args() -> Result<Config, String> {
                     }
                 }
             }
+            "--rate" => {
+                let rate: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--rate must be a positive number".into());
+                }
+                config.rate = Some(rate);
+            }
+            "--sweep" => {
+                let raw = value("--sweep")?;
+                let (lo, hi) = raw
+                    .split_once("..")
+                    .ok_or_else(|| format!("--sweep expects MIN..MAX, got {raw:?}"))?;
+                let lo: u64 = lo.trim().parse().map_err(|e| format!("--sweep min: {e}"))?;
+                let hi: u64 = hi.trim().parse().map_err(|e| format!("--sweep max: {e}"))?;
+                if lo > hi {
+                    return Err(format!("--sweep: {lo} > {hi}"));
+                }
+                config.sweep = Some((lo, hi));
+            }
+            "--strict" => config.strict = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--seconds S] \
-                     [--nodes N] [--distinct D] [--mix chain|tree|simulate]"
+                     [--nodes N] [--distinct D] [--mix chain|tree|simulate] \
+                     [--rate RPS] [--sweep MIN..MAX] [--strict]"
                 );
                 std::process::exit(0);
             }
@@ -113,6 +160,9 @@ fn parse_args() -> Result<Config, String> {
     }
     if config.clients == 0 || config.distinct == 0 || config.nodes < 2 {
         return Err("--clients and --distinct must be > 0, --nodes >= 2".into());
+    }
+    if config.sweep.is_some() && config.mix != Mix::Chain {
+        return Err("--sweep only applies to the chain mix".into());
     }
     Ok(config)
 }
@@ -196,6 +246,21 @@ fn request_bodies(mix: Mix, nodes: usize, distinct: usize) -> Vec<RequestBody> {
         .collect()
 }
 
+/// One fixed chain under every bound in `lo..=hi` — each bound is a
+/// distinct cache key, so repeating a sweep exercises the warm path.
+/// Node weights are 1..=9, so any bound >= 9 is feasible; smaller
+/// bounds exercise the 422 `infeasible` path, which is also a valid
+/// thing to measure.
+fn sweep_bodies(nodes: usize, lo: u64, hi: u64) -> Vec<RequestBody> {
+    let graph = chain_graph(nodes, 0);
+    (lo..=hi)
+        .map(|bound| RequestBody {
+            path: "/v1/partition",
+            body: format!(r#"{{"objective":"bandwidth","bound":{bound},"graph":{graph}}}"#),
+        })
+        .collect()
+}
+
 /// One HTTP exchange on an existing keep-alive connection. Returns
 /// `false` when the connection is no longer usable.
 fn exchange(
@@ -247,6 +312,16 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     sorted_us[rank]
 }
 
+/// Per-client tallies, merged at the end.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    transport_errors: u64,
+    shed_503: u64,
+    other_5xx: u64,
+    non_200: u64,
+}
+
 fn main() {
     let config = match parse_args() {
         Ok(c) => c,
@@ -255,66 +330,107 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let bodies = Arc::new(request_bodies(config.mix, config.nodes, config.distinct));
+    let bodies = Arc::new(match config.sweep {
+        Some((lo, hi)) => sweep_bodies(config.nodes, lo, hi),
+        None => request_bodies(config.mix, config.nodes, config.distinct),
+    });
     let stop = Arc::new(AtomicBool::new(false));
 
+    let workload = match config.sweep {
+        Some((lo, hi)) => format!("bound sweep {lo}..{hi} over one fixed chain"),
+        None => format!(
+            "mix {}, {} distinct bodies",
+            config.mix.name(),
+            config.distinct
+        ),
+    };
+    let pacing = match config.rate {
+        Some(rate) => format!("open-loop at {rate} req/s"),
+        None => "closed-loop".into(),
+    };
     println!(
-        "loadgen: {} clients x {}s against {} (mix {}, {} nodes/graph, {} distinct bodies)",
-        config.clients,
-        config.seconds,
-        config.addr,
-        config.mix.name(),
-        config.nodes,
-        config.distinct
+        "loadgen: {} clients x {}s against {} ({pacing}; {workload}; {} nodes/graph)",
+        config.clients, config.seconds, config.addr, config.nodes
     );
+
+    // Open-loop: each client fires every `clients / rate` seconds,
+    // phase-shifted so the aggregate is a uniform `rate` req/s.
+    let interval = config
+        .rate
+        .map(|rate| Duration::from_secs_f64(config.clients as f64 / rate));
+    let base = Instant::now();
 
     let workers: Vec<_> = (0..config.clients)
         .map(|c| {
             let addr = config.addr.clone();
             let bodies = Arc::clone(&bodies);
             let stop = Arc::clone(&stop);
+            let offset = interval
+                .map(|iv| iv.mul_f64(c as f64 / config.clients as f64))
+                .unwrap_or(Duration::ZERO);
             std::thread::spawn(move || {
-                let mut latencies_us: Vec<u64> = Vec::new();
-                let mut errors = 0u64;
-                let mut non_200 = 0u64;
+                let mut tally = Tally::default();
+                let mut i = c; // de-phase clients across the body set
+                let mut seq: u32 = 0; // open-loop tick counter
                 'reconnect: while !stop.load(Ordering::Relaxed) {
                     let Ok(stream) = TcpStream::connect(&addr) else {
-                        errors += 1;
+                        tally.transport_errors += 1;
                         std::thread::sleep(Duration::from_millis(50));
                         continue;
                     };
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
                     let Ok(writer) = stream.try_clone() else {
-                        errors += 1;
+                        tally.transport_errors += 1;
                         continue;
                     };
                     let mut writer = writer;
                     let mut reader = BufReader::new(stream);
-                    let mut i = c; // de-phase clients across the body set
                     while !stop.load(Ordering::Relaxed) {
                         let body = &bodies[i % bodies.len()];
                         i += 1;
-                        let started = Instant::now();
+                        // The measurement epoch: in open-loop mode the
+                        // *scheduled* tick, even if we're running late
+                        // (that lateness is the server's queueing
+                        // delay); in closed-loop mode, now.
+                        let started = match interval {
+                            Some(iv) => {
+                                let tick = base + offset + iv * seq;
+                                seq += 1;
+                                let now = Instant::now();
+                                if tick > now {
+                                    std::thread::sleep(tick - now);
+                                }
+                                tick
+                            }
+                            None => Instant::now(),
+                        };
                         match exchange(&mut reader, &mut writer, body) {
                             Ok(status) => {
-                                latencies_us.push(started.elapsed().as_micros() as u64);
+                                tally
+                                    .latencies_us
+                                    .push(started.elapsed().as_micros() as u64);
                                 if status != 200 {
-                                    non_200 += 1;
+                                    tally.non_200 += 1;
                                     if status == 503 {
-                                        // Overloaded: connection was closed.
+                                        // Overloaded: shed by design,
+                                        // and the connection was closed.
+                                        tally.shed_503 += 1;
                                         continue 'reconnect;
+                                    }
+                                    if status >= 500 {
+                                        tally.other_5xx += 1;
                                     }
                                 }
                             }
                             Err(_) => {
-                                errors += 1;
+                                tally.transport_errors += 1;
                                 continue 'reconnect;
                             }
                         }
                     }
                 }
-                (latencies_us, errors, non_200)
+                tally
             })
         })
         .collect();
@@ -323,29 +439,45 @@ fn main() {
     std::thread::sleep(Duration::from_secs(config.seconds));
     stop.store(true, Ordering::Relaxed);
 
-    let mut latencies_us: Vec<u64> = Vec::new();
-    let mut errors = 0u64;
-    let mut non_200 = 0u64;
+    let mut merged = Tally::default();
     for worker in workers {
-        let (l, e, n) = worker.join().expect("client thread panicked");
-        latencies_us.extend(l);
-        errors += e;
-        non_200 += n;
+        let tally = worker.join().expect("client thread panicked");
+        merged.latencies_us.extend(tally.latencies_us);
+        merged.transport_errors += tally.transport_errors;
+        merged.shed_503 += tally.shed_503;
+        merged.other_5xx += tally.other_5xx;
+        merged.non_200 += tally.non_200;
     }
     let elapsed = started.elapsed().as_secs_f64();
 
-    latencies_us.sort_unstable();
-    let completed = latencies_us.len();
+    merged.latencies_us.sort_unstable();
+    let completed = merged.latencies_us.len();
     println!("completed:  {completed} requests in {elapsed:.2}s");
-    println!("throughput: {:.0} req/s", completed as f64 / elapsed);
+    match config.rate {
+        Some(rate) => println!(
+            "throughput: {:.0} req/s achieved (target {rate} req/s)",
+            completed as f64 / elapsed
+        ),
+        None => println!("throughput: {:.0} req/s", completed as f64 / elapsed),
+    }
     println!(
         "latency:    p50 {} us, p90 {} us, p99 {} us, max {} us",
-        percentile(&latencies_us, 0.50),
-        percentile(&latencies_us, 0.90),
-        percentile(&latencies_us, 0.99),
-        latencies_us.last().copied().unwrap_or(0),
+        percentile(&merged.latencies_us, 0.50),
+        percentile(&merged.latencies_us, 0.90),
+        percentile(&merged.latencies_us, 0.99),
+        merged.latencies_us.last().copied().unwrap_or(0),
     );
-    if non_200 > 0 || errors > 0 {
-        println!("anomalies:  {non_200} non-200 responses, {errors} transport errors");
+    if merged.non_200 > 0 || merged.transport_errors > 0 {
+        println!(
+            "anomalies:  {} non-200 responses ({} shed 503s, {} other 5xx), {} transport errors",
+            merged.non_200, merged.shed_503, merged.other_5xx, merged.transport_errors
+        );
+    }
+    if config.strict && merged.other_5xx > 0 {
+        eprintln!(
+            "loadgen: --strict: {} 5xx responses besides load sheds",
+            merged.other_5xx
+        );
+        std::process::exit(1);
     }
 }

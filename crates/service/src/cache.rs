@@ -1,4 +1,5 @@
-//! Sharded LRU cache for rendered partition responses.
+//! Sharded, byte-budgeted LRU cache for rendered partition responses,
+//! with optional per-entry TTL and dump/load persistence.
 //!
 //! Keys are the canonical request bytes themselves (objective, bound,
 //! weights — see [`KeyBuilder`]); values are the rendered JSON response
@@ -12,20 +13,65 @@
 //! hit. Two distinct requests that happen to share a digest simply land
 //! in the same bucket and coexist.
 //!
-//! Sharding bounds lock contention: each shard holds `capacity / shards`
-//! entries behind its own mutex, and eviction is strict LRU per shard
-//! via an intrusive doubly-linked list over a slab (indices, not
-//! pointers — the crate forbids `unsafe`).
+//! Sharding bounds lock contention: each shard owns `budget / shards`
+//! bytes behind its own mutex, and eviction is strict LRU per shard via
+//! an intrusive doubly-linked list over a slab (indices, not pointers —
+//! the crate forbids `unsafe`).
+//!
+//! # Byte budget and admission
+//!
+//! The cache budgets *bytes*, not entry counts: each entry is charged
+//! its key length plus value length plus a fixed bookkeeping overhead,
+//! and a shard evicts from its LRU tail until a new entry fits. An
+//! admission guard rejects entries larger than
+//! [`CacheConfig::max_entry_bytes`] outright — one giant response must
+//! not flush a shard — unless the solver's cost estimate marks the
+//! response as expensive to recompute, in which case the limit is
+//! relaxed fourfold (evicting many cheap entries to keep one costly
+//! result is a good trade).
+//!
+//! # Persistence
+//!
+//! [`ResultCache::dump`] serialises live entries to a versioned,
+//! FNV-checksummed file (written to a temp sibling, then renamed);
+//! [`ResultCache::load`] warm-loads one on boot. A file that fails any
+//! validation — magic, version, checksum, per-entry bounds — is
+//! rejected with an error and never partially trusted. Entries carry
+//! their remaining TTL across the restart.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Number of independently locked shards (power of two).
 const SHARDS: usize = 8;
 
 const NIL: usize = usize::MAX;
 
-/// 64-bit FNV-1a digest, used only to pick shards and hash buckets.
+/// Fixed per-entry byte charge covering slab, index and list
+/// bookkeeping, so a flood of tiny entries cannot evade the budget.
+const ENTRY_OVERHEAD: usize = 96;
+
+/// Cost-estimate threshold (in solver work units) above which a
+/// response counts as expensive to recompute and earns the relaxed
+/// admission limit.
+const COSTLY_WORK_UNITS: u64 = 1_000_000;
+
+/// Expiry sentinel: an entry with this deadline never expires.
+const NO_EXPIRY: u64 = u64::MAX;
+
+const DUMP_MAGIC: &[u8; 8] = b"TGPCACHE";
+const DUMP_VERSION: u64 = 1;
+/// Header: magic + version + entry count + payload checksum.
+const DUMP_HEADER_BYTES: usize = 32;
+/// Per-entry header: key length + value length + cost + remaining TTL.
+const DUMP_ENTRY_HEADER_BYTES: usize = 32;
+
+/// 64-bit FNV-1a digest, used to pick shards and hash buckets and as
+/// the persistence-file checksum (integrity against corruption, not
+/// tampering — the key-byte comparison is what defends correctness).
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut state = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -40,13 +86,67 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
 // existing embedders keep compiling.
 pub use tgp_solvers::KeyBuilder;
 
+/// Sizing and lifetime policy for a [`ResultCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards. `0` disables caching.
+    pub budget_bytes: usize,
+    /// Entries older than this are served as misses. `None` means
+    /// entries live until evicted.
+    pub ttl: Option<Duration>,
+    /// Admission limit: entries larger than this are rejected instead
+    /// of cached (relaxed 4× for responses that were expensive to
+    /// compute). Clamped to the per-shard budget so an admitted entry
+    /// always fits.
+    pub max_entry_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::with_budget(32 << 20)
+    }
+}
+
+impl CacheConfig {
+    /// A config with the given byte budget, no TTL, and the default
+    /// admission limit of 1/64 of the budget (at least 4 KiB).
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        CacheConfig {
+            budget_bytes,
+            ttl: None,
+            max_entry_bytes: (budget_bytes / 64).max(4096),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     hash: u64,
     key: Box<[u8]>,
     value: String,
+    /// Solver work-unit estimate, persisted so re-admission after a
+    /// warm load applies the same policy.
+    cost: u64,
+    /// Milliseconds on the cache clock; [`NO_EXPIRY`] means never.
+    expires_at_ms: u64,
     prev: usize,
     next: usize,
+}
+
+impl Entry {
+    fn bytes(&self) -> usize {
+        self.key.len() + self.value.len() + ENTRY_OVERHEAD
+    }
+}
+
+fn entry_bytes(key: &[u8], value: &str) -> usize {
+    key.len() + value.len() + ENTRY_OVERHEAD
+}
+
+enum Lookup {
+    Hit(String),
+    Expired,
+    Miss,
 }
 
 /// One shard: a slab of entries threaded into an LRU list plus a
@@ -59,6 +159,7 @@ struct Shard {
     index: HashMap<u64, Vec<usize>>,
     head: usize, // most recently used
     tail: usize, // least recently used
+    bytes: usize,
 }
 
 impl Shard {
@@ -69,6 +170,7 @@ impl Shard {
             index: HashMap::new(),
             head: NIL,
             tail: NIL,
+            bytes: 0,
         }
     }
 
@@ -120,36 +222,73 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, hash: u64, key: &[u8]) -> Option<String> {
-        let i = self.lookup(hash, key)?;
+    /// Unlinks, unindexes, and frees slot `i`, releasing its bytes.
+    fn remove(&mut self, i: usize) {
         self.unlink(i);
-        self.push_front(i);
-        Some(self.slots[i].value.clone())
+        self.remove_from_index(i);
+        self.bytes -= self.slots[i].bytes();
+        self.slots[i].key = Box::default();
+        self.slots[i].value = String::new();
+        self.free.push(i);
     }
 
-    fn insert(&mut self, hash: u64, key: &[u8], value: String, capacity: usize) {
-        if capacity == 0 {
-            return;
+    fn get(&mut self, hash: u64, key: &[u8], now_ms: u64) -> Lookup {
+        let Some(i) = self.lookup(hash, key) else {
+            return Lookup::Miss;
+        };
+        if now_ms >= self.slots[i].expires_at_ms {
+            self.remove(i);
+            return Lookup::Expired;
         }
+        self.unlink(i);
+        self.push_front(i);
+        Lookup::Hit(self.slots[i].value.clone())
+    }
+
+    /// Inserts (or replaces) an entry, evicting from the LRU tail until
+    /// the shard fits its byte budget. The caller has already verified
+    /// the entry alone fits `budget`, so this always converges with the
+    /// new entry resident. Returns the number of evictions.
+    fn insert(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        value: String,
+        cost: u64,
+        expires_at_ms: u64,
+        budget: usize,
+    ) -> u64 {
+        let mut evicted = 0;
         if let Some(i) = self.lookup(hash, key) {
+            self.bytes -= self.slots[i].bytes();
             self.slots[i].value = value;
+            self.slots[i].cost = cost;
+            self.slots[i].expires_at_ms = expires_at_ms;
+            self.bytes += self.slots[i].bytes();
             self.unlink(i);
             self.push_front(i);
-            return;
-        }
-        if self.len() >= capacity {
-            let victim = self.tail;
-            self.unlink(victim);
-            self.remove_from_index(victim);
-            self.free.push(victim);
+            // A larger replacement can push the shard over budget.
+            while self.bytes > budget && self.tail != i {
+                self.remove(self.tail);
+                evicted += 1;
+            }
+            return evicted;
         }
         let entry = Entry {
             hash,
             key: key.into(),
             value,
+            cost,
+            expires_at_ms,
             prev: NIL,
             next: NIL,
         };
+        let add = entry.bytes();
+        while self.bytes + add > budget && self.tail != NIL {
+            self.remove(self.tail);
+            evicted += 1;
+        }
+        self.bytes += add;
         let i = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = entry;
@@ -162,24 +301,60 @@ impl Shard {
         };
         self.index.entry(hash).or_default().push(i);
         self.push_front(i);
+        evicted
     }
 }
 
-/// The sharded LRU cache.
+/// The sharded, byte-budgeted LRU cache.
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
-    per_shard_capacity: usize,
+    per_shard_budget: usize,
+    max_entry_bytes: usize,
+    budget_bytes: usize,
+    /// Default TTL in ms applied by [`ResultCache::insert`];
+    /// [`NO_EXPIRY`] when the config sets no TTL.
+    default_ttl_ms: u64,
+    /// All entry deadlines are measured on this clock (ms since cache
+    /// creation), so wall-clock jumps cannot mass-expire the cache.
+    epoch: Instant,
+    /// Test-only clock skew; stays 0 in production.
+    skew_ms: AtomicU64,
+    /// Bumped on every mutation; flushers compare it against the
+    /// generation they last dumped to skip redundant writes.
+    generation: AtomicU64,
+    evicted: AtomicU64,
+    rejected_oversize: AtomicU64,
+    expired: AtomicU64,
+    warm_loaded: AtomicU64,
 }
 
 impl ResultCache {
-    /// Creates a cache holding roughly `capacity` entries in total.
-    /// `capacity = 0` disables caching (every lookup misses).
-    pub fn new(capacity: usize) -> Self {
+    /// Creates a cache with the given sizing and lifetime policy.
+    /// A zero byte budget disables caching (every lookup misses).
+    pub fn new(config: CacheConfig) -> Self {
+        let per_shard_budget = config.budget_bytes.div_ceil(SHARDS);
         ResultCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
-            per_shard_capacity: capacity.div_ceil(SHARDS),
+            per_shard_budget,
+            max_entry_bytes: config.max_entry_bytes.min(per_shard_budget),
+            budget_bytes: config.budget_bytes,
+            default_ttl_ms: config.ttl.map_or(NO_EXPIRY, |ttl| {
+                u64::try_from(ttl.as_millis()).unwrap_or(NO_EXPIRY)
+            }),
+            epoch: Instant::now(),
+            skew_ms: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            rejected_oversize: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            warm_loaded: AtomicU64::new(0),
         }
+    }
+
+    /// Convenience constructor: byte budget only, defaults elsewhere.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        ResultCache::new(CacheConfig::with_budget(budget_bytes))
     }
 
     fn shard_index(key_hash: u64) -> usize {
@@ -187,32 +362,89 @@ impl ResultCache {
         (key_hash >> 61) as usize & (SHARDS - 1)
     }
 
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX - 1)
+            + self.skew_ms.load(Ordering::Relaxed)
+    }
+
+    /// Moves the cache clock forward without sleeping, for
+    /// deterministic TTL tests.
+    #[cfg(test)]
+    fn advance(&self, by: Duration) {
+        self.skew_ms
+            .fetch_add(u64::try_from(by.as_millis()).unwrap(), Ordering::Relaxed);
+    }
+
+    fn deadline(&self, ttl_ms: u64) -> u64 {
+        if ttl_ms == NO_EXPIRY {
+            NO_EXPIRY
+        } else {
+            self.now_ms().saturating_add(ttl_ms)
+        }
+    }
+
     /// Looks up a rendered response, refreshing its recency on hit.
+    /// An expired entry is removed and reported as a miss.
     pub fn get(&self, key: &[u8]) -> Option<String> {
-        if self.per_shard_capacity == 0 {
+        if self.per_shard_budget == 0 {
             return None;
         }
+        let now_ms = self.now_ms();
         let hash = fnv1a(key);
-        self.shards[Self::shard_index(hash)]
+        let outcome = self.shards[Self::shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
-            .get(hash, key)
+            .get(hash, key, now_ms);
+        match outcome {
+            Lookup::Hit(value) => Some(value),
+            Lookup::Expired => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                self.generation.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Lookup::Miss => None,
+        }
     }
 
-    /// Stores a rendered response, evicting the shard's LRU entry when
-    /// the shard is full.
-    pub fn insert(&self, key: &[u8], value: String) {
-        if self.per_shard_capacity == 0 {
-            return;
+    /// Stores a rendered response under the configured TTL. `cost` is
+    /// the solver's work estimate for recomputing the response; pass
+    /// `0` when unknown (strictest admission). Returns whether the
+    /// entry was admitted.
+    pub fn insert(&self, key: &[u8], value: String, cost: u64) -> bool {
+        self.insert_with_deadline(key, value, cost, self.deadline(self.default_ttl_ms))
+    }
+
+    fn insert_with_deadline(
+        &self,
+        key: &[u8],
+        value: String,
+        cost: u64,
+        expires_at_ms: u64,
+    ) -> bool {
+        if self.per_shard_budget == 0 {
+            return false;
+        }
+        let allowance = if cost >= COSTLY_WORK_UNITS {
+            self.max_entry_bytes.saturating_mul(4)
+        } else {
+            self.max_entry_bytes
+        };
+        if entry_bytes(key, &value) > allowance.min(self.per_shard_budget) {
+            self.rejected_oversize.fetch_add(1, Ordering::Relaxed);
+            return false;
         }
         let hash = fnv1a(key);
-        self.shards[Self::shard_index(hash)]
+        let evicted = self.shards[Self::shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
-            .insert(hash, key, value, self.per_shard_capacity);
+            .insert(hash, key, value, cost, expires_at_ms, self.per_shard_budget);
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
-    /// Number of cached entries across all shards.
+    /// Number of cached entries across all shards (including entries
+    /// that have expired but not yet been touched).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -224,11 +456,232 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Bytes currently charged against the budget, across all shards.
+    pub fn bytes_used(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    /// The configured total byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Mutation counter; unchanged generation means an earlier dump is
+    /// still current.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Serialises every live (unexpired) entry to `path`, writing a
+    /// temp sibling first and renaming so readers never observe a
+    /// partial file. Entries carry their remaining TTL.
+    pub fn dump(&self, path: &Path) -> std::io::Result<()> {
+        let now_ms = self.now_ms();
+        let mut payload = Vec::new();
+        let mut count = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            // Walk LRU→MRU so re-insertion on load restores recency.
+            let mut i = shard.tail;
+            while i != NIL {
+                let e = &shard.slots[i];
+                if now_ms < e.expires_at_ms {
+                    let ttl_remaining = if e.expires_at_ms == NO_EXPIRY {
+                        NO_EXPIRY
+                    } else {
+                        e.expires_at_ms - now_ms
+                    };
+                    push_u64(&mut payload, e.key.len() as u64);
+                    push_u64(&mut payload, e.value.len() as u64);
+                    push_u64(&mut payload, e.cost);
+                    push_u64(&mut payload, ttl_remaining);
+                    payload.extend_from_slice(&e.key);
+                    payload.extend_from_slice(e.value.as_bytes());
+                    count += 1;
+                }
+                i = shard.slots[i].prev;
+            }
+        }
+        let mut file = Vec::with_capacity(DUMP_HEADER_BYTES + payload.len());
+        file.extend_from_slice(DUMP_MAGIC);
+        push_u64(&mut file, DUMP_VERSION);
+        push_u64(&mut file, count);
+        push_u64(&mut file, fnv1a(&payload));
+        file.extend_from_slice(&payload);
+
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &file)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Warm-loads a file written by [`ResultCache::dump`]. Every entry
+    /// passes the normal admission path, so a file dumped under a
+    /// larger budget cannot overfill this cache. Returns the number of
+    /// entries admitted, or a description of why the file was rejected
+    /// — in which case the cache is left exactly as it was and the
+    /// caller should boot cold.
+    ///
+    /// Validation order matters: magic, version and checksum are
+    /// checked before any entry is parsed, and per-entry lengths are
+    /// bounds-checked against the remaining payload before slicing, so
+    /// a corrupt or truncated file can neither panic nor partially
+    /// populate the cache.
+    pub fn load(&self, path: &Path) -> Result<usize, String> {
+        let data = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if data.len() < DUMP_HEADER_BYTES {
+            return Err("cache file truncated: incomplete header".into());
+        }
+        if &data[0..8] != DUMP_MAGIC {
+            return Err("not a tgp cache file (bad magic)".into());
+        }
+        let version = read_u64(&data[8..16]);
+        if version != DUMP_VERSION {
+            return Err(format!(
+                "unsupported cache file version {version} (expected {DUMP_VERSION})"
+            ));
+        }
+        let count = read_u64(&data[16..24]);
+        let checksum = read_u64(&data[24..32]);
+        let payload = &data[DUMP_HEADER_BYTES..];
+        if fnv1a(payload) != checksum {
+            return Err("cache file checksum mismatch".into());
+        }
+        // Validate the full payload before touching the cache, so a
+        // malformed file loads nothing rather than a prefix.
+        let mut parsed: Vec<(&[u8], &str, u64, u64)> = Vec::new();
+        let mut offset = 0usize;
+        for i in 0..count {
+            let remaining = payload.len() - offset;
+            if remaining < DUMP_ENTRY_HEADER_BYTES {
+                return Err(format!("cache file truncated in entry {i} header"));
+            }
+            let key_len = read_u64(&payload[offset..offset + 8]);
+            let value_len = read_u64(&payload[offset + 8..offset + 16]);
+            let cost = read_u64(&payload[offset + 16..offset + 24]);
+            let ttl_remaining = read_u64(&payload[offset + 24..offset + 32]);
+            offset += DUMP_ENTRY_HEADER_BYTES;
+            let body = (payload.len() - offset) as u64;
+            if key_len > body || value_len > body - key_len {
+                return Err(format!("cache file truncated in entry {i} body"));
+            }
+            let (key_len, value_len) = (key_len as usize, value_len as usize);
+            let key = &payload[offset..offset + key_len];
+            offset += key_len;
+            let value = std::str::from_utf8(&payload[offset..offset + value_len])
+                .map_err(|_| format!("cache file entry {i} value is not UTF-8"))?;
+            offset += value_len;
+            parsed.push((key, value, cost, ttl_remaining));
+        }
+        if offset != payload.len() {
+            return Err("cache file has trailing bytes after the last entry".into());
+        }
+        let mut admitted = 0usize;
+        for (key, value, cost, ttl_remaining) in parsed {
+            if self.insert_with_deadline(key, value.to_string(), cost, self.deadline(ttl_remaining))
+            {
+                admitted += 1;
+            }
+        }
+        self.warm_loaded
+            .fetch_add(admitted as u64, Ordering::Relaxed);
+        Ok(admitted)
+    }
+
+    /// Appends the cache's Prometheus metrics to `out`.
+    pub fn render_metrics(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let gauges = [
+            (
+                "tgp_cache_entries",
+                "Live cache entries.",
+                self.len() as u64,
+            ),
+            (
+                "tgp_cache_bytes_used",
+                "Bytes charged against the cache budget.",
+                self.bytes_used() as u64,
+            ),
+            (
+                "tgp_cache_bytes_budget",
+                "Configured cache byte budget.",
+                self.budget_bytes as u64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let counters = [
+            (
+                "tgp_cache_evicted_total",
+                "Entries evicted to fit the byte budget.",
+                self.evicted.load(Ordering::Relaxed),
+            ),
+            (
+                "tgp_cache_rejected_oversize_total",
+                "Entries refused by the admission guard.",
+                self.rejected_oversize.load(Ordering::Relaxed),
+            ),
+            (
+                "tgp_cache_expired_total",
+                "Entries dropped because their TTL elapsed.",
+                self.expired.load(Ordering::Relaxed),
+            ),
+            (
+                "tgp_cache_warm_loaded_total",
+                "Entries admitted from a cache file at boot.",
+                self.warm_loaded.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().expect("caller sliced 8 bytes"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Budget sized so each shard fits `per_shard` minimal entries of
+    /// key "kNN" + value "vNN"-ish (~`ENTRY_OVERHEAD + 8` bytes each).
+    fn small_entry_budget(per_shard: usize) -> usize {
+        SHARDS * per_shard * (ENTRY_OVERHEAD + 8)
+    }
+
+    /// Keys (as strings) that all land in one shard, for deterministic
+    /// LRU ordering tests.
+    fn colliding_keys(n: usize) -> Vec<Vec<u8>> {
+        let target = ResultCache::shard_index(fnv1a(b"k0"));
+        let mut keys = Vec::new();
+        for i in 0u32.. {
+            let key = format!("k{i}").into_bytes();
+            if ResultCache::shard_index(fnv1a(&key)) == target {
+                keys.push(key);
+                if keys.len() == n {
+                    return keys;
+                }
+            }
+        }
+        unreachable!()
+    }
 
     #[test]
     fn fnv_vectors() {
@@ -251,11 +704,11 @@ mod tests {
 
     #[test]
     fn get_after_insert_round_trips() {
-        let cache = ResultCache::new(64);
+        let cache = ResultCache::with_budget(1 << 20);
         assert!(cache.get(b"k42").is_none());
-        cache.insert(b"k42", "payload".into());
+        assert!(cache.insert(b"k42", "payload".into(), 0));
         assert_eq!(cache.get(b"k42").as_deref(), Some("payload"));
-        cache.insert(b"k42", "updated".into());
+        assert!(cache.insert(b"k42", "updated".into(), 0));
         assert_eq!(cache.get(b"k42").as_deref(), Some("updated"));
         assert_eq!(cache.len(), 1);
     }
@@ -265,69 +718,321 @@ mod tests {
         // Force two *different* keys into the same hash bucket by
         // driving the shard directly with an identical digest: the
         // byte comparison must keep them apart.
+        let budget = 8 * (ENTRY_OVERHEAD + 16);
         let mut shard = Shard::new();
-        shard.insert(7, b"alpha", "va".into(), 8);
-        shard.insert(7, b"beta", "vb".into(), 8);
-        assert_eq!(shard.get(7, b"alpha").as_deref(), Some("va"));
-        assert_eq!(shard.get(7, b"beta").as_deref(), Some("vb"));
-        assert_eq!(shard.get(7, b"gamma"), None);
+        shard.insert(7, b"alpha", "va".into(), 0, NO_EXPIRY, budget);
+        shard.insert(7, b"beta", "vb".into(), 0, NO_EXPIRY, budget);
+        assert!(matches!(shard.get(7, b"alpha", 0), Lookup::Hit(v) if v == "va"));
+        assert!(matches!(shard.get(7, b"beta", 0), Lookup::Hit(v) if v == "vb"));
+        assert!(matches!(shard.get(7, b"gamma", 0), Lookup::Miss));
         assert_eq!(shard.len(), 2);
 
         // Evicting one colliding entry must leave the other reachable.
+        let budget = 2 * (ENTRY_OVERHEAD + 16);
         let mut shard = Shard::new();
-        shard.insert(7, b"alpha", "va".into(), 2);
-        shard.insert(7, b"beta", "vb".into(), 2);
-        shard.insert(9, b"gamma", "vc".into(), 2); // evicts LRU "alpha"
-        assert_eq!(shard.get(7, b"alpha"), None);
-        assert_eq!(shard.get(7, b"beta").as_deref(), Some("vb"));
-        assert_eq!(shard.get(9, b"gamma").as_deref(), Some("vc"));
+        shard.insert(7, b"alpha", "va".into(), 0, NO_EXPIRY, budget);
+        shard.insert(7, b"beta", "vb".into(), 0, NO_EXPIRY, budget);
+        shard.insert(9, b"gamma", "vc".into(), 0, NO_EXPIRY, budget); // evicts LRU "alpha"
+        assert!(matches!(shard.get(7, b"alpha", 0), Lookup::Miss));
+        assert!(matches!(shard.get(7, b"beta", 0), Lookup::Hit(v) if v == "vb"));
+        assert!(matches!(shard.get(9, b"gamma", 0), Lookup::Hit(v) if v == "vc"));
     }
 
     #[test]
-    fn lru_evicts_oldest_within_a_shard() {
-        let cache = ResultCache::new(SHARDS * 2); // 2 entries per shard
-                                                  // Three keys that land in the same shard.
-        let mut keys: Vec<Vec<u8>> = Vec::new();
-        let target = ResultCache::shard_index(fnv1a(b"k0"));
-        for i in 0u32.. {
-            let key = format!("k{i}").into_bytes();
-            if ResultCache::shard_index(fnv1a(&key)) == target {
-                keys.push(key);
-                if keys.len() == 3 {
-                    break;
-                }
-            }
-        }
-        cache.insert(&keys[0], "a".into());
-        cache.insert(&keys[1], "b".into());
+    fn byte_budget_evicts_in_lru_order() {
+        // Room for two small entries per shard.
+        let cache = ResultCache::with_budget(small_entry_budget(2));
+        let keys = colliding_keys(3);
+        cache.insert(&keys[0], "a".into(), 0);
+        cache.insert(&keys[1], "b".into(), 0);
         let _ = cache.get(&keys[0]); // refresh key 0, key 1 becomes LRU
-        cache.insert(&keys[2], "c".into()); // evicts key 1
+        cache.insert(&keys[2], "c".into(), 0); // evicts key 1
         assert!(cache.get(&keys[0]).is_some());
-        assert!(cache.get(&keys[1]).is_none());
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry must go first");
         assert!(cache.get(&keys[2]).is_some());
     }
 
     #[test]
-    fn zero_capacity_disables_caching() {
-        let cache = ResultCache::new(0);
-        cache.insert(b"x", "x".into());
+    fn large_value_evicts_as_many_entries_as_it_needs() {
+        let per_shard = 4 * (ENTRY_OVERHEAD + 16);
+        let cache = ResultCache::new(CacheConfig {
+            budget_bytes: SHARDS * per_shard,
+            ttl: None,
+            max_entry_bytes: per_shard,
+        });
+        let keys = colliding_keys(4);
+        for key in &keys[..3] {
+            cache.insert(key, "small".into(), 0);
+        }
+        // One value sized to claim the whole shard budget: all three
+        // residents must be evicted to admit it.
+        let big = "x".repeat(per_shard - ENTRY_OVERHEAD - keys[3].len());
+        assert!(cache.insert(&keys[3], big.clone(), 0));
+        assert_eq!(cache.get(&keys[3]).as_deref(), Some(big.as_str()));
+        for key in &keys[..3] {
+            assert!(cache.get(key).is_none(), "evicted to make room");
+        }
+        assert!(cache.bytes_used() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn bytes_never_exceed_budget_under_churn() {
+        let budget = small_entry_budget(4);
+        let cache = ResultCache::with_budget(budget);
+        for i in 0..10_000u64 {
+            cache.insert(
+                format!("key-{i}").as_bytes(),
+                format!("value-{}", i % 977),
+                i % 7,
+            );
+            if i % 97 == 0 {
+                assert!(cache.bytes_used() <= budget, "budget breached at {i}");
+            }
+        }
+        assert!(cache.bytes_used() <= budget);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_cached() {
+        let cache = ResultCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ttl: None,
+            max_entry_bytes: 1024,
+        });
+        let big = "x".repeat(2048);
+        assert!(!cache.insert(b"big", big, 0));
+        assert!(cache.get(b"big").is_none());
+        assert!(cache.is_empty());
+
+        // The same value is admitted when it was expensive to compute.
+        let big = "x".repeat(2048);
+        assert!(cache.insert(b"big", big, COSTLY_WORK_UNITS));
+        assert!(cache.get(b"big").is_some());
+
+        // But even a costly response respects the relaxed 4× cap.
+        let huge = "x".repeat(5000);
+        assert!(!cache.insert(b"huge", huge, COSTLY_WORK_UNITS));
+        assert!(cache.get(b"huge").is_none());
+    }
+
+    #[test]
+    fn entry_larger_than_shard_budget_is_never_admitted() {
+        // max_entry_bytes is clamped to the per-shard budget, so an
+        // entry that could never fit is rejected instead of thrashing.
+        let cache = ResultCache::new(CacheConfig {
+            budget_bytes: SHARDS * 256,
+            ttl: None,
+            max_entry_bytes: usize::MAX,
+        });
+        assert!(!cache.insert(b"k", "x".repeat(512), COSTLY_WORK_UNITS));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn ttl_expires_exactly_at_the_boundary() {
+        let cache = ResultCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ttl: Some(Duration::from_millis(50)),
+            max_entry_bytes: 1 << 16,
+        });
+        cache.insert(b"k", "v".into(), 0);
+        cache.advance(Duration::from_millis(49));
+        assert_eq!(cache.get(b"k").as_deref(), Some("v"), "one ms early: hit");
+        cache.advance(Duration::from_millis(1));
+        assert!(cache.get(b"k").is_none(), "deadline reached: miss");
+        assert!(cache.is_empty(), "expired entry is removed on access");
+
+        // A fresh insert under the same key starts a new lifetime.
+        cache.insert(b"k", "v2".into(), 0);
+        assert_eq!(cache.get(b"k").as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn no_ttl_means_entries_outlive_any_clock_advance() {
+        let cache = ResultCache::with_budget(1 << 20);
+        cache.insert(b"k", "v".into(), 0);
+        cache.advance(Duration::from_secs(1 << 30));
+        assert_eq!(cache.get(b"k").as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cache = ResultCache::with_budget(0);
+        assert!(!cache.insert(b"x", "x".into(), 0));
         assert!(cache.get(b"x").is_none());
         assert!(cache.is_empty());
     }
 
     #[test]
-    fn heavy_reuse_keeps_size_bounded() {
-        let cache = ResultCache::new(32);
-        for i in 0..10_000u64 {
-            cache.insert(format!("key-{i}").as_bytes(), format!("v{i}"));
+    fn dump_load_round_trips_entries_and_recency() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round-trip.cache");
+
+        let cache = ResultCache::with_budget(1 << 20);
+        for i in 0..20u64 {
+            cache.insert(format!("key-{i}").as_bytes(), format!("value-{i}"), i);
         }
-        assert!(cache.len() <= 32 + SHARDS); // div_ceil slack per shard
+        cache.dump(&path).unwrap();
+
+        let restored = ResultCache::with_budget(1 << 20);
+        assert_eq!(restored.load(&path).unwrap(), 20);
+        for i in 0..20u64 {
+            assert_eq!(
+                restored.get(format!("key-{i}").as_bytes()).as_deref(),
+                Some(format!("value-{i}").as_str())
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dump_skips_expired_and_preserves_remaining_ttl() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-ttl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ttl.cache");
+
+        let cache = ResultCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ttl: Some(Duration::from_millis(100)),
+            max_entry_bytes: 1 << 16,
+        });
+        cache.insert(b"doomed", "v".into(), 0);
+        cache.advance(Duration::from_millis(60));
+        cache.insert(b"fresh", "v".into(), 0);
+        cache.advance(Duration::from_millis(50)); // "doomed" is now past its deadline
+        cache.dump(&path).unwrap();
+
+        let restored = ResultCache::with_budget(1 << 20);
+        assert_eq!(restored.load(&path).unwrap(), 1, "expired entry not dumped");
+        assert_eq!(restored.get(b"fresh").as_deref(), Some("v"));
+        // "fresh" had 50ms left at dump time; it must still expire.
+        restored.advance(Duration::from_millis(50));
+        assert!(restored.get(b"fresh").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_cache_files_are_rejected_without_panicking() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.cache");
+
+        let cache = ResultCache::with_budget(1 << 20);
+        cache.insert(b"key", "value".into(), 0);
+        cache.dump(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("empty", Vec::new()),
+            ("truncated header", good[..16].to_vec()),
+            ("bad magic", {
+                let mut bad = good.clone();
+                bad[0] ^= 0xff;
+                bad
+            }),
+            ("future version", {
+                let mut bad = good.clone();
+                bad[8..16].copy_from_slice(&99u64.to_le_bytes());
+                bad
+            }),
+            ("flipped payload byte", {
+                let mut bad = good.clone();
+                let last = bad.len() - 1;
+                bad[last] ^= 0x01;
+                bad
+            }),
+            ("truncated mid-entry", {
+                let mut bad = good[..good.len() - 3].to_vec();
+                // Re-checksum so only the truncation is at fault.
+                let sum = fnv1a(&bad[DUMP_HEADER_BYTES..]);
+                bad[24..32].copy_from_slice(&sum.to_le_bytes());
+                bad
+            }),
+            ("count larger than payload", {
+                let mut bad = good.clone();
+                bad[16..24].copy_from_slice(&1_000_000u64.to_le_bytes());
+                bad
+            }),
+            ("trailing bytes", {
+                let mut bad = good.clone();
+                bad.push(0);
+                let sum = fnv1a(&bad[DUMP_HEADER_BYTES..]);
+                bad[24..32].copy_from_slice(&sum.to_le_bytes());
+                bad
+            }),
+        ];
+        for (what, bytes) in cases {
+            std::fs::write(&path, &bytes).unwrap();
+            let fresh = ResultCache::with_budget(1 << 20);
+            let err = fresh.load(&path).expect_err(what);
+            assert!(!err.is_empty(), "{what}: error must describe the reject");
+            assert!(fresh.is_empty(), "{what}: nothing may be partially loaded");
+        }
+        let missing = dir.join("does-not-exist.cache");
+        assert!(ResultCache::with_budget(1 << 20).load(&missing).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_respects_the_admission_guard() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-admit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("admit.cache");
+
+        // Dump from a roomy cache, load into a tight one.
+        let roomy = ResultCache::with_budget(1 << 20);
+        roomy.insert(b"small", "v".into(), 0);
+        roomy.insert(b"large", "x".repeat(4000), 0);
+        roomy.dump(&path).unwrap();
+
+        let tight = ResultCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ttl: None,
+            max_entry_bytes: 1024,
+        });
+        assert_eq!(tight.load(&path).unwrap(), 1, "oversized entry refused");
+        assert!(tight.get(b"small").is_some());
+        assert!(tight.get(b"large").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generation_tracks_mutations() {
+        let cache = ResultCache::with_budget(1 << 20);
+        let g0 = cache.generation();
+        cache.insert(b"k", "v".into(), 0);
+        assert!(cache.generation() > g0);
+        let g1 = cache.generation();
+        let _ = cache.get(b"k"); // a plain hit is not a mutation
+        assert_eq!(cache.generation(), g1);
+    }
+
+    #[test]
+    fn metrics_render_all_series() {
+        let cache = ResultCache::with_budget(1 << 20);
+        cache.insert(b"k", "v".into(), 0);
+        let mut out = String::new();
+        cache.render_metrics(&mut out);
+        for series in [
+            "tgp_cache_entries 1",
+            "tgp_cache_bytes_used",
+            "tgp_cache_bytes_budget 1048576",
+            "tgp_cache_evicted_total 0",
+            "tgp_cache_rejected_oversize_total 0",
+            "tgp_cache_expired_total 0",
+            "tgp_cache_warm_loaded_total 0",
+        ] {
+            assert!(out.contains(series), "missing {series} in:\n{out}");
+        }
     }
 
     #[test]
     fn concurrent_access_is_safe() {
         use std::sync::Arc;
-        let cache = Arc::new(ResultCache::new(128));
+        let budget = small_entry_budget(16);
+        let cache = Arc::new(ResultCache::with_budget(budget));
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let cache = Arc::clone(&cache);
@@ -335,7 +1040,7 @@ mod tests {
                     for i in 0..2_000u64 {
                         let key = format!("key-{}", (t * 1_000 + i) % 300);
                         if i % 3 == 0 {
-                            cache.insert(key.as_bytes(), format!("{t}:{i}"));
+                            cache.insert(key.as_bytes(), format!("{t}:{i}"), i);
                         } else {
                             let _ = cache.get(key.as_bytes());
                         }
@@ -346,6 +1051,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(cache.len() <= 128 + SHARDS);
+        assert!(cache.bytes_used() <= budget);
     }
 }

@@ -227,18 +227,36 @@ pub fn write_response(
     stream.flush()
 }
 
-/// The canned 503 the acceptor writes when the worker queue is full;
-/// precomputed because backpressure must stay cheap under load.
-pub fn overloaded_response() -> &'static [u8] {
-    concat!(
-        "HTTP/1.1 503 Service Unavailable\r\n",
-        "content-type: application/json\r\n",
-        "content-length: 45\r\n",
-        "connection: close\r\n",
-        "\r\n",
-        "{\"error\":\"server overloaded, retry shortly\"}\n"
+/// The 503 body: same `{"error", "code"}` schema as every other error
+/// the service emits, so clients parse one shape everywhere.
+const OVERLOADED_BODY: &str =
+    "{\"error\":\"server overloaded, retry shortly\",\"code\":\"overloaded\"}\n";
+
+/// The 503 the acceptor writes when the worker queue is full. Carries a
+/// `retry-after` header (seconds) so well-behaved clients back off for
+/// roughly as long as the queue needs to drain.
+pub fn overloaded_response(retry_after_secs: u64) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 503 Service Unavailable\r\n\
+         content-type: application/json\r\n\
+         content-length: {}\r\n\
+         retry-after: {}\r\n\
+         connection: close\r\n\
+         \r\n\
+         {}",
+        OVERLOADED_BODY.len(),
+        retry_after_secs,
+        OVERLOADED_BODY,
     )
-    .as_bytes()
+    .into_bytes()
+}
+
+/// How long a shed client should wait before retrying: roughly one
+/// "queue drain" at one request per worker per second — pessimistic for
+/// cheap requests, but a 503 means the server is already behind.
+/// Clamped to `[1, 30]` so the hint is always actionable.
+pub fn retry_after_secs(queue_len: usize, workers: usize) -> u64 {
+    (queue_len.div_ceil(workers.max(1)) as u64).clamp(1, 30)
 }
 
 #[cfg(test)]
@@ -247,7 +265,8 @@ mod tests {
 
     #[test]
     fn canned_503_content_length_matches_body() {
-        let text = std::str::from_utf8(overloaded_response()).unwrap();
+        let bytes = overloaded_response(7);
+        let text = std::str::from_utf8(&bytes).unwrap();
         let (head, body) = text.split_once("\r\n\r\n").unwrap();
         let declared: usize = head
             .lines()
@@ -256,6 +275,17 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(declared, body.len());
+        assert!(head.contains("retry-after: 7"));
+        assert!(body.contains("\"code\":\"overloaded\""));
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth_within_bounds() {
+        assert_eq!(retry_after_secs(0, 4), 1, "never advertise zero");
+        assert_eq!(retry_after_secs(4, 4), 1);
+        assert_eq!(retry_after_secs(9, 4), 3);
+        assert_eq!(retry_after_secs(1_000_000, 4), 30, "capped");
+        assert_eq!(retry_after_secs(5, 0), 5, "zero workers must not panic");
     }
 
     #[test]

@@ -11,19 +11,24 @@
 //! # Architecture
 //!
 //! ```text
-//!             accept()           BoundedQueue            pop()
-//! clients ──▶ acceptor thread ──▶ [conn, conn, …] ──▶ worker pool ──▶ handlers
-//!                   │ full?                                              │
-//!                   └── canned 503 (load shedding)           ResultCache ┘
+//!             accept()           BoundedQueue<Work>        pop()
+//! clients ──▶ acceptor thread ──▶ [conn, subtask, …] ──▶ worker pool ──▶ handlers
+//!                   │ full?               ▲                              │
+//!                   │                     └── batch scatter/gather ──────┤
+//!                   └── 503 + retry-after (load shedding)    ResultCache ┘
 //! ```
 //!
 //! * [`server`] — acceptor + bounded queue + worker pool + graceful
-//!   shutdown ([`Server`], [`ServerConfig`]).
-//! * [`api`] — routing and the JSON handlers ([`AppState`]).
-//! * [`cache`] — sharded LRU over canonical request-byte keys.
+//!   shutdown ([`Server`], [`ServerConfig`]), plus cache persistence
+//!   (warm load on boot, periodic flush, dump on shutdown).
+//! * [`api`] — routing and the JSON handlers ([`AppState`]); batch
+//!   requests scatter across the pool and gather in order.
+//! * [`cache`] — sharded, byte-budgeted LRU over canonical request-byte
+//!   keys, with optional TTL and dump/load persistence
+//!   ([`CacheConfig`]).
 //! * [`metrics`] — atomic counters rendered as Prometheus text.
 //! * [`http`] — minimal HTTP/1.1 parsing/serialization.
-//! * [`pool`] — the bounded MPMC connection queue.
+//! * [`pool`] — the bounded MPMC work queue.
 //!
 //! # Endpoints
 //!
@@ -72,6 +77,6 @@ pub mod pool;
 pub mod server;
 
 pub use api::AppState;
-pub use cache::{KeyBuilder, ResultCache};
+pub use cache::{CacheConfig, KeyBuilder, ResultCache};
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig};

@@ -48,6 +48,13 @@ pub struct Metrics {
     objective_names: &'static [&'static str],
     /// 503s written by the acceptor when the queue was full.
     rejected_overload: AtomicU64,
+    /// Batch envelopes served by `/v1/partition`.
+    batch_requests: AtomicU64,
+    /// Batch items executed by pool workers via scatter/gather.
+    batch_subtasks_pool: AtomicU64,
+    /// Batch items executed inline by the coordinating worker (pool
+    /// saturated, stolen back, or the batch was too small to scatter).
+    batch_subtasks_inline: AtomicU64,
     /// Latency histogram bucket counts (cumulative on render).
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_sum_us: AtomicU64,
@@ -72,6 +79,9 @@ impl Default for Metrics {
                 .collect(),
             objective_names,
             rejected_overload: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_subtasks_pool: AtomicU64::new(0),
+            batch_subtasks_inline: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_us: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
@@ -145,6 +155,22 @@ impl Metrics {
     /// Records a connection refused with the canned 503.
     pub fn record_overload(&self) {
         self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch envelope served by `/v1/partition`.
+    pub fn record_batch(&self) {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch item, labelled by where it ran: `pool` when a
+    /// fanned-out worker executed it, `inline` when the coordinating
+    /// worker ran it itself.
+    pub fn record_batch_subtask(&self, pool: bool) {
+        if pool {
+            self.batch_subtasks_pool.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.batch_subtasks_inline.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records a cache lookup outcome.
@@ -229,6 +255,23 @@ impl Metrics {
             self.rejected_overload.load(Ordering::Relaxed)
         ));
 
+        out.push_str("# HELP tgp_batch_requests_total Batch envelopes served by /v1/partition.\n");
+        out.push_str("# TYPE tgp_batch_requests_total counter\n");
+        out.push_str(&format!(
+            "tgp_batch_requests_total {}\n",
+            self.batch_requests.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP tgp_batch_subtasks_total Batch items by execution path.\n");
+        out.push_str("# TYPE tgp_batch_subtasks_total counter\n");
+        out.push_str(&format!(
+            "tgp_batch_subtasks_total{{path=\"pool\"}} {}\n",
+            self.batch_subtasks_pool.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "tgp_batch_subtasks_total{{path=\"inline\"}} {}\n",
+            self.batch_subtasks_inline.load(Ordering::Relaxed)
+        ));
+
         out.push_str("# HELP tgp_request_latency_seconds Request handling latency.\n");
         out.push_str("# TYPE tgp_request_latency_seconds histogram\n");
         let mut cumulative = 0u64;
@@ -301,8 +344,15 @@ mod tests {
         m.record_cache(false);
         m.queue_changed(3);
         m.queue_changed(-1);
+        m.record_batch();
+        m.record_batch_subtask(true);
+        m.record_batch_subtask(true);
+        m.record_batch_subtask(false);
         let text = m.render();
         assert!(text.contains("tgp_requests_total{endpoint=\"partition\",status=\"200\"} 2"));
+        assert!(text.contains("tgp_batch_requests_total 1"));
+        assert!(text.contains("tgp_batch_subtasks_total{path=\"pool\"} 2"));
+        assert!(text.contains("tgp_batch_subtasks_total{path=\"inline\"} 1"));
         assert!(text.contains("tgp_requests_total{endpoint=\"simulate\",status=\"422\"} 1"));
         assert!(text.contains("tgp_rejected_overload_total 1"));
         assert!(text.contains("tgp_cache_hits_total 1"));

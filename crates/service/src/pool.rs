@@ -5,9 +5,26 @@
 //! sheds load with a canned 503 instead of letting latency grow without
 //! bound. Workers block in [`BoundedQueue::pop`] until work arrives or
 //! the queue is closed for shutdown.
+//!
+//! Since batch fan-out, the queue carries [`Work`]: whole connections
+//! from the acceptor *and* individual batch subtasks scattered by a
+//! worker coordinating a `/v1/partition` batch (see
+//! [`crate::api::BatchSubtask`] for why that can never deadlock).
 
 use std::collections::VecDeque;
+use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
+
+use crate::api::BatchSubtask;
+
+/// One unit of work a pool worker can execute.
+#[derive(Debug)]
+pub enum Work {
+    /// An accepted connection: serve HTTP exchanges until it ends.
+    Conn(TcpStream),
+    /// One item of a scattered partition batch.
+    Batch(BatchSubtask),
+}
 
 /// Why a push was refused.
 #[derive(Debug)]

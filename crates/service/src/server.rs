@@ -1,12 +1,19 @@
 //! The TCP transport: acceptor, bounded queue, worker pool, shutdown.
 //!
 //! One acceptor thread owns the listener. Each accepted connection is
-//! pushed onto a [`BoundedQueue`]; when the queue is full the acceptor
-//! immediately writes a canned 503 and closes — backpressure is shed at
-//! the door rather than queued into unbounded latency. A fixed pool of
-//! worker threads pops connections and serves HTTP/1.1 keep-alive
-//! exchanges until the peer closes, errors, times out, or the server
-//! shuts down.
+//! pushed onto a [`BoundedQueue`] of [`Work`]; when the queue is full
+//! the acceptor immediately writes a 503 (with a `retry-after` derived
+//! from the queue depth) and closes — backpressure is shed at the door
+//! rather than queued into unbounded latency. A fixed pool of worker
+//! threads pops work items: whole connections to serve HTTP/1.1
+//! keep-alive exchanges on, and individual batch subtasks scattered by
+//! a worker coordinating a `/v1/partition` batch.
+//!
+//! With a cache file configured, the server warm-loads the result cache
+//! on boot (a corrupt file is logged and ignored — never trusted), and
+//! a flusher thread persists the cache whenever it changed, so even an
+//! abrupt kill loses at most one flush interval of entries. A graceful
+//! [`Server::shutdown`] writes a final dump.
 //!
 //! Shutdown: [`Server::shutdown`] raises a flag, connects to the
 //! listener once to unblock `accept()`, closes the queue so idle workers
@@ -17,14 +24,16 @@
 use std::io::BufReader;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::api::{handle, AppState};
-use crate::http::{overloaded_response, read_request, write_response, RecvError};
-use crate::pool::{BoundedQueue, PushError};
+use crate::cache::CacheConfig;
+use crate::http::{overloaded_response, read_request, retry_after_secs, write_response, RecvError};
+use crate::pool::{BoundedQueue, PushError, Work};
 use tgp_graph::json;
 
 /// Tunables for [`Server::start`].
@@ -35,8 +44,16 @@ pub struct ServerConfig {
     pub addr: String,
     /// Number of worker threads.
     pub workers: usize,
-    /// Total result-cache capacity (0 disables caching).
-    pub cache_capacity: usize,
+    /// Result-cache policy: byte budget, TTL, admission limit. A zero
+    /// budget disables caching.
+    pub cache: CacheConfig,
+    /// Persist the result cache here: warm-load on boot, flush
+    /// periodically and on graceful shutdown. `None` keeps the cache
+    /// memory-only.
+    pub cache_file: Option<PathBuf>,
+    /// How often the flusher re-dumps a changed cache to `cache_file`;
+    /// also the most data an abrupt kill can lose.
+    pub cache_flush_interval: Duration,
     /// Connections allowed to wait for a worker before the acceptor
     /// sheds load with 503.
     pub queue_depth: usize,
@@ -54,7 +71,9 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7070".into(),
             workers: 4,
-            cache_capacity: 1024,
+            cache: CacheConfig::default(),
+            cache_file: None,
+            cache_flush_interval: Duration::from_secs(2),
             queue_depth: 64,
             max_body_bytes: 1 << 20, // 1 MiB
             read_timeout: Duration::from_secs(5),
@@ -72,19 +91,40 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds the listener and spawns the acceptor plus worker pool.
+    /// With a `cache_file`, warm-loads the cache first (rejecting, with
+    /// a log line, any file that fails validation) and spawns the
+    /// periodic flusher.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let state =
-            Arc::new(AppState::new(config.cache_capacity).with_access_log(config.log_requests));
+            Arc::new(AppState::new(config.cache.clone()).with_access_log(config.log_requests));
         let stop = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth.max(1)));
+        let worker_count = config.workers.max(1);
+        let queue = Arc::new(BoundedQueue::<Work>::new(config.queue_depth.max(1)));
+        state.attach_pool(Arc::clone(&queue));
 
-        let workers = (0..config.workers.max(1))
+        if let Some(path) = &config.cache_file {
+            if path.exists() {
+                match state.cache.load(path) {
+                    Ok(n) => eprintln!(
+                        "tgp-serve warm-loaded {n} cache entries from {}",
+                        path.display()
+                    ),
+                    Err(why) => eprintln!(
+                        "tgp-serve ignoring cache file {}: {why} (booting cold)",
+                        path.display()
+                    ),
+                }
+            }
+        }
+
+        let workers = (0..worker_count)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let state = Arc::clone(&state);
@@ -94,10 +134,15 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("tgp-worker-{i}"))
                     .spawn(move || {
-                        while let Some(stream) = queue.pop() {
+                        while let Some(work) = queue.pop() {
                             state.metrics.queue_changed(-1);
                             state.metrics.workers_changed(1);
-                            serve_connection(&state, &stop, stream, max_body, read_timeout);
+                            match work {
+                                Work::Conn(stream) => {
+                                    serve_connection(&state, &stop, stream, max_body, read_timeout);
+                                }
+                                Work::Batch(subtask) => subtask.run(&state),
+                            }
                             state.metrics.workers_changed(-1);
                         }
                     })
@@ -122,15 +167,19 @@ impl Server {
                         // and increment-after would transiently wrap the
                         // gauge below zero.
                         state.metrics.queue_changed(1);
-                        match queue.try_push(stream) {
+                        match queue.try_push(Work::Conn(stream)) {
                             Ok(()) => {}
-                            Err(PushError::Full(mut stream)) => {
+                            Err(PushError::Full(Work::Conn(mut stream))) => {
                                 state.metrics.queue_changed(-1);
                                 state.metrics.record_overload();
-                                let _ = stream.write_all(overloaded_response());
+                                let retry = retry_after_secs(queue.len(), worker_count);
+                                let _ = stream.write_all(&overloaded_response(retry));
                                 let _ = stream.flush();
                             }
-                            Err(PushError::Closed(_)) => {
+                            Err(_) => {
+                                // Closed (shutdown) — or a Full returning
+                                // something other than what we pushed,
+                                // which cannot happen.
                                 state.metrics.queue_changed(-1);
                                 break;
                             }
@@ -141,12 +190,50 @@ impl Server {
                 .expect("spawn acceptor")
         };
 
+        let flusher = config.cache_file.clone().map(|path| {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let interval = config.cache_flush_interval.max(Duration::from_millis(50));
+            std::thread::Builder::new()
+                .name("tgp-cache-flusher".into())
+                .spawn(move || {
+                    let mut dumped_generation = state.cache.generation();
+                    loop {
+                        // Sleep in short steps so shutdown is never
+                        // delayed by a long flush interval.
+                        let mut slept = Duration::ZERO;
+                        while slept < interval && !stop.load(Ordering::SeqCst) {
+                            let step = Duration::from_millis(50).min(interval - slept);
+                            std::thread::sleep(step);
+                            slept += step;
+                        }
+                        let generation = state.cache.generation();
+                        if generation != dumped_generation {
+                            match state.cache.dump(&path) {
+                                Ok(()) => dumped_generation = generation,
+                                Err(e) => {
+                                    eprintln!(
+                                        "tgp-serve cache dump to {} failed: {e}",
+                                        path.display()
+                                    );
+                                }
+                            }
+                        }
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn flusher")
+        });
+
         Ok(Server {
             local_addr,
             state,
             stop,
             acceptor: Some(acceptor),
             workers,
+            flusher,
         })
     }
 
@@ -169,9 +256,13 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
     }
 
-    /// Stops accepting, drains the queue, and joins all threads.
+    /// Stops accepting, drains the queue, joins all threads, and (with
+    /// a cache file configured) writes the final cache dump.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock `accept()` with a throwaway connection; the acceptor
@@ -220,7 +311,10 @@ fn serve_connection(
             }
             Err(RecvError::Disconnected) => return,
             Err(RecvError::BadRequest(message)) => {
-                let body = format!("{}\n", json!({ "error": message.as_str() }));
+                let body = format!(
+                    "{}\n",
+                    json!({ "error": message.as_str(), "code": "bad_request" })
+                );
                 state.metrics.record_request("other", 400, Duration::ZERO);
                 let _ = write_response(
                     &mut write_half,
@@ -233,7 +327,10 @@ fn serve_connection(
             }
             Err(RecvError::BodyTooLarge { declared, limit }) => {
                 let message = format!("body of {declared} bytes exceeds limit of {limit}");
-                let body = format!("{}\n", json!({ "error": message }));
+                let body = format!(
+                    "{}\n",
+                    json!({ "error": message, "code": "body_too_large" })
+                );
                 state.metrics.record_request("other", 413, Duration::ZERO);
                 let _ = write_response(
                     &mut write_half,

@@ -204,12 +204,126 @@ fn batch_mixes_results_and_errors() {
     let (status, body) = roundtrip(&server, &post("/v1/partition", &body));
     assert_eq!(status, 200, "{body}");
     let v = Value::parse(&body).unwrap();
+    assert_eq!(v["completed"].as_u64(), Some(2), "{body}");
+    assert_eq!(v["failed"].as_u64(), Some(1), "{body}");
     let results = v["results"].as_array().unwrap();
     assert_eq!(results.len(), 3);
+    assert_eq!(results[0]["index"].as_u64(), Some(0));
+    assert_eq!(results[0]["status"].as_u64(), Some(200));
+    assert!(results[0]["body"]["bandwidth"].as_u64().is_some());
+    assert_eq!(results[1]["status"].as_u64(), Some(422));
+    assert!(results[1]["body"]["error"].as_str().is_some());
+    assert_eq!(results[2]["index"].as_u64(), Some(2));
+    assert!(results[2]["body"]["processors"].as_u64().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn batch_compat_flag_returns_v1_shape_end_to_end() {
+    let mut server = start(ServerConfig::default());
+    let body = format!(
+        r#"{{"requests":[
+            {{"objective":"bandwidth","bound":12,"graph":{CHAIN}}},
+            {{"objective":"bogus","bound":12,"graph":{CHAIN}}}
+        ],"compat":true}}"#
+    );
+    let (status, body) = roundtrip(&server, &post("/v1/partition", &body));
+    assert_eq!(status, 200, "{body}");
+    let v = Value::parse(&body).unwrap();
+    let results = v["results"].as_array().unwrap();
+    assert_eq!(results.len(), 2);
     assert!(results[0]["bandwidth"].as_u64().is_some());
     assert!(results[1]["error"].as_str().is_some());
-    assert!(results[2]["processors"].as_u64().is_some());
+    assert!(
+        v["completed"].as_u64().is_none(),
+        "compat keeps v1 keys only"
+    );
     server.shutdown();
+}
+
+#[test]
+fn large_batch_fans_out_across_the_pool_in_order() {
+    let mut server = start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let items: Vec<String> = (0..32)
+        .map(|i| {
+            format!(
+                r#"{{"objective":"bandwidth","bound":{},"graph":{CHAIN}}}"#,
+                12 + i
+            )
+        })
+        .collect();
+    let body = format!(r#"{{"requests":[{}]}}"#, items.join(","));
+    let (status, body) = roundtrip(&server, &post("/v1/partition", &body));
+    assert_eq!(status, 200, "{body}");
+    let v = Value::parse(&body).unwrap();
+    assert_eq!(v["completed"].as_u64(), Some(32), "{body}");
+    assert_eq!(v["failed"].as_u64(), Some(0));
+    let results = v["results"].as_array().unwrap();
+    assert_eq!(results.len(), 32);
+    for (i, item) in results.iter().enumerate() {
+        assert_eq!(item["index"].as_u64(), Some(i as u64), "order preserved");
+        assert_eq!(item["status"].as_u64(), Some(200));
+        assert!(item["body"]["bandwidth"].as_u64().is_some());
+    }
+
+    // The scatter shows up in metrics: every subtask ran somewhere
+    // (pool or inline when the queue was momentarily full).
+    let (_, metrics) = roundtrip(&server, &get("/metrics"));
+    let subtasks: u64 = metrics
+        .lines()
+        .filter_map(|l| l.strip_prefix("tgp_batch_subtasks_total"))
+        .filter_map(|l| l.split_whitespace().last())
+        .filter_map(|n| n.parse::<u64>().ok())
+        .sum();
+    assert_eq!(subtasks, 32, "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn cache_file_round_trips_across_a_restart() {
+    let path = std::env::temp_dir().join(format!("tgp-warm-restart-{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let body = format!(r#"{{"objective":"bandwidth","bound":12,"graph":{CHAIN}}}"#);
+
+    let mut first = start(ServerConfig {
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    });
+    let (s1, b1) = roundtrip(&first, &post("/v1/partition", &body));
+    assert_eq!(s1, 200, "{b1}");
+    first.shutdown(); // graceful shutdown writes the final dump
+
+    let mut second = start(ServerConfig {
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    });
+    let (s2, b2) = roundtrip(&second, &post("/v1/partition", &body));
+    assert_eq!(s2, 200);
+    assert_eq!(b1, b2, "warm entry serves the identical response");
+
+    let (_, metrics) = roundtrip(&second, &get("/metrics"));
+    let warm: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_cache_warm_loaded_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let hits: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_cache_hits_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(warm >= 1, "{metrics}");
+    assert!(
+        hits >= 1,
+        "first request after restart should warm-hit:\n{metrics}"
+    );
+    second.shutdown();
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
@@ -284,9 +398,12 @@ fn saturated_queue_gets_503_not_a_hang() {
         .unwrap();
     let mut reply = Vec::new();
     stream.read_to_end(&mut reply).expect("read 503");
+    let raw = String::from_utf8_lossy(&reply).to_ascii_lowercase();
+    assert!(raw.contains("retry-after:"), "{raw}");
     let (status, body) = parse_response(&reply);
     assert_eq!(status, 503, "{body}");
     assert!(body.contains("overloaded"));
+    assert!(body.contains(r#""code":"overloaded""#), "{body}");
 
     // The overload shows up in metrics once capacity frees up.
     drop(hold_worker);

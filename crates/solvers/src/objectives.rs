@@ -273,6 +273,11 @@ impl Solver for TreeBandwidth {
         }
         Ok(request)
     }
+    fn cost_estimate(&self, request: &Request) -> u64 {
+        let k = request.params.bound.unwrap_or(1);
+        let n = request.graph.tree().len() as u64;
+        n.saturating_mul(k).saturating_mul(k)
+    }
     fn run(&self, request: &Request) -> Result<Response, SolveError> {
         let bound = bound_of(request);
         let tree = request.graph.tree();
@@ -417,6 +422,11 @@ impl Solver for Bokhari {
     fn summary(&self) -> &'static str {
         "Bokhari (1988) layered-graph minimax chain partition, O(n²m)"
     }
+    fn cost_estimate(&self, request: &Request) -> u64 {
+        let n = request.graph.chain().len() as u64;
+        let m = request.params.processors.unwrap_or(1);
+        n.saturating_mul(n).saturating_mul(m)
+    }
     fn run(&self, request: &Request) -> Result<Response, SolveError> {
         let m = usize_param(
             request
@@ -506,6 +516,11 @@ impl Solver for Hetero {
             });
         }
         Ok(request)
+    }
+    fn cost_estimate(&self, request: &Request) -> u64 {
+        let n = request.graph.chain().len() as u64;
+        let p = request.params.speeds.as_deref().map_or(1, |s| s.len()) as u64;
+        n.saturating_mul(n).saturating_mul(p)
     }
     fn run(&self, request: &Request) -> Result<Response, SolveError> {
         let speeds = request.params.speeds.clone().expect("required parameter");
@@ -728,6 +743,52 @@ mod tests {
             .run(&coc.parse(&Value::parse(&junk).unwrap()).unwrap())
             .unwrap_err();
         assert_eq!(err.code(), "invalid_field");
+    }
+
+    #[test]
+    fn cost_estimates_reflect_algorithmic_complexity() {
+        let registry = Registry::shared();
+        // Linear solvers report nodes + edges (the default estimate).
+        let (_, bw) = registry.get("bandwidth").unwrap();
+        let req = bw
+            .parse(&Value::parse(&golden_request("bandwidth")).unwrap())
+            .unwrap();
+        assert_eq!(bw.cost_estimate(&req), 4 + 3);
+
+        // tree-bandwidth is pseudo-polynomial: n·K².
+        let (_, tb) = registry.get("tree-bandwidth").unwrap();
+        let req = tb
+            .parse(&Value::parse(&golden_request("tree-bandwidth")).unwrap())
+            .unwrap();
+        assert_eq!(tb.cost_estimate(&req), 4 * 10 * 10);
+
+        // bokhari is O(n²m).
+        let (_, bk) = registry.get("bokhari").unwrap();
+        let req = bk
+            .parse(&Value::parse(&golden_request("bokhari")).unwrap())
+            .unwrap();
+        assert_eq!(bk.cost_estimate(&req), 4 * 4 * 2);
+
+        // hetero is quadratic in the chain times the array size.
+        let (_, he) = registry.get("hetero").unwrap();
+        let req = he
+            .parse(&Value::parse(&golden_request("hetero")).unwrap())
+            .unwrap();
+        assert_eq!(he.cost_estimate(&req), 4 * 4 * 2);
+
+        // Estimates saturate instead of overflowing.
+        let body = format!(
+            r#"{{"objective": "tree-bandwidth", "bound": {}, "graph": {TREE}}}"#,
+            u64::MAX
+        );
+        let parsed = parse_request(
+            "tree-bandwidth",
+            GraphKind::Tree,
+            BOUND_ONLY,
+            &Value::parse(&body).unwrap(),
+        )
+        .expect("schema-valid even though run() would refuse it");
+        assert_eq!(tb.cost_estimate(&parsed), u64::MAX);
     }
 
     #[test]

@@ -44,6 +44,17 @@ pub trait Solver: Send + Sync {
     /// Runs the objective on a validated request.
     fn run(&self, request: &Request) -> Result<Response, SolveError>;
 
+    /// A rough, dimensionless estimate of how much work [`Solver::run`]
+    /// does on this request. Caches use it as an admission signal: a
+    /// response that was expensive to compute is worth keeping even
+    /// when it is large. The default — nodes plus edges — matches the
+    /// linear-time solvers; super-linear objectives override it (see
+    /// `TreeBandwidth`, `Bokhari`). Estimates saturate rather than
+    /// overflow.
+    fn cost_estimate(&self, request: &Request) -> u64 {
+        request.graph.work_units()
+    }
+
     /// The canonical cache key of a validated request: objective name,
     /// parameters, then graph content — independent of the original
     /// JSON formatting. Two requests with equal keys are guaranteed to

@@ -106,6 +106,18 @@ impl GraphInput {
         }
     }
 
+    /// A rough size-of-instance measure — nodes plus edges — used as the
+    /// default [`crate::Solver::cost_estimate`]. Solvers whose running
+    /// time is super-linear in the instance override the estimate
+    /// instead of this accessor.
+    pub fn work_units(&self) -> u64 {
+        match self {
+            GraphInput::Chain(p) => (p.len() + p.edge_count()) as u64,
+            GraphInput::Tree(t) => (t.len() + t.edge_count()) as u64,
+            GraphInput::Process(g) => (g.len() + g.edge_count()) as u64,
+        }
+    }
+
     /// Writes the graph's validated content into a canonical key.
     pub fn write_key(&self, key: &mut KeyBuilder) {
         match self {
