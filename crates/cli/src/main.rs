@@ -105,8 +105,10 @@ USAGE:
   tgp approx --bound K [--input FILE]                 # general graphs
   tgp simulate --bound K --items N [--processors P]
                [--interconnect bus|crossbar] [--input FILE]
-  tgp serve [--addr 127.0.0.1:7070] [--workers 4] [--cache-bytes 33554432]
-            [--cache-ttl SECS] [--cache-file PATH] [--queue-depth 64]
+  tgp serve [--addr 127.0.0.1:7070] [--io threads|epoll] [--workers 4]
+            [--cache-bytes 33554432] [--cache-ttl SECS] [--cache-file PATH]
+            [--queue-depth 64] [--max-connections 1024] [--shed-cost UNITS]
+            [--read-timeout SECS] [--write-timeout SECS] [--idle-timeout SECS]
             [--log-requests]                      # HTTP partition service
   tgp objectives [--markdown | --check FILE]      # registry listing / docs table
 
@@ -516,19 +518,36 @@ fn serve(opts: &Options, log_requests: bool) -> CliResult<Value> {
     if ttl_secs > 0 {
         cache.ttl = Some(std::time::Duration::from_secs(ttl_secs));
     }
+    let defaults = ServerConfig::default();
+    let secs = |key: &str, fallback: std::time::Duration| -> CliResult<std::time::Duration> {
+        Ok(match opts.num::<u64>(key)? {
+            Some(s) => std::time::Duration::from_secs(s.max(1)),
+            None => fallback,
+        })
+    };
     let config = ServerConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
+        io: match opts.get("io") {
+            Some(raw) => raw.parse().map_err(|e: String| format!("--io: {e}"))?,
+            None => defaults.io,
+        },
         workers: opts.num("workers")?.unwrap_or(4),
         cache,
         cache_file: opts.get("cache-file").map(std::path::PathBuf::from),
         queue_depth: opts.num("queue-depth")?.unwrap_or(64),
+        max_connections: opts.num("max-connections")?.unwrap_or(1024),
+        read_timeout: secs("read-timeout", defaults.read_timeout)?,
+        write_timeout: secs("write-timeout", defaults.write_timeout)?,
+        idle_timeout: secs("idle-timeout", defaults.idle_timeout)?,
+        shed_cost: opts.num("shed-cost")?,
         log_requests,
         ..ServerConfig::default()
     };
     let workers = config.workers;
+    let io = config.io;
     let mut server = Server::start(config)?;
     eprintln!(
-        "tgp serve: listening on http://{} ({workers} workers); \
+        "tgp serve: listening on http://{} ({workers} workers, {io:?} io); \
          endpoints: POST /v1/partition, POST /v1/simulate, GET /healthz, GET /metrics",
         server.local_addr()
     );

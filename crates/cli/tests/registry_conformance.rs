@@ -11,7 +11,7 @@ use std::net::TcpStream;
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
-use tgp_service::{Server, ServerConfig};
+use tgp_service::{IoMode, Server, ServerConfig};
 use tgp_solvers::Registry;
 
 /// One golden request per objective: the CLI flags and the JSON params
@@ -171,9 +171,20 @@ fn post(server: &Server, path: &str, body: &str) -> (u16, Vec<u8>) {
     (status, reply[head_end + 4..].to_vec())
 }
 
-fn start_server() -> Server {
+/// The io modes this target can run: conformance must hold under both
+/// front-ends, since they frame request bytes differently.
+fn modes() -> Vec<IoMode> {
+    if cfg!(target_os = "linux") {
+        vec![IoMode::Threads, IoMode::Epoll]
+    } else {
+        vec![IoMode::Threads]
+    }
+}
+
+fn start_server(io: IoMode) -> Server {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
+        io,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
@@ -193,72 +204,79 @@ fn golden_table_covers_the_whole_registry() {
 
 #[test]
 fn cli_and_http_agree_byte_for_byte_on_every_objective() {
-    let mut server = start_server();
-    for golden in GOLDEN {
-        let (status, http) = post(&server, "/v1/partition", &http_body(golden));
-        assert_eq!(
-            status,
-            200,
-            "{}: {}",
-            golden.objective,
-            String::from_utf8_lossy(&http)
-        );
-        // The service terminates bodies with `\n`, the CLI's `println`
-        // does the same — the byte streams must match exactly.
-        let cli = cli_bytes(golden);
-        assert_eq!(
-            cli,
-            http,
-            "{}: CLI bytes differ from HTTP body\nCLI:  {}\nHTTP: {}",
-            golden.objective,
-            String::from_utf8_lossy(&cli),
-            String::from_utf8_lossy(&http)
-        );
+    for io in modes() {
+        let mut server = start_server(io);
+        for golden in GOLDEN {
+            let (status, http) = post(&server, "/v1/partition", &http_body(golden));
+            assert_eq!(
+                status,
+                200,
+                "[{io:?}] {}: {}",
+                golden.objective,
+                String::from_utf8_lossy(&http)
+            );
+            // The service terminates bodies with `\n`, the CLI's
+            // `println` does the same — the byte streams must match
+            // exactly, in either io mode.
+            let cli = cli_bytes(golden);
+            assert_eq!(
+                cli,
+                http,
+                "[{io:?}] {}: CLI bytes differ from HTTP body\nCLI:  {}\nHTTP: {}",
+                golden.objective,
+                String::from_utf8_lossy(&cli),
+                String::from_utf8_lossy(&http)
+            );
+        }
+        server.shutdown();
     }
-    server.shutdown();
 }
 
 #[test]
 fn undeclared_fields_are_422_unknown_field_for_every_objective() {
-    let mut server = start_server();
-    for golden in GOLDEN {
-        let body = format!(
-            r#"{{"objective":"{}",{},"zzz_not_a_field":1,"graph":{}}}"#,
-            golden.objective, golden.params_json, golden.graph
-        );
-        let (status, reply) = post(&server, "/v1/partition", &body);
-        let text = String::from_utf8_lossy(&reply);
-        assert_eq!(status, 422, "{}: {text}", golden.objective);
-        assert!(
-            text.contains(r#""code":"unknown_field""#),
-            "{}: {text}",
-            golden.objective
-        );
+    for io in modes() {
+        let mut server = start_server(io);
+        for golden in GOLDEN {
+            let body = format!(
+                r#"{{"objective":"{}",{},"zzz_not_a_field":1,"graph":{}}}"#,
+                golden.objective, golden.params_json, golden.graph
+            );
+            let (status, reply) = post(&server, "/v1/partition", &body);
+            let text = String::from_utf8_lossy(&reply);
+            assert_eq!(status, 422, "[{io:?}] {}: {text}", golden.objective);
+            assert!(
+                text.contains(r#""code":"unknown_field""#),
+                "[{io:?}] {}: {text}",
+                golden.objective
+            );
+        }
+        server.shutdown();
     }
-    server.shutdown();
 }
 
 #[test]
 fn wrong_graph_shape_is_422_wrong_graph_kind_for_every_objective() {
-    let mut server = start_server();
-    for golden in GOLDEN {
-        // Feed each objective the opposite shape: trees/process graphs
-        // get a chain, chain objectives get a tree.
-        let wrong = if golden.graph == CHAIN { TREE } else { CHAIN };
-        let body = format!(
-            r#"{{"objective":"{}",{},"graph":{}}}"#,
-            golden.objective, golden.params_json, wrong
-        );
-        let (status, reply) = post(&server, "/v1/partition", &body);
-        let text = String::from_utf8_lossy(&reply);
-        assert_eq!(status, 422, "{}: {text}", golden.objective);
-        assert!(
-            text.contains(r#""code":"wrong_graph_kind""#),
-            "{}: {text}",
-            golden.objective
-        );
+    for io in modes() {
+        let mut server = start_server(io);
+        for golden in GOLDEN {
+            // Feed each objective the opposite shape: trees/process
+            // graphs get a chain, chain objectives get a tree.
+            let wrong = if golden.graph == CHAIN { TREE } else { CHAIN };
+            let body = format!(
+                r#"{{"objective":"{}",{},"graph":{}}}"#,
+                golden.objective, golden.params_json, wrong
+            );
+            let (status, reply) = post(&server, "/v1/partition", &body);
+            let text = String::from_utf8_lossy(&reply);
+            assert_eq!(status, 422, "[{io:?}] {}: {text}", golden.objective);
+            assert!(
+                text.contains(r#""code":"wrong_graph_kind""#),
+                "[{io:?}] {}: {text}",
+                golden.objective
+            );
+        }
+        server.shutdown();
     }
-    server.shutdown();
 }
 
 #[test]

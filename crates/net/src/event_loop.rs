@@ -1,0 +1,701 @@
+//! The epoll event loop: accept, per-connection state machines,
+//! timeouts, and the completion channel back from worker threads.
+//!
+//! One thread runs [`EventLoop`]; everything it owns — the listener,
+//! the connection slab, the timer wheel — is single-threaded and
+//! lock-free. The only cross-thread surface is [`LoopHandle`]: a
+//! mutex-guarded completion vector plus an eventfd waker, which worker
+//! threads use to hand finished responses back.
+//!
+//! Connection lifecycle:
+//!
+//! ```text
+//!  accept ──► Reading ──frame──► Dispatched ──submit──► Writing ──┐
+//!               ▲   │ (complete)  (parked,               │        │
+//!               │   │             interest ∅)            │ done   │
+//!               │   └─► [frame error] ────► Writing ─────┤        │
+//!               │                          (then close)  ▼        │
+//!               └────────────── keep-alive ◄── residual? ┴─ close ◄┘
+//! ```
+//!
+//! Timeout policy (one armed timer per connection, superseded by
+//! generation bump): *read* = total deadline per request from its
+//! first byte; *write* = total deadline per response; *idle* = quiet
+//! keep-alive connection. Dispatched connections carry no timer — the
+//! worker pool owns their latency.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use crate::framer::{frame, FrameLimits, FrameStatus};
+use crate::poll::{Event, Interest, Poller, Token, Waker};
+use crate::timer::{TimeoutKind, TimerWheel};
+use crate::{Action, ConnId, Handler, NetConfig, NetCounters};
+
+const LISTENER_TOKEN: Token = u64::MAX;
+const WAKER_TOKEN: Token = u64::MAX - 1;
+
+/// A worker's finished response travelling back to the loop.
+struct Completion {
+    conn: ConnId,
+    bytes: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// State shared between the loop thread and [`LoopHandle`] clones.
+struct Shared {
+    completions: Mutex<Vec<Completion>>,
+    stop: AtomicBool,
+    waker: Waker,
+}
+
+/// Cheap-to-clone handle for answering dispatched requests and for
+/// shutting the loop down. Safe to use from any thread.
+#[derive(Clone)]
+pub struct LoopHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for LoopHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopHandle").finish_non_exhaustive()
+    }
+}
+
+impl LoopHandle {
+    /// Queues the wire response for `conn` and wakes the loop. If the
+    /// connection died in the meantime the response is dropped — the
+    /// generation in [`ConnId`] guarantees it can never reach a peer
+    /// that reused the slot.
+    pub fn submit(&self, conn: ConnId, bytes: Vec<u8>, keep_alive: bool) {
+        self.shared.completions.lock().unwrap().push(Completion {
+            conn,
+            bytes,
+            keep_alive,
+        });
+        self.shared.waker.wake();
+    }
+
+    /// Asks the loop to drain and exit: accepting stops immediately,
+    /// idle connections close, and in-flight requests get
+    /// `drain_timeout` to finish.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.waker.wake();
+    }
+}
+
+/// A running event loop (the thread plus its [`LoopHandle`]).
+pub struct EventLoop {
+    handle: LoopHandle,
+    thread: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop").finish_non_exhaustive()
+    }
+}
+
+impl EventLoop {
+    /// Takes ownership of `listener` and starts the loop thread.
+    /// Requests surface through `handler`; counters through `counters`.
+    pub fn spawn(
+        listener: TcpListener,
+        config: NetConfig,
+        counters: Arc<NetCounters>,
+        handler: Arc<dyn Handler>,
+    ) -> io::Result<EventLoop> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new(config.max_connections.min(1024) + 2)?;
+        poller.register(&listener, LISTENER_TOKEN, Interest::READ)?;
+        let waker = Waker::new(&poller, WAKER_TOKEN)?;
+        let shared = Arc::new(Shared {
+            completions: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            waker,
+        });
+        let handle = LoopHandle {
+            shared: Arc::clone(&shared),
+        };
+        let state = Loop {
+            poller,
+            listener,
+            accept_paused: false,
+            slots: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            wheel: TimerWheel::new(Instant::now()),
+            timer_seq: 0,
+            limits: FrameLimits {
+                max_head_bytes: config.max_head_bytes,
+                max_body_bytes: config.max_body_bytes,
+            },
+            config,
+            counters,
+            handler,
+            handle: handle.clone(),
+            drain_deadline: None,
+        };
+        let thread = thread::Builder::new()
+            .name("tgp-net-loop".into())
+            .spawn(move || state.run())?;
+        Ok(EventLoop { handle, thread })
+    }
+
+    /// A handle for workers to answer through.
+    pub fn handle(&self) -> LoopHandle {
+        self.handle.clone()
+    }
+
+    /// Signals shutdown and waits for the drain to finish.
+    pub fn shutdown(self) {
+        self.handle.shutdown();
+        let _ = self.thread.join();
+    }
+}
+
+/// What a connection is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes until the framer says complete.
+    Reading,
+    /// A complete request is with the worker pool; no readiness
+    /// interest, no timer.
+    Dispatched,
+    /// Flushing a response, resuming on `EPOLLOUT` after short writes.
+    Writing,
+}
+
+struct Connection {
+    stream: TcpStream,
+    state: ConnState,
+    interest: Interest,
+    /// Wheel generation of the currently armed timer (0 = none).
+    timer_gen: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Reuse the connection after the current response.
+    keep_alive: bool,
+    /// Peer half-closed (EPOLLRDHUP): finish the in-flight response,
+    /// then close instead of waiting for more requests.
+    rdhup: bool,
+}
+
+/// One slab slot. `generation` survives reuse so stale tokens and
+/// completions are detectable.
+struct Slot {
+    generation: u32,
+    conn: Option<Connection>,
+}
+
+struct Loop {
+    poller: Poller,
+    listener: TcpListener,
+    accept_paused: bool,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    open: usize,
+    wheel: TimerWheel,
+    /// Monotonic wheel-generation source (never reused, so entries from
+    /// a slot's previous occupant can never match its current one).
+    timer_seq: u64,
+    limits: FrameLimits,
+    config: NetConfig,
+    counters: Arc<NetCounters>,
+    handler: Arc<dyn Handler>,
+    handle: LoopHandle,
+    drain_deadline: Option<Instant>,
+}
+
+impl Loop {
+    fn run(mut self) {
+        loop {
+            let now = Instant::now();
+            self.fire_timers(now);
+            self.drain_completions();
+            if self.handle.shared.stop.load(Ordering::Acquire) && self.drain_deadline.is_none() {
+                self.begin_drain(now);
+            }
+            if let Some(deadline) = self.drain_deadline {
+                if self.open == 0 || now >= deadline {
+                    break;
+                }
+            }
+            let timeout_ms = self.wait_budget_ms(now);
+            let events = match self.poller.wait(timeout_ms) {
+                Ok(events) => events,
+                Err(_) => break, // epoll fd itself failed; nothing to salvage
+            };
+            if !events.is_empty() {
+                self.counters
+                    .readiness_wakeups
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            for event in events {
+                match event.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.handle.shared.waker.drain(),
+                    token => self.conn_event(token, event),
+                }
+            }
+        }
+        // Force-close whatever outlived the drain deadline.
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].conn.is_some() {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// How long `epoll_wait` may block: until the next timer sweep, or
+    /// the drain deadline, whichever is sooner. Minimum 1 ms so a
+    /// just-missed tick does not busy-spin.
+    fn wait_budget_ms(&self, now: Instant) -> i32 {
+        let mut budget = self.wheel.next_sweep_in(now);
+        if let Some(deadline) = self.drain_deadline {
+            budget = budget.min(deadline.saturating_duration_since(now));
+        }
+        (budget.as_millis() as i32).max(1)
+    }
+
+    fn fire_timers(&mut self, now: Instant) {
+        for expired in self.wheel.expire(now) {
+            let live = self
+                .slots
+                .get(expired.conn)
+                .and_then(|slot| slot.conn.as_ref())
+                .is_some_and(|conn| conn.timer_gen == expired.generation);
+            if live {
+                self.counters
+                    .timeout_closes(expired.kind)
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close_conn(expired.conn);
+            }
+        }
+    }
+
+    // ---- accept ---------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            if self.open >= self.config.max_connections {
+                self.pause_accept();
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => self.add_conn(stream),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient per-connection accept failures (ECONNABORTED
+                // and friends): skip and keep accepting.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    fn pause_accept(&mut self) {
+        if !self.accept_paused {
+            self.accept_paused = true;
+            self.counters
+                .accept_backpressure
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = self.poller.deregister(&self.listener);
+        }
+    }
+
+    fn resume_accept(&mut self) {
+        if self.accept_paused && self.drain_deadline.is_none() {
+            self.accept_paused = false;
+            let _ = self
+                .poller
+                .register(&self.listener, LISTENER_TOKEN, Interest::READ);
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(Slot {
+                generation: 0,
+                conn: None,
+            });
+            self.slots.len() - 1
+        });
+        let token = self.token_of(idx);
+        if self
+            .poller
+            .register(&stream, token, Interest::READ)
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx].conn = Some(Connection {
+            stream,
+            state: ConnState::Reading,
+            interest: Interest::READ,
+            timer_gen: 0,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            keep_alive: true,
+            rdhup: false,
+        });
+        self.open += 1;
+        self.counters
+            .open_connections
+            .fetch_add(1, Ordering::Relaxed);
+        // The first request's total deadline starts at accept.
+        self.arm_timer(idx, TimeoutKind::Read);
+    }
+
+    fn token_of(&self, idx: usize) -> Token {
+        ConnId {
+            index: idx as u32,
+            generation: self.slots[idx].generation,
+        }
+        .token()
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.slots[idx].conn.take() {
+            // Dropping the stream closes the fd, which also removes it
+            // from the epoll set.
+            drop(conn);
+            self.slots[idx].generation = self.slots[idx].generation.wrapping_add(1);
+            self.free.push(idx);
+            self.open -= 1;
+            self.counters
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+            self.resume_accept();
+        }
+    }
+
+    // ---- timers ---------------------------------------------------
+
+    fn arm_timer(&mut self, idx: usize, kind: TimeoutKind) {
+        let duration = match kind {
+            TimeoutKind::Read => self.config.read_timeout,
+            TimeoutKind::Write => self.config.write_timeout,
+            TimeoutKind::Idle => self.config.idle_timeout,
+        };
+        self.timer_seq += 1;
+        let generation = self.timer_seq;
+        if let Some(conn) = self.slots[idx].conn.as_mut() {
+            conn.timer_gen = generation;
+        }
+        self.wheel
+            .arm(idx, generation, Instant::now() + duration, kind);
+    }
+
+    fn cancel_timer(&mut self, idx: usize) {
+        if let Some(conn) = self.slots[idx].conn.as_mut() {
+            conn.timer_gen = 0;
+        }
+    }
+
+    // ---- readiness dispatch --------------------------------------
+
+    fn conn_event(&mut self, token: Token, event: Event) {
+        let id = ConnId::from_token(token);
+        let idx = id.index as usize;
+        let state = {
+            let Some(slot) = self.slots.get_mut(idx) else {
+                return;
+            };
+            if slot.generation != id.generation {
+                return; // stale event for a previous occupant
+            }
+            let Some(conn) = slot.conn.as_mut() else {
+                return;
+            };
+            if event.readable && conn.state != ConnState::Reading {
+                // EPOLLRDHUP while writing or dispatched: the peer
+                // half-closed. The in-flight response still goes out
+                // (their read half may be open) but the connection is
+                // not reused afterwards.
+                conn.rdhup = true;
+                if conn.state == ConnState::Writing {
+                    conn.keep_alive = false;
+                }
+            }
+            conn.state
+        };
+        if event.closed {
+            self.close_conn(idx);
+            return;
+        }
+        match state {
+            ConnState::Reading if event.readable && self.fill_read_buf(idx) => {
+                self.advance(idx);
+            }
+            ConnState::Writing if event.writable => self.advance(idx),
+            _ => {}
+        }
+    }
+
+    /// Reads everything currently available. Returns `false` if the
+    /// connection was closed (EOF or error).
+    fn fill_read_buf(&mut self, idx: usize) -> bool {
+        let was_empty = {
+            let conn = self.slots[idx].conn.as_ref().unwrap();
+            conn.read_buf.is_empty()
+        };
+        let mut chunk = [0u8; 4096];
+        loop {
+            let conn = self.slots[idx].conn.as_mut().unwrap();
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF — but a client that shut down its write half
+                    // after a complete request still deserves its
+                    // response, so let the framer decide: already
+                    // buffered bytes may frame a final request. With
+                    // nothing buffered there is nothing to serve.
+                    if conn.read_buf.is_empty() {
+                        self.close_conn(idx);
+                        return false;
+                    }
+                    conn.rdhup = true;
+                    break;
+                }
+                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return false;
+                }
+            }
+        }
+        let conn = self.slots[idx].conn.as_ref().unwrap();
+        if was_empty && !conn.read_buf.is_empty() {
+            // First byte of a new request: the idle timer (if any)
+            // yields to the request's total read deadline.
+            self.arm_timer(idx, TimeoutKind::Read);
+        }
+        true
+    }
+
+    /// Drives a connection's state machine as far as it can go without
+    /// blocking. Iterative (not recursive) so a buffer full of
+    /// pipelined requests cannot grow the stack.
+    fn advance(&mut self, idx: usize) {
+        loop {
+            let state = match self.slots[idx].conn.as_ref() {
+                Some(conn) => conn.state,
+                None => return,
+            };
+            match state {
+                ConnState::Dispatched => return,
+                ConnState::Reading => {
+                    if !self.try_frame(idx) {
+                        return;
+                    }
+                }
+                ConnState::Writing => match self.try_write(idx) {
+                    WriteOutcome::Blocked | WriteOutcome::Closed => return,
+                    WriteOutcome::Done => {
+                        if !self.finish_response(idx) {
+                            return;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Attempts to frame the next request. Returns `true` if the state
+    /// machine should keep advancing (a write was started), `false` if
+    /// the connection is parked (partial request, dispatched, closed).
+    fn try_frame(&mut self, idx: usize) -> bool {
+        let status = {
+            let conn = self.slots[idx].conn.as_ref().unwrap();
+            frame(&conn.read_buf, &self.limits)
+        };
+        match status {
+            FrameStatus::Partial => {
+                // A half-closed peer can never finish this request, and
+                // its level-triggered EOF would spin the loop if we
+                // kept read interest.
+                if self.slots[idx].conn.as_ref().unwrap().rdhup {
+                    self.close_conn(idx);
+                } else {
+                    self.set_interest(idx, Interest::READ);
+                }
+                false
+            }
+            FrameStatus::Complete { len } => {
+                let id = ConnId {
+                    index: idx as u32,
+                    generation: self.slots[idx].generation,
+                };
+                let request = {
+                    let conn = self.slots[idx].conn.as_mut().unwrap();
+                    conn.read_buf.drain(..len).collect::<Vec<u8>>()
+                };
+                self.cancel_timer(idx);
+                match self.handler.on_request(id, request, &self.handle) {
+                    Action::Pending => {
+                        let conn = self.slots[idx].conn.as_mut().unwrap();
+                        conn.state = ConnState::Dispatched;
+                        self.set_interest(idx, Interest::NONE);
+                        false
+                    }
+                    Action::Respond { bytes, keep_alive } => {
+                        self.start_write(idx, bytes, keep_alive);
+                        true
+                    }
+                }
+            }
+            FrameStatus::Error(err) => {
+                let response = self.handler.on_frame_error(err);
+                self.start_write(idx, response, false);
+                true
+            }
+        }
+    }
+
+    fn start_write(&mut self, idx: usize, bytes: Vec<u8>, keep_alive: bool) {
+        {
+            let conn = self.slots[idx].conn.as_mut().unwrap();
+            conn.write_buf = bytes;
+            conn.written = 0;
+            conn.keep_alive = keep_alive && !conn.rdhup;
+            conn.state = ConnState::Writing;
+        }
+        self.arm_timer(idx, TimeoutKind::Write);
+    }
+
+    /// Writes as much of the pending response as the socket accepts.
+    fn try_write(&mut self, idx: usize) -> WriteOutcome {
+        loop {
+            let conn = self.slots[idx].conn.as_mut().unwrap();
+            if conn.written >= conn.write_buf.len() {
+                return WriteOutcome::Done;
+            }
+            let offset = conn.written;
+            match conn.stream.write(&conn.write_buf[offset..]) {
+                Ok(0) => {
+                    self.close_conn(idx);
+                    return WriteOutcome::Closed;
+                }
+                Ok(n) => {
+                    let conn = self.slots[idx].conn.as_mut().unwrap();
+                    conn.written += n;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(idx, Interest::WRITE);
+                    return WriteOutcome::Blocked;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return WriteOutcome::Closed;
+                }
+            }
+        }
+    }
+
+    /// A response fully flushed: close, or rotate back to reading.
+    /// Returns `true` if the state machine should keep advancing
+    /// (pipelined bytes are already buffered).
+    fn finish_response(&mut self, idx: usize) -> bool {
+        let keep_alive = {
+            let conn = self.slots[idx].conn.as_ref().unwrap();
+            conn.keep_alive && self.drain_deadline.is_none()
+        };
+        if !keep_alive {
+            self.close_conn(idx);
+            return false;
+        }
+        let has_residual = {
+            let conn = self.slots[idx].conn.as_mut().unwrap();
+            conn.write_buf = Vec::new();
+            conn.written = 0;
+            conn.state = ConnState::Reading;
+            !conn.read_buf.is_empty()
+        };
+        if has_residual {
+            // The next pipelined request's deadline starts now.
+            self.arm_timer(idx, TimeoutKind::Read);
+            true
+        } else {
+            self.arm_timer(idx, TimeoutKind::Idle);
+            self.set_interest(idx, Interest::READ);
+            false
+        }
+    }
+
+    fn set_interest(&mut self, idx: usize, interest: Interest) {
+        let token = self.token_of(idx);
+        let conn = self.slots[idx].conn.as_mut().unwrap();
+        if conn.interest != interest {
+            if self
+                .poller
+                .reregister(&conn.stream, token, interest)
+                .is_err()
+            {
+                self.close_conn(idx);
+                return;
+            }
+            let conn = self.slots[idx].conn.as_mut().unwrap();
+            conn.interest = interest;
+        }
+    }
+
+    // ---- completions from workers --------------------------------
+
+    fn drain_completions(&mut self) {
+        let completions = std::mem::take(&mut *self.handle.shared.completions.lock().unwrap());
+        for completion in completions {
+            let idx = completion.conn.index as usize;
+            let live = self
+                .slots
+                .get(idx)
+                .filter(|slot| slot.generation == completion.conn.generation)
+                .and_then(|slot| slot.conn.as_ref())
+                .is_some_and(|conn| conn.state == ConnState::Dispatched);
+            if !live {
+                continue; // connection died while the worker computed
+            }
+            self.start_write(idx, completion.bytes, completion.keep_alive);
+            self.advance(idx);
+        }
+    }
+
+    // ---- shutdown -------------------------------------------------
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.drain_deadline = Some(now + self.config.drain_timeout);
+        if !self.accept_paused {
+            let _ = self.poller.deregister(&self.listener);
+            self.accept_paused = true;
+        }
+        // Idle and mid-request connections close now; dispatched and
+        // writing ones get until the deadline to finish.
+        for idx in 0..self.slots.len() {
+            let reading = self.slots[idx]
+                .conn
+                .as_ref()
+                .is_some_and(|conn| conn.state == ConnState::Reading);
+            if reading {
+                self.close_conn(idx);
+            }
+        }
+    }
+}
+
+enum WriteOutcome {
+    Done,
+    Blocked,
+    Closed,
+}

@@ -1,0 +1,164 @@
+//! Safe wrappers over the epoll fd and the eventfd waker.
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Arc;
+
+use crate::sys;
+
+/// A registration cookie: returned verbatim by the kernel with each
+/// readiness event so the loop can find the connection it belongs to.
+pub type Token = u64;
+
+/// What readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Neither — keep the registration, deliver only error/hang-up
+    /// events (used while a request is parked with the worker pool).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP; // always watch for peer close
+        if self.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The cookie given at registration.
+    pub token: Token,
+    /// The fd is readable (data, or a hang-up that read() will surface).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error or hang-up: the connection is finished either way.
+    pub closed: bool,
+}
+
+/// The epoll instance. Owns the epoll fd; closed on drop.
+pub struct Poller {
+    epfd: RawFd,
+    buffer: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates an epoll instance with an event buffer of `capacity`.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+            buffer: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(8)],
+        })
+    }
+
+    /// Registers `fd` with the given interest.
+    pub fn register(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(self.epfd, fd.as_raw_fd(), interest.bits(), token)
+    }
+
+    /// Updates the interest of an already-registered `fd`.
+    pub fn reregister(
+        &self,
+        fd: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_mod(self.epfd, fd.as_raw_fd(), interest.bits(), token)
+    }
+
+    /// Removes `fd` from the set. (Closing the fd removes it too; this
+    /// exists for the accept-backpressure pause, where the listener
+    /// stays open but must stop producing events.)
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_del(self.epfd, fd.as_raw_fd())
+    }
+
+    /// Blocks for up to `timeout_ms` (−1 = forever) and returns the
+    /// ready events.
+    pub fn wait(&mut self, timeout_ms: i32) -> io::Result<Vec<Event>> {
+        let n = sys::epoll_wait_events(self.epfd, &mut self.buffer, timeout_ms)?;
+        Ok(self.buffer[..n]
+            .iter()
+            .map(|raw| {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = raw.events;
+                let token = raw.data;
+                Event {
+                    token,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                }
+            })
+            .collect())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Wakes a [`Poller`] from any thread via an eventfd. Clone-cheap.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: Arc<WakerFd>,
+}
+
+#[derive(Debug)]
+struct WakerFd(RawFd);
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        sys::close_fd(self.0);
+    }
+}
+
+impl Waker {
+    /// Creates a waker and registers it with the poller under `token`.
+    pub fn new(poller: &Poller, token: Token) -> io::Result<Waker> {
+        let fd = sys::eventfd_create()?;
+        sys::epoll_add(poller.epfd, fd, Interest::READ.bits(), token)?;
+        Ok(Waker {
+            inner: Arc::new(WakerFd(fd)),
+        })
+    }
+
+    /// Makes the poller's next (or current) `wait` return immediately.
+    pub fn wake(&self) {
+        let _ = sys::eventfd_signal(self.inner.0);
+    }
+
+    /// Clears the pending wakeup edge; call when the waker's token is
+    /// delivered so the next `wake` is observable again.
+    pub fn drain(&self) {
+        sys::eventfd_drain(self.inner.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Non-Linux placeholder: the API shape of the epoll loop, with
+//! [`EventLoop::spawn`] reporting `Unsupported`. The service falls
+//! back to (and defaults to) threads mode on these targets; the framer
+//! and timer wheel remain fully functional and tested.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use crate::{ConnId, Handler, NetConfig, NetCounters};
+
+/// Stand-in for the Linux event loop; cannot be constructed.
+#[derive(Debug)]
+pub struct EventLoop {
+    _private: (),
+}
+
+/// Stand-in handle; obtainable only from an [`EventLoop`], so never.
+#[derive(Clone, Debug)]
+pub struct LoopHandle {
+    _private: (),
+}
+
+impl LoopHandle {
+    /// No loop exists to deliver to; unreachable in practice.
+    pub fn submit(&self, _conn: ConnId, _bytes: Vec<u8>, _keep_alive: bool) {}
+
+    /// No loop exists to stop; unreachable in practice.
+    pub fn shutdown(&self) {}
+}
+
+impl EventLoop {
+    /// Always fails with [`io::ErrorKind::Unsupported`] off Linux.
+    pub fn spawn(
+        _listener: TcpListener,
+        _config: NetConfig,
+        _counters: Arc<NetCounters>,
+        _handler: Arc<dyn Handler>,
+    ) -> io::Result<EventLoop> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the epoll connection layer requires Linux; use --io threads",
+        ))
+    }
+
+    /// Unreachable: no [`EventLoop`] can exist on this target.
+    pub fn handle(&self) -> LoopHandle {
+        LoopHandle { _private: () }
+    }
+
+    /// Unreachable: no [`EventLoop`] can exist on this target.
+    pub fn shutdown(self) {}
+}

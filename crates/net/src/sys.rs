@@ -1,0 +1,177 @@
+//! Raw `extern "C"` bindings to the handful of Linux syscalls the event
+//! loop needs: `epoll_create1`/`epoll_ctl`/`epoll_wait` for readiness,
+//! `eventfd` for cross-thread wakeups, and `read`/`write`/`close` on the
+//! eventfd itself.
+//!
+//! This is the only module in the workspace that uses `unsafe` — the
+//! same vendoring philosophy as the in-tree `rand`/`proptest` shims: no
+//! external dependency, just the minimal FFI surface, wrapped here in
+//! fallible safe functions that translate `-1`/`errno` into
+//! [`std::io::Error`]. Everything above this module is safe code.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+
+/// Readiness flag: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness flag: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness flag: an error condition is pending on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness flag: the peer hung up.
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness flag: the peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One `struct epoll_event`. The kernel packs this struct on x86-64
+/// (and only there), so the layout is architecture-conditional exactly
+/// as in the kernel headers.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with the event.
+    pub data: u64,
+}
+
+/// One `struct epoll_event` (naturally aligned on non-x86-64).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with the event.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the return value is checked.
+    check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Adds `fd` to the epoll set with the given interest and cookie.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // SAFETY: `ev` is a valid, live epoll_event for the duration of the
+    // call; the kernel copies it before returning.
+    check(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+}
+
+/// Changes the interest set of an already-registered `fd`.
+pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // SAFETY: as in `epoll_add`.
+    check(unsafe { epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+}
+
+/// Removes `fd` from the epoll set.
+pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    // Linux < 2.6.9 required a non-null event even for DEL; pass one
+    // unconditionally, it is ignored on every kernel this can run on.
+    let mut ev = EpollEvent { events: 0, data: 0 };
+    // SAFETY: as in `epoll_add`.
+    check(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+}
+
+/// Waits for readiness events, filling `events`. Returns the number of
+/// events written. `timeout_ms` of `-1` blocks indefinitely.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    let n = loop {
+        // SAFETY: the pointer/length pair describes the caller's live
+        // buffer; the kernel writes at most `len` entries.
+        let ret = unsafe {
+            epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(c_int::MAX as usize) as c_int,
+                timeout_ms,
+            )
+        };
+        if ret >= 0 {
+            break ret;
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+        // EINTR: retry. (The timeout restarts, which slightly stretches
+        // timer latency under heavy signal traffic — acceptable.)
+    };
+    Ok(n as usize)
+}
+
+/// Creates a non-blocking, close-on-exec eventfd for wakeups.
+pub fn eventfd_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the return value is checked.
+    check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Adds 1 to the eventfd counter, making it readable (a wakeup).
+/// Writing from any thread is the documented, race-free use of eventfd.
+pub fn eventfd_signal(fd: RawFd) -> io::Result<()> {
+    let value: u64 = 1;
+    // SAFETY: writes exactly 8 bytes from a live u64.
+    let ret = unsafe { write(fd, (&raw const value).cast::<c_void>(), 8) };
+    if ret == 8 {
+        return Ok(());
+    }
+    let err = io::Error::last_os_error();
+    // The counter saturating (EAGAIN on a non-blocking eventfd) still
+    // leaves the fd readable, so the wakeup is already guaranteed.
+    if err.kind() == io::ErrorKind::WouldBlock {
+        return Ok(());
+    }
+    Err(err)
+}
+
+/// Drains the eventfd counter so the next signal is a fresh edge.
+pub fn eventfd_drain(fd: RawFd) {
+    let mut value: u64 = 0;
+    // SAFETY: reads exactly 8 bytes into a live u64.
+    let _ = unsafe { read(fd, (&raw mut value).cast::<c_void>(), 8) };
+}
+
+/// Closes a raw fd owned by the caller (epoll and eventfd descriptors;
+/// sockets stay owned by their `TcpStream`s).
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: the caller asserts ownership; double-close is prevented by
+    // the owning types calling this exactly once, in `Drop`.
+    let _ = unsafe { close(fd) };
+}

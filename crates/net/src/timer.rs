@@ -1,0 +1,224 @@
+//! A hashed timer wheel for connection timeouts.
+//!
+//! The event loop arms at most one timeout per connection (read, write
+//! or idle — whichever its state calls for) and re-arms on every state
+//! change, so cancellation must be cheap. The wheel makes both O(1):
+//! arming hashes the deadline into one of `SLOTS` buckets, and
+//! cancellation is *lazy* — the connection bumps a per-connection timer
+//! generation, and stale wheel entries are discarded when their slot
+//! comes around. Deadlines beyond one wheel revolution are re-hashed on
+//! expiry rather than cascaded, which keeps the structure flat.
+//!
+//! Resolution is [`TICK`] (50 ms): plenty for second-scale socket
+//! timeouts, and coarse enough that a busy loop touches the wheel a few
+//! times per revolution, not per request.
+
+use std::time::{Duration, Instant};
+
+/// Wheel tick length — the timeout resolution.
+pub const TICK: Duration = Duration::from_millis(50);
+
+/// Number of slots; one revolution covers `SLOTS × TICK` = 12.8 s.
+const SLOTS: usize = 256;
+
+/// What a fired timeout means; the loop maps it to a close reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// The peer went quiet in the middle of sending a request.
+    Read,
+    /// The peer stopped draining a response we are writing.
+    Write,
+    /// A keep-alive connection sat idle past the idle limit.
+    Idle,
+}
+
+impl TimeoutKind {
+    /// Stable label for metrics (`tgp_timeout_closes_total{kind=…}`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TimeoutKind::Read => "read",
+            TimeoutKind::Write => "write",
+            TimeoutKind::Idle => "idle",
+        }
+    }
+}
+
+/// One armed timeout.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Slab index of the connection this timeout belongs to.
+    conn: usize,
+    /// The connection's timer generation when armed; a mismatch at fire
+    /// time means the timeout was superseded (lazy cancellation).
+    generation: u64,
+    deadline: Instant,
+    kind: TimeoutKind,
+}
+
+/// A fired, still-valid timeout handed back to the event loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Expired {
+    /// Slab index of the timed-out connection.
+    pub conn: usize,
+    /// The generation the entry was armed under; the loop re-checks it
+    /// against the connection before acting.
+    pub generation: u64,
+    /// Which timeout fired.
+    pub kind: TimeoutKind,
+}
+
+/// The wheel itself.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Wheel epoch: slot of a deadline = ticks-since-epoch mod SLOTS.
+    epoch: Instant,
+    /// Next tick index to sweep (monotonically increasing, not wrapped).
+    next_tick: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel anchored at `now`.
+    pub fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            epoch: now,
+            next_tick: 0,
+        }
+    }
+
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let since = deadline.saturating_duration_since(self.epoch);
+        // Round up: a timeout must never fire early.
+        since.as_micros().div_ceil(TICK.as_micros()) as u64
+    }
+
+    /// Arms a timeout for connection `conn` under `generation`.
+    /// Superseding an earlier timeout is done by bumping the
+    /// connection's generation, not by removing the old entry.
+    pub fn arm(&mut self, conn: usize, generation: u64, deadline: Instant, kind: TimeoutKind) {
+        let tick = self.tick_of(deadline).max(self.next_tick);
+        self.slots[(tick % SLOTS as u64) as usize].push(Entry {
+            conn,
+            generation,
+            deadline,
+            kind,
+        });
+    }
+
+    /// Sweeps every slot whose tick has passed, returning entries whose
+    /// deadline is genuinely due. Entries hashed into a passed slot but
+    /// due a future revolution are re-armed. Generation filtering
+    /// against live connections is the caller's job (the wheel only
+    /// knows indexes).
+    pub fn expire(&mut self, now: Instant) -> Vec<Expired> {
+        let mut fired = Vec::new();
+        let current = self.tick_of(now);
+        // Sweep at most one full revolution per call; a loop stalled
+        // longer than a revolution still visits every slot once.
+        let last = current.min(self.next_tick + SLOTS as u64);
+        while self.next_tick <= last {
+            let slot = (self.next_tick % SLOTS as u64) as usize;
+            let mut entries = std::mem::take(&mut self.slots[slot]);
+            for entry in entries.drain(..) {
+                if entry.deadline <= now {
+                    fired.push(Expired {
+                        conn: entry.conn,
+                        generation: entry.generation,
+                        kind: entry.kind,
+                    });
+                } else {
+                    // A later revolution's entry: re-hash it.
+                    let tick = self.tick_of(entry.deadline).max(self.next_tick + 1);
+                    self.slots[(tick % SLOTS as u64) as usize].push(entry);
+                }
+            }
+            // Hand the allocation back to the slot we emptied.
+            let reclaimed = std::mem::replace(&mut self.slots[slot], entries);
+            if !reclaimed.is_empty() {
+                self.slots[slot].extend(reclaimed);
+            }
+            self.next_tick += 1;
+        }
+        fired
+    }
+
+    /// How long the loop may sleep before the next sweep is due.
+    /// Returns [`TICK`] when nothing sooner is armed — the wheel is
+    /// sparse, so a fixed heartbeat is cheaper than tracking the true
+    /// minimum deadline.
+    pub fn next_sweep_in(&self, now: Instant) -> Duration {
+        let next_deadline = self.epoch + TICK * self.next_tick as u32;
+        next_deadline.saturating_duration_since(now).min(TICK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_due_entries_and_keeps_future_ones() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.arm(1, 7, t0 + Duration::from_millis(100), TimeoutKind::Read);
+        wheel.arm(2, 9, t0 + Duration::from_millis(400), TimeoutKind::Idle);
+
+        let fired = wheel.expire(t0 + Duration::from_millis(200));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].conn, 1);
+        assert_eq!(fired[0].generation, 7);
+        assert_eq!(fired[0].kind, TimeoutKind::Read);
+
+        let fired = wheel.expire(t0 + Duration::from_millis(500));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].conn, 2);
+        assert_eq!(fired[0].kind, TimeoutKind::Idle);
+    }
+
+    #[test]
+    fn never_fires_early() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.arm(3, 1, t0 + Duration::from_millis(120), TimeoutKind::Write);
+        assert!(wheel.expire(t0 + Duration::from_millis(119)).is_empty());
+        assert_eq!(wheel.expire(t0 + Duration::from_millis(200)).len(), 1);
+    }
+
+    #[test]
+    fn deadline_beyond_one_revolution_survives_the_sweep() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        // > SLOTS × TICK = 12.8 s away: hashes onto a slot the first
+        // revolution sweeps long before it is due.
+        let far = t0 + Duration::from_secs(20);
+        wheel.arm(4, 2, far, TimeoutKind::Idle);
+        assert!(wheel.expire(t0 + Duration::from_secs(13)).is_empty());
+        let fired = wheel.expire(t0 + Duration::from_secs(21));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].conn, 4);
+    }
+
+    #[test]
+    fn stale_generations_are_the_callers_problem_but_both_fire() {
+        // The wheel itself returns every due entry; the caller filters
+        // by generation. Two arms for one connection both come back.
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.arm(5, 1, t0 + Duration::from_millis(60), TimeoutKind::Read);
+        wheel.arm(5, 2, t0 + Duration::from_millis(60), TimeoutKind::Write);
+        let fired = wheel.expire(t0 + Duration::from_millis(200));
+        assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn next_sweep_is_bounded_by_tick() {
+        let t0 = Instant::now();
+        let wheel = TimerWheel::new(t0);
+        assert!(wheel.next_sweep_in(t0) <= TICK);
+        assert_eq!(
+            wheel.next_sweep_in(t0 + Duration::from_secs(5)),
+            Duration::ZERO
+        );
+    }
+}

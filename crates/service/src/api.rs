@@ -61,6 +61,18 @@ pub const MAX_SIMULATE_ITEMS: u64 = 1_000_000;
 /// way.
 pub const MAX_SIMULATE_PROCESSORS: u64 = 4_096;
 
+/// Most subtasks one batch scatters onto the worker-pool queue. Larger
+/// batches are split into contiguous *chunks* of items instead of one
+/// subtask per item, so a thousand-item batch costs at most this many
+/// queue operations rather than a thousand (ordering and the claim-based
+/// deadlock-freedom argument are per-item and unaffected).
+pub const MAX_BATCH_SUBTASKS: usize = 64;
+
+/// Queue occupancy (numerator/denominator of capacity) at which the
+/// cost-based admission guard starts shedding expensive requests.
+const SHED_OCCUPANCY_NUM: usize = 3;
+const SHED_OCCUPANCY_DEN: usize = 4;
+
 /// Shared handler state: one per server.
 #[derive(Debug)]
 pub struct AppState {
@@ -74,6 +86,11 @@ pub struct AppState {
     /// when the state runs without a pool (unit tests, embedders calling
     /// [`handle`] directly) — batches then execute inline.
     fanout: OnceLock<Arc<BoundedQueue<Work>>>,
+    /// Cost-based admission limit: with `Some(limit)`, a cache-missing
+    /// request whose [`tgp_solvers::Solver::cost_estimate`] exceeds
+    /// `limit` is refused with 503 (`shed_expensive`) while the worker
+    /// queue is nearly full. `None` disables shedding.
+    shed_cost: Option<u64>,
 }
 
 impl AppState {
@@ -84,6 +101,7 @@ impl AppState {
             metrics: Metrics::default(),
             log_requests: false,
             fanout: OnceLock::new(),
+            shed_cost: None,
         }
     }
 
@@ -91,6 +109,35 @@ impl AppState {
     pub fn with_access_log(mut self, enabled: bool) -> Self {
         self.log_requests = enabled;
         self
+    }
+
+    /// Sets the cost-based admission limit (see the `shed_cost` field).
+    pub fn with_shed_cost(mut self, limit: Option<u64>) -> Self {
+        self.shed_cost = limit;
+        self
+    }
+
+    /// The admission guard: decides whether a cache-missing request of
+    /// the given estimated cost should be refused right now. Sheds only
+    /// when a limit is configured, a pool is attached, the queue is at
+    /// least 3/4 full, and the request is more expensive than the limit
+    /// — cheap requests keep flowing even under pressure, and cache
+    /// *hits* never reach this check at all.
+    fn shed_verdict(&self, cost: u64) -> Option<Failure> {
+        let limit = self.shed_cost?;
+        let pool = self.fanout.get()?;
+        if cost > limit && pool.len() * SHED_OCCUPANCY_DEN >= pool.capacity() * SHED_OCCUPANCY_NUM {
+            self.metrics.record_shed_by_cost();
+            return Some(Failure {
+                status: 503,
+                message: format!(
+                    "estimated cost {cost} exceeds the shed limit {limit} while the queue is \
+                     nearly full; retry when load drops"
+                ),
+                code: "shed_expensive",
+            });
+        }
+        None
     }
 
     /// Attaches the worker-pool queue so batch requests can scatter
@@ -326,22 +373,29 @@ fn run_batch(state: &AppState, items: Vec<Value>) -> Vec<Result<String, Failure>
     }
     let pool = pool.expect("checked above");
     let job = Arc::new(BatchJob::new(items));
-    // Scatter: enqueue one subtask per item. A full queue is not an
+    // Scatter: enqueue contiguous chunks of items, at most
+    // MAX_BATCH_SUBTASKS of them, so a thousand-item batch costs tens of
+    // queue operations instead of a thousand. A full queue is not an
     // error — whatever fails to scatter simply runs inline below, so a
     // saturated pool degrades to sequential execution instead of
     // deadlocking the worker that is coordinating this batch.
-    for index in 0..job.len() {
+    let chunk = job.len().div_ceil(MAX_BATCH_SUBTASKS).max(1);
+    let mut start = 0;
+    while start < job.len() {
+        let end = (start + chunk).min(job.len());
         // Raise the gauge before the push: a worker may pop (and
         // decrement) the instant the push lands.
         state.metrics.queue_changed(1);
         let subtask = BatchSubtask {
             job: Arc::clone(&job),
-            index,
+            start,
+            end,
         };
         if pool.try_push(Work::Batch(subtask)).is_err() {
             state.metrics.queue_changed(-1);
             break;
         }
+        start = end;
     }
     // Gather, stealing: claim and run every item no worker has started
     // yet (including items we queued — a worker popping one later finds
@@ -428,20 +482,25 @@ impl BatchJob {
     }
 }
 
-/// One scattered batch item, executed by a pool worker (or dropped if
-/// the coordinator stole it first).
+/// One scattered chunk of batch items (`start..end`), executed by a
+/// pool worker. Claims stay per-item, so any item the coordinator stole
+/// first is simply skipped — chunking changes queue traffic, not the
+/// execution or ordering guarantees.
 #[derive(Debug)]
 pub struct BatchSubtask {
     job: Arc<BatchJob>,
-    index: usize,
+    start: usize,
+    end: usize,
 }
 
 impl BatchSubtask {
-    /// Runs the item unless it was already claimed. Called from the
+    /// Runs every still-unclaimed item in the chunk. Called from the
     /// worker loop in [`crate::server`].
     pub fn run(&self, state: &AppState) {
-        if self.job.run_claimed(state, self.index) {
-            state.metrics.record_batch_subtask(true);
+        for index in self.start..self.end {
+            if self.job.run_claimed(state, index) {
+                state.metrics.record_batch_subtask(true);
+            }
         }
     }
 }
@@ -627,8 +686,12 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
 /// Cache-through: serve a rendered response from the cache or compute,
 /// render and remember it. Only successes are cached — a failure (e.g.
 /// infeasible bound) is cheap to recompute and should not occupy space.
-/// `cost` is the solver's work estimate, which the cache's admission
-/// guard uses to decide whether a large response is worth keeping.
+/// `cost` is the solver's work estimate, used twice: by the cache's
+/// admission guard to decide whether a large response is worth keeping,
+/// and by [`AppState::shed_verdict`] to refuse expensive recomputation
+/// while the worker queue is nearly full. The shed check sits *after*
+/// the cache probe on purpose: a hit costs nothing to serve, so cached
+/// requests are never shed no matter how expensive their solve was.
 fn with_cache(
     state: &AppState,
     key: &[u8],
@@ -638,6 +701,11 @@ fn with_cache(
     if let Some(hit) = state.cache.get(key) {
         state.metrics.record_cache(true);
         return Ok(hit);
+    }
+    if let Some(failure) = state.shed_verdict(cost) {
+        // Shed before counting a miss: the request neither consulted
+        // compute nor occupied the cache, so it is not cache traffic.
+        return Err(failure);
     }
     state.metrics.record_cache(false);
     let rendered = compute()?;
@@ -905,6 +973,145 @@ mod tests {
                 .unwrap_or(0)
         };
         assert_eq!(count("pool") + count("inline"), 32, "{text}");
+    }
+
+    #[test]
+    fn large_batches_scatter_in_bounded_chunks() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let state = Arc::new(AppState::new(CacheConfig::default()));
+        let pool = Arc::new(BoundedQueue::<Work>::new(256));
+        state.attach_pool(Arc::clone(&pool));
+        let popped_subtasks = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let state = Arc::clone(&state);
+                let popped = Arc::clone(&popped_subtasks);
+                std::thread::spawn(move || {
+                    while let Some(work) = pool.pop() {
+                        state.metrics.queue_changed(-1);
+                        if let Work::Batch(subtask) = work {
+                            popped.fetch_add(1, Ordering::Relaxed);
+                            subtask.run(&state);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // 130 items > MAX_BATCH_SUBTASKS: must scatter as chunks.
+        let items: Vec<String> = (0..130)
+            .map(|k| {
+                format!(
+                    r#"{{"objective": "bandwidth", "bound": {}, "graph": {CHAIN}}}"#,
+                    k + 10
+                )
+            })
+            .collect();
+        let body = format!(r#"{{"requests": [{}]}}"#, items.join(","));
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["completed"].as_u64(), Some(130), "{}", r.body);
+        // Order is preserved item-by-item even though scatter is chunked.
+        for (i, item) in v["results"].as_array().unwrap().iter().enumerate() {
+            assert_eq!(item["index"].as_u64(), Some(i as u64));
+            assert_eq!(item["body"]["bound"].as_u64(), Some(i as u64 + 10));
+        }
+        pool.close();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // The queue saw at most MAX_BATCH_SUBTASKS subtasks for 130
+        // items — the whole point of chunking.
+        assert!(
+            popped_subtasks.load(Ordering::Relaxed) <= MAX_BATCH_SUBTASKS,
+            "queue traffic was not chunked: {} subtasks popped",
+            popped_subtasks.load(Ordering::Relaxed)
+        );
+        // Every item ran exactly once, wherever it ran.
+        let text = state.metrics.render();
+        let count = |path: &str| -> u64 {
+            let needle = format!("tgp_batch_subtasks_total{{path=\"{path}\"}} ");
+            text.lines()
+                .find_map(|l| l.strip_prefix(&needle))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        assert_eq!(count("pool") + count("inline"), 130, "{text}");
+    }
+
+    #[test]
+    fn expensive_requests_shed_when_queue_nearly_full() {
+        use std::sync::Arc;
+        let state = Arc::new(AppState::new(CacheConfig::default()).with_shed_cost(Some(0)));
+        let pool = Arc::new(BoundedQueue::<Work>::new(4));
+        state.attach_pool(Arc::clone(&pool));
+        let body = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
+
+        // Queue below 3/4 capacity: nothing is shed.
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+
+        // Fill the queue to 3/4 with inert subtasks nobody drains; now a
+        // cache-missing request above the limit is refused.
+        let inert = Arc::new(BatchJob::new(Vec::new()));
+        for _ in 0..3 {
+            pool.try_push(Work::Batch(BatchSubtask {
+                job: Arc::clone(&inert),
+                start: 0,
+                end: 0,
+            }))
+            .unwrap();
+        }
+        let other = format!(r#"{{"objective": "bandwidth", "bound": 11, "graph": {CHAIN}}}"#);
+        let r = handle(&state, &post("/v1/partition", &other));
+        assert_eq!(r.status, 503, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["code"].as_str(), Some("shed_expensive"), "{}", r.body);
+        assert!(
+            state.metrics.render().contains("tgp_shed_by_cost_total 1"),
+            "shed counter must move"
+        );
+
+        // The request served before the pressure is cached — hits are
+        // never shed, even at full occupancy.
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(
+            r.status, 200,
+            "cache hits bypass the shed guard: {}",
+            r.body
+        );
+
+        // Pressure released: the previously shed request now computes.
+        for _ in 0..3 {
+            let _ = pool.pop();
+        }
+        let r = handle(&state, &post("/v1/partition", &other));
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn shedding_is_off_without_a_configured_limit() {
+        use std::sync::Arc;
+        let state = Arc::new(AppState::new(CacheConfig::default()));
+        let pool = Arc::new(BoundedQueue::<Work>::new(1));
+        state.attach_pool(Arc::clone(&pool));
+        let inert = Arc::new(BatchJob::new(Vec::new()));
+        pool.try_push(Work::Batch(BatchSubtask {
+            job: inert,
+            start: 0,
+            end: 0,
+        }))
+        .unwrap();
+        let body = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
+        let r = handle(&state, &post("/v1/partition", &body));
+        assert_eq!(
+            r.status, 200,
+            "no limit configured → never shed: {}",
+            r.body
+        );
     }
 
     #[test]

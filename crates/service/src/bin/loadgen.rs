@@ -1,13 +1,24 @@
 //! A load generator for the partition service, closed- or open-loop.
 //!
 //! ```text
-//! loadgen [--addr HOST:PORT] [--clients N] [--seconds S]
-//!         [--nodes N] [--distinct D] [--mix chain|tree|simulate]
-//!         [--rate RPS] [--sweep MIN..MAX] [--strict]
+//! loadgen [--addr HOST:PORT] [--clients N] [--connections N] [--seconds S]
+//!         [--timeout SECS] [--nodes N] [--distinct D]
+//!         [--mix chain|tree|simulate] [--rate RPS] [--sweep MIN..MAX]
+//!         [--strict]
 //! ```
 //!
 //! Closed-loop (default): N client threads, each holding one keep-alive
 //! connection and issuing requests back-to-back — measures capacity.
+//!
+//! `--connections N` opens N persistent keep-alive connections (default:
+//! one per client thread). With N much larger than the server's
+//! `--workers`, this is the §SRV-EPOLL scenario: a thread-per-connection
+//! server pins a worker per connection and starves the rest, while the
+//! epoll front-end keeps every connection served. Each connection slot
+//! counts the requests it completed; slots that finish the run without
+//! a single response other than shed 503s are reported as **starved**
+//! (a slot that only ever gets shed received no service), and
+//! `--strict` fails on any starvation.
 //!
 //! Open-loop (`--rate`): requests are launched on a fixed schedule
 //! spread across the clients regardless of how fast replies come back —
@@ -62,7 +73,12 @@ impl Mix {
 struct Config {
     addr: String,
     clients: usize,
+    /// Persistent keep-alive connections to hold open; defaults to one
+    /// per client thread.
+    connections: Option<usize>,
     seconds: u64,
+    /// Client-side read timeout per response.
+    timeout: Duration,
     nodes: usize,
     distinct: usize,
     mix: Mix,
@@ -77,7 +93,9 @@ fn parse_args() -> Result<Config, String> {
     let mut config = Config {
         addr: "127.0.0.1:7070".into(),
         clients: 8,
+        connections: None,
         seconds: 5,
+        timeout: Duration::from_secs(10),
         nodes: 64,
         distinct: 16,
         mix: Mix::Chain,
@@ -98,10 +116,26 @@ fn parse_args() -> Result<Config, String> {
                     .parse()
                     .map_err(|e| format!("--clients: {e}"))?
             }
+            "--connections" => {
+                config.connections = Some(
+                    value("--connections")?
+                        .parse()
+                        .map_err(|e| format!("--connections: {e}"))?,
+                )
+            }
             "--seconds" => {
                 config.seconds = value("--seconds")?
                     .parse()
                     .map_err(|e| format!("--seconds: {e}"))?
+            }
+            "--timeout" => {
+                let secs: u64 = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+                if secs == 0 {
+                    return Err("--timeout must be at least 1 second".into());
+                }
+                config.timeout = Duration::from_secs(secs);
             }
             "--nodes" => {
                 config.nodes = value("--nodes")?
@@ -149,9 +183,10 @@ fn parse_args() -> Result<Config, String> {
             "--strict" => config.strict = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: loadgen [--addr HOST:PORT] [--clients N] [--seconds S] \
-                     [--nodes N] [--distinct D] [--mix chain|tree|simulate] \
-                     [--rate RPS] [--sweep MIN..MAX] [--strict]"
+                    "usage: loadgen [--addr HOST:PORT] [--clients N] [--connections N] \
+                     [--seconds S] [--timeout SECS] [--nodes N] [--distinct D] \
+                     [--mix chain|tree|simulate] [--rate RPS] [--sweep MIN..MAX] \
+                     [--strict]"
                 );
                 std::process::exit(0);
             }
@@ -160,6 +195,9 @@ fn parse_args() -> Result<Config, String> {
     }
     if config.clients == 0 || config.distinct == 0 || config.nodes < 2 {
         return Err("--clients and --distinct must be > 0, --nodes >= 2".into());
+    }
+    if config.connections == Some(0) {
+        return Err("--connections must be > 0".into());
     }
     if config.sweep.is_some() && config.mix != Mix::Chain {
         return Err("--sweep only applies to the chain mix".into());
@@ -348,25 +386,29 @@ fn main() {
         Some(rate) => format!("open-loop at {rate} req/s"),
         None => "closed-loop".into(),
     };
+    // One thread per connection slot; `--connections` decouples the
+    // number of held connections from the default one-per-client.
+    let slots = config.connections.unwrap_or(config.clients).max(1);
     println!(
-        "loadgen: {} clients x {}s against {} ({pacing}; {workload}; {} nodes/graph)",
-        config.clients, config.seconds, config.addr, config.nodes
+        "loadgen: {slots} persistent connections x {}s against {} ({pacing}; {workload}; {} nodes/graph)",
+        config.seconds, config.addr, config.nodes
     );
 
-    // Open-loop: each client fires every `clients / rate` seconds,
+    // Open-loop: each slot fires every `slots / rate` seconds,
     // phase-shifted so the aggregate is a uniform `rate` req/s.
     let interval = config
         .rate
-        .map(|rate| Duration::from_secs_f64(config.clients as f64 / rate));
+        .map(|rate| Duration::from_secs_f64(slots as f64 / rate));
     let base = Instant::now();
+    let timeout = config.timeout;
 
-    let workers: Vec<_> = (0..config.clients)
+    let workers: Vec<_> = (0..slots)
         .map(|c| {
             let addr = config.addr.clone();
             let bodies = Arc::clone(&bodies);
             let stop = Arc::clone(&stop);
             let offset = interval
-                .map(|iv| iv.mul_f64(c as f64 / config.clients as f64))
+                .map(|iv| iv.mul_f64(c as f64 / slots as f64))
                 .unwrap_or(Duration::ZERO);
             std::thread::spawn(move || {
                 let mut tally = Tally::default();
@@ -379,7 +421,7 @@ fn main() {
                         continue;
                     };
                     let _ = stream.set_nodelay(true);
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let _ = stream.set_read_timeout(Some(timeout));
                     let Ok(writer) = stream.try_clone() else {
                         tally.transport_errors += 1;
                         continue;
@@ -440,14 +482,25 @@ fn main() {
     stop.store(true, Ordering::Relaxed);
 
     let mut merged = Tally::default();
+    let mut served_per_slot = Vec::with_capacity(slots);
     for worker in workers {
         let tally = worker.join().expect("client thread panicked");
+        // Shed 503s are not service: a slot whose only responses were
+        // sheds never got real work done. Non-200s like 422 still
+        // count — the solver ran.
+        served_per_slot.push(tally.latencies_us.len() as u64 - tally.shed_503);
         merged.latencies_us.extend(tally.latencies_us);
         merged.transport_errors += tally.transport_errors;
         merged.shed_503 += tally.shed_503;
         merged.other_5xx += tally.other_5xx;
         merged.non_200 += tally.non_200;
     }
+    // A slot with zero non-shed responses over the whole run is the
+    // starvation the epoll front-end exists to prevent; the per-slot
+    // spread shows softer unfairness (a thread-per-connection server
+    // pins a few connections and trickles the rest).
+    served_per_slot.sort_unstable();
+    let starved = served_per_slot.iter().filter(|&&s| s == 0).count();
     let elapsed = started.elapsed().as_secs_f64();
 
     merged.latencies_us.sort_unstable();
@@ -467,17 +520,30 @@ fn main() {
         percentile(&merged.latencies_us, 0.99),
         merged.latencies_us.last().copied().unwrap_or(0),
     );
+    println!(
+        "connections: {slots} persistent, {starved} starved; served/conn min {} p50 {} max {}",
+        served_per_slot.first().copied().unwrap_or(0),
+        percentile(&served_per_slot, 0.50),
+        served_per_slot.last().copied().unwrap_or(0),
+    );
     if merged.non_200 > 0 || merged.transport_errors > 0 {
         println!(
             "anomalies:  {} non-200 responses ({} shed 503s, {} other 5xx), {} transport errors",
             merged.non_200, merged.shed_503, merged.other_5xx, merged.transport_errors
         );
     }
-    if config.strict && merged.other_5xx > 0 {
-        eprintln!(
-            "loadgen: --strict: {} 5xx responses besides load sheds",
+    let mut failures = Vec::new();
+    if merged.other_5xx > 0 {
+        failures.push(format!(
+            "{} 5xx responses besides load sheds",
             merged.other_5xx
-        );
+        ));
+    }
+    if starved > 0 {
+        failures.push(format!("{starved} of {slots} connections starved"));
+    }
+    if config.strict && !failures.is_empty() {
+        eprintln!("loadgen: --strict: {}", failures.join("; "));
         std::process::exit(1);
     }
 }

@@ -7,11 +7,12 @@
 //! are out of scope. Every parse failure maps to a structured status
 //! code so malformed input can never panic a worker.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, Write};
 
-/// Upper bound on the request line plus headers, in bytes.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the request line plus headers, in bytes. The epoll
+/// framer in `tgp-net` enforces the same cap, so both `--io` modes
+/// reject oversized heads identically.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Upper bound on the number of headers.
 const MAX_HEADERS: usize = 64;
@@ -46,9 +47,13 @@ impl Request {
 /// Why a request could not be read.
 #[derive(Debug, PartialEq, Eq)]
 pub enum RecvError {
-    /// Peer closed (or timed out) before sending a complete request —
-    /// nothing to respond to.
+    /// Peer closed before sending a complete request — nothing to
+    /// respond to.
     Disconnected,
+    /// The per-request deadline elapsed before a complete request
+    /// arrived. Closed like [`RecvError::Disconnected`], but counted
+    /// separately (`tgp_timeout_closes_total{kind="read"}`).
+    TimedOut,
     /// Request was syntactically invalid → respond 400.
     BadRequest(String),
     /// Declared body exceeds the service limit → respond 413.
@@ -60,15 +65,15 @@ pub enum RecvError {
     },
 }
 
-/// Reads one request from the stream.
+/// Reads one request from any buffered source: a socket reader in
+/// threads mode, or a `&[u8]` of framed bytes handed over by the epoll
+/// loop — one parser, so both `--io` modes accept and reject
+/// byte-identically.
 ///
 /// `max_body` bounds the accepted `Content-Length`; larger declarations
 /// are rejected *before* reading the body, so an oversized upload costs
 /// the server only the header bytes.
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Request, RecvError> {
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, RecvError> {
     let mut head_bytes = 0usize;
 
     let request_line = read_line(reader, &mut head_bytes)?;
@@ -145,9 +150,7 @@ pub fn read_request(
 
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        reader
-            .read_exact(&mut body)
-            .map_err(|_| RecvError::Disconnected)?;
+        reader.read_exact(&mut body).map_err(recv_io_error)?;
     }
 
     Ok(Request {
@@ -159,14 +162,22 @@ pub fn read_request(
     })
 }
 
+/// Maps a transport error to the matching [`RecvError`]: deadline
+/// expiries (surfaced as `WouldBlock`/`TimedOut` by socket timeouts and
+/// the threads-mode deadline wrapper) are distinguished from plain
+/// disconnects so they can be counted.
+fn recv_io_error(e: std::io::Error) -> RecvError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RecvError::TimedOut,
+        _ => RecvError::Disconnected,
+    }
+}
+
 /// Reads one CRLF-terminated line, enforcing the head-size budget.
-fn read_line(
-    reader: &mut BufReader<TcpStream>,
-    head_bytes: &mut usize,
-) -> Result<String, RecvError> {
+fn read_line<R: BufRead>(reader: &mut R, head_bytes: &mut usize) -> Result<String, RecvError> {
     let mut line = Vec::new();
     loop {
-        let available = reader.fill_buf().map_err(|_| RecvError::Disconnected)?;
+        let available = reader.fill_buf().map_err(recv_io_error)?;
         if available.is_empty() {
             if line.is_empty() {
                 return Err(RecvError::Disconnected);
@@ -206,9 +217,12 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serializes a response onto `stream`.
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Serializes a response onto any sink: the socket in threads mode, or
+/// a `Vec<u8>` that the epoll loop later flushes with partial-write
+/// resumption — one serializer, so responses are byte-identical across
+/// `--io` modes.
+pub fn write_response<W: Write>(
+    stream: &mut W,
     status: u16,
     content_type: &str,
     body: &[u8],

@@ -11,16 +11,20 @@
 //! # Architecture
 //!
 //! ```text
-//!             accept()           BoundedQueue<Work>        pop()
-//! clients ──▶ acceptor thread ──▶ [conn, subtask, …] ──▶ worker pool ──▶ handlers
-//!                   │ full?               ▲                              │
-//!                   │                     └── batch scatter/gather ──────┤
-//!                   └── 503 + retry-after (load shedding)    ResultCache ┘
+//!  --io threads        accept()              BoundedQueue<Work>      pop()
+//!  clients ──────────▶ acceptor thread ──▶ [conn|request|subtask] ─▶ worker pool ─▶ handlers
+//!                                                   ▲ ▲ full?          │      ▲        │
+//!  --io epoll          tgp-net event loop ──────────┘ └ 503+retry      │      │        │
+//!  clients ──────────▶ (framing, timeouts,  ◀── LoopHandle::submit ────┘      │        │
+//!                       partial writes)               batch scatter/gather ───┤        │
+//!                                                                 ResultCache ┴────────┘
 //! ```
 //!
-//! * [`server`] — acceptor + bounded queue + worker pool + graceful
-//!   shutdown ([`Server`], [`ServerConfig`]), plus cache persistence
-//!   (warm load on boot, periodic flush, dump on shutdown).
+//! * [`server`] — the connection front-ends (thread-per-connection
+//!   acceptor, or the `tgp-net` epoll event loop — see [`IoMode`]),
+//!   bounded queue, worker pool, graceful shutdown ([`Server`],
+//!   [`ServerConfig`]), plus cache persistence (warm load on boot,
+//!   periodic flush, dump on shutdown).
 //! * [`api`] — routing and the JSON handlers ([`AppState`]); batch
 //!   requests scatter across the pool and gather in order.
 //! * [`cache`] — sharded, byte-budgeted LRU over canonical request-byte
@@ -79,4 +83,4 @@ pub mod server;
 pub use api::AppState;
 pub use cache::{CacheConfig, KeyBuilder, ResultCache};
 pub use metrics::Metrics;
-pub use server::{Server, ServerConfig};
+pub use server::{IoMode, Server, ServerConfig};

@@ -7,8 +7,10 @@
 //! instants).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use tgp_net::{NetCounters, TimeoutKind};
 use tgp_solvers::Registry;
 
 /// Upper bounds (in microseconds) of the request-latency histogram
@@ -20,8 +22,9 @@ pub const LATENCY_BUCKETS_US: [u64; 10] = [
 /// The endpoints tracked individually; everything else lands in `other`.
 const ENDPOINTS: [&str; 5] = ["partition", "simulate", "healthz", "metrics", "other"];
 
-/// The status classes tracked per endpoint.
-const STATUSES: [u16; 7] = [200, 400, 404, 405, 413, 422, 500];
+/// The status classes tracked per endpoint. Unknown statuses fold into
+/// the last entry, so 500 must stay last.
+const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 422, 503, 500];
 
 /// Per-objective counters, indexed by the solver's registry index so the
 /// hot path never touches the objective name.
@@ -66,6 +69,12 @@ pub struct Metrics {
     queue_depth: AtomicU64,
     /// Worker threads currently handling a connection.
     busy_workers: AtomicU64,
+    /// Requests shed by the cost-based admission guard (503 with code
+    /// `shed_expensive`).
+    shed_by_cost: AtomicU64,
+    /// Connection-layer counters, shared with the transport (the epoll
+    /// loop, or the threads-mode connection servers).
+    net: Arc<NetCounters>,
 }
 
 impl Default for Metrics {
@@ -89,6 +98,8 @@ impl Default for Metrics {
             cache_misses: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             busy_workers: AtomicU64::new(0),
+            shed_by_cost: AtomicU64::new(0),
+            net: Arc::new(NetCounters::default()),
         }
     }
 }
@@ -190,6 +201,19 @@ impl Metrics {
     /// Adjusts the busy-worker gauge.
     pub fn workers_changed(&self, delta: i64) {
         adjust_gauge(&self.busy_workers, delta);
+    }
+
+    /// Records one request shed by the cost-based admission guard.
+    pub fn record_shed_by_cost(&self) {
+        self.shed_by_cost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The connection-layer counters. The transport increments them (the
+    /// epoll loop for open connections, backpressure, timeouts and
+    /// wakeups; the threads-mode servers for open connections and
+    /// timeouts) and `/metrics` renders them.
+    pub fn net(&self) -> &Arc<NetCounters> {
+        &self.net
     }
 
     /// Total cache hits so far (used by tests asserting hit behaviour).
@@ -325,6 +349,45 @@ impl Metrics {
             self.busy_workers.load(Ordering::Relaxed)
         ));
 
+        out.push_str(
+            "# HELP tgp_shed_by_cost_total Requests shed by the cost-based admission guard.\n",
+        );
+        out.push_str("# TYPE tgp_shed_by_cost_total counter\n");
+        out.push_str(&format!(
+            "tgp_shed_by_cost_total {}\n",
+            self.shed_by_cost.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP tgp_open_connections Currently open client connections.\n");
+        out.push_str("# TYPE tgp_open_connections gauge\n");
+        out.push_str(&format!(
+            "tgp_open_connections {}\n",
+            self.net.open_connections.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP tgp_accept_backpressure_total Times accepting paused because the connection cap was reached.\n");
+        out.push_str("# TYPE tgp_accept_backpressure_total counter\n");
+        out.push_str(&format!(
+            "tgp_accept_backpressure_total {}\n",
+            self.net.accept_backpressure.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP tgp_timeout_closes_total Connections closed by a timeout, by kind.\n");
+        out.push_str("# TYPE tgp_timeout_closes_total counter\n");
+        for kind in [TimeoutKind::Read, TimeoutKind::Write, TimeoutKind::Idle] {
+            out.push_str(&format!(
+                "tgp_timeout_closes_total{{kind=\"{}\"}} {}\n",
+                kind.as_str(),
+                self.net.timeout_closes(kind).load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP tgp_readiness_wakeups_total epoll_wait returns that delivered events.\n",
+        );
+        out.push_str("# TYPE tgp_readiness_wakeups_total counter\n");
+        out.push_str(&format!(
+            "tgp_readiness_wakeups_total {}\n",
+            self.net.readiness_wakeups.load(Ordering::Relaxed)
+        ));
+
         out
     }
 }
@@ -391,6 +454,44 @@ mod tests {
         assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"0.0001\"} 1"));
         assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"0.00025\"} 2"));
         assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn net_and_shed_series_render() {
+        let m = Metrics::default();
+        m.record_shed_by_cost();
+        m.net().open_connections.fetch_add(3, Ordering::Relaxed);
+        m.net()
+            .timeout_closes(TimeoutKind::Read)
+            .fetch_add(2, Ordering::Relaxed);
+        m.net().accept_backpressure.fetch_add(1, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("tgp_shed_by_cost_total 1"), "{text}");
+        assert!(text.contains("tgp_open_connections 3"), "{text}");
+        assert!(
+            text.contains("tgp_timeout_closes_total{kind=\"read\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_timeout_closes_total{kind=\"write\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_timeout_closes_total{kind=\"idle\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("tgp_accept_backpressure_total 1"), "{text}");
+        assert!(text.contains("tgp_readiness_wakeups_total 0"), "{text}");
+    }
+
+    #[test]
+    fn status_503_has_its_own_series_and_500_stays_catchall() {
+        let m = Metrics::default();
+        m.record_request("partition", 503, Duration::ZERO);
+        m.record_request("partition", 501, Duration::ZERO); // unknown → folds to 500
+        let text = m.render();
+        assert!(text.contains("tgp_requests_total{endpoint=\"partition\",status=\"503\"} 1"));
+        assert!(text.contains("tgp_requests_total{endpoint=\"partition\",status=\"500\"} 1"));
     }
 
     #[test]

@@ -16,13 +16,27 @@ use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
 
 use crate::api::BatchSubtask;
+use tgp_net::{ConnId, LoopHandle};
 
 /// One unit of work a pool worker can execute.
 #[derive(Debug)]
 pub enum Work {
-    /// An accepted connection: serve HTTP exchanges until it ends.
+    /// An accepted connection (threads mode): serve HTTP exchanges on it
+    /// until it ends. The worker owns the socket for the connection's
+    /// whole lifetime.
     Conn(TcpStream),
-    /// One item of a scattered partition batch.
+    /// One complete framed request (epoll mode): parse, handle, and
+    /// submit the response back through the event loop. The worker never
+    /// touches a socket.
+    Request {
+        /// Which connection the request arrived on.
+        conn: ConnId,
+        /// The exact wire bytes of one request (head + body).
+        bytes: Vec<u8>,
+        /// Where to deliver the serialized response.
+        reply: LoopHandle,
+    },
+    /// One chunk of a scattered partition batch.
     Batch(BatchSubtask),
 }
 
@@ -103,6 +117,11 @@ impl<T> BoundedQueue<T> {
     /// Current number of queued items.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// The fixed capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Whether the queue is currently empty.

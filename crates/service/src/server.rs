@@ -1,13 +1,25 @@
-//! The TCP transport: acceptor, bounded queue, worker pool, shutdown.
+//! The TCP transport: two interchangeable connection models in front of
+//! one worker pool.
 //!
-//! One acceptor thread owns the listener. Each accepted connection is
-//! pushed onto a [`BoundedQueue`] of [`Work`]; when the queue is full
-//! the acceptor immediately writes a 503 (with a `retry-after` derived
-//! from the queue depth) and closes — backpressure is shed at the door
-//! rather than queued into unbounded latency. A fixed pool of worker
-//! threads pops work items: whole connections to serve HTTP/1.1
-//! keep-alive exchanges on, and individual batch subtasks scattered by
-//! a worker coordinating a `/v1/partition` batch.
+//! **Threads mode** (`--io threads`): one acceptor thread owns the
+//! listener and pushes accepted connections onto a [`BoundedQueue`] of
+//! [`Work`]; a worker serves each connection's keep-alive exchanges
+//! start to finish. Simple and portable, but every in-flight connection
+//! pins a worker, so persistent connections beyond `--workers` starve
+//! (EXPERIMENTS.md §SRV-OPEN / §SRV-EPOLL).
+//!
+//! **Epoll mode** (`--io epoll`, Linux): a single `tgp-net` event-loop
+//! thread owns accept, request framing, timeouts, and response writes.
+//! Only *complete* requests reach the queue (as [`Work::Request`]), so
+//! workers always compute instead of babysitting sockets; thousands of
+//! connections can be open while `--workers` stays small. Responses
+//! travel back through a [`LoopHandle`].
+//!
+//! Both modes share the queue, the worker pool, the HTTP parser and
+//! serializer, and the handler — responses are byte-identical; only the
+//! connection plumbing differs. When the queue is full, both shed at
+//! the door with a 503 carrying a `retry-after` derived from the queue
+//! depth.
 //!
 //! With a cache file configured, the server warm-loads the result cache
 //! on boot (a corrupt file is logged and ignored — never trusted), and
@@ -15,26 +27,70 @@
 //! abrupt kill loses at most one flush interval of entries. A graceful
 //! [`Server::shutdown`] writes a final dump.
 //!
-//! Shutdown: [`Server::shutdown`] raises a flag, connects to the
-//! listener once to unblock `accept()`, closes the queue so idle workers
-//! wake, and joins every thread. Workers notice the flag at their next
-//! request boundary (bounded by the read timeout), so shutdown completes
-//! in at most roughly one timeout interval.
+//! Shutdown: in threads mode, [`Server::shutdown`] raises a flag,
+//! connects to the listener once to unblock `accept()`, and the exiting
+//! acceptor closes the queue; workers notice at their next request
+//! boundary (bounded by the read timeout). In epoll mode the event loop
+//! drains first — accepting stops, idle connections close, in-flight
+//! requests get the drain window to finish *while workers are still
+//! alive to answer them* — and only then is the queue closed and the
+//! pool joined. The final cache dump happens after both.
 
-use std::io::BufReader;
-use std::io::Write;
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::api::{handle, AppState};
 use crate::cache::CacheConfig;
-use crate::http::{overloaded_response, read_request, retry_after_secs, write_response, RecvError};
+use crate::http::{
+    overloaded_response, read_request, retry_after_secs, write_response, RecvError, MAX_HEAD_BYTES,
+};
 use crate::pool::{BoundedQueue, PushError, Work};
 use tgp_graph::json;
+use tgp_net::{Action, ConnId, EventLoop, FrameError, LoopHandle, NetConfig};
+
+/// Which connection model the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Thread-per-connection: a worker owns each accepted socket for
+    /// its whole lifetime. Portable; degrades when open connections
+    /// exceed `workers`.
+    Threads,
+    /// Readiness-driven event loop (`tgp-net`, Linux only): one thread
+    /// multiplexes every socket and workers only see complete requests.
+    Epoll,
+}
+
+impl Default for IoMode {
+    /// Epoll where it exists: the event loop serves any number of
+    /// connections with `workers` threads, while thread-per-connection
+    /// starves everything beyond the pool (EXPERIMENTS.md §SRV-EPOLL).
+    fn default() -> IoMode {
+        if cfg!(target_os = "linux") {
+            IoMode::Epoll
+        } else {
+            IoMode::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoMode, String> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!(
+                "unknown io mode {other:?} (expected \"threads\" or \"epoll\")"
+            )),
+        }
+    }
+}
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -42,6 +98,8 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7070` (port 0 picks an ephemeral
     /// port — useful for tests).
     pub addr: String,
+    /// Connection model; see [`IoMode`].
+    pub io: IoMode,
     /// Number of worker threads.
     pub workers: usize,
     /// Result-cache policy: byte budget, TTL, admission limit. A zero
@@ -59,8 +117,25 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
-    /// Per-connection read timeout; also bounds shutdown latency.
+    /// Simultaneously open connections (epoll mode): at the cap the
+    /// listener pauses instead of accepting. Ignored in threads mode,
+    /// where `queue_depth` plus `workers` bounds concurrency.
+    pub max_connections: usize,
+    /// Total deadline for receiving one complete request, from its
+    /// first byte. Progress does not reset it, so byte-at-a-time
+    /// senders still time out. Also bounds shutdown latency in threads
+    /// mode.
     pub read_timeout: Duration,
+    /// Total deadline for writing one complete response (epoll mode);
+    /// per-write-syscall deadline in threads mode.
+    pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// (epoll mode). Threads mode folds idle time into `read_timeout`.
+    pub idle_timeout: Duration,
+    /// Shed cache-missing requests whose [`cost
+    /// estimate`](tgp_solvers::Solver::cost_estimate) exceeds this once
+    /// the queue is nearly full. `None` disables cost-based admission.
+    pub shed_cost: Option<u64>,
     /// Write one structured access-log line per request to stderr
     /// (`tgp-access method=… path=… objective=… status=… micros=…`).
     pub log_requests: bool,
@@ -70,13 +145,18 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7070".into(),
+            io: IoMode::default(),
             workers: 4,
             cache: CacheConfig::default(),
             cache_file: None,
             cache_flush_interval: Duration::from_secs(2),
             queue_depth: 64,
             max_body_bytes: 1 << 20, // 1 MiB
+            max_connections: 1024,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            shed_cost: None,
             log_requests: false,
         }
     }
@@ -89,21 +169,27 @@ pub struct Server {
     local_addr: SocketAddr,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<Work>>,
     acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<EventLoop>,
     workers: Vec<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor plus worker pool.
-    /// With a `cache_file`, warm-loads the cache first (rejecting, with
-    /// a log line, any file that fails validation) and spawns the
-    /// periodic flusher.
+    /// Binds the listener and spawns the connection front-end
+    /// (acceptor thread or epoll event loop, per `config.io`) plus the
+    /// worker pool. With a `cache_file`, warm-loads the cache first
+    /// (rejecting, with a log line, any file that fails validation) and
+    /// spawns the periodic flusher.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let state =
-            Arc::new(AppState::new(config.cache.clone()).with_access_log(config.log_requests));
+        let state = Arc::new(
+            AppState::new(config.cache.clone())
+                .with_access_log(config.log_requests)
+                .with_shed_cost(config.shed_cost),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let worker_count = config.workers.max(1);
         let queue = Arc::new(BoundedQueue::<Work>::new(config.queue_depth.max(1)));
@@ -131,6 +217,7 @@ impl Server {
                 let stop = Arc::clone(&stop);
                 let max_body = config.max_body_bytes;
                 let read_timeout = config.read_timeout;
+                let write_timeout = config.write_timeout;
                 std::thread::Builder::new()
                     .name(format!("tgp-worker-{i}"))
                     .spawn(move || {
@@ -139,7 +226,19 @@ impl Server {
                             state.metrics.workers_changed(1);
                             match work {
                                 Work::Conn(stream) => {
-                                    serve_connection(&state, &stop, stream, max_body, read_timeout);
+                                    serve_connection(
+                                        &state,
+                                        &stop,
+                                        stream,
+                                        max_body,
+                                        read_timeout,
+                                        write_timeout,
+                                    );
+                                }
+                                Work::Request { conn, bytes, reply } => {
+                                    let (response, keep_alive) =
+                                        respond_to_bytes(&state, &bytes, max_body, &stop);
+                                    reply.submit(conn, response, keep_alive);
                                 }
                                 Work::Batch(subtask) => subtask.run(&state),
                             }
@@ -150,44 +249,70 @@ impl Server {
             })
             .collect();
 
-        let acceptor = {
-            let queue = Arc::clone(&queue);
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("tgp-acceptor".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        // Raise the gauge *before* the push: a worker may
-                        // pop (and decrement) the instant the push lands,
-                        // and increment-after would transiently wrap the
-                        // gauge below zero.
-                        state.metrics.queue_changed(1);
-                        match queue.try_push(Work::Conn(stream)) {
-                            Ok(()) => {}
-                            Err(PushError::Full(Work::Conn(mut stream))) => {
-                                state.metrics.queue_changed(-1);
-                                state.metrics.record_overload();
-                                let retry = retry_after_secs(queue.len(), worker_count);
-                                let _ = stream.write_all(&overloaded_response(retry));
-                                let _ = stream.flush();
-                            }
-                            Err(_) => {
-                                // Closed (shutdown) — or a Full returning
-                                // something other than what we pushed,
-                                // which cannot happen.
-                                state.metrics.queue_changed(-1);
+        let (acceptor, event_loop) = match config.io {
+            IoMode::Threads => {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                let acceptor = std::thread::Builder::new()
+                    .name("tgp-acceptor".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::SeqCst) {
                                 break;
                             }
+                            let Ok(stream) = stream else { continue };
+                            // Raise the gauge *before* the push: a worker may
+                            // pop (and decrement) the instant the push lands,
+                            // and increment-after would transiently wrap the
+                            // gauge below zero.
+                            state.metrics.queue_changed(1);
+                            match queue.try_push(Work::Conn(stream)) {
+                                Ok(()) => {}
+                                Err(PushError::Full(Work::Conn(mut stream))) => {
+                                    state.metrics.queue_changed(-1);
+                                    state.metrics.record_overload();
+                                    let retry = retry_after_secs(queue.len(), worker_count);
+                                    let _ = stream.write_all(&overloaded_response(retry));
+                                    let _ = stream.flush();
+                                }
+                                Err(_) => {
+                                    // Closed (shutdown) — or a Full returning
+                                    // something other than what we pushed,
+                                    // which cannot happen.
+                                    state.metrics.queue_changed(-1);
+                                    break;
+                                }
+                            }
                         }
-                    }
-                    queue.close();
-                })
-                .expect("spawn acceptor")
+                        queue.close();
+                    })
+                    .expect("spawn acceptor");
+                (Some(acceptor), None)
+            }
+            IoMode::Epoll => {
+                let net_config = NetConfig {
+                    max_connections: config.max_connections.max(1),
+                    read_timeout: config.read_timeout,
+                    write_timeout: config.write_timeout,
+                    idle_timeout: config.idle_timeout,
+                    max_head_bytes: MAX_HEAD_BYTES,
+                    max_body_bytes: config.max_body_bytes as u64,
+                    ..NetConfig::default()
+                };
+                let handler = Arc::new(EpollHandler {
+                    state: Arc::clone(&state),
+                    queue: Arc::clone(&queue),
+                    workers: worker_count,
+                });
+                let event_loop = EventLoop::spawn(
+                    listener,
+                    net_config,
+                    Arc::clone(state.metrics.net()),
+                    handler,
+                )?;
+                (None, Some(event_loop))
+            }
         };
 
         let flusher = config.cache_file.clone().map(|path| {
@@ -231,7 +356,9 @@ impl Server {
             local_addr,
             state,
             stop,
-            acceptor: Some(acceptor),
+            queue,
+            acceptor,
+            event_loop,
             workers,
             flusher,
         })
@@ -248,7 +375,7 @@ impl Server {
     }
 
     /// Blocks until the server stops (i.e. forever, unless another
-    /// thread calls [`Server::shutdown`] or the acceptor dies).
+    /// thread calls [`Server::shutdown`] or the front-end dies).
     pub fn wait(&mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -261,32 +388,213 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains the queue, joins all threads, and (with
-    /// a cache file configured) writes the final cache dump.
+    /// Stops accepting, drains in-flight work, joins all threads, and
+    /// (with a cache file configured) writes the final cache dump.
+    ///
+    /// In epoll mode the event loop drains *before* the queue closes:
+    /// dispatched requests still have live workers to compute them and
+    /// a live loop to flush their responses.
     pub fn shutdown(&mut self) {
+        if let Some(event_loop) = self.event_loop.take() {
+            event_loop.shutdown();
+        }
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock `accept()` with a throwaway connection; the acceptor
-        // re-checks the stop flag before queueing it.
-        let _ = TcpStream::connect(self.local_addr);
+        if self.acceptor.is_some() {
+            // Unblock `accept()` with a throwaway connection; the
+            // acceptor re-checks the stop flag before queueing it, then
+            // closes the queue on its way out.
+            let _ = TcpStream::connect(self.local_addr);
+        } else {
+            // Epoll mode has no acceptor to close the queue.
+            self.queue.close();
+        }
         self.wait();
     }
 }
 
-/// Serves keep-alive exchanges on one connection until it ends.
+// ---- epoll front-end ----------------------------------------------
+
+/// The `tgp-net` handler: runs on the event-loop thread, so it only
+/// does bounded work — a queue push, or serializing a canned error.
+struct EpollHandler {
+    state: Arc<AppState>,
+    queue: Arc<BoundedQueue<Work>>,
+    workers: usize,
+}
+
+impl tgp_net::Handler for EpollHandler {
+    fn on_request(&self, conn: ConnId, bytes: Vec<u8>, handle: &LoopHandle) -> Action {
+        // Same gauge protocol as the threads acceptor: raise before the
+        // push so a racing worker's decrement cannot wrap it.
+        self.state.metrics.queue_changed(1);
+        match self.queue.try_push(Work::Request {
+            conn,
+            bytes,
+            reply: handle.clone(),
+        }) {
+            Ok(()) => Action::Pending,
+            Err(PushError::Full(_)) => {
+                self.state.metrics.queue_changed(-1);
+                self.state.metrics.record_overload();
+                let retry = retry_after_secs(self.queue.len(), self.workers);
+                Action::Respond {
+                    bytes: overloaded_response(retry),
+                    keep_alive: false,
+                }
+            }
+            Err(PushError::Closed(_)) => {
+                // Shutting down: an empty response flushes instantly
+                // and the connection closes.
+                self.state.metrics.queue_changed(-1);
+                Action::Respond {
+                    bytes: Vec::new(),
+                    keep_alive: false,
+                }
+            }
+        }
+    }
+
+    fn on_frame_error(&self, err: FrameError) -> Vec<u8> {
+        let (status, message, code) = match err {
+            FrameError::HeadTooLarge => (400, "request head too large".to_string(), "bad_request"),
+            FrameError::BadContentLength => (400, "bad content-length".to_string(), "bad_request"),
+            FrameError::BodyTooLarge { declared, limit } => (
+                413,
+                format!("body of {declared} bytes exceeds limit of {limit}"),
+                "body_too_large",
+            ),
+        };
+        self.state
+            .metrics
+            .record_request("other", status, Duration::ZERO);
+        let body = format!("{}\n", json!({ "error": message, "code": code }));
+        let mut out = Vec::new();
+        let _ = write_response(&mut out, status, "application/json", body.as_bytes(), false);
+        out
+    }
+}
+
+/// Parses one framed request and serializes the response — the worker
+/// half of epoll mode. Same parser and serializer as threads mode, so
+/// both `--io` modes answer byte-identically. Returns the wire bytes
+/// and whether the connection should be kept alive.
+fn respond_to_bytes(
+    state: &AppState,
+    bytes: &[u8],
+    max_body: usize,
+    stop: &AtomicBool,
+) -> (Vec<u8>, bool) {
+    let mut reader = bytes;
+    let mut out = Vec::new();
+    match read_request(&mut reader, max_body) {
+        Ok(request) => {
+            let response = handle(state, &request);
+            let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+            let _ = write_response(
+                &mut out,
+                response.status,
+                response.content_type,
+                response.body.as_bytes(),
+                keep_alive,
+            );
+            (out, keep_alive)
+        }
+        // The framer only dispatches complete requests, so these are
+        // unreachable in practice; answer with a close either way.
+        Err(RecvError::Disconnected) | Err(RecvError::TimedOut) => (out, false),
+        Err(RecvError::BadRequest(message)) => {
+            let body = format!(
+                "{}\n",
+                json!({ "error": message.as_str(), "code": "bad_request" })
+            );
+            state.metrics.record_request("other", 400, Duration::ZERO);
+            let _ = write_response(&mut out, 400, "application/json", body.as_bytes(), false);
+            (out, false)
+        }
+        Err(RecvError::BodyTooLarge { declared, limit }) => {
+            let message = format!("body of {declared} bytes exceeds limit of {limit}");
+            let body = format!(
+                "{}\n",
+                json!({ "error": message, "code": "body_too_large" })
+            );
+            state.metrics.record_request("other", 413, Duration::ZERO);
+            let _ = write_response(&mut out, 413, "application/json", body.as_bytes(), false);
+            (out, false)
+        }
+    }
+}
+
+// ---- threads front-end --------------------------------------------
+
+/// Wraps a blocking socket with a *total* deadline: every read gets a
+/// socket timeout of exactly the time remaining, so a byte-at-a-time
+/// sender cannot reset the clock by making progress (slowloris
+/// defense) — the same read-timeout semantics the epoll loop enforces
+/// with its timer wheel.
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Starts the next request's deadline window.
+    fn reset(&mut self, timeout: Duration) {
+        self.deadline = Instant::now() + timeout;
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline elapsed",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
+/// Serves keep-alive exchanges on one connection until it ends
+/// (threads mode). Maintains the same `tgp-net` counters the epoll
+/// loop does, so `/metrics` means the same thing under both `--io`
+/// modes; threads mode folds idle keep-alive time into the read
+/// deadline, so `kind="idle"` stays zero here.
 fn serve_connection(
     state: &AppState,
     stop: &AtomicBool,
     stream: TcpStream,
     max_body: usize,
     read_timeout: Duration,
+    write_timeout: Duration,
 ) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
+    let net = Arc::clone(state.metrics.net());
+    net.open_connections.fetch_add(1, Ordering::Relaxed);
+    serve_connection_inner(state, stop, stream, max_body, read_timeout, write_timeout);
+    net.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn serve_connection_inner(
+    state: &AppState,
+    stop: &AtomicBool,
+    stream: TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let net = state.metrics.net();
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let _ = write_half.set_write_timeout(Some(write_timeout));
     let mut write_half = write_half;
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        deadline: Instant::now() + read_timeout,
+    });
 
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -296,20 +604,33 @@ fn serve_connection(
             Ok(request) => {
                 let response = handle(state, &request);
                 let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
-                if write_response(
+                match write_response(
                     &mut write_half,
                     response.status,
                     response.content_type,
                     response.body.as_bytes(),
                     keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
-                    return;
+                ) {
+                    Ok(()) if keep_alive => {}
+                    Ok(()) => return,
+                    Err(e) => {
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) {
+                            net.timeout_closes_write.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
                 }
+                // The next request gets a fresh total deadline.
+                reader.get_mut().reset(read_timeout);
             }
             Err(RecvError::Disconnected) => return,
+            Err(RecvError::TimedOut) => {
+                net.timeout_closes_read.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             Err(RecvError::BadRequest(message)) => {
                 let body = format!(
                     "{}\n",

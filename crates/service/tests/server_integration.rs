@@ -1,7 +1,8 @@
 //! End-to-end tests against a real server on an ephemeral port:
 //! concurrent clients, response correctness vs the solvers called
 //! directly, cache behaviour observed through `/metrics`, batching, and
-//! queue saturation.
+//! queue saturation. Tests run under both `--io` modes (epoll only
+//! where supported) unless the scenario is mode-specific.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -12,7 +13,16 @@ use tgp_core::pipeline::partition_chain;
 use tgp_core::procmin::proc_min;
 use tgp_graph::json::{FromJson, Value};
 use tgp_graph::{PathGraph, Tree, Weight};
-use tgp_service::{Server, ServerConfig};
+use tgp_service::{IoMode, Server, ServerConfig};
+
+/// The io modes this target can run.
+fn modes() -> Vec<IoMode> {
+    if cfg!(target_os = "linux") {
+        vec![IoMode::Threads, IoMode::Epoll]
+    } else {
+        vec![IoMode::Threads]
+    }
+}
 
 fn start(config: ServerConfig) -> Server {
     Server::start(ServerConfig {
@@ -64,19 +74,32 @@ const TREE: &str = r#"{"node_weights":[1,2,3,4,5],"edges":[{"a":0,"b":1,"weight"
 
 #[test]
 fn health_and_metrics_respond() {
-    let mut server = start(ServerConfig::default());
-    let (status, body) = roundtrip(&server, &get("/healthz"));
-    assert_eq!(status, 200);
-    assert!(body.contains("ok"));
-    let (status, body) = roundtrip(&server, &get("/metrics"));
-    assert_eq!(status, 200);
-    assert!(body.contains("tgp_requests_total"));
-    server.shutdown();
+    for io in modes() {
+        let mut server = start(ServerConfig {
+            io,
+            ..ServerConfig::default()
+        });
+        let (status, body) = roundtrip(&server, &get("/healthz"));
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"));
+        let (status, body) = roundtrip(&server, &get("/metrics"));
+        assert_eq!(status, 200);
+        assert!(body.contains("tgp_requests_total"));
+        assert!(body.contains("tgp_open_connections"), "{body}");
+        server.shutdown();
+    }
 }
 
 #[test]
 fn concurrent_mixed_clients_match_direct_solvers() {
+    for io in modes() {
+        concurrent_mixed_clients_in(io);
+    }
+}
+
+fn concurrent_mixed_clients_in(io: IoMode) {
     let mut server = start(ServerConfig {
+        io,
         workers: 4,
         ..ServerConfig::default()
     });
@@ -160,7 +183,16 @@ fn concurrent_mixed_clients_match_direct_solvers() {
 
 #[test]
 fn repeated_request_is_a_cache_hit_per_metrics() {
-    let mut server = start(ServerConfig::default());
+    for io in modes() {
+        repeated_request_cache_hit_in(io);
+    }
+}
+
+fn repeated_request_cache_hit_in(io: IoMode) {
+    let mut server = start(ServerConfig {
+        io,
+        ..ServerConfig::default()
+    });
     let body = format!(r#"{{"objective":"bandwidth","bound":12,"graph":{CHAIN}}}"#);
     let (s1, b1) = roundtrip(&server, &post("/v1/partition", &body));
     let (s2, b2) = roundtrip(&server, &post("/v1/partition", &body));
@@ -243,7 +275,14 @@ fn batch_compat_flag_returns_v1_shape_end_to_end() {
 
 #[test]
 fn large_batch_fans_out_across_the_pool_in_order() {
+    for io in modes() {
+        large_batch_fans_out_in(io);
+    }
+}
+
+fn large_batch_fans_out_in(io: IoMode) {
     let mut server = start(ServerConfig {
+        io,
         workers: 4,
         ..ServerConfig::default()
     });
@@ -341,41 +380,76 @@ fn simulate_endpoint_reports_pipeline_stats() {
 
 #[test]
 fn keep_alive_serves_multiple_requests_on_one_connection() {
-    let mut server = start(ServerConfig::default());
-    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for io in modes() {
+        let mut server = start(ServerConfig {
+            io,
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
 
-    for _ in 0..3 {
-        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
-        let mut status_line = String::new();
-        reader.read_line(&mut status_line).unwrap();
-        assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line}");
-        let mut content_length = 0usize;
-        loop {
-            let mut line = String::new();
-            reader.read_line(&mut line).unwrap();
-            if line.trim_end().is_empty() {
-                break;
+        for _ in 0..3 {
+            stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line}");
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line.trim_end().is_empty() {
+                    break;
+                }
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap();
+                }
             }
-            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-                content_length = v.trim().parse().unwrap();
-            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
         }
-        let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body).unwrap();
+        server.shutdown();
     }
-    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_all_get_answers() {
+    // Two requests written back-to-back before reading: the server must
+    // answer both, in order, on the same connection.
+    for io in modes() {
+        let mut server = start(ServerConfig {
+            io,
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap();
+        let text = String::from_utf8_lossy(&reply);
+        assert_eq!(text.matches("HTTP/1.1 200").count(), 2, "io {io:?}: {text}");
+        server.shutdown();
+    }
 }
 
 #[test]
 fn saturated_queue_gets_503_not_a_hang() {
     // 1 worker + depth-1 queue: one connection occupies the worker, one
     // waits in the queue, and the next connection must be shed with the
-    // canned 503 immediately (not after a timeout).
+    // canned 503 immediately (not after a timeout). Pinned to threads
+    // mode: the scenario relies on idle connections pinning workers,
+    // which is exactly what epoll mode exists to avoid (there, idle
+    // connections consume no worker and nothing queues).
     let mut server = start(ServerConfig {
+        io: IoMode::Threads,
         workers: 1,
         queue_depth: 1,
         read_timeout: Duration::from_secs(2),
@@ -422,17 +496,86 @@ fn saturated_queue_gets_503_not_a_hang() {
 
 #[test]
 fn shutdown_joins_quickly() {
+    for io in modes() {
+        let mut server = start(ServerConfig {
+            io,
+            read_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        });
+        let (status, _) = roundtrip(&server, &get("/healthz"));
+        assert_eq!(status, 200);
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "io {io:?}: shutdown took {:?}",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn epoll_serves_more_persistent_connections_than_workers() {
+    // The starvation scenario from EXPERIMENTS.md §SRV-OPEN: with 2
+    // workers and 16 persistent connections, threads mode leaves 14
+    // clients starving. Under epoll every connection must get answers,
+    // because idle sockets cost no worker.
+    if !cfg!(target_os = "linux") {
+        return;
+    }
     let mut server = start(ServerConfig {
-        read_timeout: Duration::from_millis(500),
+        io: IoMode::Epoll,
+        workers: 2,
         ..ServerConfig::default()
     });
-    let (status, _) = roundtrip(&server, &get("/healthz"));
-    assert_eq!(status, 200);
-    let started = std::time::Instant::now();
+    let addr = server.local_addr();
+    let clients: Vec<_> = (0..16)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut served = 0u32;
+                for _ in 0..5 {
+                    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+                    let mut status_line = String::new();
+                    reader.read_line(&mut status_line).unwrap();
+                    assert!(
+                        status_line.starts_with("HTTP/1.1 200"),
+                        "client {c}: {status_line}"
+                    );
+                    let mut content_length = 0usize;
+                    loop {
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        if line.trim_end().is_empty() {
+                            break;
+                        }
+                        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                            content_length = v.trim().parse().unwrap();
+                        }
+                    }
+                    let mut body = vec![0u8; content_length];
+                    reader.read_exact(&mut body).unwrap();
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    for client in clients {
+        assert_eq!(client.join().expect("client thread"), 5);
+    }
+    // All 16 were open at once — visible to the event loop's gauge.
+    let (_, metrics) = roundtrip(&server, &get("/metrics"));
+    let wakeups: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_readiness_wakeups_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(wakeups > 0, "{metrics}");
     server.shutdown();
-    assert!(
-        started.elapsed() < Duration::from_secs(5),
-        "shutdown took {:?}",
-        started.elapsed()
-    );
 }
