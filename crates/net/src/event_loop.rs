@@ -29,15 +29,30 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::framer::{frame, FrameLimits, FrameStatus};
 use crate::poll::{Event, Interest, Poller, Token, Waker};
+use crate::sys;
 use crate::timer::{TimeoutKind, TimerWheel};
 use crate::{Action, ConnId, Handler, NetConfig, NetCounters};
 
 const LISTENER_TOKEN: Token = u64::MAX;
 const WAKER_TOKEN: Token = u64::MAX - 1;
+
+/// Most bytes one connection may pull off its socket per readiness
+/// event. A client shoving pipelined requests faster than the loop
+/// drains them would otherwise keep `read()` returning data forever,
+/// pinning the loop thread on one connection and growing `read_buf`
+/// without bound. Level-triggered epoll redelivers, so the remainder is
+/// picked up next iteration — after every other ready fd had a turn.
+const READ_BUDGET_PER_EVENT: usize = 64 * 1024;
+
+/// How long accepting stays paused after `accept` fails with
+/// EMFILE/ENFILE. Those errors leave the pending connection in the
+/// kernel queue, so retrying immediately fails identically forever; a
+/// short pause lets closes free fds (a close also resumes eagerly).
+const ACCEPT_EXHAUSTION_PAUSE: Duration = Duration::from_millis(100);
 
 /// A worker's finished response travelling back to the loop.
 struct Completion {
@@ -126,6 +141,7 @@ impl EventLoop {
             poller,
             listener,
             accept_paused: false,
+            accept_resume_at: None,
             slots: Vec::new(),
             free: Vec::new(),
             open: 0,
@@ -198,6 +214,10 @@ struct Loop {
     poller: Poller,
     listener: TcpListener,
     accept_paused: bool,
+    /// When set, a paused listener re-registers at this instant (the
+    /// timed recovery path for fd exhaustion; cap-triggered pauses
+    /// resume on connection close instead).
+    accept_resume_at: Option<Instant>,
     slots: Vec<Slot>,
     free: Vec<usize>,
     open: usize,
@@ -218,6 +238,9 @@ impl Loop {
         loop {
             let now = Instant::now();
             self.fire_timers(now);
+            if self.accept_resume_at.is_some_and(|at| now >= at) {
+                self.resume_accept();
+            }
             self.drain_completions();
             if self.handle.shared.stop.load(Ordering::Acquire) && self.drain_deadline.is_none() {
                 self.begin_drain(now);
@@ -253,13 +276,16 @@ impl Loop {
         }
     }
 
-    /// How long `epoll_wait` may block: until the next timer sweep, or
-    /// the drain deadline, whichever is sooner. Minimum 1 ms so a
-    /// just-missed tick does not busy-spin.
+    /// How long `epoll_wait` may block: until the next timer sweep, the
+    /// drain deadline, or the accept-resume instant, whichever is
+    /// sooner. Minimum 1 ms so a just-missed tick does not busy-spin.
     fn wait_budget_ms(&self, now: Instant) -> i32 {
         let mut budget = self.wheel.next_sweep_in(now);
         if let Some(deadline) = self.drain_deadline {
             budget = budget.min(deadline.saturating_duration_since(now));
+        }
+        if let Some(resume_at) = self.accept_resume_at {
+            budget = budget.min(resume_at.saturating_duration_since(now));
         }
         (budget.as_millis() as i32).max(1)
     }
@@ -291,9 +317,24 @@ impl Loop {
             match self.listener.accept() {
                 Ok((stream, _)) => self.add_conn(stream),
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                // Transient per-connection accept failures (ECONNABORTED
-                // and friends): skip and keep accepting.
-                Err(_) => continue,
+                // The peer aborted between the kernel queue and our
+                // accept: that slot is consumed, keep accepting.
+                Err(ref e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    // EMFILE/ENFILE do NOT consume the pending
+                    // connection — accept would fail identically on an
+                    // immediate retry, so park the listener until a
+                    // close frees an fd or the pause elapses.
+                    if matches!(e.raw_os_error(), Some(sys::EMFILE | sys::ENFILE)) {
+                        self.pause_accept();
+                        self.accept_resume_at = Some(Instant::now() + ACCEPT_EXHAUSTION_PAUSE);
+                    }
+                    // Anything else: bail out of the inner loop so
+                    // timers, completions, and open connections keep
+                    // being serviced; level-triggered epoll redelivers
+                    // the listener if it is still ready.
+                    return;
+                }
             }
         }
     }
@@ -311,6 +352,7 @@ impl Loop {
     fn resume_accept(&mut self) {
         if self.accept_paused && self.drain_deadline.is_none() {
             self.accept_paused = false;
+            self.accept_resume_at = None;
             let _ = self
                 .poller
                 .register(&self.listener, LISTENER_TOKEN, Interest::READ);
@@ -408,7 +450,7 @@ impl Loop {
     fn conn_event(&mut self, token: Token, event: Event) {
         let id = ConnId::from_token(token);
         let idx = id.index as usize;
-        let state = {
+        let (state, rdhup_recorded) = {
             let Some(slot) = self.slots.get_mut(idx) else {
                 return;
             };
@@ -418,21 +460,37 @@ impl Loop {
             let Some(conn) = slot.conn.as_mut() else {
                 return;
             };
+            let mut rdhup_recorded = false;
             if event.readable && conn.state != ConnState::Reading {
                 // EPOLLRDHUP while writing or dispatched: the peer
                 // half-closed. The in-flight response still goes out
                 // (their read half may be open) but the connection is
                 // not reused afterwards.
-                conn.rdhup = true;
+                if !conn.rdhup {
+                    conn.rdhup = true;
+                    rdhup_recorded = true;
+                }
                 if conn.state == ConnState::Writing {
                     conn.keep_alive = false;
                 }
             }
-            conn.state
+            (conn.state, rdhup_recorded)
         };
         if event.closed {
             self.close_conn(idx);
             return;
+        }
+        if rdhup_recorded {
+            // The half-close is level-triggered: with EPOLLRDHUP still
+            // subscribed, every epoll_wait would return this connection
+            // immediately until the worker answers or the write
+            // finishes. Re-register with the same readiness bits minus
+            // RDHUP (set_interest drops it now that conn.rdhup is set).
+            let current = self.slots[idx].conn.as_ref().unwrap().interest;
+            self.set_interest(idx, current);
+            if self.slots[idx].conn.is_none() {
+                return; // re-registration failed and closed the conn
+            }
         }
         match state {
             ConnState::Reading if event.readable && self.fill_read_buf(idx) => {
@@ -443,7 +501,11 @@ impl Loop {
         }
     }
 
-    /// Reads everything currently available. Returns `false` if the
+    /// Reads what is currently available, up to
+    /// [`READ_BUDGET_PER_EVENT`] bytes — level-triggered epoll
+    /// redelivers the remainder on the next loop iteration, so one
+    /// fire-hose client cannot pin the loop thread or grow `read_buf`
+    /// unboundedly while other connections wait. Returns `false` if the
     /// connection was closed (EOF or error).
     fn fill_read_buf(&mut self, idx: usize) -> bool {
         let was_empty = {
@@ -451,7 +513,11 @@ impl Loop {
             conn.read_buf.is_empty()
         };
         let mut chunk = [0u8; 4096];
+        let mut budget = READ_BUDGET_PER_EVENT;
         loop {
+            if budget == 0 {
+                break;
+            }
             let conn = self.slots[idx].conn.as_mut().unwrap();
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -467,7 +533,10 @@ impl Loop {
                     conn.rdhup = true;
                     break;
                 }
-                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    budget = budget.saturating_sub(n);
+                }
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -638,6 +707,14 @@ impl Loop {
     fn set_interest(&mut self, idx: usize, interest: Interest) {
         let token = self.token_of(idx);
         let conn = self.slots[idx].conn.as_mut().unwrap();
+        // A recorded half-close is a level-triggered condition that
+        // never clears; keep it out of every later registration or it
+        // wakes the loop on each epoll_wait.
+        let interest = if conn.rdhup {
+            interest.without_rdhup()
+        } else {
+            interest
+        };
         if conn.interest != interest {
             if self
                 .poller
@@ -676,6 +753,7 @@ impl Loop {
 
     fn begin_drain(&mut self, now: Instant) {
         self.drain_deadline = Some(now + self.config.drain_timeout);
+        self.accept_resume_at = None; // the listener never resumes now
         if !self.accept_paused {
             let _ = self.poller.deregister(&self.listener);
             self.accept_paused = true;

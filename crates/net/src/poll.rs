@@ -17,6 +17,10 @@ pub struct Interest {
     pub readable: bool,
     /// Wake when writable.
     pub writable: bool,
+    /// Subscribe to `EPOLLRDHUP` (peer half-close). Level-triggered, so
+    /// once a half-close has been *recorded* the subscription must be
+    /// dropped or every subsequent `epoll_wait` returns immediately.
+    pub rdhup: bool,
 }
 
 impl Interest {
@@ -24,21 +28,36 @@ impl Interest {
     pub const READ: Interest = Interest {
         readable: true,
         writable: false,
+        rdhup: true,
     };
     /// Writable only.
     pub const WRITE: Interest = Interest {
         readable: false,
         writable: true,
+        rdhup: true,
     };
     /// Neither — keep the registration, deliver only error/hang-up
     /// events (used while a request is parked with the worker pool).
     pub const NONE: Interest = Interest {
         readable: false,
         writable: false,
+        rdhup: true,
     };
 
+    /// The same interest minus the half-close subscription — for
+    /// connections whose half-close is already recorded.
+    pub fn without_rdhup(self) -> Interest {
+        Interest {
+            rdhup: false,
+            ..self
+        }
+    }
+
     fn bits(self) -> u32 {
-        let mut bits = sys::EPOLLRDHUP; // always watch for peer close
+        let mut bits = 0;
+        if self.rdhup {
+            bits |= sys::EPOLLRDHUP;
+        }
         if self.readable {
             bits |= sys::EPOLLIN;
         }

@@ -26,6 +26,13 @@ pub const EPOLLHUP: u32 = 0x010;
 /// Readiness flag: the peer shut down its writing half.
 pub const EPOLLRDHUP: u32 = 0x2000;
 
+/// errno: the system-wide file table is full (`accept` did not consume
+/// the pending connection).
+pub const ENFILE: i32 = 23;
+/// errno: the per-process fd limit is hit (`accept` did not consume the
+/// pending connection).
+pub const EMFILE: i32 = 24;
+
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
 const EPOLL_CTL_MOD: c_int = 3;
