@@ -109,7 +109,7 @@ USAGE:
             [--cache-bytes 33554432] [--cache-ttl SECS] [--cache-file PATH]
             [--queue-depth 64] [--max-connections 1024] [--shed-cost UNITS]
             [--read-timeout SECS] [--write-timeout SECS] [--idle-timeout SECS]
-            [--log-requests]                      # HTTP partition service
+            [--log-requests] [--debug-endpoints]  # HTTP partition service
   tgp objectives [--markdown | --check FILE]      # registry listing / docs table
 
 OBJECTIVES (shared with POST /v1/partition; identical JSON responses):
@@ -207,19 +207,23 @@ fn run(args: &[String]) -> CliResult<String> {
             Ok(simulate(&opts)?.pretty())
         }
         "serve" => {
-            // `--log-requests` is a bare flag, unlike every other
-            // `--key value` option; strip it before pair parsing.
+            // `--log-requests` and `--debug-endpoints` are bare flags,
+            // unlike every other `--key value` option; strip them
+            // before pair parsing.
             let mut rest = Vec::new();
             let mut log_requests = false;
+            let mut debug_endpoints = false;
             for arg in &args[1..] {
                 if arg == "--log-requests" {
                     log_requests = true;
+                } else if arg == "--debug-endpoints" {
+                    debug_endpoints = true;
                 } else {
                     rest.push(arg.clone());
                 }
             }
             let opts = Options::parse(&rest)?;
-            Ok(serve(&opts, log_requests)?.pretty())
+            Ok(serve(&opts, log_requests, debug_endpoints)?.pretty())
         }
         "objectives" => match args.get(1).map(String::as_str) {
             None => Ok(objectives_table().to_string()),
@@ -504,7 +508,7 @@ fn simulate(opts: &Options) -> CliResult<Value> {
     }))
 }
 
-fn serve(opts: &Options, log_requests: bool) -> CliResult<Value> {
+fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult<Value> {
     if opts.get("cache-capacity").is_some() {
         return Err(
             "--cache-capacity was replaced in this release: the cache now budgets \
@@ -541,14 +545,20 @@ fn serve(opts: &Options, log_requests: bool) -> CliResult<Value> {
         idle_timeout: secs("idle-timeout", defaults.idle_timeout)?,
         shed_cost: opts.num("shed-cost")?,
         log_requests,
+        debug_endpoints,
         ..ServerConfig::default()
     };
     let workers = config.workers;
     let io = config.io;
     let mut server = Server::start(config)?;
+    let debug_note = if debug_endpoints {
+        ", GET /debug/*"
+    } else {
+        ""
+    };
     eprintln!(
         "tgp serve: listening on http://{} ({workers} workers, {io:?} io); \
-         endpoints: POST /v1/partition, POST /v1/simulate, GET /healthz, GET /metrics",
+         endpoints: POST /v1/partition, POST /v1/simulate, GET /healthz, GET /metrics{debug_note}",
         server.local_addr()
     );
     // Blocks until the acceptor exits (it never does on its own; kill
@@ -656,7 +666,7 @@ mod tests {
     #[test]
     fn serve_rejects_removed_cache_capacity_flag() {
         let opts = Options::parse(&strs(&["--cache-capacity", "1024"])).unwrap();
-        let err = serve(&opts, false).unwrap_err().to_string();
+        let err = serve(&opts, false, false).unwrap_err().to_string();
         assert!(
             err.contains("--cache-bytes"),
             "migration hint missing: {err}"

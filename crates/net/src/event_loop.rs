@@ -31,6 +31,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use tgp_obs::EventKind;
+
 use crate::framer::{frame, FrameLimits, FrameStatus};
 use crate::poll::{Event, Interest, Poller, Token, Waker};
 use crate::sys;
@@ -201,6 +203,9 @@ struct Connection {
     /// Peer half-closed (EPOLLRDHUP): finish the in-flight response,
     /// then close instead of waiting for more requests.
     rdhup: bool,
+    /// When the current response's first write was attempted; reported
+    /// to [`Handler::on_write_complete`] once the flush finishes.
+    write_started: Option<Instant>,
 }
 
 /// One slab slot. `generation` survives reuse so stale tokens and
@@ -234,6 +239,15 @@ struct Loop {
 }
 
 impl Loop {
+    /// Appends a connection-lifecycle event to the configured journal
+    /// (no-op without one). Trace ids are unknown at this layer; the
+    /// service journals the request-scoped events.
+    fn journal_event(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(journal) = &self.config.journal {
+            journal.append(kind, 0, a, b);
+        }
+    }
+
     fn run(mut self) {
         loop {
             let now = Instant::now();
@@ -301,6 +315,15 @@ impl Loop {
                 self.counters
                     .timeout_closes(expired.kind)
                     .fetch_add(1, Ordering::Relaxed);
+                self.journal_event(
+                    EventKind::Timeout,
+                    expired.conn as u64,
+                    match expired.kind {
+                        TimeoutKind::Read => 0,
+                        TimeoutKind::Write => 1,
+                        TimeoutKind::Idle => 2,
+                    },
+                );
                 self.close_conn(expired.conn);
             }
         }
@@ -390,11 +413,13 @@ impl Loop {
             written: 0,
             keep_alive: true,
             rdhup: false,
+            write_started: None,
         });
         self.open += 1;
         self.counters
             .open_connections
             .fetch_add(1, Ordering::Relaxed);
+        self.journal_event(EventKind::Accept, idx as u64, 0);
         // The first request's total deadline starts at accept.
         self.arm_timer(idx, TimeoutKind::Read);
     }
@@ -412,6 +437,7 @@ impl Loop {
             // Dropping the stream closes the fd, which also removes it
             // from the epoll set.
             drop(conn);
+            self.journal_event(EventKind::Close, idx as u64, 0);
             self.slots[idx].generation = self.slots[idx].generation.wrapping_add(1);
             self.free.push(idx);
             self.open -= 1;
@@ -626,6 +652,7 @@ impl Loop {
                 }
             }
             FrameStatus::Error(err) => {
+                self.journal_event(EventKind::FrameError, idx as u64, 0);
                 let response = self.handler.on_frame_error(err);
                 self.start_write(idx, response, false);
                 true
@@ -640,6 +667,7 @@ impl Loop {
             conn.written = 0;
             conn.keep_alive = keep_alive && !conn.rdhup;
             conn.state = ConnState::Writing;
+            conn.write_started = Some(Instant::now());
         }
         self.arm_timer(idx, TimeoutKind::Write);
     }
@@ -678,10 +706,20 @@ impl Loop {
     /// Returns `true` if the state machine should keep advancing
     /// (pipelined bytes are already buffered).
     fn finish_response(&mut self, idx: usize) -> bool {
-        let keep_alive = {
-            let conn = self.slots[idx].conn.as_ref().unwrap();
-            conn.keep_alive && self.drain_deadline.is_none()
+        let (keep_alive, write_elapsed) = {
+            let conn = self.slots[idx].conn.as_mut().unwrap();
+            let elapsed = conn
+                .write_started
+                .take()
+                .map(|started| started.elapsed())
+                .unwrap_or_default();
+            (conn.keep_alive && self.drain_deadline.is_none(), elapsed)
         };
+        let id = ConnId {
+            index: idx as u32,
+            generation: self.slots[idx].generation,
+        };
+        self.handler.on_write_complete(id, write_elapsed);
         if !keep_alive {
             self.close_conn(idx);
             return false;

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub mod framer;
@@ -106,6 +107,9 @@ pub struct NetConfig {
     /// On shutdown, how long to wait for dispatched/writing
     /// connections to finish before force-closing them.
     pub drain_timeout: Duration,
+    /// Optional event journal; when set, the loop appends
+    /// accept/close/timeout/frame-error events (see `tgp-obs`).
+    pub journal: Option<Arc<tgp_obs::Journal>>,
 }
 
 impl Default for NetConfig {
@@ -118,6 +122,7 @@ impl Default for NetConfig {
             max_head_bytes: 16 * 1024,
             max_body_bytes: 1024 * 1024,
             drain_timeout: Duration::from_secs(5),
+            journal: None,
         }
     }
 }
@@ -182,4 +187,11 @@ pub trait Handler: Send + Sync + 'static {
     /// head/body, bad `Content-Length`). Returns the full wire response
     /// to send; the connection always closes after it.
     fn on_frame_error(&self, err: FrameError) -> Vec<u8>;
+
+    /// Called on the loop thread after a response has been fully
+    /// flushed to the socket, with the time spent writing it (from
+    /// first write attempt to last byte). Default: ignored. Used by
+    /// the service to patch the `write` span into the request's
+    /// trace, which is committed before the loop performs the write.
+    fn on_write_complete(&self, _conn: ConnId, _elapsed: Duration) {}
 }

@@ -1,0 +1,325 @@
+//! Log-linear (HDR-style) latency histogram with bounded memory.
+//!
+//! Values are bucketed on a log-linear grid: below [`LINEAR_MAX`]
+//! every integer gets its own bucket (exact); above that, each
+//! power-of-two octave is split into [`SUB_COUNT`] equal sub-buckets,
+//! bounding the relative recording error at `1/SUB_COUNT` (12.5%)
+//! across the entire `u64` range. The whole structure is a fixed
+//! array of 496 `AtomicU64` counters plus exact `sum`/`count`/`max`
+//! atomics (~4 KiB), so recording is lock-free and wait-free:
+//! two `fetch_add`s and one `fetch_max`.
+//!
+//! The natural unit is nanoseconds (see [`Histogram::record_duration`])
+//! but the structure is unit-agnostic; the loadgen records microseconds.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the number of sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per power-of-two octave.
+pub const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Values strictly below this are recorded exactly (one bucket each).
+pub const LINEAR_MAX: u64 = (2 * SUB_COUNT) as u64;
+/// Octaves above the linear region: bit lengths `SUB_BITS+2 ..= 64`.
+const OCTAVES: usize = 64 - (SUB_BITS as usize + 1);
+/// Total bucket count (496 for `SUB_BITS = 3`).
+pub const NUM_BUCKETS: usize = 2 * SUB_COUNT + OCTAVES * SUB_COUNT;
+
+/// Map a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let bits = 64 - v.leading_zeros() as usize; // >= SUB_BITS + 2
+    let exp = bits - 1 - SUB_BITS as usize; // >= 1
+    let mantissa = (v >> exp) as usize - SUB_COUNT; // 0 .. SUB_COUNT
+    LINEAR_MAX as usize + (exp - 1) * SUB_COUNT + mantissa
+}
+
+/// Largest value mapping to bucket `i` (inclusive upper bound).
+fn bucket_upper(i: usize) -> u64 {
+    if (i as u64) < LINEAR_MAX {
+        return i as u64;
+    }
+    let exp = (i - LINEAR_MAX as usize) / SUB_COUNT + 1;
+    let mantissa = (i - LINEAR_MAX as usize) % SUB_COUNT + SUB_COUNT;
+    let upper = (((mantissa + 1) as u128) << exp) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
+/// Concurrent log-linear histogram. See the module docs.
+pub struct Histogram {
+    counts: Box<[AtomicU64; NUM_BUCKETS]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Wait-free; `sum` stays exact.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket
+    /// containing the `q`-th sample (`0.0 ..= 1.0`), clamped to the
+    /// observed maximum. Monotone in `q` by construction. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let c = self.counts[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Number of samples `<= bound` according to bucket upper bounds
+    /// (samples in a bucket straddling `bound` are excluded). Used to
+    /// render cumulative Prometheus `_bucket` series at fixed bounds.
+    pub fn cumulative_le(&self, bound: u64) -> u64 {
+        let mut total = 0u64;
+        for i in 0..NUM_BUCKETS {
+            if bucket_upper(i) > bound {
+                break;
+            }
+            total += self.counts[i].load(Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// Add every counter of `other` into `self`.
+    pub fn merge(&self, other: &Histogram) {
+        for i in 0..NUM_BUCKETS {
+            let c = other.counts[i].load(Ordering::Relaxed);
+            if c != 0 {
+                self.counts[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Iterate non-empty buckets as `(upper_bound_inclusive, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..NUM_BUCKETS)
+            .filter_map(|i| {
+                let c = self.counts[i].load(Ordering::Relaxed);
+                (c != 0).then(|| (bucket_upper(i), c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn bucket_boundaries_linear_region_is_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_log_region_bounds_relative_error() {
+        for v in [16u64, 17, 31, 32, 100, 1_000, 50_000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            // Relative error bounded by 1/SUB_COUNT.
+            assert!(
+                upper - v <= v / SUB_COUNT as u64,
+                "bucket for {v} too wide: upper {upper}"
+            );
+            // Upper bound is the last value still mapping to bucket i.
+            assert_eq!(bucket_index(upper), i);
+            if upper != u64::MAX {
+                assert_eq!(bucket_index(upper + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_uppers_strictly_increase() {
+        for i in 1..NUM_BUCKETS {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "at {i}");
+        }
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn known_bucket_arithmetic() {
+        // 50_000 (50µs in ns): bits=16, exp=12, mantissa=4.
+        assert_eq!(bucket_upper(bucket_index(50_000)), 53_247);
+        // 200_000: bits=18, exp=14, mantissa=4.
+        assert_eq!(bucket_upper(bucket_index(200_000)), 212_991);
+    }
+
+    #[test]
+    fn count_sum_max_mean_are_exact() {
+        let h = Histogram::new();
+        for v in [5u64, 10, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_000_115);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.mean(), 250_028);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let est = h.quantile(q);
+            assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prev = est;
+            // Estimate is never below the true quantile and never
+            // more than 12.5% above it.
+            let rank = ((q * 1000.0).ceil() as u64).clamp(1, 1000);
+            assert!(est >= rank);
+            assert!(est <= rank + rank / 8 + 1, "quantile({q}) = {est}");
+        }
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn cumulative_le_matches_manual_count() {
+        let h = Histogram::new();
+        for v in [50_000u64, 200_000, 500_000] {
+            h.record(v);
+        }
+        assert_eq!(h.cumulative_le(100_000), 1);
+        assert_eq!(h.cumulative_le(250_000), 2);
+        assert_eq!(h.cumulative_le(1_000_000), 3);
+        assert_eq!(h.cumulative_le(10), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_preserves_quantiles() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.sum(), 500_500);
+        assert_eq!(a.max(), 1000);
+        let whole = Histogram::new();
+        for v in 1..=1000u64 {
+            whole.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for hdl in handles {
+            hdl.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        let expected: u64 = (0..80_000u64).sum();
+        assert_eq!(h.sum(), expected);
+        assert_eq!(h.max(), 79_999);
+    }
+}

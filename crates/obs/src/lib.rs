@@ -1,0 +1,38 @@
+//! `tgp-obs` — observability primitives for the tgp serving stack.
+//!
+//! Std-only, zero dependencies, no `unsafe`. Three building blocks:
+//!
+//! * [`ring`] — a lock-free fixed-capacity MPSC event journal
+//!   ([`Journal`]). Producers on any thread append fixed-size events
+//!   with nanosecond timestamps; the buffer drops the oldest entries
+//!   on overflow and counts how many were overwritten. Readers take
+//!   consistent snapshots without blocking writers (seqlock per slot).
+//! * [`hist`] — a log-linear (HDR-style) latency [`Histogram`] with
+//!   bounded memory (~4 KiB of atomics). Values below 16 are exact;
+//!   above that each power of two is split into 8 sub-buckets, giving
+//!   a worst-case relative error of 1/8 across the full `u64` range.
+//!   Supports lock-free concurrent recording, quantiles, merge, and
+//!   cumulative counts at arbitrary bounds (for Prometheus rendering).
+//! * [`trace`] — request-scoped traces: a 64-bit [`TraceId`] minted
+//!   locally or adopted from an inbound `x-trace-id` / `traceparent`
+//!   header, a thread-local [`SpanRecorder`] collecting named
+//!   [`Stage`] spans (queue-wait, parse, cache-lookup, solve,
+//!   serialize, write), and a bounded [`TraceStore`] retaining recent
+//!   completed traces for `/debug/trace/<id>` style endpoints.
+//!
+//! The hot-path cost model: one atomic fetch-add plus five atomic
+//! stores per journal event, two atomic adds per histogram sample,
+//! and a thread-local `Vec` push per span. No locks are taken on the
+//! request path; the only mutex lives in [`TraceStore::commit`],
+//! which runs once per request after the response is built.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod ring;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use ring::{Event, EventKind, Journal};
+pub use trace::{Span, SpanRecorder, Stage, TraceId, TraceRecord, TraceStore};

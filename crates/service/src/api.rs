@@ -35,13 +35,16 @@
 //! so formatting differences (whitespace, key order) between equivalent
 //! requests still hit.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tgp_core::pipeline::partition_chain;
 use tgp_graph::json::{FromJson, Value};
 use tgp_graph::{json, PathGraph, Weight};
+use tgp_net::ConnId;
+use tgp_obs::trace::{self, SpanRecorder};
+use tgp_obs::{EventKind, Journal, Stage, TraceId, TraceRecord, TraceStore};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 use tgp_solvers::{KeyBuilder, Registry, SolveError};
@@ -50,6 +53,20 @@ use crate::cache::{CacheConfig, ResultCache};
 use crate::http::Request;
 use crate::metrics::Metrics;
 use crate::pool::{BoundedQueue, Work};
+
+/// Events the in-memory journal retains (see `GET /debug/events`).
+const JOURNAL_CAPACITY: usize = 4096;
+
+/// Completed traces retained for `GET /debug/trace/<id>` and
+/// `GET /debug/slow`.
+const TRACE_CAPACITY: usize = 512;
+
+/// Most journal events one `/debug/events` response returns.
+const DEBUG_EVENTS_MAX: usize = 256;
+
+/// Default and maximum `n` for `GET /debug/slow?n=`.
+const DEBUG_SLOW_DEFAULT: usize = 10;
+const DEBUG_SLOW_MAX: usize = 100;
 
 /// Largest `items` accepted by `/v1/simulate`. The simulator schedules
 /// one event per item, so this bounds per-request CPU and memory for a
@@ -73,6 +90,89 @@ pub const MAX_BATCH_SUBTASKS: usize = 64;
 const SHED_OCCUPANCY_NUM: usize = 3;
 const SHED_OCCUPANCY_DEN: usize = 4;
 
+/// Slots in the [`WritePending`] table (power of two). Connection slab
+/// indexes map into it by masking, so servers with at most this many
+/// concurrent connections never collide.
+const WRITE_PENDING_SLOTS: usize = 1024;
+
+/// Lock-free table of "response in flight on this connection" trace
+/// ids, indexed by the connection's slab slot. The epoll loop frames
+/// one request per connection at a time, so insert (worker, before
+/// submit) and remove (loop, at write completion) for one connection
+/// never race each other; the table only has to tolerate *different*
+/// connections sharing a masked slot. On such a collision the later
+/// insert wins and the earlier connection's removal sees a token
+/// mismatch — its write span is dropped (a debug-only loss), never
+/// misattributed. This used to be a `Mutex<HashMap>`, but two lock
+/// acquisitions per request on the hot path is exactly the kind of
+/// overhead the <2% tracing budget (EXPERIMENTS.md §OBS) rules out.
+struct WritePending {
+    slots: Vec<PendingSlot>,
+}
+
+struct PendingSlot {
+    token: AtomicU64,
+    trace: AtomicU64,
+    seq: AtomicU64,
+}
+
+/// "Slot empty" sentinel: a real token would need generation and index
+/// both at `u32::MAX`.
+const WRITE_PENDING_EMPTY: u64 = u64::MAX;
+
+impl WritePending {
+    fn new() -> Self {
+        WritePending {
+            slots: (0..WRITE_PENDING_SLOTS)
+                .map(|_| PendingSlot {
+                    token: AtomicU64::new(WRITE_PENDING_EMPTY),
+                    trace: AtomicU64::new(0),
+                    seq: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn slot(&self, conn: ConnId) -> &PendingSlot {
+        &self.slots[conn.index as usize & (WRITE_PENDING_SLOTS - 1)]
+    }
+
+    fn insert(&self, conn: ConnId, trace: TraceId, seq: u64) {
+        let slot = self.slot(conn);
+        slot.trace.store(trace.as_u64(), Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Relaxed);
+        // Release-publish after the payload stores so a remover that
+        // sees our token also sees our trace id and sequence.
+        slot.token.store(conn.token(), Ordering::Release);
+    }
+
+    fn remove(&self, conn: ConnId) -> Option<(TraceId, u64)> {
+        let slot = self.slot(conn);
+        if slot.token.load(Ordering::Acquire) != conn.token() {
+            return None; // canned error, or lost to a collision
+        }
+        slot.token.store(WRITE_PENDING_EMPTY, Ordering::Relaxed);
+        Some((
+            TraceId::from_u64(slot.trace.load(Ordering::Relaxed)),
+            slot.seq.load(Ordering::Relaxed),
+        ))
+    }
+}
+
+impl std::fmt::Debug for WritePending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let occupied = self
+            .slots
+            .iter()
+            .filter(|s| s.token.load(Ordering::Relaxed) != WRITE_PENDING_EMPTY)
+            .count();
+        f.debug_struct("WritePending")
+            .field("slots", &self.slots.len())
+            .field("occupied", &occupied)
+            .finish()
+    }
+}
+
 /// Shared handler state: one per server.
 #[derive(Debug)]
 pub struct AppState {
@@ -82,6 +182,20 @@ pub struct AppState {
     pub metrics: Metrics,
     /// Emit one structured access-log line per request to stderr.
     pub log_requests: bool,
+    /// Recent-events journal, shared with the transport layer (the
+    /// epoll loop appends accept/close/timeout events; workers append
+    /// request-scoped events).
+    pub journal: Arc<Journal>,
+    /// Recently completed request traces.
+    pub traces: TraceStore,
+    /// Serve the `/debug/*` surfaces (off by default: they expose
+    /// request timing internals).
+    pub debug_endpoints: bool,
+    /// Trace ids of responses currently being flushed by the epoll
+    /// loop, keyed by connection (one in-flight response per
+    /// connection). Lets [`AppState::complete_write`] attribute the
+    /// write duration to the right trace after commit.
+    write_pending: WritePending,
     /// The worker-pool queue batch handlers scatter subtasks onto. Unset
     /// when the state runs without a pool (unit tests, embedders calling
     /// [`handle`] directly) — batches then execute inline.
@@ -100,6 +214,10 @@ impl AppState {
             cache: ResultCache::new(cache),
             metrics: Metrics::default(),
             log_requests: false,
+            journal: Arc::new(Journal::new(JOURNAL_CAPACITY)),
+            traces: TraceStore::new(TRACE_CAPACITY),
+            debug_endpoints: false,
+            write_pending: WritePending::new(),
             fanout: OnceLock::new(),
             shed_cost: None,
         }
@@ -109,6 +227,48 @@ impl AppState {
     pub fn with_access_log(mut self, enabled: bool) -> Self {
         self.log_requests = enabled;
         self
+    }
+
+    /// Enables or disables the `/debug/*` endpoints.
+    pub fn with_debug_endpoints(mut self, enabled: bool) -> Self {
+        self.debug_endpoints = enabled;
+        self
+    }
+
+    /// Remembers which trace's response is about to be flushed on
+    /// `conn` by the epoll loop, so [`AppState::complete_write`] can
+    /// attribute the write duration. `seq` is the trace's commit
+    /// handle ([`ApiResponse::trace_seq`]). Must be called *before*
+    /// the response is submitted to the loop.
+    pub fn note_write_pending(&self, conn: ConnId, trace: TraceId, seq: Option<u64>) {
+        if let Some(seq) = seq {
+            if !trace.is_none() {
+                self.write_pending.insert(conn, trace, seq);
+            }
+        }
+    }
+
+    /// Write completion from the transport: records the `write` stage
+    /// and patches the span into the committed trace. Safe for
+    /// responses with no pending trace (canned errors, frame errors).
+    pub fn complete_write(&self, conn: ConnId, elapsed: Duration) {
+        let pending = self.write_pending.remove(conn);
+        self.metrics.record_stage(Stage::Write, elapsed);
+        let id = match pending {
+            Some((id, seq)) => {
+                self.traces.append_span_at(seq, id, Stage::Write, elapsed);
+                id
+            }
+            None => TraceId::NONE,
+        };
+        if self.debug_endpoints {
+            self.journal.append(
+                EventKind::WriteDone,
+                id.as_u64(),
+                u64::from(conn.index),
+                elapsed.as_nanos() as u64,
+            );
+        }
     }
 
     /// Sets the cost-based admission limit (see the `shed_cost` field).
@@ -162,6 +322,13 @@ pub struct ApiResponse {
     /// Objective label for the access log: the dispatched solver's name,
     /// `"batch"` for batch requests, `"-"` when no objective applies.
     pub objective: &'static str,
+    /// The request's trace id ([`TraceId::NONE`] until
+    /// [`handle_traced`] stamps it).
+    pub trace: TraceId,
+    /// The trace's commit sequence in [`AppState::traces`] — the O(1)
+    /// handle the transport uses to patch the `write` span in after
+    /// the response is flushed. `None` until [`handle_traced`] commits.
+    pub trace_seq: Option<u64>,
 }
 
 fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiResponse {
@@ -171,6 +338,8 @@ fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiRespon
         content_type: "application/json",
         endpoint,
         objective: "-",
+        trace: TraceId::NONE,
+        trace_seq: None,
     }
 }
 
@@ -221,25 +390,122 @@ fn simple_error(status: u16, endpoint: &'static str, message: &str) -> ApiRespon
     )
 }
 
+/// Transport-supplied timing context for one request: when and where
+/// it entered the system. [`RequestCtx::default`] (no queue history,
+/// "now" as the base) fits embedders that call [`handle`] directly.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx {
+    /// Trace id minted by the transport before parse;
+    /// [`TraceId::NONE`] to mint (or adopt) one at handle time.
+    pub trace: TraceId,
+    /// When the work was pushed onto the worker queue, if it queued.
+    pub enqueued_at: Option<Instant>,
+    /// When a worker picked the work up (the trace base when nothing
+    /// queued).
+    pub dequeued_at: Instant,
+    /// Time spent parsing the request bytes (in threads mode this
+    /// includes the blocking socket read).
+    pub parse: Duration,
+}
+
+impl Default for RequestCtx {
+    fn default() -> Self {
+        RequestCtx {
+            trace: TraceId::NONE,
+            enqueued_at: None,
+            dequeued_at: Instant::now(),
+            parse: Duration::ZERO,
+        }
+    }
+}
+
 /// Routes one request, records its metrics, and (when enabled) writes
-/// one structured access-log line to stderr.
+/// one structured access-log line to stderr. Embedder-facing shorthand
+/// for [`handle_traced`] with an empty [`RequestCtx`].
 pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
-    let started = Instant::now();
-    let response = route(state, req);
-    let elapsed = started.elapsed();
+    handle_traced(state, req, RequestCtx::default())
+}
+
+/// [`handle`] with transport timing: runs the request under a trace
+/// (client `x-trace-id`/`traceparent` headers win over the transport's
+/// minted id), records queue/parse spans from `ctx`, per-stage
+/// histograms, the journal `respond` event, and commits the trace to
+/// [`AppState::traces`]. The `write` stage happens after this returns
+/// and is patched in by the transport ([`AppState::complete_write`] in
+/// epoll mode, the connection server in threads mode).
+///
+/// Trace records and journal events exist only to be read back through
+/// `GET /debug/*`, so both are captured only while
+/// [`AppState::debug_endpoints`] is set; with the flag off the hot path
+/// pays for the `/metrics` histograms and the access log alone.
+pub fn handle_traced(state: &AppState, req: &Request, ctx: RequestCtx) -> ApiResponse {
+    // Parsing finished the moment the transport built `ctx`, so the
+    // handler clock starts there — derived, not a fresh clock read.
+    let started = ctx.dequeued_at + ctx.parse;
+    let id = req
+        .header("x-trace-id")
+        .and_then(TraceId::parse_hex)
+        .or_else(|| {
+            req.header("traceparent")
+                .and_then(TraceId::from_traceparent)
+        })
+        .unwrap_or(ctx.trace);
+    let id = if id.is_none() { TraceId::mint() } else { id };
+    let base = ctx.enqueued_at.unwrap_or(ctx.dequeued_at);
+    let queue_wait = ctx.dequeued_at.saturating_duration_since(base);
+    if ctx.enqueued_at.is_some() {
+        state.metrics.record_stage(Stage::Queue, queue_wait);
+    }
+    if !ctx.parse.is_zero() {
+        state.metrics.record_stage(Stage::Parse, ctx.parse);
+    }
+    // Trace and journal capture only feed the `/debug/*` surfaces, so
+    // they are captured only when those surfaces are being served; the
+    // `/metrics` histograms above stay on unconditionally.
+    if state.debug_endpoints {
+        let mut recorder = SpanRecorder::new(id, base);
+        recorder.add(Stage::Queue, base, queue_wait);
+        recorder.add(Stage::Parse, ctx.dequeued_at, ctx.parse);
+        trace::begin(recorder);
+    }
+
+    let mut response = route(state, req);
+    // One clock read closes the request: handler elapsed, the journal
+    // timestamp, the end-to-end total and the trace total all share it.
+    let done = Instant::now();
+    let elapsed = done.saturating_duration_since(started);
     state
         .metrics
         .record_request(response.endpoint, response.status, elapsed);
+    if state.debug_endpoints {
+        state.journal.append_at(
+            done,
+            EventKind::Respond,
+            id.as_u64(),
+            u64::from(response.status),
+            elapsed.as_nanos() as u64,
+        );
+        if let Some(record) =
+            trace::finish_at(done, response.endpoint, response.objective, response.status)
+        {
+            response.trace_seq = Some(state.traces.commit(record));
+        }
+    }
     if state.log_requests {
+        let total = done.saturating_duration_since(base);
         eprintln!(
-            "tgp-access method={} path={} objective={} status={} micros={}",
+            "tgp-access method={} path={} objective={} status={} micros={} queue_us={} total_us={} trace={}",
             req.method,
             req.path,
             response.objective,
             response.status,
-            elapsed.as_micros()
+            elapsed.as_micros(),
+            queue_wait.as_micros(),
+            total.as_micros(),
+            id
         );
     }
+    response.trace = id;
     response
 }
 
@@ -249,21 +515,158 @@ fn route(state: &AppState, req: &Request) -> ApiResponse {
         ("GET", "/metrics") => {
             let mut body = state.metrics.render();
             state.cache.render_metrics(&mut body);
+            render_journal_metrics(state, &mut body);
             ApiResponse {
                 status: 200,
                 body,
                 content_type: "text/plain; version=0.0.4",
                 endpoint: "metrics",
                 objective: "-",
+                trace: TraceId::NONE,
+                trace_seq: None,
             }
         }
         ("POST", "/v1/partition") => partition_endpoint(state, &req.body),
         ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body),
+        ("GET", path) if path.starts_with("/debug/") => debug_endpoint(state, path),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/simulate") => {
             simple_error(405, "other", "method not allowed")
         }
         _ => simple_error(404, "other", "no such endpoint"),
     }
+}
+
+/// Journal health series appended to `/metrics`.
+fn render_journal_metrics(state: &AppState, out: &mut String) {
+    out.push_str("# HELP tgp_journal_events_total Events appended to the in-memory journal.\n");
+    out.push_str("# TYPE tgp_journal_events_total counter\n");
+    out.push_str(&format!(
+        "tgp_journal_events_total {}\n",
+        state.journal.appended()
+    ));
+    out.push_str(
+        "# HELP tgp_journal_overwritten_total Journal events lost to drop-oldest overwrite.\n",
+    );
+    out.push_str("# TYPE tgp_journal_overwritten_total counter\n");
+    out.push_str(&format!(
+        "tgp_journal_overwritten_total {}\n",
+        state.journal.overwritten()
+    ));
+    out.push_str("# HELP tgp_traces_retained Completed request traces currently retained.\n");
+    out.push_str("# TYPE tgp_traces_retained gauge\n");
+    out.push_str(&format!("tgp_traces_retained {}\n", state.traces.len()));
+}
+
+/// `GET /debug/*`: trace and journal inspection, served only when
+/// `--debug-endpoints` is set. When disabled the paths are
+/// indistinguishable from unknown endpoints (404, `other`).
+fn debug_endpoint(state: &AppState, path: &str) -> ApiResponse {
+    if !state.debug_endpoints {
+        return simple_error(404, "other", "no such endpoint");
+    }
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    if let Some(id_text) = route.strip_prefix("/debug/trace/") {
+        let Some(id) = TraceId::parse_hex(id_text) else {
+            return json_response(
+                400,
+                "debug",
+                format!(
+                    "{}\n",
+                    json!({ "error": "trace id must be 1-16 hex chars", "code": "bad_request" })
+                ),
+            );
+        };
+        return match state.traces.get(id) {
+            Some(record) => json_response(200, "debug", format!("{}\n", render_trace(&record))),
+            None => json_response(
+                404,
+                "debug",
+                format!(
+                    "{}\n",
+                    json!({
+                        "error": "trace not found (expired from the ring or never existed)",
+                        "code": "not_found",
+                    })
+                ),
+            ),
+        };
+    }
+    match route {
+        "/debug/slow" => {
+            let n = query
+                .split('&')
+                .find_map(|pair| pair.strip_prefix("n="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEBUG_SLOW_DEFAULT)
+                .clamp(1, DEBUG_SLOW_MAX);
+            let traces: Vec<Value> = state.traces.slowest(n).iter().map(render_trace).collect();
+            json_response(200, "debug", format!("{}\n", json!({ "traces": traces })))
+        }
+        "/debug/events" => {
+            let events: Vec<Value> = state
+                .journal
+                .snapshot(DEBUG_EVENTS_MAX)
+                .iter()
+                .map(|e| {
+                    let trace = if e.trace == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:016x}", e.trace)
+                    };
+                    json!({
+                        "seq": e.seq,
+                        "nanos": e.nanos,
+                        "kind": e.kind.as_str(),
+                        "trace": trace,
+                        "a": e.a,
+                        "b": e.b,
+                    })
+                })
+                .collect();
+            json_response(
+                200,
+                "debug",
+                format!(
+                    "{}\n",
+                    json!({
+                        "appended": state.journal.appended(),
+                        "overwritten": state.journal.overwritten(),
+                        "events": events,
+                    })
+                ),
+            )
+        }
+        _ => simple_error(404, "other", "no such endpoint"),
+    }
+}
+
+/// Renders one trace as the `/debug/trace/<id>` JSON shape. Durations
+/// are floored to microseconds, so rendered span durations sum to at
+/// most the rendered total (flooring each term of `sum(spans) <=
+/// total` keeps the inequality).
+fn render_trace(record: &TraceRecord) -> Value {
+    let spans: Vec<Value> = record
+        .spans
+        .iter()
+        .map(|s| {
+            json!({
+                "stage": s.stage.as_str(),
+                "start_us": s.start_ns / 1_000,
+                "dur_us": s.dur_ns / 1_000,
+            })
+        })
+        .collect();
+    json!({
+        "trace": record.id.to_string(),
+        "endpoint": record.endpoint,
+        "objective": record.objective,
+        "status": u64::from(record.status),
+        "total_us": record.total_ns / 1_000,
+        "spans": spans,
+    })
 }
 
 fn parse_body(body: &[u8]) -> Result<Value, Failure> {
@@ -516,6 +919,27 @@ fn dispatched_objective(value: &Value) -> &'static str {
         .unwrap_or("-")
 }
 
+/// Runs `f` under a named stage: the duration lands in the per-stage
+/// histogram and (when this thread carries an active trace) as a span.
+/// Batch subtasks on sibling workers have no active recorder, so their
+/// stage metrics still record while span collection no-ops. Takes the
+/// stage's start instant and returns the end instant so adjacent
+/// stages chain boundaries (the end of `solve` is the start of
+/// `serialize`) instead of paying a clock read per edge.
+fn timed_stage_from<R>(
+    state: &AppState,
+    stage: Stage,
+    started: Instant,
+    f: impl FnOnce() -> R,
+) -> (R, Instant) {
+    let result = f();
+    let done = Instant::now();
+    let elapsed = done.saturating_duration_since(started);
+    state.metrics.record_stage(stage, elapsed);
+    trace::record(stage, started, elapsed);
+    (result, done)
+}
+
 /// Handles one partition request object: registry dispatch, then the
 /// cache, then the solver. Returns the rendered (compact) response JSON.
 /// Per-objective metrics are recorded here so batch items count too.
@@ -530,8 +954,16 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
                 let key = solver.canonical_key(&request);
                 let cost = solver.cost_estimate(&request);
                 with_cache(state, &key, cost, || {
-                    let response = solver.run(&request).map_err(solve_failure)?;
-                    Ok(solver.to_json(&response).to_string())
+                    let (response, solve_done) =
+                        timed_stage_from(state, Stage::Solve, Instant::now(), || {
+                            solver.run(&request).map_err(solve_failure)
+                        });
+                    let response = response?;
+                    let (rendered, _) =
+                        timed_stage_from(state, Stage::Serialize, solve_done, || {
+                            solver.to_json(&response).to_string()
+                        });
+                    Ok(rendered)
                 })
                 .map(|rendered| (index, rendered))
             });
@@ -664,22 +1096,29 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
     // guard should treat long simulations as expensive to recompute.
     let cost = (items as u64).saturating_mul(chain.len() as u64);
     with_cache(state, &key, cost, || {
-        let part = partition_chain(&chain, Weight::new(bound)).map_err(infeasible)?;
-        let processors = processors_override.unwrap_or(part.processors);
-        let machine = Machine::new(processors, 1, 1, 0, interconnect).map_err(infeasible)?;
-        let spec = PipelineSpec::from_partition(&chain, &part.cut).map_err(infeasible)?;
-        let report = simulate_pipeline(&spec, &machine, items).map_err(infeasible)?;
-        Ok(json!({
-            "bound": bound,
-            "processors": processors,
-            "items": items,
-            "makespan": report.makespan,
-            "throughput": report.throughput(),
-            "mean_utilization": report.mean_utilization(),
-            "interconnect_utilization": report.interconnect_utilization(),
-            "total_traffic": report.total_traffic,
-        })
-        .to_string())
+        let (solved, solve_done) = timed_stage_from(state, Stage::Solve, Instant::now(), || {
+            let part = partition_chain(&chain, Weight::new(bound)).map_err(infeasible)?;
+            let processors = processors_override.unwrap_or(part.processors);
+            let machine = Machine::new(processors, 1, 1, 0, interconnect).map_err(infeasible)?;
+            let spec = PipelineSpec::from_partition(&chain, &part.cut).map_err(infeasible)?;
+            let report = simulate_pipeline(&spec, &machine, items).map_err(infeasible)?;
+            Ok::<_, Failure>((processors, report))
+        });
+        let (processors, report) = solved?;
+        let (rendered, _) = timed_stage_from(state, Stage::Serialize, solve_done, || {
+            json!({
+                "bound": bound,
+                "processors": processors,
+                "items": items,
+                "makespan": report.makespan,
+                "throughput": report.throughput(),
+                "mean_utilization": report.mean_utilization(),
+                "interconnect_utilization": report.interconnect_utilization(),
+                "total_traffic": report.total_traffic,
+            })
+            .to_string()
+        });
+        Ok(rendered)
     })
 }
 
@@ -698,8 +1137,23 @@ fn with_cache(
     cost: u64,
     compute: impl FnOnce() -> Result<String, Failure>,
 ) -> Result<String, Failure> {
-    if let Some(hit) = state.cache.get(key) {
+    // Timed inline (not via `timed_stage_from`) so the probe's end
+    // instant also stamps the hit/miss journal event — one clock read
+    // saved on every request.
+    let probe_started = Instant::now();
+    let hit = state.cache.get(key);
+    let probe_done = Instant::now();
+    let probe = probe_done.saturating_duration_since(probe_started);
+    state.metrics.record_stage(Stage::Cache, probe);
+    trace::record(Stage::Cache, probe_started, probe);
+    if let Some(hit) = hit {
         state.metrics.record_cache(true);
+        if state.debug_endpoints {
+            let trace_id = trace::current_id().unwrap_or(TraceId::NONE).as_u64();
+            state
+                .journal
+                .append_at(probe_done, EventKind::CacheHit, trace_id, cost, 0);
+        }
         return Ok(hit);
     }
     if let Some(failure) = state.shed_verdict(cost) {
@@ -708,6 +1162,12 @@ fn with_cache(
         return Err(failure);
     }
     state.metrics.record_cache(false);
+    if state.debug_endpoints {
+        let trace_id = trace::current_id().unwrap_or(TraceId::NONE).as_u64();
+        state
+            .journal
+            .append_at(probe_done, EventKind::CacheMiss, trace_id, cost, 0);
+    }
     let rendered = compute()?;
     state.cache.insert(key, rendered.clone(), cost);
     Ok(rendered)

@@ -4,7 +4,7 @@
 //! loadgen [--addr HOST:PORT] [--clients N] [--connections N] [--seconds S]
 //!         [--timeout SECS] [--nodes N] [--distinct D]
 //!         [--mix chain|tree|simulate] [--rate RPS] [--sweep MIN..MAX]
-//!         [--strict]
+//!         [--strict] [--latency-budget MS]
 //! ```
 //!
 //! Closed-loop (default): N client threads, each holding one keep-alive
@@ -45,13 +45,21 @@
 //!
 //! `--strict` exits 1 when any response was a 5xx other than a 503
 //! shed (for CI smoke runs, where sheds under deliberate overload are
-//! the server working as designed but anything else is a bug).
+//! the server working as designed but anything else is a bug), when
+//! any connection starved, or when — with `--latency-budget MS` — the
+//! client-side p99 latency exceeds the budget.
+//!
+//! Latency is tallied in the same log-linear histogram the server
+//! exports under `/metrics` (`tgp-obs`), so quantiles cost constant
+//! memory and p50/p90/p99/p999 carry at most 12.5% bucket error.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use tgp_obs::Histogram;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mix {
@@ -87,6 +95,9 @@ struct Config {
     /// Bound-sweep range (inclusive); replaces the `--distinct` bodies.
     sweep: Option<(u64, u64)>,
     strict: bool,
+    /// With `--strict`, fail the run when client-side p99 latency
+    /// exceeds this budget.
+    latency_budget: Option<Duration>,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -102,6 +113,7 @@ fn parse_args() -> Result<Config, String> {
         rate: None,
         sweep: None,
         strict: false,
+        latency_budget: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -181,12 +193,21 @@ fn parse_args() -> Result<Config, String> {
                 config.sweep = Some((lo, hi));
             }
             "--strict" => config.strict = true,
+            "--latency-budget" => {
+                let ms: u64 = value("--latency-budget")?
+                    .parse()
+                    .map_err(|e| format!("--latency-budget: {e}"))?;
+                if ms == 0 {
+                    return Err("--latency-budget must be at least 1 ms".into());
+                }
+                config.latency_budget = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--connections N] \
                      [--seconds S] [--timeout SECS] [--nodes N] [--distinct D] \
                      [--mix chain|tree|simulate] [--rate RPS] [--sweep MIN..MAX] \
-                     [--strict]"
+                     [--strict] [--latency-budget MS]"
                 );
                 std::process::exit(0);
             }
@@ -350,10 +371,14 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     sorted_us[rank]
 }
 
-/// Per-client tallies, merged at the end.
+/// Per-client tallies, merged at the end. Latencies go into the same
+/// log-linear histogram the server uses for `/metrics`, recorded in
+/// microseconds — constant memory regardless of run length, quantile
+/// error bounded at 12.5% by the bucket scheme.
 #[derive(Default)]
 struct Tally {
-    latencies_us: Vec<u64>,
+    latency: Histogram,
+    responses: u64,
     transport_errors: u64,
     shed_503: u64,
     other_5xx: u64,
@@ -449,9 +474,8 @@ fn main() {
                         };
                         match exchange(&mut reader, &mut writer, body) {
                             Ok(status) => {
-                                tally
-                                    .latencies_us
-                                    .push(started.elapsed().as_micros() as u64);
+                                tally.latency.record(started.elapsed().as_micros() as u64);
+                                tally.responses += 1;
                                 if status != 200 {
                                     tally.non_200 += 1;
                                     if status == 503 {
@@ -488,8 +512,9 @@ fn main() {
         // Shed 503s are not service: a slot whose only responses were
         // sheds never got real work done. Non-200s like 422 still
         // count — the solver ran.
-        served_per_slot.push(tally.latencies_us.len() as u64 - tally.shed_503);
-        merged.latencies_us.extend(tally.latencies_us);
+        served_per_slot.push(tally.responses - tally.shed_503);
+        merged.latency.merge(&tally.latency);
+        merged.responses += tally.responses;
         merged.transport_errors += tally.transport_errors;
         merged.shed_503 += tally.shed_503;
         merged.other_5xx += tally.other_5xx;
@@ -503,8 +528,7 @@ fn main() {
     let starved = served_per_slot.iter().filter(|&&s| s == 0).count();
     let elapsed = started.elapsed().as_secs_f64();
 
-    merged.latencies_us.sort_unstable();
-    let completed = merged.latencies_us.len();
+    let completed = merged.responses;
     println!("completed:  {completed} requests in {elapsed:.2}s");
     match config.rate {
         Some(rate) => println!(
@@ -513,12 +537,14 @@ fn main() {
         ),
         None => println!("throughput: {:.0} req/s", completed as f64 / elapsed),
     }
+    let p99_us = merged.latency.quantile(0.99);
     println!(
-        "latency:    p50 {} us, p90 {} us, p99 {} us, max {} us",
-        percentile(&merged.latencies_us, 0.50),
-        percentile(&merged.latencies_us, 0.90),
-        percentile(&merged.latencies_us, 0.99),
-        merged.latencies_us.last().copied().unwrap_or(0),
+        "latency:    p50 {} us, p90 {} us, p99 {} us, p999 {} us, max {} us",
+        merged.latency.quantile(0.50),
+        merged.latency.quantile(0.90),
+        p99_us,
+        merged.latency.quantile(0.999),
+        merged.latency.max(),
     );
     println!(
         "connections: {slots} persistent, {starved} starved; served/conn min {} p50 {} max {}",
@@ -541,6 +567,14 @@ fn main() {
     }
     if starved > 0 {
         failures.push(format!("{starved} of {slots} connections starved"));
+    }
+    if let Some(budget) = config.latency_budget {
+        let budget_us = budget.as_micros() as u64;
+        if p99_us > budget_us {
+            failures.push(format!(
+                "p99 latency {p99_us} us exceeds the {budget_us} us budget"
+            ));
+        }
     }
     if config.strict && !failures.is_empty() {
         eprintln!("loadgen: --strict: {}", failures.join("; "));

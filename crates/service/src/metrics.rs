@@ -5,22 +5,42 @@
 //! the values are read coherently enough for scraping (Prometheus
 //! tolerates the slight skew between counters read at different
 //! instants).
+//!
+//! Latency accounting uses the log-linear [`tgp_obs::Histogram`]
+//! (bounded memory, lock-free recording, exact nanosecond sums): one
+//! per request, one per objective, one per pipeline [`Stage`]. The
+//! exposition renders each at the fixed [`LATENCY_BUCKETS_US`] bounds
+//! via [`Histogram::cumulative_le`], so scrapes keep the same
+//! `le=` label values they always had while quantile math happens at
+//! full log-linear resolution internally. Samples are bucketed at
+//! 12.5% resolution, so a sample just above a fixed bound can land in
+//! a log-linear bucket whose upper edge is below it (e.g. 100 µs
+//! exactly counts toward `le="0.0001"` only if its 12.5%-wide bucket
+//! ends at or under 100 µs); `_sum`/`_count` stay exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use tgp_net::{NetCounters, TimeoutKind};
+use tgp_obs::{Histogram, Stage};
 use tgp_solvers::Registry;
 
-/// Upper bounds (in microseconds) of the request-latency histogram
+/// Upper bounds (in microseconds) of the rendered latency histogram
 /// buckets; the final `+Inf` bucket is implicit.
 pub const LATENCY_BUCKETS_US: [u64; 10] = [
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 1_000_000,
 ];
 
 /// The endpoints tracked individually; everything else lands in `other`.
-const ENDPOINTS: [&str; 5] = ["partition", "simulate", "healthz", "metrics", "other"];
+const ENDPOINTS: [&str; 6] = [
+    "partition",
+    "simulate",
+    "healthz",
+    "metrics",
+    "debug",
+    "other",
+];
 
 /// The status classes tracked per endpoint. Unknown statuses fold into
 /// the last entry, so 500 must stay last.
@@ -35,8 +55,8 @@ struct ObjectiveStats {
     /// Requests that ended in an error after the objective was resolved
     /// (parse rejections, infeasible instances, cost-cap refusals).
     errors: AtomicU64,
-    /// Total handling latency, for a Prometheus summary.
-    latency_sum_us: AtomicU64,
+    /// Handling-latency histogram (nanosecond samples).
+    latency: Histogram,
 }
 
 /// Central metrics registry shared by acceptor, workers and scrapers.
@@ -58,10 +78,10 @@ pub struct Metrics {
     /// Batch items executed inline by the coordinating worker (pool
     /// saturated, stolen back, or the batch was too small to scatter).
     batch_subtasks_inline: AtomicU64,
-    /// Latency histogram bucket counts (cumulative on render).
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    latency_sum_us: AtomicU64,
-    latency_count: AtomicU64,
+    /// Request handling latency (nanosecond samples).
+    latency: Histogram,
+    /// Per-pipeline-stage latency, indexed by [`Stage::index`].
+    stages: [Histogram; Stage::ALL.len()],
     /// Result-cache traffic.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -91,9 +111,8 @@ impl Default for Metrics {
             batch_requests: AtomicU64::new(0),
             batch_subtasks_pool: AtomicU64::new(0),
             batch_subtasks_inline: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_sum_us: AtomicU64::new(0),
-            latency_count: AtomicU64::new(0),
+            latency: Histogram::new(),
+            stages: std::array::from_fn(|_| Histogram::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
@@ -132,19 +151,42 @@ fn adjust_gauge(gauge: &AtomicU64, delta: i64) {
     }
 }
 
+/// Renders one histogram as cumulative `_bucket`/`_sum`/`_count`
+/// series at the fixed [`LATENCY_BUCKETS_US`] bounds. `labels` is
+/// either empty or `name="value",` pairs with a trailing comma, so the
+/// `le` label composes behind it.
+fn render_histogram(out: &mut String, name: &str, labels: &str, hist: &Histogram) {
+    for bound_us in LATENCY_BUCKETS_US {
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}le=\"{}\"}} {}\n",
+            bound_us as f64 / 1e6,
+            hist.cumulative_le(bound_us * 1_000)
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}le=\"+Inf\"}} {}\n",
+        hist.count()
+    ));
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", labels.trim_end_matches(','))
+    };
+    out.push_str(&format!("{name}_sum{plain} {}\n", hist.sum() as f64 / 1e9));
+    out.push_str(&format!("{name}_count{plain} {}\n", hist.count()));
+}
+
 impl Metrics {
     /// Records one completed request.
     pub fn record_request(&self, endpoint: &str, status: u16, latency: Duration) {
         self.requests[endpoint_index(endpoint)][status_index(status)]
             .fetch_add(1, Ordering::Relaxed);
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_duration(latency);
+    }
+
+    /// Records the duration of one pipeline stage of one request.
+    pub fn record_stage(&self, stage: Stage, latency: Duration) {
+        self.stages[stage.index()].record_duration(latency);
     }
 
     /// Records one partition request against the objective at the given
@@ -159,8 +201,7 @@ impl Metrics {
         if !ok {
             stats.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        stats.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        stats.latency.record_duration(latency);
     }
 
     /// Records a connection refused with the canned 503.
@@ -249,27 +290,25 @@ impl Metrics {
         out.push_str(
             "# HELP tgp_objective_latency_seconds Partition handling latency by objective.\n",
         );
-        out.push_str("# TYPE tgp_objective_latency_seconds summary\n");
+        out.push_str("# TYPE tgp_objective_latency_seconds histogram\n");
         for (name, stats) in self.objective_names.iter().zip(&self.objectives) {
             let requests = stats.requests.load(Ordering::Relaxed);
             if requests == 0 {
                 continue; // keep the exposition small until an objective sees traffic
             }
             let errors = stats.errors.load(Ordering::Relaxed);
-            let sum_us = stats.latency_sum_us.load(Ordering::Relaxed);
             out.push_str(&format!(
                 "tgp_objective_requests_total{{objective=\"{name}\"}} {requests}\n"
             ));
             out.push_str(&format!(
                 "tgp_objective_errors_total{{objective=\"{name}\"}} {errors}\n"
             ));
-            out.push_str(&format!(
-                "tgp_objective_latency_seconds_sum{{objective=\"{name}\"}} {}\n",
-                sum_us as f64 / 1e6
-            ));
-            out.push_str(&format!(
-                "tgp_objective_latency_seconds_count{{objective=\"{name}\"}} {requests}\n"
-            ));
+            render_histogram(
+                &mut out,
+                "tgp_objective_latency_seconds",
+                &format!("objective=\"{name}\","),
+                &stats.latency,
+            );
         }
 
         out.push_str("# HELP tgp_rejected_overload_total Connections refused with 503 because the queue was full.\n");
@@ -298,26 +337,20 @@ impl Metrics {
 
         out.push_str("# HELP tgp_request_latency_seconds Request handling latency.\n");
         out.push_str("# TYPE tgp_request_latency_seconds histogram\n");
-        let mut cumulative = 0u64;
-        for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "tgp_request_latency_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
-                *bound as f64 / 1e6
-            ));
+        render_histogram(&mut out, "tgp_request_latency_seconds", "", &self.latency);
+
+        out.push_str(
+            "# HELP tgp_stage_latency_seconds Per-request pipeline stage latency (queue wait, parse, cache lookup, solve, serialize, socket write).\n",
+        );
+        out.push_str("# TYPE tgp_stage_latency_seconds histogram\n");
+        for stage in Stage::ALL {
+            render_histogram(
+                &mut out,
+                "tgp_stage_latency_seconds",
+                &format!("stage=\"{}\",", stage.as_str()),
+                &self.stages[stage.index()],
+            );
         }
-        cumulative += self.latency_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "tgp_request_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
-        ));
-        out.push_str(&format!(
-            "tgp_request_latency_seconds_sum {}\n",
-            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
-        ));
-        out.push_str(&format!(
-            "tgp_request_latency_seconds_count {}\n",
-            self.latency_count.load(Ordering::Relaxed)
-        ));
 
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -454,6 +487,43 @@ mod tests {
         assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"0.0001\"} 1"));
         assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"0.00025\"} 2"));
         assert!(text.contains("tgp_request_latency_seconds_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn stage_histograms_render_for_all_stages() {
+        let m = Metrics::default();
+        m.record_stage(Stage::Solve, Duration::from_micros(80));
+        m.record_stage(Stage::Solve, Duration::from_micros(400));
+        m.record_stage(Stage::Write, Duration::from_micros(30));
+        let text = m.render();
+        // Recorded stages carry their samples in cumulative buckets...
+        assert!(
+            text.contains("tgp_stage_latency_seconds_bucket{stage=\"solve\",le=\"0.0001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_stage_latency_seconds_bucket{stage=\"solve\",le=\"0.0005\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_stage_latency_seconds_count{stage=\"solve\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_stage_latency_seconds_count{stage=\"write\"} 1"),
+            "{text}"
+        );
+        // ...and every stage renders unconditionally, so dashboards can
+        // rely on the full label set from the first scrape.
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!(
+                    "tgp_stage_latency_seconds_count{{stage=\"{}\"}}",
+                    stage.as_str()
+                )),
+                "{stage:?} series missing"
+            );
+        }
     }
 
     #[test]

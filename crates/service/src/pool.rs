@@ -14,9 +14,11 @@
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use crate::api::BatchSubtask;
 use tgp_net::{ConnId, LoopHandle};
+use tgp_obs::TraceId;
 
 /// One unit of work a pool worker can execute.
 #[derive(Debug)]
@@ -24,7 +26,13 @@ pub enum Work {
     /// An accepted connection (threads mode): serve HTTP exchanges on it
     /// until it ends. The worker owns the socket for the connection's
     /// whole lifetime.
-    Conn(TcpStream),
+    Conn {
+        /// The accepted socket.
+        stream: TcpStream,
+        /// When the acceptor pushed it, for the first request's
+        /// queue-wait span.
+        enqueued_at: Instant,
+    },
     /// One complete framed request (epoll mode): parse, handle, and
     /// submit the response back through the event loop. The worker never
     /// touches a socket.
@@ -35,6 +43,10 @@ pub enum Work {
         bytes: Vec<u8>,
         /// Where to deliver the serialized response.
         reply: LoopHandle,
+        /// Trace id minted when the request was framed.
+        trace: TraceId,
+        /// When the loop pushed the request onto the queue.
+        enqueued_at: Instant,
     },
     /// One chunk of a scattered partition batch.
     Batch(BatchSubtask),

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::api::{handle, AppState};
+use crate::api::{handle_traced, AppState, RequestCtx};
 use crate::cache::CacheConfig;
 use crate::http::{
     overloaded_response, read_request, retry_after_secs, write_response, RecvError, MAX_HEAD_BYTES,
@@ -52,6 +52,7 @@ use crate::http::{
 use crate::pool::{BoundedQueue, PushError, Work};
 use tgp_graph::json;
 use tgp_net::{Action, ConnId, EventLoop, FrameError, LoopHandle, NetConfig};
+use tgp_obs::{EventKind, Stage, TraceId};
 
 /// Which connection model the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,8 +138,13 @@ pub struct ServerConfig {
     /// the queue is nearly full. `None` disables cost-based admission.
     pub shed_cost: Option<u64>,
     /// Write one structured access-log line per request to stderr
-    /// (`tgp-access method=… path=… objective=… status=… micros=…`).
+    /// (`tgp-access method=… path=… objective=… status=… micros=…
+    /// queue_us=… total_us=… trace=…`; see docs/OBSERVABILITY.md).
     pub log_requests: bool,
+    /// Serve the `GET /debug/*` introspection endpoints
+    /// (`/debug/trace/<id>`, `/debug/slow`, `/debug/events`). Off by
+    /// default: they expose request timing internals.
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServerConfig {
@@ -158,6 +164,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             shed_cost: None,
             log_requests: false,
+            debug_endpoints: false,
         }
     }
 }
@@ -188,6 +195,7 @@ impl Server {
         let state = Arc::new(
             AppState::new(config.cache.clone())
                 .with_access_log(config.log_requests)
+                .with_debug_endpoints(config.debug_endpoints)
                 .with_shed_cost(config.shed_cost),
         );
         let stop = Arc::new(AtomicBool::new(false));
@@ -225,19 +233,62 @@ impl Server {
                             state.metrics.queue_changed(-1);
                             state.metrics.workers_changed(1);
                             match work {
-                                Work::Conn(stream) => {
+                                Work::Conn {
+                                    stream,
+                                    enqueued_at,
+                                } => {
+                                    if state.debug_endpoints {
+                                        let now = Instant::now();
+                                        let wait = now.saturating_duration_since(enqueued_at);
+                                        state.journal.append_at(
+                                            now,
+                                            EventKind::Dequeue,
+                                            0,
+                                            0,
+                                            wait.as_nanos() as u64,
+                                        );
+                                    }
                                     serve_connection(
                                         &state,
                                         &stop,
                                         stream,
+                                        enqueued_at,
                                         max_body,
                                         read_timeout,
                                         write_timeout,
                                     );
                                 }
-                                Work::Request { conn, bytes, reply } => {
-                                    let (response, keep_alive) =
-                                        respond_to_bytes(&state, &bytes, max_body, &stop);
+                                Work::Request {
+                                    conn,
+                                    bytes,
+                                    reply,
+                                    trace,
+                                    enqueued_at,
+                                } => {
+                                    let now = Instant::now();
+                                    if state.debug_endpoints {
+                                        let wait = now.saturating_duration_since(enqueued_at);
+                                        state.journal.append_at(
+                                            now,
+                                            EventKind::Dequeue,
+                                            trace.as_u64(),
+                                            u64::from(conn.index),
+                                            wait.as_nanos() as u64,
+                                        );
+                                    }
+                                    let (response, keep_alive, trace, seq) = respond_to_bytes(
+                                        &state,
+                                        &bytes,
+                                        max_body,
+                                        &stop,
+                                        trace,
+                                        Some(enqueued_at),
+                                        now,
+                                    );
+                                    // Registered before the submit: the loop may
+                                    // finish flushing (and report the write) the
+                                    // instant the response lands.
+                                    state.note_write_pending(conn, trace, seq);
                                     reply.submit(conn, response, keep_alive);
                                 }
                                 Work::Batch(subtask) => subtask.run(&state),
@@ -267,11 +318,23 @@ impl Server {
                             // and increment-after would transiently wrap the
                             // gauge below zero.
                             state.metrics.queue_changed(1);
-                            match queue.try_push(Work::Conn(stream)) {
+                            let enqueued_at = Instant::now();
+                            if state.debug_endpoints {
+                                state
+                                    .journal
+                                    .append_at(enqueued_at, EventKind::Enqueue, 0, 0, 0);
+                            }
+                            match queue.try_push(Work::Conn {
+                                stream,
+                                enqueued_at,
+                            }) {
                                 Ok(()) => {}
-                                Err(PushError::Full(Work::Conn(mut stream))) => {
+                                Err(PushError::Full(Work::Conn { mut stream, .. })) => {
                                     state.metrics.queue_changed(-1);
                                     state.metrics.record_overload();
+                                    if state.debug_endpoints {
+                                        state.journal.append(EventKind::Shed, 0, 0, 0);
+                                    }
                                     let retry = retry_after_secs(queue.len(), worker_count);
                                     let _ = stream.write_all(&overloaded_response(retry));
                                     let _ = stream.flush();
@@ -298,6 +361,7 @@ impl Server {
                     idle_timeout: config.idle_timeout,
                     max_head_bytes: MAX_HEAD_BYTES,
                     max_body_bytes: config.max_body_bytes as u64,
+                    journal: state.debug_endpoints.then(|| Arc::clone(&state.journal)),
                     ..NetConfig::default()
                 };
                 let handler = Arc::new(EpollHandler {
@@ -424,18 +488,42 @@ struct EpollHandler {
 
 impl tgp_net::Handler for EpollHandler {
     fn on_request(&self, conn: ConnId, bytes: Vec<u8>, handle: &LoopHandle) -> Action {
+        // Mint the trace at frame time: the queue wait is part of the
+        // request's story. A client-supplied x-trace-id/traceparent
+        // header replaces this id at parse time on the worker.
+        let trace = TraceId::mint();
         // Same gauge protocol as the threads acceptor: raise before the
         // push so a racing worker's decrement cannot wrap it.
         self.state.metrics.queue_changed(1);
+        let enqueued_at = Instant::now();
+        if self.state.debug_endpoints {
+            self.state.journal.append_at(
+                enqueued_at,
+                EventKind::Enqueue,
+                trace.as_u64(),
+                u64::from(conn.index),
+                0,
+            );
+        }
         match self.queue.try_push(Work::Request {
             conn,
             bytes,
             reply: handle.clone(),
+            trace,
+            enqueued_at,
         }) {
             Ok(()) => Action::Pending,
             Err(PushError::Full(_)) => {
                 self.state.metrics.queue_changed(-1);
                 self.state.metrics.record_overload();
+                if self.state.debug_endpoints {
+                    self.state.journal.append(
+                        EventKind::Shed,
+                        trace.as_u64(),
+                        u64::from(conn.index),
+                        0,
+                    );
+                }
                 let retry = retry_after_secs(self.queue.len(), self.workers);
                 Action::Respond {
                     bytes: overloaded_response(retry),
@@ -472,23 +560,39 @@ impl tgp_net::Handler for EpollHandler {
         let _ = write_response(&mut out, status, "application/json", body.as_bytes(), false);
         out
     }
+
+    fn on_write_complete(&self, conn: ConnId, elapsed: Duration) {
+        self.state.complete_write(conn, elapsed);
+    }
 }
 
 /// Parses one framed request and serializes the response — the worker
 /// half of epoll mode. Same parser and serializer as threads mode, so
-/// both `--io` modes answer byte-identically. Returns the wire bytes
-/// and whether the connection should be kept alive.
+/// both `--io` modes answer byte-identically. Returns the wire bytes,
+/// whether the connection should be kept alive, and the trace id and
+/// commit handle the request ran under (NONE/None for unparseable
+/// requests), so the caller can attribute the eventual socket write.
 fn respond_to_bytes(
     state: &AppState,
     bytes: &[u8],
     max_body: usize,
     stop: &AtomicBool,
-) -> (Vec<u8>, bool) {
+    trace: TraceId,
+    enqueued_at: Option<Instant>,
+    dequeued_at: Instant,
+) -> (Vec<u8>, bool, TraceId, Option<u64>) {
     let mut reader = bytes;
     let mut out = Vec::new();
     match read_request(&mut reader, max_body) {
         Ok(request) => {
-            let response = handle(state, &request);
+            let parse = dequeued_at.elapsed();
+            let ctx = RequestCtx {
+                trace,
+                enqueued_at,
+                dequeued_at,
+                parse,
+            };
+            let response = handle_traced(state, &request, ctx);
             let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
             let _ = write_response(
                 &mut out,
@@ -497,11 +601,13 @@ fn respond_to_bytes(
                 response.body.as_bytes(),
                 keep_alive,
             );
-            (out, keep_alive)
+            (out, keep_alive, response.trace, response.trace_seq)
         }
         // The framer only dispatches complete requests, so these are
         // unreachable in practice; answer with a close either way.
-        Err(RecvError::Disconnected) | Err(RecvError::TimedOut) => (out, false),
+        Err(RecvError::Disconnected) | Err(RecvError::TimedOut) => {
+            (out, false, TraceId::NONE, None)
+        }
         Err(RecvError::BadRequest(message)) => {
             let body = format!(
                 "{}\n",
@@ -509,7 +615,7 @@ fn respond_to_bytes(
             );
             state.metrics.record_request("other", 400, Duration::ZERO);
             let _ = write_response(&mut out, 400, "application/json", body.as_bytes(), false);
-            (out, false)
+            (out, false, TraceId::NONE, None)
         }
         Err(RecvError::BodyTooLarge { declared, limit }) => {
             let message = format!("body of {declared} bytes exceeds limit of {limit}");
@@ -519,7 +625,7 @@ fn respond_to_bytes(
             );
             state.metrics.record_request("other", 413, Duration::ZERO);
             let _ = write_response(&mut out, 413, "application/json", body.as_bytes(), false);
-            (out, false)
+            (out, false, TraceId::NONE, None)
         }
     }
 }
@@ -566,13 +672,22 @@ fn serve_connection(
     state: &AppState,
     stop: &AtomicBool,
     stream: TcpStream,
+    enqueued_at: Instant,
     max_body: usize,
     read_timeout: Duration,
     write_timeout: Duration,
 ) {
     let net = Arc::clone(state.metrics.net());
     net.open_connections.fetch_add(1, Ordering::Relaxed);
-    serve_connection_inner(state, stop, stream, max_body, read_timeout, write_timeout);
+    serve_connection_inner(
+        state,
+        stop,
+        stream,
+        enqueued_at,
+        max_body,
+        read_timeout,
+        write_timeout,
+    );
     net.open_connections.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -580,6 +695,7 @@ fn serve_connection_inner(
     state: &AppState,
     stop: &AtomicBool,
     stream: TcpStream,
+    enqueued_at: Instant,
     max_body: usize,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -596,14 +712,28 @@ fn serve_connection_inner(
         deadline: Instant::now() + read_timeout,
     });
 
+    // Only the connection's first request waited on the worker queue;
+    // later keep-alive requests start their trace at read time.
+    let mut pending_enqueue = Some(enqueued_at);
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
+        let read_started = Instant::now();
         match read_request(&mut reader, max_body) {
             Ok(request) => {
-                let response = handle(state, &request);
+                // In threads mode the parse span includes the blocking
+                // socket read (the two are one pass over the stream);
+                // see docs/OBSERVABILITY.md.
+                let ctx = RequestCtx {
+                    trace: TraceId::NONE,
+                    enqueued_at: pending_enqueue.take(),
+                    dequeued_at: read_started,
+                    parse: read_started.elapsed(),
+                };
+                let response = handle_traced(state, &request, ctx);
                 let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+                let write_started = Instant::now();
                 match write_response(
                     &mut write_half,
                     response.status,
@@ -611,8 +741,31 @@ fn serve_connection_inner(
                     response.body.as_bytes(),
                     keep_alive,
                 ) {
-                    Ok(()) if keep_alive => {}
-                    Ok(()) => return,
+                    Ok(()) => {
+                        let write_done = Instant::now();
+                        let write_dur = write_done.saturating_duration_since(write_started);
+                        state.metrics.record_stage(Stage::Write, write_dur);
+                        if let Some(seq) = response.trace_seq {
+                            state.traces.append_span_at(
+                                seq,
+                                response.trace,
+                                Stage::Write,
+                                write_dur,
+                            );
+                        }
+                        if state.debug_endpoints {
+                            state.journal.append_at(
+                                write_done,
+                                EventKind::WriteDone,
+                                response.trace.as_u64(),
+                                0,
+                                write_dur.as_nanos() as u64,
+                            );
+                        }
+                        if !keep_alive {
+                            return;
+                        }
+                    }
                     Err(e) => {
                         if matches!(
                             e.kind(),

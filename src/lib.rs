@@ -12,7 +12,9 @@
 //! * [`dds`] — distributed discrete-event logic simulation application,
 //! * [`realtime`] — real-time pipeline application,
 //! * [`service`] — concurrent HTTP partition service with caching and
-//!   metrics.
+//!   metrics,
+//! * [`obs`] — observability primitives (event journal, request
+//!   traces, log-linear latency histograms).
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@ pub use tgp_baselines as baselines;
 pub use tgp_core as core;
 pub use tgp_dds as dds;
 pub use tgp_graph as graph;
+pub use tgp_obs as obs;
 pub use tgp_realtime as realtime;
 pub use tgp_service as service;
 pub use tgp_shmem as shmem;
