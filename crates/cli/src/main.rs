@@ -109,8 +109,11 @@ USAGE:
             [--cache-bytes 33554432] [--cache-ttl SECS] [--cache-file PATH]
             [--queue-depth 64] [--max-connections 1024] [--shed-cost UNITS]
             [--read-timeout SECS] [--write-timeout SECS] [--idle-timeout SECS]
+            [--session-file PATH] [--session-budget BYTES]
             [--log-requests] [--debug-endpoints]  # HTTP partition service
+  tgp sessions [--addr HOST:PORT | --file PATH]   # resident session graphs
   tgp objectives [--markdown | --check FILE]      # registry listing / docs table
+  tgp endpoints [--markdown | --check FILE]       # service endpoint table
 
 OBJECTIVES (shared with POST /v1/partition; identical JSON responses):
 ",
@@ -238,6 +241,22 @@ fn run(args: &[String]) -> CliResult<String> {
                 Err(format!("objectives takes --markdown or --check <file>, got {other:?}").into())
             }
         },
+        "endpoints" => match args.get(1).map(String::as_str) {
+            None | Some("--markdown") => Ok(endpoints_markdown().trim_end().to_string()),
+            Some("--check") => {
+                let path = args
+                    .get(2)
+                    .ok_or("--check needs a file path (e.g. docs/SERVICE.md)")?;
+                endpoints_check(path)
+            }
+            Some(other) => {
+                Err(format!("endpoints takes --markdown or --check <file>, got {other:?}").into())
+            }
+        },
+        "sessions" => {
+            let opts = Options::parse(&args[1..])?;
+            Ok(sessions(&opts)?.pretty())
+        }
         "help" | "--help" | "-h" => Err(usage().into()),
         other => Err(format!("unknown command {other:?}").into()),
     }
@@ -306,37 +325,127 @@ fn objectives_markdown() -> String {
     table
 }
 
+/// Shared marker-gated docs check: fails (exit 1) when the text between
+/// `<!-- {tag}:begin -->` / `<!-- {tag}:end -->` in FILE differs from
+/// `expected`, so docs can't drift from the generator.
+fn marker_check(path: &str, tag: &str, expected: &str, ok_note: String) -> CliResult<String> {
+    let begin = format!("<!-- {tag}:begin -->");
+    let end_marker = format!("<!-- {tag}:end -->");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{tag} --check {path}: {e}"))?;
+    let start = text
+        .find(&begin)
+        .ok_or_else(|| format!("{path}: missing {begin:?} marker"))?;
+    let end = text
+        .find(&end_marker)
+        .ok_or_else(|| format!("{path}: missing {end_marker:?} marker"))?;
+    if end < start {
+        return Err(format!("{path}: {end_marker:?} appears before {begin:?}").into());
+    }
+    let found = text[start + begin.len()..end].trim();
+    let expected = expected.trim();
+    if found == expected {
+        Ok(ok_note)
+    } else {
+        Err(format!(
+            "{path}: {tag} table is stale; regenerate with `tgp {tag} --markdown` \
+             and paste it between the markers\n--- expected ---\n{expected}\n--- found ---\n{found}"
+        )
+        .into())
+    }
+}
+
 /// `tgp objectives --check FILE` — fails (exit 1) when the table
 /// between the objectives markers in FILE differs from what
 /// `--markdown` generates, so docs can't drift from the registry.
 fn objectives_check(path: &str) -> CliResult<String> {
-    const BEGIN: &str = "<!-- objectives:begin -->";
-    const END: &str = "<!-- objectives:end -->";
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("objectives --check {path}: {e}"))?;
-    let start = text
-        .find(BEGIN)
-        .ok_or_else(|| format!("{path}: missing {BEGIN:?} marker"))?;
-    let end = text
-        .find(END)
-        .ok_or_else(|| format!("{path}: missing {END:?} marker"))?;
-    if end < start {
-        return Err(format!("{path}: {END:?} appears before {BEGIN:?}").into());
-    }
-    let found = text[start + BEGIN.len()..end].trim();
-    let expected = objectives_markdown();
-    let expected = expected.trim();
-    if found == expected {
-        Ok(format!(
+    marker_check(
+        path,
+        "objectives",
+        &objectives_markdown(),
+        format!(
             "{path}: objectives table is up to date ({} objectives)",
             Registry::shared().names().len()
-        ))
-    } else {
-        Err(format!(
-            "{path}: objectives table is stale; regenerate with `tgp objectives --markdown` \
-             and paste it between the markers\n--- expected ---\n{expected}\n--- found ---\n{found}"
-        )
-        .into())
+        ),
+    )
+}
+
+/// `tgp endpoints --markdown` — the service's endpoint surface as a
+/// markdown table, the canonical content between the
+/// `<!-- endpoints:begin -->` / `<!-- endpoints:end -->` markers in
+/// `docs/SERVICE.md`. One row per (method, path); sessions and debug
+/// endpoints included so the docs table can never silently omit a
+/// route.
+fn endpoints_markdown() -> String {
+    // (method, path, description) — must match `route()` in
+    // crates/service/src/api.rs; serve_observability e2e tests exercise
+    // every row.
+    const ENDPOINTS: &[(&str, &str, &str)] = &[
+        ("POST", "/v1/partition", "run any registered objective; single request or `{\"requests\": [...]}` batch"),
+        ("POST", "/v1/simulate", "partition a chain and replay it through the pipeline simulator"),
+        ("POST", "/v1/graphs", "register a resident session graph (`{\"graph\": ...}`) → id + version"),
+        ("GET", "/v1/graphs", "list resident session graphs"),
+        ("GET", "/v1/graphs/&lt;id&gt;", "one resident graph's id, version, kind, shape and bytes"),
+        ("PATCH", "/v1/graphs/&lt;id&gt;", "apply one atomic edit batch (`{\"version\": N, \"edits\": [...]}`), version-checked"),
+        ("DELETE", "/v1/graphs/&lt;id&gt;", "drop a resident graph and release its budget"),
+        ("POST", "/v1/graphs/&lt;id&gt;/partition", "solve against the resident graph, warm-starting when certified (`x-tgp-solve: warm\\|cold`)"),
+        ("GET", "/healthz", "liveness probe"),
+        ("GET", "/metrics", "Prometheus text exposition"),
+        ("GET", "/debug/trace/&lt;id&gt;", "one request's stage spans (needs `--debug-endpoints`)"),
+        ("GET", "/debug/slow", "slowest retained traces (needs `--debug-endpoints`)"),
+        ("GET", "/debug/events", "recent transport/request events (needs `--debug-endpoints`)"),
+    ];
+    let mut table = String::from("| method | path | description |\n|---|---|---|\n");
+    for (method, path, description) in ENDPOINTS {
+        table.push_str(&format!("| {method} | `{path}` | {description} |\n"));
+    }
+    table
+}
+
+/// `tgp endpoints --check FILE` — docs gate for the endpoint table,
+/// same contract as `tgp objectives --check`.
+fn endpoints_check(path: &str) -> CliResult<String> {
+    marker_check(
+        path,
+        "endpoints",
+        &endpoints_markdown(),
+        format!("{path}: endpoints table is up to date"),
+    )
+}
+
+/// Minimal HTTP/1.1 GET for `tgp sessions --addr`: one request,
+/// `connection: close`, JSON body expected.
+fn http_get_json(addr: &str, path: &str) -> CliResult<Value> {
+    use std::io::Write;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    let status = head.split_whitespace().nth(1).unwrap_or("<none>");
+    if status != "200" {
+        return Err(format!("server answered {status}: {}", body.trim()).into());
+    }
+    Ok(Value::parse(body.trim()).map_err(|e| format!("invalid JSON from server: {e}"))?)
+}
+
+/// `tgp sessions` — inspect resident session graphs, either live over
+/// HTTP (`--addr HOST:PORT` → `GET /v1/graphs`) or offline from a
+/// session journal (`--file PATH`, read-only: torn tails are reported,
+/// never truncated).
+fn sessions(opts: &Options) -> CliResult<Value> {
+    match (opts.get("addr"), opts.get("file")) {
+        (Some(addr), None) => http_get_json(addr, "/v1/graphs"),
+        (None, Some(path)) => Ok(tgp_session::SessionStore::inspect(std::path::Path::new(
+            path,
+        ))?),
+        (Some(_), Some(_)) => Err("sessions takes --addr or --file, not both".into()),
+        (None, None) => Err("sessions needs --addr HOST:PORT or --file PATH".into()),
     }
 }
 
@@ -546,6 +655,10 @@ fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult
         shed_cost: opts.num("shed-cost")?,
         log_requests,
         debug_endpoints,
+        session_file: opts.get("session-file").map(std::path::PathBuf::from),
+        session_budget: opts
+            .num("session-budget")?
+            .unwrap_or(defaults.session_budget),
         ..ServerConfig::default()
     };
     let workers = config.workers;
@@ -558,7 +671,8 @@ fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult
     };
     eprintln!(
         "tgp serve: listening on http://{} ({workers} workers, {io:?} io); \
-         endpoints: POST /v1/partition, POST /v1/simulate, GET /healthz, GET /metrics{debug_note}",
+         endpoints: POST /v1/partition, POST /v1/simulate, /v1/graphs sessions, \
+         GET /healthz, GET /metrics{debug_note}",
         server.local_addr()
     );
     // Blocks until the acceptor exits (it never does on its own; kill
@@ -661,6 +775,48 @@ mod tests {
         let err = objectives_check(path.to_str().unwrap()).unwrap_err();
         assert!(err.to_string().contains("missing"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn endpoints_check_accepts_fresh_and_rejects_stale_tables() {
+        let path = std::env::temp_dir().join(format!("tgp-endcheck-{}.md", std::process::id()));
+        let fresh = format!(
+            "# Docs\n\n<!-- endpoints:begin -->\n{}<!-- endpoints:end -->\ntail\n",
+            endpoints_markdown()
+        );
+        std::fs::write(&path, &fresh).unwrap();
+        assert!(endpoints_check(path.to_str().unwrap()).is_ok());
+
+        let stale = fresh.replace("| `/v1/graphs` |", "| `/v1/grphs` |");
+        std::fs::write(&path, &stale).unwrap();
+        let err = endpoints_check(path.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("stale"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn endpoints_table_covers_the_session_surface() {
+        let table = endpoints_markdown();
+        for needle in [
+            "/v1/graphs",
+            "/v1/graphs/&lt;id&gt;",
+            "/v1/graphs/&lt;id&gt;/partition",
+            "/v1/partition",
+            "/metrics",
+        ] {
+            assert!(table.contains(needle), "endpoints table missing {needle}");
+        }
+    }
+
+    #[test]
+    fn sessions_requires_exactly_one_source() {
+        let none = Options::parse(&[]).unwrap();
+        assert!(sessions(&none).is_err());
+        let both = Options::parse(&strs(&["--addr", "127.0.0.1:1", "--file", "/tmp/x"])).unwrap();
+        assert!(sessions(&both).is_err());
+        // A missing journal file is a clean error, not a panic.
+        let missing = Options::parse(&strs(&["--file", "/definitely/not/here.journal"])).unwrap();
+        assert!(sessions(&missing).is_err());
     }
 
     #[test]

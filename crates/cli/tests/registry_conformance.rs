@@ -340,3 +340,22 @@ fn service_docs_objectives_table_matches_registry() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+/// Same gate for the endpoint table (`tgp endpoints --markdown` /
+/// `--check`): a new route — session, debug or otherwise — fails this
+/// test until docs/SERVICE.md is regenerated.
+#[test]
+fn service_docs_endpoints_table_matches_router() {
+    let docs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVICE.md");
+    let out = Command::new(env!("CARGO_BIN_EXE_tgp"))
+        .args(["endpoints", "--check", docs])
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "`tgp endpoints --check docs/SERVICE.md` failed; regenerate the table with \
+         `tgp endpoints --markdown`:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -186,6 +186,91 @@ pub fn min_bandwidth_cut_lexicographic(
     }
 }
 
+/// Warm-started variant of [`min_bandwidth_cut_lexicographic`]: the
+/// candidate-limit binary search is restricted to bottleneck values in
+/// `[hint_lo, hint_hi]` (typically a window around a previous solve's
+/// `B*` widened by how much the instance has drifted since).
+///
+/// The window is *certified* before it is trusted: the largest
+/// candidate limit below the window must be infeasible and the largest
+/// candidate inside it must be feasible — together those prove the true
+/// `B*` lies inside the window, because feasibility is monotone in the
+/// limit. `Ok(None)` means a certificate failed (or the window contains
+/// no candidate) and the caller must fall back to the cold solve.
+///
+/// When the certificates hold, the returned cut is **byte-identical**
+/// to the cold solve's: both converge on the same first-feasible
+/// candidate index and return the cut produced by the deterministic
+/// probe at that limit.
+///
+/// # Errors
+///
+/// [`PartitionError::BoundTooSmall`] if a single vertex outweighs
+/// `bound` (the cold solve fails identically).
+pub fn min_bandwidth_cut_lexicographic_warm(
+    path: &PathGraph,
+    bound: Weight,
+    hint_lo: Weight,
+    hint_hi: Weight,
+) -> Result<Option<CutSet>, PartitionError> {
+    if hint_lo > hint_hi {
+        return Ok(None);
+    }
+    // The cold solve sorts every candidate limit; the warm solve only
+    // ever probes the largest candidate *below* the window and the
+    // candidates *inside* it, so a single O(n) scan replaces the
+    // O(n log n) sort — on a narrow window this is where the warm
+    // path's time goes, not the probes.
+    let mut below: Option<Weight> = None;
+    let mut window: Vec<Weight> = Vec::new();
+    for w in std::iter::once(Weight::ZERO)
+        .chain((0..path.edge_count()).map(|j| path.edge_weight(EdgeId::new(j))))
+    {
+        if w < hint_lo {
+            below = Some(below.map_or(w, |b| b.max(w)));
+        } else if w <= hint_hi {
+            window.push(w);
+        }
+    }
+    window.sort_unstable();
+    window.dedup();
+    if window.is_empty() {
+        return Ok(None); // no candidate in the window
+    }
+
+    // Certificate: the strongest limit below the window is infeasible
+    // (vacuously true when the window starts at the smallest candidate).
+    if let Some(b) = below {
+        if min_bandwidth_cut_bounded(path, bound, b)?.is_some() {
+            return Ok(None); // B* is below the window
+        }
+    }
+    // Certificate: the window's top candidate is feasible.
+    let Some(top) = min_bandwidth_cut_bounded(path, bound, *window.last().expect("non-empty"))?
+    else {
+        return Ok(None); // B* is above the window
+    };
+
+    // Same search as the cold solve, seeded inside the certified
+    // window; `best` always holds the cut for the current `hi`. The
+    // window holds the same candidate set (sorted, deduped) the cold
+    // solve's array holds over those indices, so the search converges
+    // on the same first-feasible candidate and the same cut.
+    let (mut lo, mut hi) = (0usize, window.len() - 1);
+    let mut best = top;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match min_bandwidth_cut_bounded(path, bound, window[mid])? {
+            Some(cut) => {
+                best = cut;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    Ok(Some(best))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +374,73 @@ mod tests {
         ));
         assert!(matches!(
             min_bandwidth_cut_lexicographic(&p, Weight::new(8)),
+            Err(PartitionError::BoundTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_with_certified_window_matches_cold_exactly() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xA11CE);
+        let mut certified = 0u32;
+        for round in 0..300 {
+            let n: usize = rng.gen_range(1..40);
+            let nodes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10)).collect();
+            let edges: Vec<u64> = (0..n - 1).map(|_| rng.gen_range(0..25)).collect();
+            let p = path(&nodes, &edges);
+            let max = nodes.iter().copied().max().unwrap();
+            let k = Weight::new(rng.gen_range(max..=max + 20));
+            let cold = min_bandwidth_cut_lexicographic(&p, k).unwrap();
+            let b_star = p.bottleneck(&cold).unwrap().get();
+            // A window around the true B* (as a session would seed after
+            // drift) must certify and reproduce the cold cut exactly.
+            let delta = rng.gen_range(0..6);
+            let warm = min_bandwidth_cut_lexicographic_warm(
+                &p,
+                k,
+                Weight::new(b_star.saturating_sub(delta)),
+                Weight::new(b_star + delta),
+            )
+            .unwrap();
+            let warm = warm.expect("window containing B* always certifies");
+            assert_eq!(warm, cold, "round={round} nodes={nodes:?} edges={edges:?}");
+            certified += 1;
+        }
+        assert_eq!(certified, 300);
+    }
+
+    #[test]
+    fn warm_refuses_windows_that_exclude_the_optimum() {
+        let p = path(&[5, 5, 5, 5], &[4, 6, 4]);
+        let k = Weight::new(10);
+        let cold = min_bandwidth_cut_lexicographic(&p, k).unwrap();
+        assert_eq!(p.bottleneck(&cold).unwrap(), Weight::new(4));
+        // Window entirely above B*: the below-window certificate fails.
+        assert!(
+            min_bandwidth_cut_lexicographic_warm(&p, k, Weight::new(5), Weight::new(9))
+                .unwrap()
+                .is_none()
+        );
+        // Window entirely below B*: the top-of-window probe is infeasible.
+        assert!(
+            min_bandwidth_cut_lexicographic_warm(&p, k, Weight::ZERO, Weight::new(3))
+                .unwrap()
+                .is_none()
+        );
+        // Inverted or empty windows fall back without probing.
+        assert!(
+            min_bandwidth_cut_lexicographic_warm(&p, k, Weight::new(9), Weight::new(5))
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn warm_errors_match_cold_errors() {
+        let p = path(&[1, 9], &[1]);
+        assert!(matches!(
+            min_bandwidth_cut_lexicographic_warm(&p, Weight::new(8), Weight::ZERO, Weight::MAX),
             Err(PartitionError::BoundTooSmall { .. })
         ));
     }

@@ -33,7 +33,10 @@ mod prime;
 mod stats;
 mod temps;
 
-pub use bounded::{min_bandwidth_cut_bounded, min_bandwidth_cut_lexicographic};
+pub use bounded::{
+    min_bandwidth_cut_bounded, min_bandwidth_cut_lexicographic,
+    min_bandwidth_cut_lexicographic_warm,
+};
 pub use naive::min_bandwidth_cut_naive;
 pub use nonredundant::{nonredundant_edges, NrEdge};
 pub use oracle::{min_bandwidth_cut_oracle, min_bandwidth_cut_window};

@@ -119,6 +119,9 @@ pub enum Stage {
     Parse,
     /// Result-cache probe.
     Cache,
+    /// Session-store work: resident-graph lookup, edit-batch
+    /// application, journal append.
+    Session,
     /// Solver execution.
     Solve,
     /// Response body rendering.
@@ -128,11 +131,13 @@ pub enum Stage {
 }
 
 impl Stage {
-    /// All stages, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    /// All stages, in pipeline order (must match declaration order —
+    /// [`Stage::index`] is the discriminant).
+    pub const ALL: [Stage; 7] = [
         Stage::Queue,
         Stage::Parse,
         Stage::Cache,
+        Stage::Session,
         Stage::Solve,
         Stage::Serialize,
         Stage::Write,
@@ -144,6 +149,7 @@ impl Stage {
             Stage::Queue => "queue",
             Stage::Parse => "parse",
             Stage::Cache => "cache",
+            Stage::Session => "session",
             Stage::Solve => "solve",
             Stage::Serialize => "serialize",
             Stage::Write => "write",

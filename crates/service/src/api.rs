@@ -45,6 +45,7 @@ use tgp_graph::{json, PathGraph, Weight};
 use tgp_net::ConnId;
 use tgp_obs::trace::{self, SpanRecorder};
 use tgp_obs::{EventKind, Journal, Stage, TraceId, TraceRecord, TraceStore};
+use tgp_session::{Edit, SessionError, SessionStore, DEFAULT_SESSION_BUDGET};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 use tgp_solvers::{KeyBuilder, Registry, SolveError};
@@ -191,6 +192,10 @@ pub struct AppState {
     /// Serve the `/debug/*` surfaces (off by default: they expose
     /// request timing internals).
     pub debug_endpoints: bool,
+    /// Resident session graphs (`/v1/graphs`). In-memory by default;
+    /// the server swaps in a journal-backed store via
+    /// [`AppState::with_sessions`] when `--session-file` is set.
+    pub sessions: Arc<SessionStore>,
     /// Trace ids of responses currently being flushed by the epoll
     /// loop, keyed by connection (one in-flight response per
     /// connection). Lets [`AppState::complete_write`] attribute the
@@ -217,10 +222,18 @@ impl AppState {
             journal: Arc::new(Journal::new(JOURNAL_CAPACITY)),
             traces: TraceStore::new(TRACE_CAPACITY),
             debug_endpoints: false,
+            sessions: Arc::new(SessionStore::new(DEFAULT_SESSION_BUDGET)),
             write_pending: WritePending::new(),
             fanout: OnceLock::new(),
             shed_cost: None,
         }
+    }
+
+    /// Replaces the session store (the server injects a journal-backed
+    /// one when `--session-file` is set).
+    pub fn with_sessions(mut self, sessions: Arc<SessionStore>) -> Self {
+        self.sessions = sessions;
+        self
     }
 
     /// Enables or disables the per-request access log.
@@ -329,6 +342,10 @@ pub struct ApiResponse {
     /// handle the transport uses to patch the `write` span in after
     /// the response is flushed. `None` until [`handle_traced`] commits.
     pub trace_seq: Option<u64>,
+    /// Extra response headers (name, value) — the session partition
+    /// endpoint signals `x-tgp-solve: warm|cold` here so response
+    /// *bodies* stay byte-identical across warm and cold paths.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiResponse {
@@ -340,6 +357,7 @@ fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiRespon
         objective: "-",
         trace: TraceId::NONE,
         trace_seq: None,
+        headers: Vec::new(),
     }
 }
 
@@ -515,6 +533,7 @@ fn route(state: &AppState, req: &Request) -> ApiResponse {
         ("GET", "/metrics") => {
             let mut body = state.metrics.render();
             state.cache.render_metrics(&mut body);
+            state.sessions.render_metrics(&mut body);
             render_journal_metrics(state, &mut body);
             ApiResponse {
                 status: 200,
@@ -524,14 +543,23 @@ fn route(state: &AppState, req: &Request) -> ApiResponse {
                 objective: "-",
                 trace: TraceId::NONE,
                 trace_seq: None,
+                headers: Vec::new(),
             }
         }
         ("POST", "/v1/partition") => partition_endpoint(state, &req.body),
         ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body),
+        ("POST", "/v1/graphs") => graphs_register(state, &req.body),
+        ("GET", "/v1/graphs") => {
+            json_response(200, "graphs", format!("{}\n", state.sessions.list()))
+        }
+        (method, path) if path.starts_with("/v1/graphs/") => {
+            graphs_item(state, method, path, &req.body)
+        }
         ("GET", path) if path.starts_with("/debug/") => debug_endpoint(state, path),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/simulate") => {
             simple_error(405, "other", "method not allowed")
         }
+        (_, "/v1/graphs") => simple_error(405, "graphs", "method not allowed"),
         _ => simple_error(404, "other", "no such endpoint"),
     }
 }
@@ -989,6 +1017,252 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
             Err(failure)
         }
     }
+}
+
+/// A session-store rejection, carrying the session error's stable code
+/// and status (`session_not_found` → 404, `version_conflict` → 409,
+/// `session_budget_exceeded` → 413, invalid graph/edit → 422).
+fn session_failure(error: SessionError) -> Failure {
+    Failure {
+        status: error.status(),
+        message: error.to_string(),
+        code: error.code(),
+    }
+}
+
+/// `POST /v1/graphs`: registers a resident graph, returning its id and
+/// initial version. Body is `{"graph": <chain or tree object>}`.
+fn graphs_register(state: &AppState, body: &[u8]) -> ApiResponse {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err(failure) => return error_response("graphs", &failure),
+    };
+    let Value::Object(entries) = value else {
+        return error_response("graphs", &bad("request body must be a JSON object"));
+    };
+    let mut graph = None;
+    for (key, field) in entries {
+        match key.as_str() {
+            "graph" => graph = Some(field),
+            other => {
+                return error_response(
+                    "graphs",
+                    &invalid_field(other, "not a field of the register request"),
+                )
+            }
+        }
+    }
+    let Some(graph) = graph else {
+        return error_response(
+            "graphs",
+            &missing_field("graph", "a chain or tree graph object"),
+        );
+    };
+    match state.sessions.register(graph) {
+        Ok((id, _version)) => {
+            let info = state
+                .sessions
+                .info(&id)
+                .expect("freshly registered graph is resident");
+            json_response(200, "graphs", format!("{info}\n"))
+        }
+        Err(error) => error_response("graphs", &session_failure(error)),
+    }
+}
+
+/// Routes `/v1/graphs/<id>` and `/v1/graphs/<id>/partition`.
+fn graphs_item(state: &AppState, method: &str, path: &str, body: &[u8]) -> ApiResponse {
+    let rest = path.strip_prefix("/v1/graphs/").expect("routed by prefix");
+    if let Some(id) = rest.strip_suffix("/partition") {
+        if id.is_empty() || id.contains('/') {
+            return simple_error(404, "graphs", "no such endpoint");
+        }
+        if method != "POST" {
+            return simple_error(405, "graphs", "method not allowed");
+        }
+        return session_partition(state, id, body);
+    }
+    let id = rest;
+    if id.is_empty() || id.contains('/') {
+        return simple_error(404, "graphs", "no such endpoint");
+    }
+    match method {
+        "GET" => match state.sessions.info(id) {
+            Ok(info) => json_response(200, "graphs", format!("{info}\n")),
+            Err(error) => error_response("graphs", &session_failure(error)),
+        },
+        "DELETE" => match state.sessions.delete(id) {
+            Ok(()) => json_response(
+                200,
+                "graphs",
+                format!("{}\n", json!({ "id": id, "deleted": true })),
+            ),
+            Err(error) => error_response("graphs", &session_failure(error)),
+        },
+        "PATCH" => graphs_patch(state, id, body),
+        _ => simple_error(405, "graphs", "method not allowed"),
+    }
+}
+
+/// `PATCH /v1/graphs/<id>`: applies one atomic edit batch under an
+/// optimistic version check. Body is `{"version": N, "edits": [...]}`.
+fn graphs_patch(state: &AppState, id: &str, body: &[u8]) -> ApiResponse {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err(failure) => return error_response("graphs", &failure),
+    };
+    let failure = 'patch: {
+        let Some(entries) = value.as_object() else {
+            break 'patch bad("request body must be a JSON object");
+        };
+        if let Some((key, _)) = entries.iter().find(|(k, _)| k != "version" && k != "edits") {
+            break 'patch invalid_field(key, "not a field of the edit request");
+        }
+        let Some(version) = value.get("version").and_then(Value::as_u64) else {
+            break 'patch missing_field("version", "the graph version the batch applies to");
+        };
+        let Some(edits_value) = value.get("edits") else {
+            break 'patch missing_field("edits", "an array of edit objects");
+        };
+        let edits = match Edit::batch_from_json(edits_value) {
+            Ok(edits) => edits,
+            Err(error) => break 'patch session_failure(error),
+        };
+        match state.sessions.apply(id, version, &edits) {
+            Ok(new_version) => {
+                return json_response(
+                    200,
+                    "graphs",
+                    format!(
+                        "{}\n",
+                        json!({
+                            "id": id,
+                            "version": new_version,
+                            "applied": edits.len() as u64,
+                        })
+                    ),
+                )
+            }
+            Err(error) => break 'patch session_failure(error),
+        }
+    };
+    error_response("graphs", &failure)
+}
+
+/// `POST /v1/graphs/<id>/partition`: solves an objective against the
+/// resident graph, warm-starting from the session's previous solve when
+/// the store's slack window is still valid. Responses are byte-identical
+/// to the stateless endpoint; only the `x-tgp-solve` header says which
+/// path ran.
+fn session_partition(state: &AppState, id: &str, body: &[u8]) -> ApiResponse {
+    let started = Instant::now();
+    let mut value = match parse_body(body) {
+        Ok(v) => v,
+        Err(failure) => return error_response("graphs", &failure),
+    };
+    let objective = dispatched_objective(&value);
+    let objective_index = value
+        .get("objective")
+        .and_then(Value::as_str)
+        .and_then(|name| Registry::shared().get(name))
+        .map(|(index, _)| index);
+    let mut response = match session_partition_one(state, id, &mut value) {
+        Ok((rendered, warm)) => {
+            if let Some(index) = objective_index {
+                state
+                    .metrics
+                    .record_objective(index, true, started.elapsed());
+            }
+            state.sessions.record_solve(warm);
+            let mut response = json_response(200, "graphs", format!("{rendered}\n"));
+            response.headers.push((
+                "x-tgp-solve",
+                if warm { "warm" } else { "cold" }.to_string(),
+            ));
+            response
+        }
+        Err(failure) => {
+            if let Some(index) = objective_index {
+                state
+                    .metrics
+                    .record_objective(index, false, started.elapsed());
+            }
+            error_response("graphs", &failure)
+        }
+    };
+    response.objective = objective;
+    response
+}
+
+/// The session solve: looks up the resident graph, splices it into the
+/// request for registry dispatch (moved, not cloned — a 100k-node graph
+/// costs two pointer swaps), and runs warm when the store still has a
+/// certified window for this `(objective, params)` key.
+///
+/// Session solves bypass the [`ResultCache`] deliberately: the cache
+/// would mask the warm/cold distinction, and `loadgen --strict`'s cold
+/// verification depends on cold meaning "actually recomputed".
+fn session_partition_one(
+    state: &AppState,
+    id: &str,
+    value: &mut Value,
+) -> Result<(String, bool), Failure> {
+    let session_started = Instant::now();
+    if value.get("graph").is_some() {
+        return Err(invalid_field(
+            "graph",
+            "session partitions use the resident graph; remove the \"graph\" field",
+        ));
+    }
+    let Value::Object(_) = value else {
+        return Err(bad("request body must be a JSON object"));
+    };
+    let arc = state.sessions.resident(id).map_err(session_failure)?;
+    let mut resident = arc.lock().expect("resident graph poisoned");
+    // Move the resident graph into the request object, dispatch, move it
+    // back. No early return while the graph is out.
+    let graph = std::mem::replace(&mut resident.graph, Value::Null);
+    if let Value::Object(entries) = value {
+        entries.push(("graph".to_string(), graph));
+    }
+    let dispatched = Registry::shared().dispatch(value).map_err(solve_failure);
+    let graph = match value {
+        Value::Object(entries) => entries.pop().map(|(_, graph)| graph).unwrap_or(Value::Null),
+        _ => Value::Null,
+    };
+    resident.graph = graph;
+    let (_, solver, request) = dispatched?;
+
+    // The warm-memory key: objective + params, *without* the graph —
+    // it must survive edits to keep pointing at the previous solve.
+    let mut builder = KeyBuilder::default();
+    builder.write_str(solver.name());
+    request.params.write_key(&mut builder);
+    let key = builder.finish();
+    let window = resident.warm_window(&key);
+    let session_done = Instant::now();
+    let session_elapsed = session_done.saturating_duration_since(session_started);
+    state.metrics.record_stage(Stage::Session, session_elapsed);
+    trace::record(Stage::Session, session_started, session_elapsed);
+
+    let ((outcome, warm), solve_done) = timed_stage_from(state, Stage::Solve, session_done, || {
+        if let Some((lo, hi)) = window {
+            if let Some(result) = solver.run_warm(&request, lo, hi) {
+                return (result.map_err(solve_failure), true);
+            }
+        }
+        (solver.run(&request).map_err(solve_failure), false)
+    });
+    let response = outcome?;
+    let ((rendered, bottleneck), _) = timed_stage_from(state, Stage::Serialize, solve_done, || {
+        let rendered = solver.to_json(&response);
+        let bottleneck = rendered["bottleneck"].as_u64();
+        (rendered.to_string(), bottleneck)
+    });
+    if let Some(bottleneck) = bottleneck {
+        resident.note_solve(&key, bottleneck);
+    }
+    Ok((rendered, warm))
 }
 
 fn simulate_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
@@ -1731,5 +2005,266 @@ mod tests {
         assert!(r
             .body
             .contains("tgp_requests_total{endpoint=\"healthz\",status=\"200\"} 1"));
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn solve_header(r: &ApiResponse) -> Option<&str> {
+        r.headers
+            .iter()
+            .find(|(k, _)| *k == "x-tgp-solve")
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn session_lifecycle_register_edit_partition_delete() {
+        let state = AppState::new(CacheConfig::default());
+        let body = format!(r#"{{"graph": {CHAIN}}}"#);
+        let r = handle(&state, &post("/v1/graphs", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["id"].as_str(), Some("g1"));
+        assert_eq!(v["version"].as_u64(), Some(1));
+        assert_eq!(v["kind"].as_str(), Some("chain"));
+
+        let r = handle(&state, &get("/v1/graphs"));
+        assert_eq!(r.status, 200);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["graphs"].as_array().unwrap().len(), 1);
+
+        // Edit: first edge weight 10 → 12, versioned.
+        let patch_body =
+            r#"{"version": 1, "edits": [{"op": "edge_weight", "index": 0, "weight": 12}]}"#;
+        let r = handle(&state, &request("PATCH", "/v1/graphs/g1", patch_body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["version"].as_u64(), Some(2));
+
+        // Session solve equals the stateless solve of the edited graph.
+        let r = handle(
+            &state,
+            &post(
+                "/v1/graphs/g1/partition",
+                r#"{"objective": "lexicographic", "bound": 10}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.endpoint, "graphs");
+        assert_eq!(r.objective, "lexicographic");
+        assert_eq!(
+            solve_header(&r),
+            Some("cold"),
+            "no prior solve to warm from"
+        );
+        let edited = r#"{"node_weights": [2, 3, 5, 7], "edge_weights": [12, 1, 10]}"#;
+        let stateless = handle(
+            &state,
+            &post(
+                "/v1/partition",
+                &format!(r#"{{"objective": "lexicographic", "bound": 10, "graph": {edited}}}"#),
+            ),
+        );
+        assert_eq!(stateless.status, 200, "{}", stateless.body);
+        assert_eq!(
+            r.body, stateless.body,
+            "session solve must be byte-identical"
+        );
+
+        let r = handle(&state, &request("DELETE", "/v1/graphs/g1", ""));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let r = handle(&state, &get("/v1/graphs/g1"));
+        assert_eq!(r.status, 404, "{}", r.body);
+    }
+
+    #[test]
+    fn session_warm_resolves_are_flagged_and_byte_identical() {
+        let state = AppState::new(CacheConfig::default());
+        let r = handle(
+            &state,
+            &post("/v1/graphs", &format!(r#"{{"graph": {CHAIN}}}"#)),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let solve = r#"{"objective": "lexicographic", "bound": 10}"#;
+
+        // First solve is cold; the second has an exact window.
+        let cold = handle(&state, &post("/v1/graphs/g1/partition", solve));
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(solve_header(&cold), Some("cold"));
+        let warm = handle(&state, &post("/v1/graphs/g1/partition", solve));
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        assert_eq!(solve_header(&warm), Some("warm"));
+        assert_eq!(warm.body, cold.body);
+
+        // An edge edit widens the window but keeps it warm; the body
+        // must match a stateless solve of the edited graph.
+        let patch_body =
+            r#"{"version": 1, "edits": [{"op": "edge_weight", "index": 2, "weight": 7}]}"#;
+        let r = handle(&state, &request("PATCH", "/v1/graphs/g1", patch_body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let after_edit = handle(&state, &post("/v1/graphs/g1/partition", solve));
+        assert_eq!(after_edit.status, 200, "{}", after_edit.body);
+        assert_eq!(solve_header(&after_edit), Some("warm"));
+        let edited = r#"{"node_weights": [2, 3, 5, 7], "edge_weights": [10, 1, 7]}"#;
+        let stateless = handle(
+            &state,
+            &post(
+                "/v1/partition",
+                &format!(r#"{{"objective": "lexicographic", "bound": 10, "graph": {edited}}}"#),
+            ),
+        );
+        assert_eq!(after_edit.body, stateless.body);
+
+        // A vertex edit invalidates the window: next solve is cold.
+        let patch_body =
+            r#"{"version": 2, "edits": [{"op": "vertex_weight", "index": 0, "weight": 4}]}"#;
+        let r = handle(&state, &request("PATCH", "/v1/graphs/g1", patch_body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let after_vertex = handle(&state, &post("/v1/graphs/g1/partition", solve));
+        assert_eq!(after_vertex.status, 200, "{}", after_vertex.body);
+        assert_eq!(solve_header(&after_vertex), Some("cold"));
+
+        let metrics = handle(&state, &get("/metrics"));
+        assert!(
+            metrics
+                .body
+                .contains("tgp_session_solves_total{mode=\"warm\"} 2"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains("tgp_session_solves_total{mode=\"cold\"} 2"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains("tgp_sessions_open 1"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains("tgp_session_edits_total 2"),
+            "{}",
+            metrics.body
+        );
+    }
+
+    #[test]
+    fn session_error_codes_are_stable() {
+        let state = AppState::new(CacheConfig::default());
+        // Unknown graph → 404 session_not_found, on every id-taking verb.
+        for r in [
+            handle(&state, &get("/v1/graphs/nope")),
+            handle(&state, &request("DELETE", "/v1/graphs/nope", "")),
+            handle(
+                &state,
+                &request("PATCH", "/v1/graphs/nope", r#"{"version": 1, "edits": []}"#),
+            ),
+            handle(
+                &state,
+                &post(
+                    "/v1/graphs/nope/partition",
+                    r#"{"objective": "lexicographic", "bound": 10}"#,
+                ),
+            ),
+        ] {
+            assert_eq!(r.status, 404, "{}", r.body);
+            let v = Value::parse(&r.body).unwrap();
+            assert_eq!(v["code"].as_str(), Some("session_not_found"), "{}", r.body);
+        }
+
+        // Version conflict → 409.
+        let r = handle(
+            &state,
+            &post("/v1/graphs", &format!(r#"{{"graph": {CHAIN}}}"#)),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let stale = r#"{"version": 7, "edits": [{"op": "edge_weight", "index": 0, "weight": 1}]}"#;
+        let r = handle(&state, &request("PATCH", "/v1/graphs/g1", stale));
+        assert_eq!(r.status, 409, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["code"].as_str(), Some("version_conflict"), "{}", r.body);
+
+        // Budget exhaustion → 413.
+        let tiny =
+            AppState::new(CacheConfig::default()).with_sessions(Arc::new(SessionStore::new(8)));
+        let r = handle(
+            &tiny,
+            &post("/v1/graphs", &format!(r#"{{"graph": {CHAIN}}}"#)),
+        );
+        assert_eq!(r.status, 413, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(
+            v["code"].as_str(),
+            Some("session_budget_exceeded"),
+            "{}",
+            r.body
+        );
+
+        // Malformed edits → 422 invalid_edit; body with "graph" → 422.
+        let bad_edit = r#"{"version": 1, "edits": [{"op": "paint_it_blue"}]}"#;
+        let r = handle(&state, &request("PATCH", "/v1/graphs/g1", bad_edit));
+        assert_eq!(r.status, 422, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["code"].as_str(), Some("invalid_edit"), "{}", r.body);
+        let r = handle(
+            &state,
+            &post(
+                "/v1/graphs/g1/partition",
+                &format!(r#"{{"objective": "lexicographic", "bound": 10, "graph": {CHAIN}}}"#),
+            ),
+        );
+        assert_eq!(r.status, 422, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["code"].as_str(), Some("invalid_field"), "{}", r.body);
+
+        // A failing session partition must not have corrupted the
+        // resident graph: a follow-up solve still works.
+        let r = handle(
+            &state,
+            &post(
+                "/v1/graphs/g1/partition",
+                r#"{"objective": "lexicographic", "bound": 10}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn session_graph_methods_and_paths_are_policed() {
+        let state = AppState::new(CacheConfig::default());
+        assert_eq!(
+            handle(&state, &request("PUT", "/v1/graphs", "")).status,
+            405
+        );
+        assert_eq!(
+            handle(&state, &request("PUT", "/v1/graphs/g1", "")).status,
+            405
+        );
+        assert_eq!(handle(&state, &get("/v1/graphs/g1/partition")).status, 405);
+        assert_eq!(handle(&state, &get("/v1/graphs//partition")).status, 404);
+        assert_eq!(handle(&state, &get("/v1/graphs/g1/nope")).status, 404);
+        // Register body must be {"graph": ...} and nothing else.
+        let r = handle(&state, &post("/v1/graphs", "{}"));
+        assert_eq!(r.status, 422, "{}", r.body);
+        let r = handle(
+            &state,
+            &post(
+                "/v1/graphs",
+                &format!(r#"{{"graph": {CHAIN}, "extra": 1}}"#),
+            ),
+        );
+        assert_eq!(r.status, 422, "{}", r.body);
+        let r = handle(&state, &post("/v1/graphs", "[1, 2]"));
+        assert_eq!(r.status, 400, "{}", r.body);
     }
 }

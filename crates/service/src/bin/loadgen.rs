@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--connections N] [--seconds S]
 //!         [--timeout SECS] [--nodes N] [--distinct D]
-//!         [--mix chain|tree|simulate] [--rate RPS] [--sweep MIN..MAX]
+//!         [--mix chain|tree|simulate|session] [--rate RPS] [--sweep MIN..MAX]
 //!         [--strict] [--latency-budget MS]
 //! ```
 //!
@@ -42,12 +42,22 @@
 //! * `tree` — tree objectives (`bottleneck`, `procmin`, `compose`)
 //!   round-robin over random caterpillar trees.
 //! * `simulate` — `/v1/simulate` pipeline replays of random chains.
+//! * `session` — each connection registers a resident chain
+//!   (`POST /v1/graphs`), then loops: apply a 16-edit batch
+//!   (`PATCH /v1/graphs/<id>`) and re-partition
+//!   (`POST /v1/graphs/<id>/partition`). The `x-tgp-solve` response
+//!   header splits client-side re-solve latency into warm and cold
+//!   series in the report. Each client mirrors its edits locally, so
+//!   under `--strict` every warm re-solve is verified byte-for-byte
+//!   against a stateless cold `/v1/partition` of the same edited
+//!   graph; any divergence fails the run.
 //!
 //! `--strict` exits 1 when any response was a 5xx other than a 503
 //! shed (for CI smoke runs, where sheds under deliberate overload are
 //! the server working as designed but anything else is a bug), when
-//! any connection starved, or when — with `--latency-budget MS` — the
-//! client-side p99 latency exceeds the budget.
+//! any connection starved, when any session warm re-solve differed
+//! from its cold verification, or when — with `--latency-budget MS` —
+//! the client-side p99 latency exceeds the budget.
 //!
 //! Latency is tallied in the same log-linear histogram the server
 //! exports under `/metrics` (`tgp-obs`), so quantiles cost constant
@@ -59,6 +69,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tgp_graph::json::Value;
 use tgp_obs::Histogram;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -66,6 +77,7 @@ enum Mix {
     Chain,
     Tree,
     Simulate,
+    Session,
 }
 
 impl Mix {
@@ -74,6 +86,7 @@ impl Mix {
             Mix::Chain => "chain",
             Mix::Tree => "tree",
             Mix::Simulate => "simulate",
+            Mix::Session => "session",
         }
     }
 }
@@ -164,9 +177,10 @@ fn parse_args() -> Result<Config, String> {
                     "chain" => Mix::Chain,
                     "tree" => Mix::Tree,
                     "simulate" => Mix::Simulate,
+                    "session" => Mix::Session,
                     other => {
                         return Err(format!(
-                            "--mix must be chain, tree or simulate, got {other:?}"
+                            "--mix must be chain, tree, simulate or session, got {other:?}"
                         ))
                     }
                 }
@@ -206,7 +220,7 @@ fn parse_args() -> Result<Config, String> {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--connections N] \
                      [--seconds S] [--timeout SECS] [--nodes N] [--distinct D] \
-                     [--mix chain|tree|simulate] [--rate RPS] [--sweep MIN..MAX] \
+                     [--mix chain|tree|simulate|session] [--rate RPS] [--sweep MIN..MAX] \
                      [--strict] [--latency-budget MS]"
                 );
                 std::process::exit(0);
@@ -222,6 +236,12 @@ fn parse_args() -> Result<Config, String> {
     }
     if config.sweep.is_some() && config.mix != Mix::Chain {
         return Err("--sweep only applies to the chain mix".into());
+    }
+    if config.mix == Mix::Session && config.rate.is_some() {
+        // A session iteration is several dependent requests (register,
+        // patch, partition, verify); a fixed per-request schedule has
+        // no meaningful phase to pin to.
+        return Err("--rate does not apply to the session mix".into());
     }
     Ok(config)
 }
@@ -300,6 +320,7 @@ fn request_bodies(mix: Mix, nodes: usize, distinct: usize) -> Vec<RequestBody> {
                         chain_graph(nodes, v)
                     ),
                 },
+                Mix::Session => unreachable!("session workers build their own requests"),
             }
         })
         .collect()
@@ -320,19 +341,26 @@ fn sweep_bodies(nodes: usize, lo: u64, hi: u64) -> Vec<RequestBody> {
         .collect()
 }
 
-/// One HTTP exchange on an existing keep-alive connection. Returns
-/// `false` when the connection is no longer usable.
-fn exchange(
+/// A parsed HTTP response: status, the `x-tgp-solve` header when the
+/// server sent one (`true` = warm), and the raw body bytes.
+struct Response {
+    status: u16,
+    warm: Option<bool>,
+    body: Vec<u8>,
+}
+
+/// One HTTP exchange on an existing keep-alive connection.
+fn http_exchange(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
-    request: &RequestBody,
-) -> Result<u16, std::io::Error> {
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<Response, std::io::Error> {
     write!(
         writer,
-        "POST {} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
-        request.path,
-        request.body.len(),
-        request.body
+        "{method} {path} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len(),
     )?;
     writer.flush()?;
 
@@ -345,6 +373,7 @@ fn exchange(
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
 
     let mut content_length = 0usize;
+    let mut warm = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -352,15 +381,28 @@ fn exchange(
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
             content_length = v.trim().parse().map_err(|_| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
             })?;
         }
+        if let Some(v) = lower.strip_prefix("x-tgp-solve:") {
+            warm = Some(v.trim() == "warm");
+        }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(status)
+    Ok(Response { status, warm, body })
+}
+
+/// One POST exchange that only needs the status back.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request: &RequestBody,
+) -> Result<u16, std::io::Error> {
+    http_exchange(reader, writer, "POST", request.path, &request.body).map(|r| r.status)
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -383,6 +425,245 @@ struct Tally {
     shed_503: u64,
     other_5xx: u64,
     non_200: u64,
+    /// Session mix only: re-solve latency split by the `x-tgp-solve`
+    /// header, plus edit-batch and verification outcomes. The
+    /// verification histogram times the `--strict` stateless cold
+    /// solves — each is a full parse+solve of the same edited graph a
+    /// warm re-solve just answered, so warm vs verify is the
+    /// apples-to-apples cost of statelessness.
+    warm_latency: Histogram,
+    cold_latency: Histogram,
+    verify_latency: Histogram,
+    warm_solves: u64,
+    cold_solves: u64,
+    edit_batches: u64,
+    version_conflicts: u64,
+    verify_mismatches: u64,
+}
+
+/// The per-connection state of one resident-graph session: the server
+/// id and version plus the client's mirror of the edited chain. The
+/// mirror is what `--strict` solves statelessly to verify warm bodies.
+struct SessionState {
+    id: String,
+    version: u64,
+    node_weights: Vec<u64>,
+    edge_weights: Vec<u64>,
+}
+
+impl SessionState {
+    fn graph_json(&self) -> String {
+        let nodes: Vec<String> = self.node_weights.iter().map(u64::to_string).collect();
+        let edges: Vec<String> = self.edge_weights.iter().map(u64::to_string).collect();
+        format!(
+            r#"{{"node_weights":[{}],"edge_weights":[{}]}}"#,
+            nodes.join(","),
+            edges.join(",")
+        )
+    }
+}
+
+/// Pulls `"id"` and `"version"` out of a session-API response body.
+fn id_and_version(body: &[u8]) -> Option<(String, u64)> {
+    let value = Value::parse(std::str::from_utf8(body).ok()?).ok()?;
+    let id = value.get("id")?.as_str()?.to_string();
+    let version = value.get("version")?.as_u64()?;
+    Some((id, version))
+}
+
+/// Edits per PATCH batch in the session mix — matches the §SESS
+/// experiment shape.
+const SESSION_BATCH: usize = 16;
+
+/// The per-slot knobs of the session mix, plus the edit-batch counter
+/// that survives reconnects so fresh sessions keep drawing new edits.
+struct SessionSlot {
+    nodes: usize,
+    index: usize,
+    strict: bool,
+    tick: usize,
+}
+
+/// Drives one connection of the session mix until `stop`: register a
+/// resident chain, then loop PATCH + re-partition, mirroring every
+/// acked edit locally. Returns `Ok(())` to reconnect (transport error
+/// or shed) and `Err(())` when the run is over.
+#[allow(clippy::result_unit_err)]
+fn session_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    slot: &mut SessionSlot,
+    stop: &AtomicBool,
+    tally: &mut Tally,
+) -> Result<(), ()> {
+    let nodes = slot.nodes;
+    let strict = slot.strict;
+    let bound = 4 * nodes / 3;
+    let partition_body = format!(r#"{{"objective":"lexicographic","bound":{bound}}}"#);
+    // A failed or interrupted exchange leaves the server-side session
+    // state unknowable from here, so every (re)entry starts fresh; the
+    // previous resident, if any, is dropped first as budget hygiene.
+    let mut session: Option<SessionState> = None;
+    // One tally-updating exchange; maps transport errors and sheds to
+    // a reconnect signal so the caller can re-dial.
+    macro_rules! send {
+        ($method:expr, $path:expr, $body:expr) => {{
+            let started = Instant::now();
+            match http_exchange(reader, writer, $method, $path, $body) {
+                Ok(response) => {
+                    tally.latency.record(started.elapsed().as_micros() as u64);
+                    tally.responses += 1;
+                    if response.status != 200 {
+                        tally.non_200 += 1;
+                        if response.status == 503 {
+                            tally.shed_503 += 1;
+                            return Ok(());
+                        }
+                        if response.status >= 500 {
+                            tally.other_5xx += 1;
+                        }
+                    }
+                    (response, started)
+                }
+                Err(_) => {
+                    tally.transport_errors += 1;
+                    return Ok(());
+                }
+            }
+        }};
+    }
+    while !stop.load(Ordering::Relaxed) {
+        if session.is_none() {
+            let node_weights: Vec<u64> = (0..nodes)
+                .map(|i| ((i * 7 + slot.index * 13) % 9 + 1) as u64)
+                .collect();
+            // Edge weights span a wide range (hashed into 1..=2^24) so
+            // the bottleneck candidates are dense in value but sparse
+            // around any one optimum — the regime where a drift window
+            // certifies in a couple of probes instead of degenerating
+            // into the cold binary search.
+            let edge_weights: Vec<u64> = (0..nodes - 1)
+                .map(|i| {
+                    let h = (i as u64)
+                        .wrapping_add(slot.index as u64 * 0xA24B_AED5)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    h % (1 << 24) + 1
+                })
+                .collect();
+            let mut fresh = SessionState {
+                id: String::new(),
+                version: 0,
+                node_weights,
+                edge_weights,
+            };
+            let body = format!(r#"{{"graph":{}}}"#, fresh.graph_json());
+            let (response, _) = send!("POST", "/v1/graphs", &body);
+            let Some((id, version)) = (response.status == 200)
+                .then(|| id_and_version(&response.body))
+                .flatten()
+            else {
+                // Registration refused (e.g. budget exceeded while
+                // other slots hold residents): back off briefly.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            fresh.id = id;
+            fresh.version = version;
+            session = Some(fresh);
+        }
+        let state = session.as_mut().expect("session was just registered");
+
+        // One batch of small-delta edge refinements — the schedule
+        // tuning workload warm starts are built for: each edit nudges
+        // a weight by at most 4, so the solver's drift window stays a
+        // few dozen wide and the next re-solve certifies cheaply.
+        // Applied to the local mirror only once the server acks the
+        // new version.
+        let pending: Vec<(usize, u64)> = (0..SESSION_BATCH)
+            .map(|k| {
+                let index = (slot.tick * 31 + k * 7 + slot.index) % state.edge_weights.len();
+                let delta = ((slot.tick * 13 + k * 5) % 4 + 1) as u64;
+                let old = state.edge_weights[index];
+                let weight = if (slot.tick + k).is_multiple_of(2) {
+                    old + delta
+                } else {
+                    old.saturating_sub(delta).max(1)
+                };
+                (index, weight)
+            })
+            .collect();
+        slot.tick += 1;
+        let edits: Vec<String> = pending
+            .iter()
+            .map(|(i, w)| format!(r#"{{"op":"edge_weight","index":{i},"weight":{w}}}"#))
+            .collect();
+        let patch = format!(
+            r#"{{"version":{},"edits":[{}]}}"#,
+            state.version,
+            edits.join(",")
+        );
+        let path = format!("/v1/graphs/{}", state.id);
+        let (response, _) = send!("PATCH", &path, &patch);
+        match response.status {
+            200 => {
+                let Some((_, version)) = id_and_version(&response.body) else {
+                    session = None;
+                    continue;
+                };
+                state.version = version;
+                for (index, weight) in pending {
+                    state.edge_weights[index] = weight;
+                }
+                tally.edit_batches += 1;
+            }
+            409 => {
+                // Nobody else writes this session, so a conflict means
+                // our mirror is stale (lost ack); start over.
+                tally.version_conflicts += 1;
+                session = None;
+                continue;
+            }
+            _ => {
+                session = None;
+                continue;
+            }
+        }
+
+        // Re-partition the resident graph; the header says whether the
+        // solver warm-started from the previous solve's window.
+        let path = format!("/v1/graphs/{}/partition", state.id);
+        let (response, started) = send!("POST", &path, &partition_body);
+        if response.status != 200 {
+            session = None;
+            continue;
+        }
+        let warm = response.warm == Some(true);
+        let elapsed = started.elapsed().as_micros() as u64;
+        if warm {
+            tally.warm_latency.record(elapsed);
+            tally.warm_solves += 1;
+        } else {
+            tally.cold_latency.record(elapsed);
+            tally.cold_solves += 1;
+        }
+
+        if strict && warm {
+            // Verify the warm body against a stateless cold solve of
+            // the mirrored graph: byte-identical or the run fails.
+            let cold = format!(
+                r#"{{"objective":"lexicographic","bound":{bound},"graph":{}}}"#,
+                state.graph_json()
+            );
+            let (verification, verify_started) = send!("POST", "/v1/partition", &cold);
+            tally
+                .verify_latency
+                .record(verify_started.elapsed().as_micros() as u64);
+            if verification.status != 200 || verification.body != response.body {
+                tally.verify_mismatches += 1;
+            }
+        }
+    }
+    Err(())
 }
 
 fn main() {
@@ -393,19 +674,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let bodies = Arc::new(match config.sweep {
-        Some((lo, hi)) => sweep_bodies(config.nodes, lo, hi),
-        None => request_bodies(config.mix, config.nodes, config.distinct),
+    let bodies = Arc::new(match (config.sweep, config.mix) {
+        (Some((lo, hi)), _) => sweep_bodies(config.nodes, lo, hi),
+        // Session workers render their requests from live state.
+        (None, Mix::Session) => Vec::new(),
+        (None, mix) => request_bodies(mix, config.nodes, config.distinct),
     });
     let stop = Arc::new(AtomicBool::new(false));
 
-    let workload = match config.sweep {
-        Some((lo, hi)) => format!("bound sweep {lo}..{hi} over one fixed chain"),
-        None => format!(
-            "mix {}, {} distinct bodies",
-            config.mix.name(),
-            config.distinct
-        ),
+    let workload = match (config.sweep, config.mix) {
+        (Some((lo, hi)), _) => format!("bound sweep {lo}..{hi} over one fixed chain"),
+        (None, Mix::Session) => {
+            format!("mix session, one resident graph per connection, {SESSION_BATCH}-edit batches")
+        }
+        (None, mix) => format!("mix {}, {} distinct bodies", mix.name(), config.distinct),
     };
     let pacing = match config.rate {
         Some(rate) => format!("open-loop at {rate} req/s"),
@@ -427,6 +709,9 @@ fn main() {
     let base = Instant::now();
     let timeout = config.timeout;
 
+    let mix = config.mix;
+    let nodes = config.nodes;
+    let strict = config.strict;
     let workers: Vec<_> = (0..slots)
         .map(|c| {
             let addr = config.addr.clone();
@@ -439,6 +724,12 @@ fn main() {
                 let mut tally = Tally::default();
                 let mut i = c; // de-phase clients across the body set
                 let mut seq: u32 = 0; // open-loop tick counter
+                let mut slot_state = SessionSlot {
+                    nodes,
+                    index: c,
+                    strict,
+                    tick: c,
+                };
                 'reconnect: while !stop.load(Ordering::Relaxed) {
                     let Ok(stream) = TcpStream::connect(&addr) else {
                         tally.transport_errors += 1;
@@ -453,6 +744,18 @@ fn main() {
                     };
                     let mut writer = writer;
                     let mut reader = BufReader::new(stream);
+                    if mix == Mix::Session {
+                        match session_loop(
+                            &mut reader,
+                            &mut writer,
+                            &mut slot_state,
+                            &stop,
+                            &mut tally,
+                        ) {
+                            Ok(()) => continue 'reconnect, // re-dial
+                            Err(()) => break 'reconnect,   // run is over
+                        }
+                    }
                     while !stop.load(Ordering::Relaxed) {
                         let body = &bodies[i % bodies.len()];
                         i += 1;
@@ -519,6 +822,14 @@ fn main() {
         merged.shed_503 += tally.shed_503;
         merged.other_5xx += tally.other_5xx;
         merged.non_200 += tally.non_200;
+        merged.warm_latency.merge(&tally.warm_latency);
+        merged.cold_latency.merge(&tally.cold_latency);
+        merged.verify_latency.merge(&tally.verify_latency);
+        merged.warm_solves += tally.warm_solves;
+        merged.cold_solves += tally.cold_solves;
+        merged.edit_batches += tally.edit_batches;
+        merged.version_conflicts += tally.version_conflicts;
+        merged.verify_mismatches += tally.verify_mismatches;
     }
     // A slot with zero non-shed responses over the whole run is the
     // starvation the epoll front-end exists to prevent; the per-slot
@@ -552,6 +863,34 @@ fn main() {
         percentile(&served_per_slot, 0.50),
         served_per_slot.last().copied().unwrap_or(0),
     );
+    if config.mix == Mix::Session {
+        println!(
+            "session:    {} warm / {} cold re-solves, {} edit batches applied, {} version conflicts",
+            merged.warm_solves, merged.cold_solves, merged.edit_batches, merged.version_conflicts
+        );
+        for (label, h) in [
+            ("warm solve ", &merged.warm_latency),
+            ("cold solve ", &merged.cold_latency),
+            ("verify cold", &merged.verify_latency),
+        ] {
+            if h.count() == 0 {
+                continue;
+            }
+            println!(
+                "{label}: p50 {} us, p90 {} us, p99 {} us, max {} us",
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max(),
+            );
+        }
+        if config.strict {
+            println!(
+                "verify:     {} warm re-solves cross-checked against stateless cold solves, {} mismatches",
+                merged.warm_solves, merged.verify_mismatches
+            );
+        }
+    }
     if merged.non_200 > 0 || merged.transport_errors > 0 {
         println!(
             "anomalies:  {} non-200 responses ({} shed 503s, {} other 5xx), {} transport errors",
@@ -567,6 +906,12 @@ fn main() {
     }
     if starved > 0 {
         failures.push(format!("{starved} of {slots} connections starved"));
+    }
+    if merged.verify_mismatches > 0 {
+        failures.push(format!(
+            "{} warm re-solves differed from their cold verification",
+            merged.verify_mismatches
+        ));
     }
     if let Some(budget) = config.latency_budget {
         let budget_us = budget.as_micros() as u64;

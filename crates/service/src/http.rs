@@ -209,6 +209,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -228,14 +229,35 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response headers (name, value) — the
+/// session endpoints use it for `x-tgp-solve`. Names and values are
+/// caller-controlled constants, never client input.
+pub fn write_response_with<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&'static str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -304,8 +326,26 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_statuses() {
-        for s in [200, 400, 404, 405, 413, 422, 500, 503] {
+        for s in [200, 400, 404, 405, 409, 413, 422, 500, 503] {
             assert_ne!(reason(s), "Unknown");
         }
+    }
+
+    #[test]
+    fn extra_headers_land_between_standard_head_and_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "application/json",
+            &[("x-tgp-solve", "warm".to_string())],
+            b"{}\n",
+            true,
+        )
+        .unwrap();
+        let text = std::str::from_utf8(&out).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("x-tgp-solve: warm"), "{head}");
+        assert_eq!(body, "{}\n");
     }
 }

@@ -33,9 +33,10 @@ pub const LATENCY_BUCKETS_US: [u64; 10] = [
 ];
 
 /// The endpoints tracked individually; everything else lands in `other`.
-const ENDPOINTS: [&str; 6] = [
+const ENDPOINTS: [&str; 7] = [
     "partition",
     "simulate",
+    "graphs",
     "healthz",
     "metrics",
     "debug",
@@ -44,7 +45,7 @@ const ENDPOINTS: [&str; 6] = [
 
 /// The status classes tracked per endpoint. Unknown statuses fold into
 /// the last entry, so 500 must stay last.
-const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 422, 503, 500];
+const STATUSES: [u16; 9] = [200, 400, 404, 405, 409, 413, 422, 503, 500];
 
 /// Per-objective counters, indexed by the solver's registry index so the
 /// hot path never touches the objective name.
@@ -562,6 +563,16 @@ mod tests {
         let text = m.render();
         assert!(text.contains("tgp_requests_total{endpoint=\"partition\",status=\"503\"} 1"));
         assert!(text.contains("tgp_requests_total{endpoint=\"partition\",status=\"500\"} 1"));
+    }
+
+    #[test]
+    fn session_endpoint_and_conflict_status_have_their_own_series() {
+        let m = Metrics::default();
+        m.record_request("graphs", 200, Duration::from_micros(10));
+        m.record_request("graphs", 409, Duration::from_micros(10));
+        let text = m.render();
+        assert!(text.contains("tgp_requests_total{endpoint=\"graphs\",status=\"200\"} 1"));
+        assert!(text.contains("tgp_requests_total{endpoint=\"graphs\",status=\"409\"} 1"));
     }
 
     #[test]

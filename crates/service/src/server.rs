@@ -47,7 +47,8 @@ use std::time::{Duration, Instant};
 use crate::api::{handle_traced, AppState, RequestCtx};
 use crate::cache::CacheConfig;
 use crate::http::{
-    overloaded_response, read_request, retry_after_secs, write_response, RecvError, MAX_HEAD_BYTES,
+    overloaded_response, read_request, retry_after_secs, write_response, write_response_with,
+    RecvError, MAX_HEAD_BYTES,
 };
 use crate::pool::{BoundedQueue, PushError, Work};
 use tgp_graph::json;
@@ -145,6 +146,14 @@ pub struct ServerConfig {
     /// (`/debug/trace/<id>`, `/debug/slow`, `/debug/events`). Off by
     /// default: they expose request timing internals.
     pub debug_endpoints: bool,
+    /// Persist session graphs (`/v1/graphs`) to this append-only edit
+    /// journal: replayed on boot, appended to on every acknowledged
+    /// mutation, compacted to a snapshot on graceful shutdown. `None`
+    /// keeps sessions memory-only.
+    pub session_file: Option<PathBuf>,
+    /// Byte budget for resident session graphs; registrations beyond it
+    /// are refused with 413 (`session_budget_exceeded`).
+    pub session_budget: u64,
 }
 
 impl Default for ServerConfig {
@@ -165,6 +174,8 @@ impl Default for ServerConfig {
             shed_cost: None,
             log_requests: false,
             debug_endpoints: false,
+            session_file: None,
+            session_budget: tgp_session::DEFAULT_SESSION_BUDGET,
         }
     }
 }
@@ -192,11 +203,38 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        // Journal-backed sessions replay before the listener serves a
+        // request, so clients never observe a pre-replay store. A file
+        // that fails validation is left untouched and sessions run
+        // memory-only — same degraded-but-up policy as the cache file.
+        let sessions = match &config.session_file {
+            Some(path) => {
+                match tgp_session::SessionStore::with_journal(path, config.session_budget) {
+                    Ok(store) => {
+                        eprintln!(
+                            "tgp-serve session journal {} replayed: {} resident graphs",
+                            path.display(),
+                            store.open_count()
+                        );
+                        Arc::new(store)
+                    }
+                    Err(why) => {
+                        eprintln!(
+                            "tgp-serve ignoring session file {}: {why} (sessions are memory-only)",
+                            path.display()
+                        );
+                        Arc::new(tgp_session::SessionStore::new(config.session_budget))
+                    }
+                }
+            }
+            None => Arc::new(tgp_session::SessionStore::new(config.session_budget)),
+        };
         let state = Arc::new(
             AppState::new(config.cache.clone())
                 .with_access_log(config.log_requests)
                 .with_debug_endpoints(config.debug_endpoints)
-                .with_shed_cost(config.shed_cost),
+                .with_shed_cost(config.shed_cost)
+                .with_sessions(sessions),
         );
         let stop = Arc::new(AtomicBool::new(false));
         let worker_count = config.workers.max(1);
@@ -473,6 +511,13 @@ impl Server {
             self.queue.close();
         }
         self.wait();
+        // Compact the session journal to a snapshot: restart replays one
+        // record per graph instead of the whole edit history.
+        if self.state.sessions.journal_path().is_some() {
+            if let Err(e) = self.state.sessions.compact() {
+                eprintln!("tgp-serve session journal compaction failed: {e}");
+            }
+        }
     }
 }
 
@@ -594,10 +639,11 @@ fn respond_to_bytes(
             };
             let response = handle_traced(state, &request, ctx);
             let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
-            let _ = write_response(
+            let _ = write_response_with(
                 &mut out,
                 response.status,
                 response.content_type,
+                &response.headers,
                 response.body.as_bytes(),
                 keep_alive,
             );
@@ -734,10 +780,11 @@ fn serve_connection_inner(
                 let response = handle_traced(state, &request, ctx);
                 let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
                 let write_started = Instant::now();
-                match write_response(
+                match write_response_with(
                     &mut write_half,
                     response.status,
                     response.content_type,
+                    &response.headers,
                     response.body.as_bytes(),
                     keep_alive,
                 ) {

@@ -1,0 +1,335 @@
+//! The append-only session journal: snapshot + log persistence for the
+//! resident-graph store.
+//!
+//! # File format
+//!
+//! ```text
+//! [8]  magic  b"TGPSESSJ"
+//! [8]  format version (little-endian u64, currently 1)
+//! then zero or more records:
+//! [8]  payload length in bytes
+//! [8]  FNV-1a checksum of the payload
+//! [..] payload — one compact JSON operation object
+//! ```
+//!
+//! Operations are `register`, `patch`, `delete` (appended live, *before*
+//! the mutation is acknowledged) and `snapshot` (written whole at
+//! compaction). Appends go straight to the OS page cache, which survives
+//! a `kill -9` of the process — only the machine losing power can drop
+//! an acknowledged record, the same durability class as the service's
+//! cache dumps.
+//!
+//! # Replay
+//!
+//! [`read`] validates the header strictly (a foreign or future-versioned
+//! file is an error, never partially loaded) and then accepts the
+//! longest intact prefix of records: the first record with a short
+//! header, an over-long length, a checksum mismatch or an unparsable
+//! payload ends replay, and the store truncates the file there — a torn
+//! tail from a mid-write crash costs the unacknowledged record, nothing
+//! else.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use tgp_graph::json::Value;
+
+const MAGIC: &[u8; 8] = b"TGPSESSJ";
+const FORMAT_VERSION: u64 = 1;
+const HEADER_LEN: u64 = 16;
+
+/// Largest single record accepted on replay: a length field beyond this
+/// is treated as a torn write, not an allocation request.
+const MAX_RECORD_LEN: u64 = 1 << 32;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+fn corrupt(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// The intact prefix of a journal file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every fully-validated operation, in append order.
+    pub records: Vec<Value>,
+    /// Byte offset of the end of the last intact record; the file is
+    /// truncated here before appending resumes.
+    pub keep_len: u64,
+    /// Whether a torn tail was discarded.
+    pub truncated: bool,
+}
+
+/// Reads and validates a journal file. `Ok(None)` when the file does
+/// not exist (first boot); an error when it exists but is not a session
+/// journal at a known version — the caller must not overwrite it.
+pub fn read(path: &Path) -> io::Result<Option<Replay>> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(corrupt("session journal is shorter than its header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("not a session journal (bad magic)"));
+    }
+    let version = read_u64(&bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "session journal format {version} is not supported (expected {FORMAT_VERSION})"
+        )));
+    }
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    loop {
+        if bytes.len() - offset < 16 {
+            break;
+        }
+        let len = read_u64(&bytes, offset);
+        let checksum = read_u64(&bytes, offset + 8);
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let Some(end) = (offset + 16).checked_add(len as usize) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[offset + 16..end];
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(value) = Value::parse(text) else {
+            break;
+        };
+        records.push(value);
+        offset = end;
+    }
+    Ok(Some(Replay {
+        records,
+        keep_len: offset as u64,
+        truncated: offset < bytes.len(),
+    }))
+}
+
+/// An open journal file, positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Creates a fresh journal (header only), replacing nothing: the
+    /// caller has already established the file does not exist.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Opens an existing journal for appending, first truncating any
+    /// torn tail past `keep_len` (as reported by [`read`]).
+    pub fn open_for_append(path: &Path, keep_len: u64) -> io::Result<Journal> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep_len)?;
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            file,
+        };
+        journal.file.seek(SeekFrom::End(0))?;
+        Ok(journal)
+    }
+
+    /// Appends one operation record. The record is written with a
+    /// single `write_all`, so a crash mid-call leaves at most one torn
+    /// tail for [`read`] to discard.
+    pub fn append(&mut self, payload: &str) -> io::Result<()> {
+        let bytes = payload.as_bytes();
+        let mut record = Vec::with_capacity(16 + bytes.len());
+        record.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        record.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+        record.extend_from_slice(bytes);
+        self.file.write_all(&record)
+    }
+
+    /// Compaction: atomically replaces the whole journal with a header
+    /// plus the given single (snapshot) record, via a temp sibling and
+    /// rename.
+    pub fn rewrite(&mut self, payload: &str) -> io::Result<()> {
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut journal = Journal::create(&tmp)?;
+            journal.append(payload)?;
+            journal.file.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old handle points at the unlinked inode; reopen.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> PathBuf {
+        self.path.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "tgp-session-journal-{tag}-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = temp_path("round-trip");
+        {
+            let mut journal = Journal::create(&path).unwrap();
+            journal.append(r#"{"op":"register","id":"g1"}"#).unwrap();
+            journal.append(r#"{"op":"delete","id":"g1"}"#).unwrap();
+        }
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.truncated);
+        assert_eq!(replay.records[0]["op"].as_str(), Some("register"));
+        assert_eq!(replay.records[1]["op"].as_str(), Some("delete"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_first_boot() {
+        let path = temp_path("missing");
+        assert!(read(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_tails_are_discarded_not_fatal() {
+        let path = temp_path("torn");
+        {
+            let mut journal = Journal::create(&path).unwrap();
+            journal.append(r#"{"op":"register","id":"g1"}"#).unwrap();
+            journal.append(r#"{"op":"delete","id":"g1"}"#).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Cut the second record in half, as a crash mid-write would.
+        let cut = full.len() - 10;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.truncated);
+        // Re-opening truncates the tail and appends cleanly after it.
+        {
+            let mut journal = Journal::open_for_append(&path, replay.keep_len).unwrap();
+            journal.append(r#"{"op":"delete","id":"g1"}"#).unwrap();
+        }
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.truncated);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_modes_stop_at_the_last_good_record() {
+        let path = temp_path("corrupt");
+        {
+            let mut journal = Journal::create(&path).unwrap();
+            journal.append(r#"{"op":"register","id":"g1"}"#).unwrap();
+            journal.append(r#"{"op":"delete","id":"g1"}"#).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let second_record_at = {
+            let len = read_u64(&full, HEADER_LEN as usize) as usize;
+            HEADER_LEN as usize + 16 + len
+        };
+        // Flip a payload byte in the second record: checksum mismatch.
+        let mut flipped = full.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.truncated);
+        assert_eq!(replay.keep_len as usize, second_record_at);
+        // An absurd length field is a torn write, not an allocation.
+        let mut hostile = full[..second_record_at].to_vec();
+        hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+        hostile.extend_from_slice(&[0u8; 8]);
+        std::fs::write(&path, &hostile).unwrap();
+        assert_eq!(read(&path).unwrap().unwrap().records.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_errors_not_overwrites() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        assert!(read(&path).is_err());
+        let mut future = Vec::new();
+        future.extend_from_slice(MAGIC);
+        future.extend_from_slice(&99u64.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(read(&path).is_err());
+        std::fs::write(&path, b"short").unwrap();
+        assert!(read(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts_to_a_single_record() {
+        let path = temp_path("rewrite");
+        {
+            let mut journal = Journal::create(&path).unwrap();
+            for i in 0..10 {
+                journal
+                    .append(&format!(r#"{{"op":"register","id":"g{i}"}}"#))
+                    .unwrap();
+            }
+            journal.rewrite(r#"{"op":"snapshot","graphs":[]}"#).unwrap();
+            // Appends after a rewrite land in the new file.
+            journal.append(r#"{"op":"register","id":"g11"}"#).unwrap();
+        }
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0]["op"].as_str(), Some("snapshot"));
+        assert_eq!(replay.records[1]["op"].as_str(), Some("register"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -44,6 +44,24 @@ pub trait Solver: Send + Sync {
     /// Runs the objective on a validated request.
     fn run(&self, request: &Request) -> Result<Response, SolveError>;
 
+    /// Warm-started run: like [`Solver::run`], but the caller asserts
+    /// the optimal bottleneck of the *previous* solve on a near-identical
+    /// graph lay at some `B`, and the edits since then changed it by at
+    /// most `hint_hi - hint_lo` in either direction. A solver that can
+    /// exploit the window `[hint_lo, hint_hi]` returns `Some(result)`
+    /// **only when it can certify** the answer is byte-identical to what
+    /// [`Solver::run`] would produce; otherwise it returns `None` and the
+    /// caller falls back to the cold path. The default declines.
+    fn run_warm(
+        &self,
+        request: &Request,
+        hint_lo: u64,
+        hint_hi: u64,
+    ) -> Option<Result<Response, SolveError>> {
+        let _ = (request, hint_lo, hint_hi);
+        None
+    }
+
     /// A rough, dimensionless estimate of how much work [`Solver::run`]
     /// does on this request. Caches use it as an admission signal: a
     /// response that was expensive to compute is worth keeping even
