@@ -108,6 +108,7 @@ USAGE:
   tgp serve [--addr 127.0.0.1:7070] [--io threads|epoll] [--workers 4]
             [--cache-bytes 33554432] [--cache-ttl SECS] [--cache-file PATH]
             [--queue-depth 64] [--max-connections 1024] [--shed-cost UNITS]
+            [--shed-remaining MS] [--max-body-bytes N]
             [--read-timeout SECS] [--write-timeout SECS] [--idle-timeout SECS]
             [--session-file PATH] [--session-budget BYTES]
             [--log-requests] [--debug-endpoints]  # HTTP partition service
@@ -372,31 +373,28 @@ fn objectives_check(path: &str) -> CliResult<String> {
 /// `tgp endpoints --markdown` — the service's endpoint surface as a
 /// markdown table, the canonical content between the
 /// `<!-- endpoints:begin -->` / `<!-- endpoints:end -->` markers in
-/// `docs/SERVICE.md`. One row per (method, path); sessions and debug
-/// endpoints included so the docs table can never silently omit a
-/// route.
+/// `docs/SERVICE.md`. Rendered from the service's own endpoint
+/// registry ([`tgp_service::envelope::ENDPOINTS`]), so the table, the
+/// router, and the error-code audit can never drift apart; the final
+/// column lists each endpoint's stable error codes beyond the
+/// transport-level set (`bad_request`, `body_too_large`, `overloaded`,
+/// `method_not_allowed`, `not_found`, `shed_deadline`,
+/// `deadline_exceeded`).
 fn endpoints_markdown() -> String {
-    // (method, path, description) — must match `route()` in
-    // crates/service/src/api.rs; serve_observability e2e tests exercise
-    // every row.
-    const ENDPOINTS: &[(&str, &str, &str)] = &[
-        ("POST", "/v1/partition", "run any registered objective; single request or `{\"requests\": [...]}` batch"),
-        ("POST", "/v1/simulate", "partition a chain and replay it through the pipeline simulator"),
-        ("POST", "/v1/graphs", "register a resident session graph (`{\"graph\": ...}`) → id + version"),
-        ("GET", "/v1/graphs", "list resident session graphs"),
-        ("GET", "/v1/graphs/&lt;id&gt;", "one resident graph's id, version, kind, shape and bytes"),
-        ("PATCH", "/v1/graphs/&lt;id&gt;", "apply one atomic edit batch (`{\"version\": N, \"edits\": [...]}`), version-checked"),
-        ("DELETE", "/v1/graphs/&lt;id&gt;", "drop a resident graph and release its budget"),
-        ("POST", "/v1/graphs/&lt;id&gt;/partition", "solve against the resident graph, warm-starting when certified (`x-tgp-solve: warm\\|cold`)"),
-        ("GET", "/healthz", "liveness probe"),
-        ("GET", "/metrics", "Prometheus text exposition"),
-        ("GET", "/debug/trace/&lt;id&gt;", "one request's stage spans (needs `--debug-endpoints`)"),
-        ("GET", "/debug/slow", "slowest retained traces (needs `--debug-endpoints`)"),
-        ("GET", "/debug/events", "recent transport/request events (needs `--debug-endpoints`)"),
-    ];
-    let mut table = String::from("| method | path | description |\n|---|---|---|\n");
-    for (method, path, description) in ENDPOINTS {
-        table.push_str(&format!("| {method} | `{path}` | {description} |\n"));
+    let mut table =
+        String::from("| method | path | description | error codes |\n|---|---|---|---|\n");
+    for (method, path, summary, codes) in tgp_service::envelope::ENDPOINTS {
+        let path = path.replace('<', "&lt;").replace('>', "&gt;");
+        let codes = if *codes == "-" {
+            "-".to_string()
+        } else {
+            codes
+                .split(',')
+                .map(|c| format!("`{}`", c.trim()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        table.push_str(&format!("| {method} | `{path}` | {summary} | {codes} |\n"));
     }
     table
 }
@@ -653,6 +651,10 @@ fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult
         write_timeout: secs("write-timeout", defaults.write_timeout)?,
         idle_timeout: secs("idle-timeout", defaults.idle_timeout)?,
         shed_cost: opts.num("shed-cost")?,
+        shed_remaining: opts.num("shed-remaining")?,
+        max_body_bytes: opts
+            .num("max-body-bytes")?
+            .unwrap_or(defaults.max_body_bytes),
         log_requests,
         debug_endpoints,
         session_file: opts.get("session-file").map(std::path::PathBuf::from),
@@ -806,6 +808,32 @@ mod tests {
         ] {
             assert!(table.contains(needle), "endpoints table missing {needle}");
         }
+    }
+
+    #[test]
+    fn endpoints_table_has_stable_error_code_column() {
+        let table = endpoints_markdown();
+        assert!(
+            table.starts_with("| method | path | description | error codes |"),
+            "missing error-codes column: {table}"
+        );
+        // Every backticked code in the table must come from the stable
+        // set — the audit that keeps docs and wire behavior aligned.
+        for line in table.lines().skip(2) {
+            let codes = line.rsplit('|').nth(1).unwrap_or("").trim();
+            if codes == "-" {
+                continue;
+            }
+            for code in codes.split(',') {
+                let code = code.trim().trim_matches('`');
+                assert!(
+                    tgp_service::envelope::is_stable_code(code),
+                    "unstable code {code:?} in endpoints table"
+                );
+            }
+        }
+        assert!(table.contains("`deadline_exceeded`"));
+        assert!(table.contains("`cancelled`"));
     }
 
     #[test]

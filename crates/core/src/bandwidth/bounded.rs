@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 
 use tgp_graph::{CutSet, EdgeId, PathGraph, Weight};
 
+use crate::budget::Budget;
 use crate::error::{check_bound, PartitionError};
 
 const INF: u64 = u64::MAX;
@@ -54,6 +55,23 @@ pub fn min_bandwidth_cut_bounded(
     bound: Weight,
     bottleneck_limit: Weight,
 ) -> Result<Option<CutSet>, PartitionError> {
+    min_bandwidth_cut_bounded_budgeted(path, bound, bottleneck_limit, &Budget::unlimited())
+}
+
+/// Cost-sliced [`min_bandwidth_cut_bounded`]: the sliding-window DP
+/// charges the [`Budget`] one unit per edge, so an expired deadline or a
+/// raised cancel flag interrupts the probe mid-scan.
+///
+/// # Errors
+///
+/// As [`min_bandwidth_cut_bounded`], plus
+/// [`PartitionError::Interrupted`] when the budget runs out.
+pub fn min_bandwidth_cut_bounded_budgeted(
+    path: &PathGraph,
+    bound: Weight,
+    bottleneck_limit: Weight,
+    budget: &Budget,
+) -> Result<Option<CutSet>, PartitionError> {
     check_bound(path.node_weights(), bound)?;
     if path.total_weight() <= bound {
         return Ok(Some(CutSet::empty()));
@@ -65,6 +83,7 @@ pub fn min_bandwidth_cut_bounded(
     let mut deque: VecDeque<usize> = VecDeque::new();
     let mut lo = 0usize;
     for j in 0..m {
+        budget.charge(1)?;
         if j >= 1 && cost[j - 1] < INF {
             let i = j - 1;
             while deque.back().is_some_and(|&b| cost[b] >= cost[i]) {
@@ -148,6 +167,24 @@ pub fn min_bandwidth_cut_lexicographic(
     path: &PathGraph,
     bound: Weight,
 ) -> Result<CutSet, PartitionError> {
+    min_bandwidth_cut_lexicographic_budgeted(path, bound, &Budget::unlimited())
+}
+
+/// Cost-sliced [`min_bandwidth_cut_lexicographic`]: every `O(n)` probe
+/// of the candidate-limit binary search runs under the [`Budget`]
+/// (charged per edge), so a mid-solve deadline or cancel interrupts the
+/// bicriteria solve between — and inside — probes.
+///
+/// # Errors
+///
+/// As [`min_bandwidth_cut_lexicographic`], plus
+/// [`PartitionError::Interrupted`] when the budget runs out.
+pub fn min_bandwidth_cut_lexicographic_budgeted(
+    path: &PathGraph,
+    bound: Weight,
+    budget: &Budget,
+) -> Result<CutSet, PartitionError> {
+    budget.check_now()?;
     // `B*` is the smallest bottleneck limit admitting any feasible cut.
     // Feasibility of [`min_bandwidth_cut_bounded`] is monotone in the
     // limit (raising it only adds cuttable edges), and a cut's
@@ -160,12 +197,13 @@ pub fn min_bandwidth_cut_lexicographic(
         .collect();
     limits.sort_unstable();
     limits.dedup();
+    budget.charge(limits.len() as u64)?;
 
     let (mut lo, mut hi) = (0usize, limits.len() - 1);
     let mut best: Option<CutSet> = None;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match min_bandwidth_cut_bounded(path, bound, limits[mid])? {
+        match min_bandwidth_cut_bounded_budgeted(path, bound, limits[mid], budget)? {
             // `best` always holds the cut for the current `hi`.
             Some(cut) => {
                 best = Some(cut);
@@ -181,8 +219,10 @@ pub fn min_bandwidth_cut_lexicographic(
         // With the limit at the maximum edge weight, cutting every edge
         // is allowed, and `check_bound` inside the probe guarantees
         // single-vertex segments fit — so this probe cannot miss.
-        None => Ok(min_bandwidth_cut_bounded(path, bound, limits[lo])?
-            .expect("cutting every edge is feasible once all weights are allowed")),
+        None => Ok(
+            min_bandwidth_cut_bounded_budgeted(path, bound, limits[lo], budget)?
+                .expect("cutting every edge is feasible once all weights are allowed"),
+        ),
     }
 }
 
@@ -363,6 +403,24 @@ mod tests {
                 "round={round} nodes={nodes:?} edges={edges:?} k={k}"
             );
         }
+    }
+
+    #[test]
+    fn budgeted_lexicographic_matches_and_interrupts() {
+        use std::time::{Duration, Instant};
+        let nodes: Vec<u64> = (0..400).map(|i| 1 + (i % 5)).collect();
+        let edges: Vec<u64> = (0..399).map(|i| 1 + (i * 17) % 29).collect();
+        let p = path(&nodes, &edges);
+        let k = Weight::new(18);
+        let cold = min_bandwidth_cut_lexicographic(&p, k).unwrap();
+        let generous = Budget::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let budgeted = min_bandwidth_cut_lexicographic_budgeted(&p, k, &generous).unwrap();
+        assert_eq!(cold, budgeted);
+        let expired = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(
+            min_bandwidth_cut_lexicographic_budgeted(&p, k, &expired),
+            Err(PartitionError::Interrupted(_))
+        ));
     }
 
     #[test]

@@ -34,12 +34,15 @@ mod stats;
 mod temps;
 
 pub use bounded::{
-    min_bandwidth_cut_bounded, min_bandwidth_cut_lexicographic,
-    min_bandwidth_cut_lexicographic_warm,
+    min_bandwidth_cut_bounded, min_bandwidth_cut_bounded_budgeted, min_bandwidth_cut_lexicographic,
+    min_bandwidth_cut_lexicographic_budgeted, min_bandwidth_cut_lexicographic_warm,
 };
 pub use naive::min_bandwidth_cut_naive;
 pub use nonredundant::{nonredundant_edges, NrEdge};
 pub use oracle::{min_bandwidth_cut_oracle, min_bandwidth_cut_window};
 pub use prime::{prime_subpaths, PrimeSubpath};
 pub use stats::BandwidthStats;
-pub use temps::{analyze_bandwidth, analyze_bandwidth_with, min_bandwidth_cut, MergeSearch};
+pub use temps::{
+    analyze_bandwidth, analyze_bandwidth_budgeted, analyze_bandwidth_with, min_bandwidth_cut,
+    MergeSearch,
+};

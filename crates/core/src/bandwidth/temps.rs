@@ -21,6 +21,7 @@ use tgp_graph::{CutSet, EdgeId, PathGraph, Weight};
 use super::nonredundant::{nonredundant_edges, NrEdge};
 use super::prime::prime_subpaths;
 use super::stats::BandwidthStats;
+use crate::budget::Budget;
 use crate::error::PartitionError;
 
 /// How the merge point in TEMP_S is located (the paper's step 2a).
@@ -263,8 +264,32 @@ pub fn analyze_bandwidth_with(
     bound: Weight,
     policy: MergeSearch,
 ) -> Result<(CutSet, BandwidthStats), PartitionError> {
+    analyze_bandwidth_budgeted(path, bound, policy, &Budget::unlimited())
+}
+
+/// Cost-sliced [`analyze_bandwidth_with`]: the TEMP_S edge loop charges
+/// the [`Budget`] one unit per non-redundant edge (plus `n` units for
+/// the linear prime-subpath scan), so a mid-solve deadline or cancel
+/// surfaces as [`PartitionError::Interrupted`] within one budget stride
+/// instead of after the full `O(n + p log q)` run.
+///
+/// With an unlimited budget the result is identical to the unbudgeted
+/// entry point — this *is* the unbudgeted entry point's implementation.
+///
+/// # Errors
+///
+/// [`PartitionError::BoundTooSmall`] if a single vertex outweighs
+/// `bound`; [`PartitionError::Interrupted`] if the budget ran out.
+pub fn analyze_bandwidth_budgeted(
+    path: &PathGraph,
+    bound: Weight,
+    policy: MergeSearch,
+    budget: &Budget,
+) -> Result<(CutSet, BandwidthStats), PartitionError> {
+    budget.check_now()?;
     let primes = prime_subpaths(path, bound)?;
     let n = path.len();
+    budget.charge(n as u64)?;
     if primes.is_empty() {
         return Ok((CutSet::empty(), BandwidthStats::trivial(n)));
     }
@@ -273,6 +298,7 @@ pub fn analyze_bandwidth_with(
     let r = nr.len();
     let mut solver = TempS::new(path, p);
     for g in &nr {
+        budget.charge(1)?;
         solver.process(g, policy);
     }
     let (cut, cost, q_sum, deque_len_sum, max_deque_len, _arena) = solver.finish(p);
@@ -309,6 +335,25 @@ mod tests {
         assert!(cut.is_empty());
         assert_eq!(stats.p, 0);
         assert_eq!(stats.r, 0);
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_and_interrupts_when_expired() {
+        use std::time::{Duration, Instant};
+        let nodes: Vec<u64> = (0..600).map(|i| 1 + (i % 7)).collect();
+        let edges: Vec<u64> = (0..599).map(|i| 1 + (i * 13) % 31).collect();
+        let p = path(&nodes, &edges);
+        let bound = Weight::new(24);
+        let plain = analyze_bandwidth(&p, bound).unwrap();
+        let generous = Budget::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let budgeted =
+            analyze_bandwidth_budgeted(&p, bound, MergeSearch::Binary, &generous).unwrap();
+        assert_eq!(plain.0, budgeted.0);
+        let expired = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(
+            analyze_bandwidth_budgeted(&p, bound, MergeSearch::Binary, &expired),
+            Err(PartitionError::Interrupted(_))
+        ));
     }
 
     #[test]

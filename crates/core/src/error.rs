@@ -22,6 +22,9 @@ pub enum PartitionError {
     },
     /// An underlying graph operation failed.
     Graph(GraphError),
+    /// A budgeted solve stopped cooperatively before finishing: its
+    /// [`Budget`](crate::budget::Budget) refused further work.
+    Interrupted(crate::budget::Exceeded),
 }
 
 impl fmt::Display for PartitionError {
@@ -37,6 +40,7 @@ impl fmt::Display for PartitionError {
                  no feasible partition exists"
             ),
             PartitionError::Graph(e) => write!(f, "graph error: {e}"),
+            PartitionError::Interrupted(why) => write!(f, "solve interrupted: {why}"),
         }
     }
 }
@@ -45,7 +49,7 @@ impl Error for PartitionError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PartitionError::Graph(e) => Some(e),
-            PartitionError::BoundTooSmall { .. } => None,
+            PartitionError::BoundTooSmall { .. } | PartitionError::Interrupted(_) => None,
         }
     }
 }
@@ -53,6 +57,12 @@ impl Error for PartitionError {
 impl From<GraphError> for PartitionError {
     fn from(e: GraphError) -> Self {
         PartitionError::Graph(e)
+    }
+}
+
+impl From<crate::budget::Exceeded> for PartitionError {
+    fn from(e: crate::budget::Exceeded) -> Self {
+        PartitionError::Interrupted(e)
     }
 }
 

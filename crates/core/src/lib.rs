@@ -43,6 +43,7 @@
 pub mod approx;
 pub mod bandwidth;
 pub mod bottleneck;
+pub mod budget;
 mod error;
 pub mod knapsack;
 pub mod pipeline;

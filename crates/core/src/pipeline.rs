@@ -11,8 +11,9 @@
 
 use tgp_graph::{contract, Components, CutSet, NodeId, PathGraph, Segment, Tree, TreeEdge, Weight};
 
-use crate::bandwidth::min_bandwidth_cut;
+use crate::bandwidth::{analyze_bandwidth_budgeted, min_bandwidth_cut, MergeSearch};
 use crate::bottleneck::min_bottleneck_cut;
+use crate::budget::Budget;
 use crate::error::PartitionError;
 use crate::procmin::proc_min;
 
@@ -119,6 +120,28 @@ pub struct ChainPartition {
 /// ```
 pub fn partition_chain(path: &PathGraph, bound: Weight) -> Result<ChainPartition, PartitionError> {
     let cut = min_bandwidth_cut(path, bound)?;
+    finish_chain(path, cut)
+}
+
+/// Cost-sliced [`partition_chain`]: the TEMP_S solve runs under the
+/// [`Budget`] (see [`analyze_bandwidth_budgeted`]),
+/// so a deadline or cancel raised mid-solve surfaces as
+/// [`PartitionError::Interrupted`] instead of running to completion.
+///
+/// # Errors
+///
+/// As [`partition_chain`], plus [`PartitionError::Interrupted`] when
+/// the budget runs out.
+pub fn partition_chain_budgeted(
+    path: &PathGraph,
+    bound: Weight,
+    budget: &Budget,
+) -> Result<ChainPartition, PartitionError> {
+    let (cut, _stats) = analyze_bandwidth_budgeted(path, bound, MergeSearch::Binary, budget)?;
+    finish_chain(path, cut)
+}
+
+fn finish_chain(path: &PathGraph, cut: CutSet) -> Result<ChainPartition, PartitionError> {
     let segments = path.segments(&cut)?;
     let bandwidth = path.cut_weight(&cut)?;
     let bottleneck = path.bottleneck(&cut)?;

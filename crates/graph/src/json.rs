@@ -94,6 +94,9 @@ pub struct JsonError {
     pub offset: Option<usize>,
     /// Human-readable description.
     pub message: String,
+    /// `true` when parsing was stopped by the caller's check callback
+    /// ([`Value::parse_with_check`]) rather than by malformed input.
+    pub interrupted: bool,
 }
 
 impl JsonError {
@@ -102,6 +105,7 @@ impl JsonError {
         JsonError {
             offset: None,
             message: message.into(),
+            interrupted: false,
         }
     }
 
@@ -109,6 +113,15 @@ impl JsonError {
         JsonError {
             offset: Some(offset),
             message: message.into(),
+            interrupted: false,
+        }
+    }
+
+    fn interrupted_at(offset: usize) -> Self {
+        JsonError {
+            offset: Some(offset),
+            message: "parsing interrupted".to_string(),
+            interrupted: true,
         }
     }
 }
@@ -133,9 +146,35 @@ impl Value {
     /// nesting deeper than [`MAX_DEPTH`]. Never panics, whatever the
     /// input.
     pub fn parse(text: &str) -> Result<Value, JsonError> {
+        Self::parse_inner(text, None)
+    }
+
+    /// Parses a JSON document cooperatively: `check` is polled every
+    /// [`CHECK_STRIDE`] values and parsing aborts (with an error whose
+    /// `interrupted` flag is set) as soon as it returns `true`. Lets a
+    /// server stop burning CPU on a multi-megabyte body whose deadline
+    /// has already expired; the callback is cheap enough that a parse of
+    /// millions of scalars polls it only a few hundred times.
+    ///
+    /// # Errors
+    ///
+    /// As [`Value::parse`], plus the interruption case above.
+    pub fn parse_with_check(
+        text: &str,
+        check: &mut dyn FnMut() -> bool,
+    ) -> Result<Value, JsonError> {
+        Self::parse_inner(text, Some(check))
+    }
+
+    fn parse_inner(
+        text: &str,
+        check: Option<&mut dyn FnMut() -> bool>,
+    ) -> Result<Value, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            check,
+            countdown: CHECK_STRIDE,
         };
         p.skip_ws();
         let v = p.value(0)?;
@@ -482,12 +521,22 @@ macro_rules! json {
     ($other:expr) => { $crate::json::Value::from($other) };
 }
 
-struct Parser<'a> {
+/// Values parsed between two polls of a [`Value::parse_with_check`]
+/// callback. Small enough that an expired deadline stops a huge parse
+/// within microseconds, large enough that the callback (typically an
+/// `Instant::now()` comparison) stays invisible in profiles.
+pub const CHECK_STRIDE: u32 = 4096;
+
+struct Parser<'a, 'c> {
     bytes: &'a [u8],
     pos: usize,
+    /// Cooperative interruption callback, polled every [`CHECK_STRIDE`]
+    /// values; `None` parses straight through.
+    check: Option<&'c mut dyn FnMut() -> bool>,
+    countdown: u32,
 }
 
-impl<'a> Parser<'a> {
+impl<'a, 'c> Parser<'a, 'c> {
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -517,6 +566,15 @@ impl<'a> Parser<'a> {
                 self.pos,
                 format!("nesting deeper than {MAX_DEPTH}"),
             ));
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = CHECK_STRIDE;
+            if let Some(check) = self.check.as_mut() {
+                if check() {
+                    return Err(JsonError::interrupted_at(self.pos));
+                }
+            }
         }
         match self.peek() {
             None => Err(JsonError::at(self.pos, "unexpected end of input")),
@@ -1085,6 +1143,35 @@ mod tests {
         assert!(err.message.contains("nesting"), "{err}");
         let ok = "[".repeat(MAX_DEPTH - 1) + &"]".repeat(MAX_DEPTH - 1);
         assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_with_check_interrupts_large_documents() {
+        let big = format!(
+            "[{}]",
+            (0..3 * CHECK_STRIDE)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        // A callback that never fires parses identically to plain parse.
+        let mut never = || false;
+        let v = Value::parse_with_check(&big, &mut never).unwrap();
+        assert_eq!(v, Value::parse(&big).unwrap());
+        // One that fires on its second poll stops mid-document with the
+        // interrupted flag (and never sees the end of the input).
+        let mut polls = 0;
+        let mut second = || {
+            polls += 1;
+            polls >= 2
+        };
+        let err = Value::parse_with_check(&big, &mut second).unwrap_err();
+        assert!(err.interrupted, "{err}");
+        assert!(err.offset.unwrap() < big.len());
+        // Malformed input is still a plain (non-interrupted) error.
+        let mut never = || false;
+        let err = Value::parse_with_check("[1, 2", &mut never).unwrap_err();
+        assert!(!err.interrupted, "{err}");
     }
 
     #[test]

@@ -125,6 +125,15 @@ fn has_header(head: &[u8], name: &[u8]) -> bool {
     header_value(head, name).is_some()
 }
 
+/// Returns the value of header `name` from a complete framed request
+/// (head + body), or `None` when the header is absent or the head never
+/// terminates. Lets the event loop and workers peek at routing-relevant
+/// headers (e.g. `x-deadline-ms`) without running the full parser.
+pub fn request_header_value<'a>(buf: &'a [u8], name: &[u8]) -> Option<&'a [u8]> {
+    let head_end = find_head_end(buf)?;
+    header_value(&buf[..head_end], name)
+}
+
 /// Returns the value slice of the *last* occurrence of header `name`
 /// (the service's parser keeps the last duplicate; match it).
 fn header_value<'a>(head: &'a [u8], name: &[u8]) -> Option<&'a [u8]> {

@@ -54,7 +54,7 @@ mod stub;
 #[cfg(not(target_os = "linux"))]
 pub use stub::{EventLoop, LoopHandle};
 
-pub use framer::{FrameError, FrameLimits, FrameStatus};
+pub use framer::{request_header_value, FrameError, FrameLimits, FrameStatus};
 pub use timer::TimeoutKind;
 
 /// Identifies one accepted connection across the loop / worker

@@ -128,12 +128,16 @@ pub enum Stage {
     Serialize,
     /// Flushing the response bytes to the socket.
     Write,
+    /// Cooperative deadline/cancel preemption: the sliver between the
+    /// solve noticing its budget expired and the error response being
+    /// built. Present only on traces that were cut short.
+    Cancelled,
 }
 
 impl Stage {
     /// All stages, in pipeline order (must match declaration order —
     /// [`Stage::index`] is the discriminant).
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Queue,
         Stage::Parse,
         Stage::Cache,
@@ -141,6 +145,7 @@ impl Stage {
         Stage::Solve,
         Stage::Serialize,
         Stage::Write,
+        Stage::Cancelled,
     ];
 
     /// Stable lowercase label (metrics `stage=` label, span JSON).
@@ -153,6 +158,7 @@ impl Stage {
             Stage::Solve => "solve",
             Stage::Serialize => "serialize",
             Stage::Write => "write",
+            Stage::Cancelled => "cancelled",
         }
     }
 

@@ -26,20 +26,29 @@
 //! * `422` — the body parsed but the request is semantically unusable:
 //!   unknown objective, missing/invalid/undeclared field, wrong graph
 //!   kind, cost-cap refusal, infeasible instance.
+//! * `503` — shed (`shed_expensive`/`shed_deadline`) or cancelled
+//!   mid-solve (`cancelled`).
+//! * `504` — the request's deadline (`x-deadline-ms`, or a batch
+//!   item's `deadline_ms`) expired before the solve completed
+//!   (`deadline_exceeded`).
 //!
-//! Every error body is `{"error": <message>, "code": <stable tag>}`;
-//! the codes for 422s come from [`SolveError::code`].
+//! Every error body is the v2 envelope from [`crate::envelope`]:
+//! `{"code": <stable tag>, "message": <human text>, ...}` with optional
+//! `retry_after`, `deadline_remaining_ms` and `partial` fields; the
+//! codes for 422s come from [`SolveError::code`].
 //!
 //! Every partition response is cached under the solver's canonical key
 //! ([`tgp_solvers::Solver::canonical_key`]) of the *validated* content,
 //! so formatting differences (whitespace, key order) between equivalent
 //! requests still hit.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use tgp_core::pipeline::partition_chain;
+use tgp_core::budget::Budget;
+use tgp_core::pipeline::partition_chain_budgeted;
 use tgp_graph::json::{FromJson, Value};
 use tgp_graph::{json, PathGraph, Weight};
 use tgp_net::ConnId;
@@ -51,6 +60,7 @@ use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
 use tgp_solvers::{KeyBuilder, Registry, SolveError};
 
 use crate::cache::{CacheConfig, ResultCache};
+use crate::envelope;
 use crate::http::Request;
 use crate::metrics::Metrics;
 use crate::pool::{BoundedQueue, Work};
@@ -210,6 +220,18 @@ pub struct AppState {
     /// `limit` is refused with 503 (`shed_expensive`) while the worker
     /// queue is nearly full. `None` disables shedding.
     shed_cost: Option<u64>,
+    /// Remaining-time admission limit: with `Some(ms)`, a cache-missing
+    /// request whose deadline has fewer than `ms` milliseconds left is
+    /// refused with 503 (`shed_deadline`) while the worker queue is
+    /// nearly full — the solve would almost certainly time out anyway,
+    /// so the slot goes to a request that can still make its deadline.
+    shed_remaining: Option<u64>,
+    /// Previous full response per `(graph id, warm key)`, kept so
+    /// `POST /v1/graphs/<id>/partition` can answer `"response": "delta"`
+    /// requests with only the fields that changed since the last solve.
+    /// Written under the resident graph's lock, so per-graph updates
+    /// serialize with the solves that produce them.
+    last_solves: Mutex<HashMap<(String, Vec<u8>), String>>,
 }
 
 impl AppState {
@@ -226,6 +248,8 @@ impl AppState {
             write_pending: WritePending::new(),
             fanout: OnceLock::new(),
             shed_cost: None,
+            shed_remaining: None,
+            last_solves: Mutex::new(HashMap::new()),
         }
     }
 
@@ -290,25 +314,67 @@ impl AppState {
         self
     }
 
+    /// Sets the remaining-time admission limit (see the
+    /// `shed_remaining` field).
+    pub fn with_shed_remaining(mut self, limit: Option<u64>) -> Self {
+        self.shed_remaining = limit;
+        self
+    }
+
+    /// Whether the worker queue is under enough pressure for the
+    /// admission guards to start shedding (at least 3/4 full).
+    fn queue_pressured(&self) -> bool {
+        match self.fanout.get() {
+            Some(pool) => pool.len() * SHED_OCCUPANCY_DEN >= pool.capacity() * SHED_OCCUPANCY_NUM,
+            None => false,
+        }
+    }
+
     /// The admission guard: decides whether a cache-missing request of
-    /// the given estimated cost should be refused right now. Sheds only
-    /// when a limit is configured, a pool is attached, the queue is at
-    /// least 3/4 full, and the request is more expensive than the limit
-    /// — cheap requests keep flowing even under pressure, and cache
-    /// *hits* never reach this check at all.
-    fn shed_verdict(&self, cost: u64) -> Option<Failure> {
-        let limit = self.shed_cost?;
-        let pool = self.fanout.get()?;
-        if cost > limit && pool.len() * SHED_OCCUPANCY_DEN >= pool.capacity() * SHED_OCCUPANCY_NUM {
-            self.metrics.record_shed_by_cost();
-            return Some(Failure {
-                status: 503,
-                message: format!(
-                    "estimated cost {cost} exceeds the shed limit {limit} while the queue is \
-                     nearly full; retry when load drops"
-                ),
-                code: "shed_expensive",
-            });
+    /// the given estimated cost and deadline should be refused right
+    /// now. Sheds only when a limit is configured, a pool is attached
+    /// and the queue is at least 3/4 full; then a request more expensive
+    /// than `--shed-cost` is refused (`shed_expensive`), and a request
+    /// with less than `--shed-remaining` milliseconds of deadline left
+    /// is refused (`shed_deadline`) — it would almost certainly time out
+    /// mid-solve and waste the slot. Cheap requests with time to spare
+    /// keep flowing even under pressure, and cache *hits* never reach
+    /// this check at all.
+    fn shed_verdict(&self, cost: u64, deadline: Option<Instant>) -> Option<Failure> {
+        if !self.queue_pressured() {
+            return None;
+        }
+        if let Some(limit) = self.shed_cost {
+            if cost > limit {
+                self.metrics.record_shed_by_cost();
+                let mut f = failure(
+                    503,
+                    format!(
+                        "estimated cost {cost} exceeds the shed limit {limit} while the queue is \
+                         nearly full; retry when load drops"
+                    ),
+                    "shed_expensive",
+                );
+                let queued = self.fanout.get().map_or(0, |pool| pool.len());
+                f.retry_after = Some(crate::http::retry_after_secs(queued, 1).min(5));
+                return Some(f);
+            }
+        }
+        if let (Some(limit), Some(deadline)) = (self.shed_remaining, deadline) {
+            let remaining = remaining_ms(deadline);
+            if remaining < limit {
+                self.metrics.record_deadline_drop("admission");
+                let mut f = failure(
+                    503,
+                    format!(
+                        "only {remaining}ms of the deadline remain, below the shed threshold of \
+                         {limit}ms while the queue is nearly full"
+                    ),
+                    "shed_deadline",
+                );
+                f.deadline_remaining_ms = Some(remaining);
+                return Some(f);
+            }
         }
         None
     }
@@ -361,51 +427,101 @@ fn json_response(status: u16, endpoint: &'static str, body: String) -> ApiRespon
     }
 }
 
-/// A handler-level failure: status code, human message, stable code.
-#[derive(Debug)]
+/// A handler-level failure: status code, human message, stable code,
+/// plus the optional v2 envelope fields.
+#[derive(Debug, Clone)]
 struct Failure {
     status: u16,
     message: String,
     code: &'static str,
+    /// Seconds to wait before retrying; also emitted as a `retry-after`
+    /// response header.
+    retry_after: Option<u64>,
+    /// Milliseconds the request's deadline had left when it failed
+    /// (zero once expired).
+    deadline_remaining_ms: Option<u64>,
 }
 
 impl Failure {
     fn body(&self) -> String {
-        format!(
-            "{}\n",
-            json!({ "error": self.message.as_str(), "code": self.code })
+        envelope::envelope_body(
+            self.code,
+            &self.message,
+            self.retry_after,
+            self.deadline_remaining_ms,
+            false,
         )
+    }
+
+    /// Whether this failure means the solve was interrupted by its
+    /// budget (deadline or cancel) rather than rejected.
+    fn is_interrupt(&self) -> bool {
+        matches!(self.code, "deadline_exceeded" | "cancelled")
+    }
+}
+
+fn failure(status: u16, message: impl Into<String>, code: &'static str) -> Failure {
+    Failure {
+        status,
+        message: message.into(),
+        code,
+        retry_after: None,
+        deadline_remaining_ms: None,
     }
 }
 
 /// 400: the body never made it to a JSON object.
 fn bad(message: impl Into<String>) -> Failure {
-    Failure {
-        status: 400,
-        message: message.into(),
-        code: "bad_request",
-    }
+    failure(400, message, "bad_request")
 }
 
-/// 422: a registry-level rejection, carrying the solver error's code.
+/// A registry-level rejection carrying the solver error's code: 422 for
+/// semantic rejections, 504 when the request's deadline interrupted the
+/// solve, 503 when the cooperative cancel flag did.
 fn solve_failure(error: SolveError) -> Failure {
-    Failure {
-        status: 422,
-        message: error.to_string(),
-        code: error.code(),
+    let mut f = match &error {
+        SolveError::DeadlineExceeded => failure(504, error.to_string(), error.code()),
+        SolveError::Cancelled => failure(503, error.to_string(), error.code()),
+        _ => failure(422, error.to_string(), error.code()),
+    };
+    if matches!(error, SolveError::DeadlineExceeded) {
+        f.deadline_remaining_ms = Some(0);
     }
+    f
 }
 
 fn error_response(endpoint: &'static str, failure: &Failure) -> ApiResponse {
-    json_response(failure.status, endpoint, failure.body())
+    let mut response = json_response(failure.status, endpoint, failure.body());
+    if let Some(secs) = failure.retry_after {
+        response.headers.push(("retry-after", secs.to_string()));
+    }
+    response
 }
 
+/// Transport-level rejection: 404 (`not_found`) or 405
+/// (`method_not_allowed`), in the same v2 envelope as every other
+/// error.
 fn simple_error(status: u16, endpoint: &'static str, message: &str) -> ApiResponse {
+    let code = match status {
+        404 => "not_found",
+        405 => "method_not_allowed",
+        _ => "bad_request",
+    };
     json_response(
         status,
         endpoint,
-        format!("{}\n", json!({ "error": message, "code": "bad_request" })),
+        envelope::envelope_body(code, message, None, None, false),
     )
+}
+
+/// Milliseconds until `deadline`, saturating at zero.
+fn remaining_ms(deadline: Instant) -> u64 {
+    let now = Instant::now();
+    if deadline <= now {
+        0
+    } else {
+        u64::try_from((deadline - now).as_millis()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Transport-supplied timing context for one request: when and where
@@ -424,6 +540,10 @@ pub struct RequestCtx {
     /// Time spent parsing the request bytes (in threads mode this
     /// includes the blocking socket read).
     pub parse: Duration,
+    /// Absolute deadline the transport already extracted from the
+    /// request (epoll mode reads `x-deadline-ms` at frame time). `None`
+    /// lets [`handle_traced`] fall back to parsing the header itself.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for RequestCtx {
@@ -433,7 +553,32 @@ impl Default for RequestCtx {
             enqueued_at: None,
             dequeued_at: Instant::now(),
             parse: Duration::ZERO,
+            deadline: None,
         }
+    }
+}
+
+/// The client-requested deadline header: a whole number of milliseconds
+/// the client is willing to wait, anchored at `anchor` (the moment the
+/// request was fully read). Returns `Err` on a malformed value.
+pub const DEADLINE_HEADER: &str = "x-deadline-ms";
+
+fn effective_deadline(
+    req: &Request,
+    ctx: &RequestCtx,
+    anchor: Instant,
+) -> Result<Option<Instant>, Failure> {
+    if ctx.deadline.is_some() {
+        return Ok(ctx.deadline);
+    }
+    match req.header(DEADLINE_HEADER) {
+        None => Ok(None),
+        Some(text) => match text.trim().parse::<u64>() {
+            Ok(ms) => Ok(Some(anchor + Duration::from_millis(ms))),
+            Err(_) => Err(bad(format!(
+                "{DEADLINE_HEADER} must be a non-negative integer of milliseconds, got {text:?}"
+            ))),
+        },
     }
 }
 
@@ -487,7 +632,10 @@ pub fn handle_traced(state: &AppState, req: &Request, ctx: RequestCtx) -> ApiRes
         trace::begin(recorder);
     }
 
-    let mut response = route(state, req);
+    let mut response = match effective_deadline(req, &ctx, started) {
+        Ok(deadline) => route(state, req, deadline),
+        Err(failure) => error_response("other", &failure),
+    };
     // One clock read closes the request: handler elapsed, the journal
     // timestamp, the end-to-end total and the trace total all share it.
     let done = Instant::now();
@@ -527,7 +675,7 @@ pub fn handle_traced(state: &AppState, req: &Request, ctx: RequestCtx) -> ApiRes
     response
 }
 
-fn route(state: &AppState, req: &Request) -> ApiResponse {
+fn route(state: &AppState, req: &Request, deadline: Option<Instant>) -> ApiResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => json_response(200, "healthz", "{\"status\":\"ok\"}\n".into()),
         ("GET", "/metrics") => {
@@ -546,14 +694,14 @@ fn route(state: &AppState, req: &Request) -> ApiResponse {
                 headers: Vec::new(),
             }
         }
-        ("POST", "/v1/partition") => partition_endpoint(state, &req.body),
-        ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body),
+        ("POST", "/v1/partition") => partition_endpoint(state, &req.body, deadline),
+        ("POST", "/v1/simulate") => simulate_endpoint(state, &req.body, deadline),
         ("POST", "/v1/graphs") => graphs_register(state, &req.body),
         ("GET", "/v1/graphs") => {
             json_response(200, "graphs", format!("{}\n", state.sessions.list()))
         }
         (method, path) if path.starts_with("/v1/graphs/") => {
-            graphs_item(state, method, path, &req.body)
+            graphs_item(state, method, path, &req.body, deadline)
         }
         ("GET", path) if path.starts_with("/debug/") => debug_endpoint(state, path),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/simulate") => {
@@ -598,26 +746,16 @@ fn debug_endpoint(state: &AppState, path: &str) -> ApiResponse {
     };
     if let Some(id_text) = route.strip_prefix("/debug/trace/") {
         let Some(id) = TraceId::parse_hex(id_text) else {
-            return json_response(
-                400,
-                "debug",
-                format!(
-                    "{}\n",
-                    json!({ "error": "trace id must be 1-16 hex chars", "code": "bad_request" })
-                ),
-            );
+            return error_response("debug", &bad("trace id must be 1-16 hex chars"));
         };
         return match state.traces.get(id) {
             Some(record) => json_response(200, "debug", format!("{}\n", render_trace(&record))),
-            None => json_response(
-                404,
+            None => error_response(
                 "debug",
-                format!(
-                    "{}\n",
-                    json!({
-                        "error": "trace not found (expired from the ring or never existed)",
-                        "code": "not_found",
-                    })
+                &failure(
+                    404,
+                    "trace not found (expired from the ring or never existed)",
+                    "not_found",
                 ),
             ),
         };
@@ -702,8 +840,66 @@ fn parse_body(body: &[u8]) -> Result<Value, Failure> {
     Value::parse(text).map_err(|e| bad(format!("invalid JSON: {e}")))
 }
 
-fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
-    let value = match parse_body(body) {
+/// Parse-throughput estimate (bytes per millisecond, ~50 MB/s) used to
+/// refuse bodies that cannot plausibly finish parsing inside their
+/// deadline. The estimate deliberately errs toward refusing: a body
+/// whose parse alone would eat most of the deadline leaves nothing for
+/// the solve, so the solver's budget pre-charge would kill the request
+/// right after the (expensive) decode anyway. Bodies under the floor
+/// still get the cooperative mid-parse poll as a safety net.
+const PARSE_BYTES_PER_MS: u64 = 50_000;
+
+/// As [`parse_body`], but deadline-aware in two layers: a body so large
+/// it cannot finish parsing inside its remaining deadline (by the
+/// generous [`PARSE_BYTES_PER_MS`] floor) is refused before the first
+/// byte is decoded, and a parse that outlives its deadline anyway is
+/// abandoned within a few thousand values by the parser's cooperative
+/// check. Either way the worker answers 504 (drop site `parse`) in
+/// microseconds-to-milliseconds instead of decoding megabytes for a
+/// doomed request. Without a deadline this is byte-for-byte
+/// [`parse_body`].
+fn parse_body_budgeted(
+    state: &AppState,
+    body: &[u8],
+    deadline: Option<Instant>,
+) -> Result<Value, Failure> {
+    let Some(deadline) = deadline else {
+        return parse_body(body);
+    };
+    let remaining = remaining_ms(deadline);
+    if body.len() as u64 / PARSE_BYTES_PER_MS > remaining {
+        state.metrics.record_deadline_drop("parse");
+        let mut f = failure(
+            504,
+            format!(
+                "a {} byte body cannot be parsed within the {remaining}ms left of the deadline",
+                body.len()
+            ),
+            "deadline_exceeded",
+        );
+        f.deadline_remaining_ms = Some(remaining);
+        return Err(f);
+    }
+    let text = std::str::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    let mut expired = || Instant::now() >= deadline;
+    Value::parse_with_check(text, &mut expired).map_err(|e| {
+        if e.interrupted {
+            state.metrics.record_deadline_drop("parse");
+            let mut f = failure(
+                504,
+                "deadline expired while the request body was being parsed",
+                "deadline_exceeded",
+            );
+            f.deadline_remaining_ms = Some(0);
+            f
+        } else {
+            bad(format!("invalid JSON: {e}"))
+        }
+    })
+}
+
+fn partition_endpoint(state: &AppState, body: &[u8], deadline: Option<Instant>) -> ApiResponse {
+    let value = match parse_body_budgeted(state, body, deadline) {
         Ok(v) => v,
         Err(failure) => return error_response("partition", &failure),
     };
@@ -722,7 +918,8 @@ fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
                 return error_response("partition", &bad("\"compat\" must be a boolean"));
             }
         };
-        let outcomes = run_batch(state, items.to_vec());
+        let prepared = prepare_batch_items(items.to_vec(), deadline);
+        let outcomes = run_batch(state, prepared);
         let body = if compat {
             // Deprecated v1 shape: each result is either the response
             // object or {"error", "code"} in place — kept one release
@@ -740,10 +937,13 @@ fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
             format!("{}\n", json!({ "results": results }))
         } else {
             // v2 envelope: every item is tagged with its index and an
-            // HTTP-style status, and the batch reports aggregate counts
-            // so callers can check success without walking the array.
+            // HTTP-style status, the batch reports aggregate counts so
+            // callers can check success without walking the array, and
+            // items the deadline interrupted are marked `partial` (as
+            // is the batch itself, at top level).
             let mut completed = 0u64;
             let mut failed = 0u64;
+            let mut partial = false;
             let results: Vec<Value> = outcomes
                 .into_iter()
                 .enumerate()
@@ -758,28 +958,38 @@ fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
                     }
                     Err(failure) => {
                         failed += 1;
+                        let dropped = failure.is_interrupt();
+                        partial |= dropped;
                         json!({
                             "index": index as u64,
                             "status": u64::from(failure.status),
-                            "body": json!({
-                                "error": failure.message.as_str(),
-                                "code": failure.code,
-                            }),
+                            "body": envelope::envelope_value(
+                                failure.code,
+                                &failure.message,
+                                failure.retry_after,
+                                failure.deadline_remaining_ms,
+                                dropped,
+                            ),
                         })
                     }
                 })
                 .collect();
-            format!(
-                "{}\n",
-                json!({ "completed": completed, "failed": failed, "results": results })
-            )
+            let mut top: Vec<(String, Value)> = vec![
+                ("completed".to_string(), Value::from(completed)),
+                ("failed".to_string(), Value::from(failed)),
+            ];
+            if partial {
+                top.push(("partial".to_string(), Value::Bool(true)));
+            }
+            top.push(("results".to_string(), Value::Array(results)));
+            format!("{}\n", Value::Object(top))
         };
         let mut response = json_response(200, "partition", body);
         response.objective = "batch";
         return response;
     }
     let objective = dispatched_objective(&value);
-    let mut response = match partition_one(state, &value) {
+    let mut response = match partition_one(state, &value, deadline) {
         Ok(rendered) => json_response(200, "partition", format!("{rendered}\n")),
         Err(failure) => error_response("partition", &failure),
     };
@@ -787,10 +997,51 @@ fn partition_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
     response
 }
 
+/// One prepared batch item: the request object with its (already
+/// removed) per-item `deadline_ms` resolved against the batch-level
+/// deadline, or the failure its preparation produced.
+type BatchItem = Result<(Value, Option<Instant>), Failure>;
+
+/// Resolves each item's effective deadline: the per-item `deadline_ms`
+/// field (removed before dispatch — solvers reject undeclared fields)
+/// anchored at batch start, clipped by the request-level deadline.
+fn prepare_batch_items(items: Vec<Value>, deadline: Option<Instant>) -> Vec<BatchItem> {
+    let anchor = Instant::now();
+    items
+        .into_iter()
+        .map(|mut item| {
+            let own = take_deadline_ms(&mut item)?.map(|ms| anchor + Duration::from_millis(ms));
+            let effective = match (own, deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            Ok((item, effective))
+        })
+        .collect()
+}
+
+/// Removes and parses a batch item's `"deadline_ms"` field, if any.
+fn take_deadline_ms(item: &mut Value) -> Result<Option<u64>, Failure> {
+    let Value::Object(entries) = item else {
+        return Ok(None);
+    };
+    let Some(pos) = entries.iter().position(|(k, _)| k == "deadline_ms") else {
+        return Ok(None);
+    };
+    let (_, v) = entries.remove(pos);
+    match v.as_u64() {
+        Some(ms) => Ok(Some(ms)),
+        None => Err(invalid_field(
+            "deadline_ms",
+            "must be a non-negative integer of milliseconds",
+        )),
+    }
+}
+
 /// Runs a batch's items, scattering across the worker pool when one is
 /// attached and the batch is worth parallelising, and returns outcomes
 /// in request order.
-fn run_batch(state: &AppState, items: Vec<Value>) -> Vec<Result<String, Failure>> {
+fn run_batch(state: &AppState, items: Vec<BatchItem>) -> Vec<Result<String, Failure>> {
     state.metrics.record_batch();
     let pool = state.fanout.get();
     if items.len() < 2 || pool.is_none() {
@@ -798,7 +1049,7 @@ fn run_batch(state: &AppState, items: Vec<Value>) -> Vec<Result<String, Failure>
             .iter()
             .map(|item| {
                 state.metrics.record_batch_subtask(false);
-                partition_one(state, item)
+                run_batch_item(state, item)
             })
             .collect();
     }
@@ -852,10 +1103,29 @@ fn run_batch(state: &AppState, items: Vec<Value>) -> Vec<Result<String, Failure>
 /// unstarted items — runs the item exactly once.
 #[derive(Debug)]
 struct BatchJob {
-    items: Vec<Value>,
+    items: Vec<BatchItem>,
     claims: Vec<AtomicBool>,
     slots: Mutex<BatchSlots>,
     done: Condvar,
+}
+
+/// Runs one prepared batch item: a preparation failure is reported in
+/// place; an item whose deadline already expired is dropped without
+/// dispatching (counted under `where="batch"`); everything else solves
+/// under its effective deadline.
+fn run_batch_item(state: &AppState, item: &BatchItem) -> Result<String, Failure> {
+    match item {
+        Err(failure) => Err(failure.clone()),
+        Ok((value, deadline)) => {
+            if let Some(d) = deadline {
+                if Instant::now() >= *d {
+                    state.metrics.record_deadline_drop("batch");
+                    return Err(solve_failure(SolveError::DeadlineExceeded));
+                }
+            }
+            partition_one(state, value, *deadline)
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -865,7 +1135,7 @@ struct BatchSlots {
 }
 
 impl BatchJob {
-    fn new(items: Vec<Value>) -> Self {
+    fn new(items: Vec<BatchItem>) -> Self {
         let n = items.len();
         BatchJob {
             items,
@@ -888,7 +1158,7 @@ impl BatchJob {
         if self.claims[index].swap(true, Ordering::AcqRel) {
             return false;
         }
-        let result = partition_one(state, &self.items[index]);
+        let result = run_batch_item(state, &self.items[index]);
         let mut slots = self.slots.lock().expect("batch slots poisoned");
         slots.results[index] = Some(result);
         slots.remaining -= 1;
@@ -969,9 +1239,15 @@ fn timed_stage_from<R>(
 }
 
 /// Handles one partition request object: registry dispatch, then the
-/// cache, then the solver. Returns the rendered (compact) response JSON.
+/// cache, then the solver — run under a [`Budget`] when the request has
+/// a deadline, so a long solve is interrupted mid-loop instead of
+/// holding the worker. Returns the rendered (compact) response JSON.
 /// Per-objective metrics are recorded here so batch items count too.
-fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
+fn partition_one(
+    state: &AppState,
+    value: &Value,
+    deadline: Option<Instant>,
+) -> Result<String, Failure> {
     let started = Instant::now();
     let registry = Registry::shared();
     let outcome =
@@ -981,10 +1257,16 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
             .and_then(|(index, solver, request)| {
                 let key = solver.canonical_key(&request);
                 let cost = solver.cost_estimate(&request);
-                with_cache(state, &key, cost, || {
+                with_cache(state, &key, cost, deadline, || {
+                    let budget = match deadline {
+                        Some(d) => Budget::with_deadline(d),
+                        None => Budget::unlimited(),
+                    };
                     let (response, solve_done) =
                         timed_stage_from(state, Stage::Solve, Instant::now(), || {
-                            solver.run(&request).map_err(solve_failure)
+                            solver
+                                .run_budgeted(&request, &budget)
+                                .map_err(solve_failure)
                         });
                     let response = response?;
                     let (rendered, _) =
@@ -1014,8 +1296,21 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
                     .metrics
                     .record_objective(index, false, started.elapsed());
             }
+            note_interrupt(state, &failure, started);
             Err(failure)
         }
+    }
+}
+
+/// Makes a budget interrupt observable: a `cancelled` stage span (the
+/// time the doomed solve consumed before noticing) and one tick of
+/// `tgp_deadline_drops_total{where="solve"}`.
+fn note_interrupt(state: &AppState, failure: &Failure, started: Instant) {
+    if failure.is_interrupt() {
+        let elapsed = started.elapsed();
+        state.metrics.record_stage(Stage::Cancelled, elapsed);
+        trace::record(Stage::Cancelled, started, elapsed);
+        state.metrics.record_deadline_drop("solve");
     }
 }
 
@@ -1023,11 +1318,7 @@ fn partition_one(state: &AppState, value: &Value) -> Result<String, Failure> {
 /// and status (`session_not_found` → 404, `version_conflict` → 409,
 /// `session_budget_exceeded` → 413, invalid graph/edit → 422).
 fn session_failure(error: SessionError) -> Failure {
-    Failure {
-        status: error.status(),
-        message: error.to_string(),
-        code: error.code(),
-    }
+    failure(error.status(), error.to_string(), error.code())
 }
 
 /// `POST /v1/graphs`: registers a resident graph, returning its id and
@@ -1071,7 +1362,13 @@ fn graphs_register(state: &AppState, body: &[u8]) -> ApiResponse {
 }
 
 /// Routes `/v1/graphs/<id>` and `/v1/graphs/<id>/partition`.
-fn graphs_item(state: &AppState, method: &str, path: &str, body: &[u8]) -> ApiResponse {
+fn graphs_item(
+    state: &AppState,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    deadline: Option<Instant>,
+) -> ApiResponse {
     let rest = path.strip_prefix("/v1/graphs/").expect("routed by prefix");
     if let Some(id) = rest.strip_suffix("/partition") {
         if id.is_empty() || id.contains('/') {
@@ -1080,7 +1377,7 @@ fn graphs_item(state: &AppState, method: &str, path: &str, body: &[u8]) -> ApiRe
         if method != "POST" {
             return simple_error(405, "graphs", "method not allowed");
         }
-        return session_partition(state, id, body);
+        return session_partition(state, id, body, deadline);
     }
     let id = rest;
     if id.is_empty() || id.contains('/') {
@@ -1092,11 +1389,20 @@ fn graphs_item(state: &AppState, method: &str, path: &str, body: &[u8]) -> ApiRe
             Err(error) => error_response("graphs", &session_failure(error)),
         },
         "DELETE" => match state.sessions.delete(id) {
-            Ok(()) => json_response(
-                200,
-                "graphs",
-                format!("{}\n", json!({ "id": id, "deleted": true })),
-            ),
+            Ok(()) => {
+                // The graph is gone; so is the baseline any future
+                // delta response could be computed against.
+                state
+                    .last_solves
+                    .lock()
+                    .expect("last solves poisoned")
+                    .retain(|(graph, _), _| graph != id);
+                json_response(
+                    200,
+                    "graphs",
+                    format!("{}\n", json!({ "id": id, "deleted": true })),
+                )
+            }
             Err(error) => error_response("graphs", &session_failure(error)),
         },
         "PATCH" => graphs_patch(state, id, body),
@@ -1154,9 +1460,14 @@ fn graphs_patch(state: &AppState, id: &str, body: &[u8]) -> ApiResponse {
 /// the store's slack window is still valid. Responses are byte-identical
 /// to the stateless endpoint; only the `x-tgp-solve` header says which
 /// path ran.
-fn session_partition(state: &AppState, id: &str, body: &[u8]) -> ApiResponse {
+fn session_partition(
+    state: &AppState,
+    id: &str,
+    body: &[u8],
+    deadline: Option<Instant>,
+) -> ApiResponse {
     let started = Instant::now();
-    let mut value = match parse_body(body) {
+    let mut value = match parse_body_budgeted(state, body, deadline) {
         Ok(v) => v,
         Err(failure) => return error_response("graphs", &failure),
     };
@@ -1166,19 +1477,22 @@ fn session_partition(state: &AppState, id: &str, body: &[u8]) -> ApiResponse {
         .and_then(Value::as_str)
         .and_then(|name| Registry::shared().get(name))
         .map(|(index, _)| index);
-    let mut response = match session_partition_one(state, id, &mut value) {
-        Ok((rendered, warm)) => {
+    let mut response = match session_partition_one(state, id, &mut value, deadline) {
+        Ok(solved) => {
             if let Some(index) = objective_index {
                 state
                     .metrics
                     .record_objective(index, true, started.elapsed());
             }
-            state.sessions.record_solve(warm);
-            let mut response = json_response(200, "graphs", format!("{rendered}\n"));
+            state.sessions.record_solve(solved.warm);
+            let mut response = json_response(200, "graphs", solved.body);
             response.headers.push((
                 "x-tgp-solve",
-                if warm { "warm" } else { "cold" }.to_string(),
+                if solved.warm { "warm" } else { "cold" }.to_string(),
             ));
+            if let Some(mode) = solved.response_mode {
+                response.headers.push(("x-tgp-response", mode.to_string()));
+            }
             response
         }
         Err(failure) => {
@@ -1187,11 +1501,21 @@ fn session_partition(state: &AppState, id: &str, body: &[u8]) -> ApiResponse {
                     .metrics
                     .record_objective(index, false, started.elapsed());
             }
+            note_interrupt(state, &failure, started);
             error_response("graphs", &failure)
         }
     };
     response.objective = objective;
     response
+}
+
+/// Outcome of one session solve: the response body (full, or just the
+/// changed fields), whether the warm path ran, and — when the client
+/// asked via `"response"` — which body shape was actually returned.
+struct SessionSolve {
+    body: String,
+    warm: bool,
+    response_mode: Option<&'static str>,
 }
 
 /// The session solve: looks up the resident graph, splices it into the
@@ -1206,7 +1530,8 @@ fn session_partition_one(
     state: &AppState,
     id: &str,
     value: &mut Value,
-) -> Result<(String, bool), Failure> {
+    deadline: Option<Instant>,
+) -> Result<SessionSolve, Failure> {
     let session_started = Instant::now();
     if value.get("graph").is_some() {
         return Err(invalid_field(
@@ -1217,6 +1542,9 @@ fn session_partition_one(
     let Value::Object(_) = value else {
         return Err(bad("request body must be a JSON object"));
     };
+    // The `"response"` field is service-level ("full" | "delta"), not a
+    // solver parameter: extract and remove it before dispatch.
+    let response_mode = take_response_mode(value)?;
     let arc = state.sessions.resident(id).map_err(session_failure)?;
     let mut resident = arc.lock().expect("resident graph poisoned");
     // Move the resident graph into the request object, dispatch, move it
@@ -1251,28 +1579,105 @@ fn session_partition_one(
                 return (result.map_err(solve_failure), true);
             }
         }
-        (solver.run(&request).map_err(solve_failure), false)
+        let budget = match deadline {
+            Some(d) => Budget::with_deadline(d),
+            None => Budget::unlimited(),
+        };
+        (
+            solver
+                .run_budgeted(&request, &budget)
+                .map_err(solve_failure),
+            false,
+        )
     });
     let response = outcome?;
-    let ((rendered, bottleneck), _) = timed_stage_from(state, Stage::Serialize, solve_done, || {
-        let rendered = solver.to_json(&response);
-        let bottleneck = rendered["bottleneck"].as_u64();
-        (rendered.to_string(), bottleneck)
-    });
+    let ((rendered_value, rendered, bottleneck), _) =
+        timed_stage_from(state, Stage::Serialize, solve_done, || {
+            let rendered_value = solver.to_json(&response);
+            let bottleneck = rendered_value["bottleneck"].as_u64();
+            let rendered = rendered_value.to_string();
+            (rendered_value, rendered, bottleneck)
+        });
     if let Some(bottleneck) = bottleneck {
         resident.note_solve(&key, bottleneck);
     }
-    Ok((rendered, warm))
+    // Remember the full response (still under the resident lock, so
+    // per-graph solves serialize with their baselines) and answer delta
+    // requests with only the fields that changed since the last solve.
+    let previous = state
+        .last_solves
+        .lock()
+        .expect("last solves poisoned")
+        .insert((id.to_string(), key.clone()), rendered.clone());
+    let (body, response_mode) = match response_mode {
+        Some("delta") => match previous {
+            Some(previous) => (
+                format!("{}\n", delta_changed(&previous, &rendered_value)),
+                Some("delta"),
+            ),
+            // No baseline to diff against: fall back to the full body.
+            None => (format!("{rendered}\n"), Some("full")),
+        },
+        Some(_) => (format!("{rendered}\n"), Some("full")),
+        None => (format!("{rendered}\n"), None),
+    };
+    Ok(SessionSolve {
+        body,
+        warm,
+        response_mode,
+    })
 }
 
-fn simulate_endpoint(state: &AppState, body: &[u8]) -> ApiResponse {
-    let value = match parse_body(body) {
+/// Removes and validates the session solve's `"response"` field.
+fn take_response_mode(value: &mut Value) -> Result<Option<&'static str>, Failure> {
+    let Value::Object(entries) = value else {
+        return Ok(None);
+    };
+    let Some(pos) = entries.iter().position(|(k, _)| k == "response") else {
+        return Ok(None);
+    };
+    let (_, v) = entries.remove(pos);
+    match v.as_str() {
+        Some("full") => Ok(Some("full")),
+        Some("delta") => Ok(Some("delta")),
+        _ => Err(invalid_field("response", "must be \"full\" or \"delta\"")),
+    }
+}
+
+/// The delta body: the fields of `current` whose rendered value differs
+/// from the stored `previous` full response, in response order.
+/// Reconstructing the full body = taking `previous` and substituting
+/// each changed field's value; session_e2e pins that round trip
+/// byte-identical.
+fn delta_changed(previous: &str, current: &Value) -> Value {
+    let prev = Value::parse(previous).expect("stored solve is rendered JSON");
+    let mut changed: Vec<(String, Value)> = Vec::new();
+    if let Value::Object(entries) = current {
+        for (k, v) in entries {
+            let same = prev
+                .get(k)
+                .map(|p| p.to_string() == v.to_string())
+                .unwrap_or(false);
+            if !same {
+                changed.push((k.clone(), v.clone()));
+            }
+        }
+    }
+    Value::Object(vec![("changed".to_string(), Value::Object(changed))])
+}
+
+fn simulate_endpoint(state: &AppState, body: &[u8], deadline: Option<Instant>) -> ApiResponse {
+    let started = Instant::now();
+    let value = match parse_body_budgeted(state, body, deadline) {
         Ok(v) => v,
         Err(failure) => return error_response("simulate", &failure),
     };
-    match simulate_one(state, &value) {
+    match simulate_one(state, &value, deadline) {
         Ok(rendered) => json_response(200, "simulate", format!("{rendered}\n")),
-        Err(failure) => error_response("simulate", &failure),
+        Err(failure) => {
+            note_interrupt(state, &failure, started);
+            error_response("simulate", &failure)
+        }
     }
 }
 
@@ -1291,18 +1696,18 @@ fn invalid_field(field: &str, message: impl Into<String>) -> Failure {
 }
 
 fn too_expensive(message: String) -> Failure {
-    Failure {
-        status: 422,
-        message,
-        code: "too_expensive",
-    }
+    failure(422, message, "too_expensive")
 }
 
 fn infeasible(error: impl std::fmt::Display) -> Failure {
     solve_failure(SolveError::infeasible(error))
 }
 
-fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
+fn simulate_one(
+    state: &AppState,
+    value: &Value,
+    deadline: Option<Instant>,
+) -> Result<String, Failure> {
     let bound = value["bound"]
         .as_u64()
         .ok_or_else(|| missing_field("bound", "a non-negative integer"))?;
@@ -1369,9 +1774,14 @@ fn simulate_one(state: &AppState, value: &Value) -> Result<String, Failure> {
     // One simulation event per item per stage, roughly: the admission
     // guard should treat long simulations as expensive to recompute.
     let cost = (items as u64).saturating_mul(chain.len() as u64);
-    with_cache(state, &key, cost, || {
+    with_cache(state, &key, cost, deadline, || {
+        let budget = match deadline {
+            Some(d) => Budget::with_deadline(d),
+            None => Budget::unlimited(),
+        };
         let (solved, solve_done) = timed_stage_from(state, Stage::Solve, Instant::now(), || {
-            let part = partition_chain(&chain, Weight::new(bound)).map_err(infeasible)?;
+            let part = partition_chain_budgeted(&chain, Weight::new(bound), &budget)
+                .map_err(|e| solve_failure(SolveError::from_partition(e)))?;
             let processors = processors_override.unwrap_or(part.processors);
             let machine = Machine::new(processors, 1, 1, 0, interconnect).map_err(infeasible)?;
             let spec = PipelineSpec::from_partition(&chain, &part.cut).map_err(infeasible)?;
@@ -1409,6 +1819,7 @@ fn with_cache(
     state: &AppState,
     key: &[u8],
     cost: u64,
+    deadline: Option<Instant>,
     compute: impl FnOnce() -> Result<String, Failure>,
 ) -> Result<String, Failure> {
     // Timed inline (not via `timed_stage_from`) so the probe's end
@@ -1430,7 +1841,7 @@ fn with_cache(
         }
         return Ok(hit);
     }
-    if let Some(failure) = state.shed_verdict(cost) {
+    if let Some(failure) = state.shed_verdict(cost, deadline) {
         // Shed before counting a miss: the request neither consulted
         // compute nor occupied the cache, so it is not cache traffic.
         return Err(failure);
@@ -1450,6 +1861,7 @@ fn with_cache(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tgp_core::pipeline::partition_chain;
     use tgp_solvers::GraphKind;
 
     fn post(path: &str, body: &str) -> Request {
@@ -1875,9 +2287,10 @@ mod tests {
         for bad_body in ["", "{", "\"just a string\"x"] {
             let r = handle(&state, &post("/v1/partition", bad_body));
             assert_eq!(r.status, 400, "body {bad_body:?} gave {}", r.body);
-            let v = Value::parse(&r.body).unwrap();
-            assert!(v["error"].as_str().is_some());
-            assert_eq!(v["code"].as_str(), Some("bad_request"));
+            assert_eq!(
+                envelope::parse_envelope(r.body.as_bytes()).unwrap(),
+                "bad_request"
+            );
         }
     }
 
@@ -1973,7 +2386,7 @@ mod tests {
             assert_eq!(r.status, 422, "body {body} gave {}", r.body);
             let v = Value::parse(&r.body).unwrap();
             assert!(
-                v["error"].as_str().unwrap().contains("exceeds the limit"),
+                v["message"].as_str().unwrap().contains("exceeds the limit"),
                 "{}",
                 r.body
             );

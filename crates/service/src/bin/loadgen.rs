@@ -3,8 +3,9 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--connections N] [--seconds S]
 //!         [--timeout SECS] [--nodes N] [--distinct D]
-//!         [--mix chain|tree|simulate|session] [--rate RPS] [--sweep MIN..MAX]
-//!         [--strict] [--latency-budget MS]
+//!         [--mix chain|tree|simulate|session|adversarial]
+//!         [--deadline-ms MS] [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX]
+//!         [--strict] [--latency-budget MS] [--p999-budget MS]
 //! ```
 //!
 //! Closed-loop (default): N client threads, each holding one keep-alive
@@ -42,6 +43,17 @@
 //! * `tree` — tree objectives (`bottleneck`, `procmin`, `compose`)
 //!   round-robin over random caterpillar trees.
 //! * `simulate` — `/v1/simulate` pipeline replays of random chains.
+//! * `adversarial` — the tail-latency gauntlet: 99% small chains, 1%
+//!   huge chains (`--huge-nodes`, default 1 000 000), every request
+//!   carrying an `x-deadline-ms` header (`--deadline-ms`, default 50).
+//!   The huge solves must be shed or cancelled by the deadline
+//!   machinery instead of wedging a worker, so 504
+//!   `deadline_exceeded` responses are *intended* here and tallied as
+//!   deadline drops, not failures. The report prints **goodput**
+//!   (200s/s) and small-request latency separately from the huge
+//!   requests; `--p999-budget MS` turns the small-request p999 into a
+//!   `--strict` gate. Run the server with a raised `--max-body-bytes`
+//!   so the huge bodies are admitted at all.
 //! * `session` — each connection registers a resident chain
 //!   (`POST /v1/graphs`), then loops: apply a 16-edit batch
 //!   (`PATCH /v1/graphs/<id>`) and re-partition
@@ -53,11 +65,13 @@
 //!   graph; any divergence fails the run.
 //!
 //! `--strict` exits 1 when any response was a 5xx other than a 503
-//! shed (for CI smoke runs, where sheds under deliberate overload are
-//! the server working as designed but anything else is a bug), when
-//! any connection starved, when any session warm re-solve differed
-//! from its cold verification, or when — with `--latency-budget MS` —
-//! the client-side p99 latency exceeds the budget.
+//! shed or an intended deadline 504 (for CI smoke runs, where sheds
+//! under deliberate overload are the server working as designed but
+//! anything else is a bug), when any connection starved, when any
+//! session warm re-solve differed from its cold verification, when any
+//! non-200 body fails to parse as a v2 error envelope with a stable
+//! `code` (`tgp_service::envelope`), or when a latency budget
+//! (`--latency-budget MS` p99, `--p999-budget MS` p999) is exceeded.
 //!
 //! Latency is tallied in the same log-linear histogram the server
 //! exports under `/metrics` (`tgp-obs`), so quantiles cost constant
@@ -78,6 +92,7 @@ enum Mix {
     Tree,
     Simulate,
     Session,
+    Adversarial,
 }
 
 impl Mix {
@@ -87,9 +102,13 @@ impl Mix {
             Mix::Tree => "tree",
             Mix::Simulate => "simulate",
             Mix::Session => "session",
+            Mix::Adversarial => "adversarial",
         }
     }
 }
+
+/// In the adversarial mix, one request in this many is huge.
+const HUGE_EVERY: usize = 100;
 
 struct Config {
     addr: String,
@@ -111,6 +130,14 @@ struct Config {
     /// With `--strict`, fail the run when client-side p99 latency
     /// exceeds this budget.
     latency_budget: Option<Duration>,
+    /// With `--strict`, fail the run when small-request p999 latency
+    /// exceeds this budget (the adversarial-mix tail gate).
+    p999_budget: Option<Duration>,
+    /// Send an `x-deadline-ms` header with this value on every request.
+    /// Defaults to 50 in the adversarial mix, unset elsewhere.
+    deadline_ms: Option<u64>,
+    /// Node count of the adversarial mix's huge chains.
+    huge_nodes: usize,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -127,6 +154,9 @@ fn parse_args() -> Result<Config, String> {
         sweep: None,
         strict: false,
         latency_budget: None,
+        p999_budget: None,
+        deadline_ms: None,
+        huge_nodes: 1_000_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -178,11 +208,30 @@ fn parse_args() -> Result<Config, String> {
                     "tree" => Mix::Tree,
                     "simulate" => Mix::Simulate,
                     "session" => Mix::Session,
+                    "adversarial" => Mix::Adversarial,
                     other => {
                         return Err(format!(
-                            "--mix must be chain, tree, simulate or session, got {other:?}"
+                            "--mix must be chain, tree, simulate, session or adversarial, \
+                             got {other:?}"
                         ))
                     }
+                }
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be at least 1 ms".into());
+                }
+                config.deadline_ms = Some(ms);
+            }
+            "--huge-nodes" => {
+                config.huge_nodes = value("--huge-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--huge-nodes: {e}"))?;
+                if config.huge_nodes < 2 {
+                    return Err("--huge-nodes must be at least 2".into());
                 }
             }
             "--rate" => {
@@ -216,12 +265,22 @@ fn parse_args() -> Result<Config, String> {
                 }
                 config.latency_budget = Some(Duration::from_millis(ms));
             }
+            "--p999-budget" => {
+                let ms: u64 = value("--p999-budget")?
+                    .parse()
+                    .map_err(|e| format!("--p999-budget: {e}"))?;
+                if ms == 0 {
+                    return Err("--p999-budget must be at least 1 ms".into());
+                }
+                config.p999_budget = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--connections N] \
                      [--seconds S] [--timeout SECS] [--nodes N] [--distinct D] \
-                     [--mix chain|tree|simulate|session] [--rate RPS] [--sweep MIN..MAX] \
-                     [--strict] [--latency-budget MS]"
+                     [--mix chain|tree|simulate|session|adversarial] [--deadline-ms MS] \
+                     [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX] \
+                     [--strict] [--latency-budget MS] [--p999-budget MS]"
                 );
                 std::process::exit(0);
             }
@@ -242,6 +301,9 @@ fn parse_args() -> Result<Config, String> {
         // patch, partition, verify); a fixed per-request schedule has
         // no meaningful phase to pin to.
         return Err("--rate does not apply to the session mix".into());
+    }
+    if config.mix == Mix::Adversarial && config.deadline_ms.is_none() {
+        config.deadline_ms = Some(50);
     }
     Ok(config)
 }
@@ -295,7 +357,9 @@ fn request_bodies(mix: Mix, nodes: usize, distinct: usize) -> Vec<RequestBody> {
             // nodes keeps every instance feasible but non-trivial.
             let bound = 4 * nodes / 3;
             match mix {
-                Mix::Chain => RequestBody {
+                // The adversarial mix's 99% small requests are the
+                // chain workload; its huge 1% is rendered separately.
+                Mix::Chain | Mix::Adversarial => RequestBody {
                     path: "/v1/partition",
                     body: format!(
                         r#"{{"objective":"bandwidth","bound":{bound},"graph":{}}}"#,
@@ -350,16 +414,19 @@ struct Response {
 }
 
 /// One HTTP exchange on an existing keep-alive connection.
+/// `extra_headers` is pre-rendered `name: value\r\n` lines (may be
+/// empty) — how the adversarial mix attaches `x-deadline-ms`.
 fn http_exchange(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     method: &str,
     path: &str,
+    extra_headers: &str,
     body: &str,
 ) -> Result<Response, std::io::Error> {
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\ncontent-type: application/json\r\n{extra_headers}content-length: {}\r\n\r\n{body}",
         body.len(),
     )?;
     writer.flush()?;
@@ -396,13 +463,16 @@ fn http_exchange(
     Ok(Response { status, warm, body })
 }
 
-/// One POST exchange that only needs the status back.
+/// One POST exchange returning the full parsed response, so strict
+/// runs can audit error bodies.
 fn exchange(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
-    request: &RequestBody,
-) -> Result<u16, std::io::Error> {
-    http_exchange(reader, writer, "POST", request.path, &request.body).map(|r| r.status)
+    extra_headers: &str,
+    path: &str,
+    body: &str,
+) -> Result<Response, std::io::Error> {
+    http_exchange(reader, writer, "POST", path, extra_headers, body)
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -425,6 +495,20 @@ struct Tally {
     shed_503: u64,
     other_5xx: u64,
     non_200: u64,
+    /// 200 responses — the numerator of goodput.
+    ok_200: u64,
+    /// 504s on requests that carried an `x-deadline-ms` header: the
+    /// deadline machinery doing its job, not a server fault.
+    deadline_504: u64,
+    /// Non-200 bodies that failed to parse as a v2 error envelope with
+    /// a stable code; any makes a `--strict` run fail.
+    envelope_violations: u64,
+    /// First envelope-violation diagnostic, for the failure message.
+    envelope_example: Option<String>,
+    /// Adversarial mix: the 1% huge requests, tallied apart so the
+    /// small-request tail (`--p999-budget`) is not averaged away.
+    huge_latency: Histogram,
+    huge_sent: u64,
     /// Session mix only: re-solve latency split by the `x-tgp-solve`
     /// header, plus edit-batch and verification outcomes. The
     /// verification histogram times the `--strict` stateless cold
@@ -439,6 +523,29 @@ struct Tally {
     edit_batches: u64,
     version_conflicts: u64,
     verify_mismatches: u64,
+}
+
+impl Tally {
+    /// Books one non-200 response: audits the body against the v2
+    /// error envelope and classifies the status. `had_deadline` marks
+    /// requests that carried an `x-deadline-ms` header, whose 504s are
+    /// intended drops rather than server faults.
+    fn note_error(&mut self, status: u16, body: &[u8], had_deadline: bool) {
+        self.non_200 += 1;
+        if let Err(e) = tgp_service::envelope::parse_envelope(body) {
+            self.envelope_violations += 1;
+            if self.envelope_example.is_none() {
+                self.envelope_example = Some(format!("status {status}: {e}"));
+            }
+        }
+        if status == 503 {
+            self.shed_503 += 1;
+        } else if status == 504 && had_deadline {
+            self.deadline_504 += 1;
+        } else if status >= 500 {
+            self.other_5xx += 1;
+        }
+    }
 }
 
 /// The per-connection state of one resident-graph session: the server
@@ -509,18 +616,16 @@ fn session_loop(
     macro_rules! send {
         ($method:expr, $path:expr, $body:expr) => {{
             let started = Instant::now();
-            match http_exchange(reader, writer, $method, $path, $body) {
+            match http_exchange(reader, writer, $method, $path, "", $body) {
                 Ok(response) => {
                     tally.latency.record(started.elapsed().as_micros() as u64);
                     tally.responses += 1;
-                    if response.status != 200 {
-                        tally.non_200 += 1;
+                    if response.status == 200 {
+                        tally.ok_200 += 1;
+                    } else {
+                        tally.note_error(response.status, &response.body, false);
                         if response.status == 503 {
-                            tally.shed_503 += 1;
                             return Ok(());
-                        }
-                        if response.status >= 500 {
-                            tally.other_5xx += 1;
                         }
                     }
                     (response, started)
@@ -681,12 +786,36 @@ fn main() {
         (None, mix) => request_bodies(mix, config.nodes, config.distinct),
     });
     let stop = Arc::new(AtomicBool::new(false));
+    // The adversarial mix's 1% huge request, rendered once and shared:
+    // a chain large enough that solving it without deadline
+    // enforcement would visibly stall a worker.
+    let huge_body = Arc::new(if config.mix == Mix::Adversarial {
+        let bound = 4 * config.huge_nodes / 3;
+        format!(
+            r#"{{"objective":"bandwidth","bound":{bound},"graph":{}}}"#,
+            chain_graph(config.huge_nodes, 0)
+        )
+    } else {
+        String::new()
+    });
+    // Pre-rendered x-deadline-ms header line for every request.
+    let deadline_header = Arc::new(match config.deadline_ms {
+        Some(ms) => format!("x-deadline-ms: {ms}\r\n"),
+        None => String::new(),
+    });
 
     let workload = match (config.sweep, config.mix) {
         (Some((lo, hi)), _) => format!("bound sweep {lo}..{hi} over one fixed chain"),
         (None, Mix::Session) => {
             format!("mix session, one resident graph per connection, {SESSION_BATCH}-edit batches")
         }
+        (None, Mix::Adversarial) => format!(
+            "mix adversarial, {} distinct small bodies + 1/{HUGE_EVERY} huge ({} nodes), \
+             {} ms deadlines",
+            config.distinct,
+            config.huge_nodes,
+            config.deadline_ms.unwrap_or(50)
+        ),
         (None, mix) => format!("mix {}, {} distinct bodies", mix.name(), config.distinct),
     };
     let pacing = match config.rate {
@@ -716,6 +845,8 @@ fn main() {
         .map(|c| {
             let addr = config.addr.clone();
             let bodies = Arc::clone(&bodies);
+            let huge_body = Arc::clone(&huge_body);
+            let deadline_header = Arc::clone(&deadline_header);
             let stop = Arc::clone(&stop);
             let offset = interval
                 .map(|iv| iv.mul_f64(c as f64 / slots as f64))
@@ -757,7 +888,17 @@ fn main() {
                         }
                     }
                     while !stop.load(Ordering::Relaxed) {
-                        let body = &bodies[i % bodies.len()];
+                        // The adversarial mix slips a huge chain into
+                        // every HUGE_EVERY-th slot tick; its latency
+                        // is tallied apart so the small-request tail
+                        // stays measurable.
+                        let huge = mix == Mix::Adversarial && i % HUGE_EVERY == 0;
+                        let (path, body) = if huge {
+                            ("/v1/partition", huge_body.as_str())
+                        } else {
+                            let b = &bodies[i % bodies.len()];
+                            (b.path, b.body.as_str())
+                        };
                         i += 1;
                         // The measurement epoch: in open-loop mode the
                         // *scheduled* tick, even if we're running late
@@ -775,20 +916,28 @@ fn main() {
                             }
                             None => Instant::now(),
                         };
-                        match exchange(&mut reader, &mut writer, body) {
-                            Ok(status) => {
-                                tally.latency.record(started.elapsed().as_micros() as u64);
+                        match exchange(&mut reader, &mut writer, &deadline_header, path, body) {
+                            Ok(response) => {
+                                let micros = started.elapsed().as_micros() as u64;
+                                if huge {
+                                    tally.huge_sent += 1;
+                                    tally.huge_latency.record(micros);
+                                } else {
+                                    tally.latency.record(micros);
+                                }
                                 tally.responses += 1;
-                                if status != 200 {
-                                    tally.non_200 += 1;
-                                    if status == 503 {
+                                if response.status == 200 {
+                                    tally.ok_200 += 1;
+                                } else {
+                                    tally.note_error(
+                                        response.status,
+                                        &response.body,
+                                        !deadline_header.is_empty(),
+                                    );
+                                    if response.status == 503 {
                                         // Overloaded: shed by design,
                                         // and the connection was closed.
-                                        tally.shed_503 += 1;
                                         continue 'reconnect;
-                                    }
-                                    if status >= 500 {
-                                        tally.other_5xx += 1;
                                     }
                                 }
                             }
@@ -822,6 +971,14 @@ fn main() {
         merged.shed_503 += tally.shed_503;
         merged.other_5xx += tally.other_5xx;
         merged.non_200 += tally.non_200;
+        merged.ok_200 += tally.ok_200;
+        merged.deadline_504 += tally.deadline_504;
+        merged.envelope_violations += tally.envelope_violations;
+        if merged.envelope_example.is_none() {
+            merged.envelope_example = tally.envelope_example;
+        }
+        merged.huge_latency.merge(&tally.huge_latency);
+        merged.huge_sent += tally.huge_sent;
         merged.warm_latency.merge(&tally.warm_latency);
         merged.cold_latency.merge(&tally.cold_latency);
         merged.verify_latency.merge(&tally.verify_latency);
@@ -848,15 +1005,32 @@ fn main() {
         ),
         None => println!("throughput: {:.0} req/s", completed as f64 / elapsed),
     }
+    println!(
+        "goodput:    {:.0} ok/s ({} of {completed} responses were 200)",
+        merged.ok_200 as f64 / elapsed,
+        merged.ok_200
+    );
     let p99_us = merged.latency.quantile(0.99);
+    let p999_us = merged.latency.quantile(0.999);
     println!(
         "latency:    p50 {} us, p90 {} us, p99 {} us, p999 {} us, max {} us",
         merged.latency.quantile(0.50),
         merged.latency.quantile(0.90),
         p99_us,
-        merged.latency.quantile(0.999),
+        p999_us,
         merged.latency.max(),
     );
+    if config.mix == Mix::Adversarial {
+        println!(
+            "adversary:  {} huge requests sent, {} intended deadline 504s; \
+             huge p50 {} us, p99 {} us, max {} us (small-request latency above)",
+            merged.huge_sent,
+            merged.deadline_504,
+            merged.huge_latency.quantile(0.50),
+            merged.huge_latency.quantile(0.99),
+            merged.huge_latency.max(),
+        );
+    }
     println!(
         "connections: {slots} persistent, {starved} starved; served/conn min {} p50 {} max {}",
         served_per_slot.first().copied().unwrap_or(0),
@@ -893,8 +1067,13 @@ fn main() {
     }
     if merged.non_200 > 0 || merged.transport_errors > 0 {
         println!(
-            "anomalies:  {} non-200 responses ({} shed 503s, {} other 5xx), {} transport errors",
-            merged.non_200, merged.shed_503, merged.other_5xx, merged.transport_errors
+            "anomalies:  {} non-200 responses ({} shed 503s, {} deadline 504s, {} other 5xx), \
+             {} transport errors",
+            merged.non_200,
+            merged.shed_503,
+            merged.deadline_504,
+            merged.other_5xx,
+            merged.transport_errors
         );
     }
     let mut failures = Vec::new();
@@ -913,11 +1092,29 @@ fn main() {
             merged.verify_mismatches
         ));
     }
+    if merged.envelope_violations > 0 {
+        failures.push(format!(
+            "{} non-200 bodies were not valid v2 error envelopes (first: {})",
+            merged.envelope_violations,
+            merged
+                .envelope_example
+                .as_deref()
+                .unwrap_or("<no diagnostic>")
+        ));
+    }
     if let Some(budget) = config.latency_budget {
         let budget_us = budget.as_micros() as u64;
         if p99_us > budget_us {
             failures.push(format!(
                 "p99 latency {p99_us} us exceeds the {budget_us} us budget"
+            ));
+        }
+    }
+    if let Some(budget) = config.p999_budget {
+        let budget_us = budget.as_micros() as u64;
+        if p999_us > budget_us {
+            failures.push(format!(
+                "p999 latency {p999_us} us exceeds the {budget_us} us budget"
             ));
         }
     }

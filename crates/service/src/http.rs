@@ -214,6 +214,7 @@ pub fn reason(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -263,15 +264,19 @@ pub fn write_response_with<W: Write>(
     stream.flush()
 }
 
-/// The 503 body: same `{"error", "code"}` schema as every other error
-/// the service emits, so clients parse one shape everywhere.
-const OVERLOADED_BODY: &str =
-    "{\"error\":\"server overloaded, retry shortly\",\"code\":\"overloaded\"}\n";
-
-/// The 503 the acceptor writes when the worker queue is full. Carries a
-/// `retry-after` header (seconds) so well-behaved clients back off for
-/// roughly as long as the queue needs to drain.
+/// The 503 the acceptor writes when the worker queue is full. The body
+/// is the same v2 envelope as every other error the service emits, with
+/// `retry_after` mirrored in a `retry-after` header (seconds) so
+/// well-behaved clients back off for roughly as long as the queue needs
+/// to drain.
 pub fn overloaded_response(retry_after_secs: u64) -> Vec<u8> {
+    let body = crate::envelope::envelope_body(
+        "overloaded",
+        "server overloaded, retry shortly",
+        Some(retry_after_secs),
+        None,
+        false,
+    );
     format!(
         "HTTP/1.1 503 Service Unavailable\r\n\
          content-type: application/json\r\n\
@@ -280,9 +285,9 @@ pub fn overloaded_response(retry_after_secs: u64) -> Vec<u8> {
          connection: close\r\n\
          \r\n\
          {}",
-        OVERLOADED_BODY.len(),
+        body.len(),
         retry_after_secs,
-        OVERLOADED_BODY,
+        body,
     )
     .into_bytes()
 }
@@ -312,7 +317,15 @@ mod tests {
             .unwrap();
         assert_eq!(declared, body.len());
         assert!(head.contains("retry-after: 7"));
-        assert!(body.contains("\"code\":\"overloaded\""));
+        assert_eq!(
+            body,
+            "{\"code\":\"overloaded\",\"message\":\"server overloaded, retry shortly\",\
+             \"retry_after\":7}\n"
+        );
+        assert_eq!(
+            crate::envelope::parse_envelope(body.as_bytes()).unwrap(),
+            "overloaded"
+        );
     }
 
     #[test]
@@ -326,7 +339,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_statuses() {
-        for s in [200, 400, 404, 405, 409, 413, 422, 500, 503] {
+        for s in [200, 400, 404, 405, 409, 413, 422, 500, 503, 504] {
             assert_ne!(reason(s), "Unknown");
         }
     }

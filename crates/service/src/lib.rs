@@ -75,6 +75,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod envelope;
 pub mod http;
 pub mod metrics;
 pub mod pool;

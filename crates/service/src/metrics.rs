@@ -45,7 +45,12 @@ const ENDPOINTS: [&str; 7] = [
 
 /// The status classes tracked per endpoint. Unknown statuses fold into
 /// the last entry, so 500 must stay last.
-const STATUSES: [u16; 9] = [200, 400, 404, 405, 409, 413, 422, 503, 500];
+const STATUSES: [u16; 10] = [200, 400, 404, 405, 409, 413, 422, 503, 504, 500];
+
+/// Label values of the `tgp_deadline_drops_total{where=...}` family:
+/// where in the pipeline a request (or batch item) was dropped because
+/// its deadline expired or its remaining time was shed.
+pub const DEADLINE_DROP_SITES: [&str; 5] = ["admission", "queue", "parse", "solve", "batch"];
 
 /// Per-objective counters, indexed by the solver's registry index so the
 /// hot path never touches the objective name.
@@ -93,6 +98,8 @@ pub struct Metrics {
     /// Requests shed by the cost-based admission guard (503 with code
     /// `shed_expensive`).
     shed_by_cost: AtomicU64,
+    /// Deadline-driven drops, indexed like [`DEADLINE_DROP_SITES`].
+    deadline_drops: [AtomicU64; DEADLINE_DROP_SITES.len()],
     /// Connection-layer counters, shared with the transport (the epoll
     /// loop, or the threads-mode connection servers).
     net: Arc<NetCounters>,
@@ -119,6 +126,7 @@ impl Default for Metrics {
             queue_depth: AtomicU64::new(0),
             busy_workers: AtomicU64::new(0),
             shed_by_cost: AtomicU64::new(0),
+            deadline_drops: std::array::from_fn(|_| AtomicU64::new(0)),
             net: Arc::new(NetCounters::default()),
         }
     }
@@ -248,6 +256,22 @@ impl Metrics {
     /// Records one request shed by the cost-based admission guard.
     pub fn record_shed_by_cost(&self) {
         self.shed_by_cost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one deadline-driven drop at the named pipeline site
+    /// (one of [`DEADLINE_DROP_SITES`]; unknown names are ignored).
+    pub fn record_deadline_drop(&self, site: &str) {
+        if let Some(i) = DEADLINE_DROP_SITES.iter().position(|s| *s == site) {
+            self.deadline_drops[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total deadline-driven drops across every site.
+    pub fn deadline_drops(&self) -> u64 {
+        self.deadline_drops
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// The connection-layer counters. The transport increments them (the
@@ -391,6 +415,18 @@ impl Metrics {
             "tgp_shed_by_cost_total {}\n",
             self.shed_by_cost.load(Ordering::Relaxed)
         ));
+
+        out.push_str(
+            "# HELP tgp_deadline_drops_total Work dropped because its deadline expired, by pipeline site.\n",
+        );
+        out.push_str("# TYPE tgp_deadline_drops_total counter\n");
+        for (i, site) in DEADLINE_DROP_SITES.iter().enumerate() {
+            out.push_str(&format!(
+                "tgp_deadline_drops_total{{where=\"{}\"}} {}\n",
+                site,
+                self.deadline_drops[i].load(Ordering::Relaxed)
+            ));
+        }
 
         out.push_str("# HELP tgp_open_connections Currently open client connections.\n");
         out.push_str("# TYPE tgp_open_connections gauge\n");
@@ -553,6 +589,35 @@ mod tests {
         );
         assert!(text.contains("tgp_accept_backpressure_total 1"), "{text}");
         assert!(text.contains("tgp_readiness_wakeups_total 0"), "{text}");
+    }
+
+    #[test]
+    fn deadline_drop_series_render_all_sites() {
+        let m = Metrics::default();
+        m.record_deadline_drop("queue");
+        m.record_deadline_drop("solve");
+        m.record_deadline_drop("solve");
+        m.record_deadline_drop("no-such-site"); // ignored
+        let text = m.render();
+        assert!(
+            text.contains("tgp_deadline_drops_total{where=\"queue\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_deadline_drops_total{where=\"solve\"} 2"),
+            "{text}"
+        );
+        // Zero-count sites still render, so dashboards and the CI smoke
+        // can rely on the full label set from the first scrape.
+        assert!(
+            text.contains("tgp_deadline_drops_total{where=\"admission\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_deadline_drops_total{where=\"batch\"} 0"),
+            "{text}"
+        );
+        assert_eq!(m.deadline_drops(), 3);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub enum Work {
         trace: TraceId,
         /// When the loop pushed the request onto the queue.
         enqueued_at: Instant,
+        /// Absolute deadline parsed from the `x-deadline-ms` header at
+        /// frame time. Workers drop still-queued requests whose
+        /// deadline already passed without parsing them.
+        deadline: Option<Instant>,
     },
     /// One chunk of a scattered partition batch.
     Batch(BatchSubtask),

@@ -44,15 +44,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::api::{handle_traced, AppState, RequestCtx};
+use crate::api::{handle_traced, AppState, RequestCtx, DEADLINE_HEADER};
 use crate::cache::CacheConfig;
+use crate::envelope::envelope_body;
 use crate::http::{
     overloaded_response, read_request, retry_after_secs, write_response, write_response_with,
     RecvError, MAX_HEAD_BYTES,
 };
 use crate::pool::{BoundedQueue, PushError, Work};
-use tgp_graph::json;
-use tgp_net::{Action, ConnId, EventLoop, FrameError, LoopHandle, NetConfig};
+use tgp_net::{request_header_value, Action, ConnId, EventLoop, FrameError, LoopHandle, NetConfig};
 use tgp_obs::{EventKind, Stage, TraceId};
 
 /// Which connection model the server runs.
@@ -138,6 +138,11 @@ pub struct ServerConfig {
     /// estimate`](tgp_solvers::Solver::cost_estimate) exceeds this once
     /// the queue is nearly full. `None` disables cost-based admission.
     pub shed_cost: Option<u64>,
+    /// Shed cache-missing requests whose deadline has fewer than this
+    /// many milliseconds left once the queue is nearly full — they
+    /// would almost certainly expire mid-solve. `None` disables
+    /// remaining-time admission.
+    pub shed_remaining: Option<u64>,
     /// Write one structured access-log line per request to stderr
     /// (`tgp-access method=… path=… objective=… status=… micros=…
     /// queue_us=… total_us=… trace=…`; see docs/OBSERVABILITY.md).
@@ -172,6 +177,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
             shed_cost: None,
+            shed_remaining: None,
             log_requests: false,
             debug_endpoints: false,
             session_file: None,
@@ -234,6 +240,7 @@ impl Server {
                 .with_access_log(config.log_requests)
                 .with_debug_endpoints(config.debug_endpoints)
                 .with_shed_cost(config.shed_cost)
+                .with_shed_remaining(config.shed_remaining)
                 .with_sessions(sessions),
         );
         let stop = Arc::new(AtomicBool::new(false));
@@ -302,6 +309,7 @@ impl Server {
                                     reply,
                                     trace,
                                     enqueued_at,
+                                    deadline,
                                 } => {
                                     let now = Instant::now();
                                     if state.debug_endpoints {
@@ -314,20 +322,30 @@ impl Server {
                                             wait.as_nanos() as u64,
                                         );
                                     }
-                                    let (response, keep_alive, trace, seq) = respond_to_bytes(
-                                        &state,
-                                        &bytes,
-                                        max_body,
-                                        &stop,
-                                        trace,
-                                        Some(enqueued_at),
-                                        now,
-                                    );
-                                    // Registered before the submit: the loop may
-                                    // finish flushing (and report the write) the
-                                    // instant the response lands.
-                                    state.note_write_pending(conn, trace, seq);
-                                    reply.submit(conn, response, keep_alive);
+                                    if deadline.is_some_and(|d| now >= d) {
+                                        // The deadline passed while the
+                                        // request waited in the queue:
+                                        // drop it without even parsing.
+                                        let (response, keep_alive) =
+                                            expired_in_queue_response(&state);
+                                        reply.submit(conn, response, keep_alive);
+                                    } else {
+                                        let (response, keep_alive, trace, seq) = respond_to_bytes(
+                                            &state,
+                                            &bytes,
+                                            max_body,
+                                            &stop,
+                                            trace,
+                                            Some(enqueued_at),
+                                            now,
+                                            deadline,
+                                        );
+                                        // Registered before the submit: the loop may
+                                        // finish flushing (and report the write) the
+                                        // instant the response lands.
+                                        state.note_write_pending(conn, trace, seq);
+                                        reply.submit(conn, response, keep_alive);
+                                    }
                                 }
                                 Work::Batch(subtask) => subtask.run(&state),
                             }
@@ -550,12 +568,20 @@ impl tgp_net::Handler for EpollHandler {
                 0,
             );
         }
+        // Peek at the deadline header at frame time so a worker can
+        // drop the request if it expires while queued. A malformed
+        // value stays None here; the worker's full parse answers 400.
+        let deadline = request_header_value(&bytes, DEADLINE_HEADER.as_bytes())
+            .and_then(|v| std::str::from_utf8(v).ok())
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map(|ms| enqueued_at + Duration::from_millis(ms));
         match self.queue.try_push(Work::Request {
             conn,
             bytes,
             reply: handle.clone(),
             trace,
             enqueued_at,
+            deadline,
         }) {
             Ok(()) => Action::Pending,
             Err(PushError::Full(_)) => {
@@ -600,7 +626,7 @@ impl tgp_net::Handler for EpollHandler {
         self.state
             .metrics
             .record_request("other", status, Duration::ZERO);
-        let body = format!("{}\n", json!({ "error": message, "code": code }));
+        let body = envelope_body(code, &message, None, None, false);
         let mut out = Vec::new();
         let _ = write_response(&mut out, status, "application/json", body.as_bytes(), false);
         out
@@ -617,6 +643,10 @@ impl tgp_net::Handler for EpollHandler {
 /// whether the connection should be kept alive, and the trace id and
 /// commit handle the request ran under (NONE/None for unparseable
 /// requests), so the caller can attribute the eventual socket write.
+// Transport plumbing: each argument is a distinct per-request fact the
+// epoll loop already holds; bundling them into a struct would only move
+// the same list one call further away.
+#[allow(clippy::too_many_arguments)]
 fn respond_to_bytes(
     state: &AppState,
     bytes: &[u8],
@@ -625,6 +655,7 @@ fn respond_to_bytes(
     trace: TraceId,
     enqueued_at: Option<Instant>,
     dequeued_at: Instant,
+    deadline: Option<Instant>,
 ) -> (Vec<u8>, bool, TraceId, Option<u64>) {
     let mut reader = bytes;
     let mut out = Vec::new();
@@ -636,6 +667,7 @@ fn respond_to_bytes(
                 enqueued_at,
                 dequeued_at,
                 parse,
+                deadline,
             };
             let response = handle_traced(state, &request, ctx);
             let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
@@ -655,25 +687,36 @@ fn respond_to_bytes(
             (out, false, TraceId::NONE, None)
         }
         Err(RecvError::BadRequest(message)) => {
-            let body = format!(
-                "{}\n",
-                json!({ "error": message.as_str(), "code": "bad_request" })
-            );
+            let body = envelope_body("bad_request", &message, None, None, false);
             state.metrics.record_request("other", 400, Duration::ZERO);
             let _ = write_response(&mut out, 400, "application/json", body.as_bytes(), false);
             (out, false, TraceId::NONE, None)
         }
         Err(RecvError::BodyTooLarge { declared, limit }) => {
             let message = format!("body of {declared} bytes exceeds limit of {limit}");
-            let body = format!(
-                "{}\n",
-                json!({ "error": message, "code": "body_too_large" })
-            );
+            let body = envelope_body("body_too_large", &message, None, None, false);
             state.metrics.record_request("other", 413, Duration::ZERO);
             let _ = write_response(&mut out, 413, "application/json", body.as_bytes(), false);
             (out, false, TraceId::NONE, None)
         }
     }
+}
+
+/// Canned 504 for a queued request whose deadline passed before a
+/// worker could even parse it. Counted under the `queue` drop site.
+fn expired_in_queue_response(state: &AppState) -> (Vec<u8>, bool) {
+    state.metrics.record_deadline_drop("queue");
+    state.metrics.record_request("other", 504, Duration::ZERO);
+    let body = envelope_body(
+        "deadline_exceeded",
+        "deadline expired while the request waited in the queue",
+        None,
+        Some(0),
+        false,
+    );
+    let mut out = Vec::new();
+    let _ = write_response(&mut out, 504, "application/json", body.as_bytes(), false);
+    (out, false)
 }
 
 // ---- threads front-end --------------------------------------------
@@ -776,6 +819,9 @@ fn serve_connection_inner(
                     enqueued_at: pending_enqueue.take(),
                     dequeued_at: read_started,
                     parse: read_started.elapsed(),
+                    // Threads mode has no frame-time peek; handle_traced
+                    // parses the x-deadline-ms header itself.
+                    deadline: None,
                 };
                 let response = handle_traced(state, &request, ctx);
                 let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
@@ -832,10 +878,7 @@ fn serve_connection_inner(
                 return;
             }
             Err(RecvError::BadRequest(message)) => {
-                let body = format!(
-                    "{}\n",
-                    json!({ "error": message.as_str(), "code": "bad_request" })
-                );
+                let body = envelope_body("bad_request", &message, None, None, false);
                 state.metrics.record_request("other", 400, Duration::ZERO);
                 let _ = write_response(
                     &mut write_half,
@@ -848,10 +891,7 @@ fn serve_connection_inner(
             }
             Err(RecvError::BodyTooLarge { declared, limit }) => {
                 let message = format!("body of {declared} bytes exceeds limit of {limit}");
-                let body = format!(
-                    "{}\n",
-                    json!({ "error": message, "code": "body_too_large" })
-                );
+                let body = envelope_body("body_too_large", &message, None, None, false);
                 state.metrics.record_request("other", 413, Duration::ZERO);
                 let _ = write_response(
                     &mut write_half,

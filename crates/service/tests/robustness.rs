@@ -97,8 +97,8 @@ fn malformed_json_bodies_get_structured_400() {
             let (status, reply) = send_raw(server, &post_json(body)).expect("got a response");
             assert_eq!(status, 400, "body {body:?} → {reply}");
             assert!(
-                reply.contains("\"error\""),
-                "body {body:?} lacked a structured error: {reply}"
+                reply.contains("\"code\":\"bad_request\"") && reply.contains("\"message\""),
+                "body {body:?} lacked a structured v2 envelope: {reply}"
             );
         }
         assert_alive(server);
@@ -227,7 +227,10 @@ fn resource_exhausting_simulate_scalars_get_422() {
             );
             let (status, reply) = send_raw(server, raw.as_bytes()).expect("got a response");
             assert_eq!(status, 422, "body {body} → {reply}");
-            assert!(reply.contains("\"error\""), "{reply}");
+            assert!(
+                reply.contains("\"code\"") && reply.contains("\"message\""),
+                "{reply}"
+            );
         }
         assert_alive(server);
     });
@@ -267,7 +270,10 @@ fn infeasible_bounds_get_422() {
         let body = r#"{"objective":"bandwidth","bound":0,"graph":{"node_weights":[5,5],"edge_weights":[1]}}"#;
         let (status, reply) = send_raw(server, &post_json(body)).expect("got a response");
         assert_eq!(status, 422, "{reply}");
-        assert!(reply.contains("\"error\""), "{reply}");
+        assert!(
+            reply.contains("\"code\":\"infeasible\"") && reply.contains("\"message\""),
+            "{reply}"
+        );
         assert_alive(server);
     });
 }

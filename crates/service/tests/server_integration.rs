@@ -244,7 +244,11 @@ fn batch_mixes_results_and_errors() {
     assert_eq!(results[0]["status"].as_u64(), Some(200));
     assert!(results[0]["body"]["bandwidth"].as_u64().is_some());
     assert_eq!(results[1]["status"].as_u64(), Some(422));
-    assert!(results[1]["body"]["error"].as_str().is_some());
+    assert_eq!(
+        results[1]["body"]["code"].as_str(),
+        Some("unknown_objective")
+    );
+    assert!(results[1]["body"]["message"].as_str().is_some());
     assert_eq!(results[2]["index"].as_u64(), Some(2));
     assert!(results[2]["body"]["processors"].as_u64().is_some());
     server.shutdown();

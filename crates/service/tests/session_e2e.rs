@@ -70,6 +70,61 @@ fn roundtrip(server: &Server, method: &str, path: &str, body: &str) -> (u16, Opt
     (status, warm, body.to_string())
 }
 
+/// A session-partition POST that also captures the `x-tgp-response`
+/// header, so delta tests can assert which body shape was returned.
+fn roundtrip_response_mode(
+    server: &Server,
+    path: &str,
+    body: &str,
+) -> (u16, Option<String>, String) {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("receive");
+    let text = String::from_utf8_lossy(&reply);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let mode = head.lines().find_map(|l| {
+        l.to_ascii_lowercase()
+            .strip_prefix("x-tgp-response:")
+            .map(str::trim)
+            .map(String::from)
+    });
+    (status, mode, body.to_string())
+}
+
+/// Client-side delta application: substitute each changed field into the
+/// previous full body (preserving the original field order) and
+/// re-render. The result must match the server's full body exactly.
+fn apply_delta(previous_full: &str, delta_body: &str) -> String {
+    let delta = Value::parse(delta_body).expect("delta body is JSON");
+    let Value::Object(changed) = delta["changed"].clone() else {
+        panic!("delta body lacks a changed object: {delta_body}");
+    };
+    let mut prev = Value::parse(previous_full).expect("previous full body is JSON");
+    let Value::Object(entries) = &mut prev else {
+        panic!("previous full body is not an object: {previous_full}");
+    };
+    for (k, v) in changed {
+        match entries.iter_mut().find(|(name, _)| *name == k) {
+            Some((_, slot)) => *slot = v,
+            None => entries.push((k, v)),
+        }
+    }
+    format!("{prev}\n")
+}
+
 /// The client's mirror of one resident graph: what the session *should*
 /// contain after every acked batch, rendered for scratch verification.
 enum Mirror {
@@ -349,6 +404,113 @@ fn patch_and_compare(
         edits.len(),
     );
     warm
+}
+
+/// `"response": "delta"` answers with only the fields that changed
+/// since the previous solve, and substituting them into the previous
+/// full body reproduces the next full response byte for byte. The first
+/// delta request (no baseline yet) falls back to the full body and says
+/// so in `x-tgp-response`.
+#[test]
+fn delta_responses_reconstruct_to_the_full_body() {
+    for io in modes() {
+        let mut server = start(io);
+        let mut rng = Rng(0xdeca_0007);
+        let mut mirror = Mirror::chain(
+            (0..24).map(|_| rng.next() % 9 + 1).collect(),
+            (0..23).map(|_| rng.next() % 15 + 1).collect(),
+        );
+        let (id, mut version) = register(&server, &mirror);
+        let path = format!("/v1/graphs/{id}/partition");
+        let delta_solve = format!(
+            r#"{{"objective":"{}","bound":{BOUND},"response":"delta"}}"#,
+            mirror.objective()
+        );
+
+        // No baseline yet: the server answers full and labels it so.
+        let (status, mode, mut full) = roundtrip_response_mode(&server, &path, &delta_solve);
+        assert_eq!(status, 200, "{full}");
+        assert_eq!(
+            mode.as_deref(),
+            Some("full"),
+            "first delta request has no baseline ({io:?})"
+        );
+
+        for round in 0..6 {
+            // Mutate the graph so consecutive solves can differ; ops
+            // cover weight edits plus leaf adds/removes.
+            let mut added = false;
+            let edits: Vec<String> = (0..3)
+                .map(|_| {
+                    mirror.apply(
+                        rng.next() as u8,
+                        rng.next() as usize,
+                        rng.next() % 9 + 1,
+                        &mut added,
+                    )
+                })
+                .collect();
+            let patch = format!(r#"{{"version":{version},"edits":[{}]}}"#, edits.join(","));
+            let (status, _, body) =
+                roundtrip(&server, "PATCH", &format!("/v1/graphs/{id}"), &patch);
+            assert_eq!(status, 200, "{body}");
+            version = Value::parse(&body).unwrap()["version"].as_u64().unwrap();
+
+            let (status, mode, delta) = roundtrip_response_mode(&server, &path, &delta_solve);
+            assert_eq!(status, 200, "{delta}");
+            assert_eq!(mode.as_deref(), Some("delta"), "round {round}: {delta}");
+            let reconstructed = apply_delta(&full, &delta);
+
+            // The reconstruction must match a scratch solve of the
+            // mirrored graph byte for byte (scratch and session full
+            // bodies are already pinned identical).
+            let scratch = format!(
+                r#"{{"objective":"{}","bound":{BOUND},"graph":{}}}"#,
+                mirror.objective(),
+                mirror.graph_json()
+            );
+            let (status, _, scratch_body) = roundtrip(&server, "POST", "/v1/partition", &scratch);
+            assert_eq!(status, 200, "{scratch_body}");
+            assert_eq!(
+                reconstructed, scratch_body,
+                "round {round} ({io:?}): delta reconstruction diverged\ndelta: {delta}"
+            );
+            full = reconstructed;
+        }
+
+        // An explicit "response":"full" and an absent field both answer
+        // the full body; only the former carries the header.
+        let full_solve = format!(
+            r#"{{"objective":"{}","bound":{BOUND},"response":"full"}}"#,
+            mirror.objective()
+        );
+        let (status, mode, explicit) = roundtrip_response_mode(&server, &path, &full_solve);
+        assert_eq!(status, 200, "{explicit}");
+        assert_eq!(mode.as_deref(), Some("full"));
+        let plain_solve = format!(
+            r#"{{"objective":"{}","bound":{BOUND}}}"#,
+            mirror.objective()
+        );
+        let (status, mode, plain) = roundtrip_response_mode(&server, &path, &plain_solve);
+        assert_eq!(status, 200, "{plain}");
+        assert_eq!(mode, None, "no \"response\" field, no header ({io:?})");
+        assert_eq!(explicit, plain);
+
+        // Deleting the session also drops the delta baseline: a fresh
+        // registration of the same graph starts from "full" again.
+        let (status, _, body) = roundtrip(&server, "DELETE", &format!("/v1/graphs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let (id, _) = register(&server, &mirror);
+        let (status, mode, body) =
+            roundtrip_response_mode(&server, &format!("/v1/graphs/{id}/partition"), &delta_solve);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            mode.as_deref(),
+            Some("full"),
+            "baseline must not survive session deletion ({io:?})"
+        );
+        server.shutdown();
+    }
 }
 
 #[test]

@@ -71,6 +71,12 @@ pub enum SolveError {
         /// The solver's own error message.
         message: String,
     },
+    /// The request's deadline expired before (or while) the solve ran.
+    /// Transports map this to HTTP 504.
+    DeadlineExceeded,
+    /// The solve was cooperatively cancelled mid-flight (shutdown, or an
+    /// already-failed batch). Transports map this to HTTP 503.
+    Cancelled,
 }
 
 impl SolveError {
@@ -85,6 +91,8 @@ impl SolveError {
             SolveError::WrongGraphKind { .. } => "wrong_graph_kind",
             SolveError::TooExpensive { .. } => "too_expensive",
             SolveError::Infeasible { .. } => "infeasible",
+            SolveError::DeadlineExceeded => "deadline_exceeded",
+            SolveError::Cancelled => "cancelled",
         }
     }
 
@@ -93,6 +101,27 @@ impl SolveError {
     pub fn infeasible(error: impl fmt::Display) -> Self {
         SolveError::Infeasible {
             message: error.to_string(),
+        }
+    }
+
+    /// Lifts a core [`PartitionError`](tgp_core::PartitionError),
+    /// preserving budget interrupts as their own stable codes instead of
+    /// folding them into [`SolveError::Infeasible`].
+    pub fn from_partition(error: tgp_core::PartitionError) -> Self {
+        match error {
+            tgp_core::PartitionError::Interrupted(tgp_core::budget::Exceeded::Cancelled) => {
+                SolveError::Cancelled
+            }
+            tgp_core::PartitionError::Interrupted(_) => SolveError::DeadlineExceeded,
+            other => SolveError::infeasible(other),
+        }
+    }
+
+    /// Lifts a budget refusal directly.
+    pub fn from_exceeded(why: tgp_core::budget::Exceeded) -> Self {
+        match why {
+            tgp_core::budget::Exceeded::Cancelled => SolveError::Cancelled,
+            tgp_core::budget::Exceeded::Deadline => SolveError::DeadlineExceeded,
         }
     }
 }
@@ -124,6 +153,10 @@ impl fmt::Display for SolveError {
                 write!(f, "objective {objective:?} refused the instance: {message}")
             }
             SolveError::Infeasible { message } => write!(f, "{message}"),
+            SolveError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the solve completed")
+            }
+            SolveError::Cancelled => write!(f, "solve cancelled before it completed"),
         }
     }
 }

@@ -42,3 +42,4 @@ pub use key::KeyBuilder;
 pub use objectives::{MAX_SPEEDS, MAX_TREE_BANDWIDTH_COST};
 pub use registry::{Registry, Solver};
 pub use request::{GraphInput, GraphKind, ParamKind, ParamSpec, Params, Request, Response};
+pub use tgp_core::budget::{Budget, Exceeded};

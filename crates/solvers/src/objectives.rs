@@ -13,9 +13,13 @@ use tgp_baselines::hetero::{hetero_partition, HeteroArray};
 use tgp_baselines::host_satellite::host_satellite_partition;
 use tgp_baselines::nicol::nicol_bandwidth_cut;
 use tgp_core::approx::{partition_process_graph_best, ApproxMethod};
-use tgp_core::bandwidth::{min_bandwidth_cut_lexicographic, min_bandwidth_cut_lexicographic_warm};
+use tgp_core::bandwidth::{
+    min_bandwidth_cut_lexicographic, min_bandwidth_cut_lexicographic_budgeted,
+    min_bandwidth_cut_lexicographic_warm,
+};
 use tgp_core::bottleneck::{min_bottleneck_cut, min_bottleneck_cut_warm};
-use tgp_core::pipeline::{partition_chain, partition_tree};
+use tgp_core::budget::Budget;
+use tgp_core::pipeline::{partition_chain, partition_chain_budgeted, partition_tree};
 use tgp_core::procmin::proc_min;
 use tgp_core::tree_bandwidth::min_tree_bandwidth_cut;
 use tgp_graph::json::Value;
@@ -100,8 +104,20 @@ impl Solver for Bandwidth {
     fn run(&self, request: &Request) -> Result<Response, SolveError> {
         let bound = bound_of(request);
         let part = partition_chain(request.graph.chain(), bound).map_err(SolveError::infeasible)?;
-        Ok(Response::new(json!({
-            "objective": self.name(),
+        Ok(Self::render(self.name(), bound, &part))
+    }
+    fn run_budgeted(&self, request: &Request, budget: &Budget) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let part = partition_chain_budgeted(request.graph.chain(), bound, budget)
+            .map_err(SolveError::from_partition)?;
+        Ok(Self::render(self.name(), bound, &part))
+    }
+}
+
+impl Bandwidth {
+    fn render(name: &str, bound: Weight, part: &tgp_core::pipeline::ChainPartition) -> Response {
+        Response::new(json!({
+            "objective": name,
             "bound": bound.get(),
             "cut": cut_json(part.cut.iter()),
             "segments": part
@@ -114,7 +130,7 @@ impl Solver for Bandwidth {
             "processors": part.processors,
             "bandwidth": part.bandwidth.get(),
             "bottleneck": part.bottleneck.get(),
-        })))
+        }))
     }
 }
 
@@ -249,6 +265,20 @@ impl Solver for Lexicographic {
         let bound = bound_of(request);
         let chain = request.graph.chain();
         let cut = min_bandwidth_cut_lexicographic(chain, bound).map_err(SolveError::infeasible)?;
+        Ok(Response::new(json!({
+            "objective": self.name(),
+            "bound": bound.get(),
+            "cut": cut_json(cut.iter()),
+            "bottleneck": chain.bottleneck(&cut).map_err(SolveError::infeasible)?.get(),
+            "bandwidth": chain.cut_weight(&cut).map_err(SolveError::infeasible)?.get(),
+            "processors": cut.len() + 1,
+        })))
+    }
+    fn run_budgeted(&self, request: &Request, budget: &Budget) -> Result<Response, SolveError> {
+        let bound = bound_of(request);
+        let chain = request.graph.chain();
+        let cut = min_bandwidth_cut_lexicographic_budgeted(chain, bound, budget)
+            .map_err(SolveError::from_partition)?;
         Ok(Response::new(json!({
             "objective": self.name(),
             "bound": bound.get(),
@@ -690,6 +720,35 @@ mod tests {
                 "every response must echo its objective"
             );
             assert_eq!(dispatched.to_json(&response), response.value);
+        }
+    }
+
+    #[test]
+    fn budgeted_run_is_byte_identical_and_honors_expired_deadlines() {
+        use std::time::{Duration, Instant};
+        let registry = Registry::shared();
+        for solver in registry.iter() {
+            let value = Value::parse(&golden_request(solver.name())).unwrap();
+            let (_, dispatched, request) = registry.dispatch(&value).unwrap();
+            let cold = dispatched.run(&request).unwrap();
+            // A generous budget must not change a single byte.
+            let generous = Budget::with_deadline(Instant::now() + Duration::from_secs(3600));
+            let budgeted = dispatched.run_budgeted(&request, &generous).unwrap();
+            assert_eq!(
+                dispatched.to_json(&cold).to_string(),
+                dispatched.to_json(&budgeted).to_string(),
+                "{}: budgeted run diverged",
+                solver.name()
+            );
+            // An already-expired budget must refuse before solving.
+            let expired = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+            let err = dispatched.run_budgeted(&request, &expired).unwrap_err();
+            assert_eq!(err.code(), "deadline_exceeded", "{}", solver.name());
+            // A raised cancel flag maps to the cancelled code.
+            let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+            let cancelled = Budget::unlimited().with_cancel(flag);
+            let err = dispatched.run_budgeted(&request, &cancelled).unwrap_err();
+            assert_eq!(err.code(), "cancelled", "{}", solver.name());
         }
     }
 

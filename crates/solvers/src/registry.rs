@@ -3,6 +3,7 @@
 
 use std::sync::OnceLock;
 
+use tgp_core::budget::Budget;
 use tgp_graph::json::Value;
 
 use crate::error::SolveError;
@@ -43,6 +44,27 @@ pub trait Solver: Send + Sync {
 
     /// Runs the objective on a validated request.
     fn run(&self, request: &Request) -> Result<Response, SolveError>;
+
+    /// Cost-sliced cooperative run: like [`Solver::run`], but the solve
+    /// charges its work against `budget`, so an expired deadline or a
+    /// raised cancel flag stops it with [`SolveError::DeadlineExceeded`]
+    /// or [`SolveError::Cancelled`] instead of running to completion.
+    ///
+    /// The default charges the whole [`Solver::cost_estimate`] before
+    /// delegating to [`Solver::run`] — a pre-flight admission check that
+    /// refuses already-expired work but cannot preempt mid-solve.
+    /// Solvers whose hot loops can be sliced (bandwidth, lexicographic)
+    /// override this to charge incrementally inside the loop.
+    ///
+    /// With an unlimited budget the result is byte-identical to
+    /// [`Solver::run`].
+    fn run_budgeted(&self, request: &Request, budget: &Budget) -> Result<Response, SolveError> {
+        budget.check_now().map_err(SolveError::from_exceeded)?;
+        budget
+            .charge(self.cost_estimate(request))
+            .map_err(SolveError::from_exceeded)?;
+        self.run(request)
+    }
 
     /// Warm-started run: like [`Solver::run`], but the caller asserts
     /// the optimal bottleneck of the *previous* solve on a near-identical
