@@ -109,6 +109,7 @@ USAGE:
             [--cache-bytes 33554432] [--cache-ttl SECS] [--cache-file PATH]
             [--queue-depth 64] [--max-connections 1024] [--shed-cost UNITS]
             [--shed-remaining MS] [--max-body-bytes N]
+            [--graph-spill-bytes N] [--graph-spill-dir PATH]
             [--read-timeout SECS] [--write-timeout SECS] [--idle-timeout SECS]
             [--session-file PATH] [--session-budget BYTES]
             [--log-requests] [--debug-endpoints]  # HTTP partition service
@@ -655,6 +656,10 @@ fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult
         max_body_bytes: opts
             .num("max-body-bytes")?
             .unwrap_or(defaults.max_body_bytes),
+        graph_spill_bytes: opts
+            .num("graph-spill-bytes")?
+            .unwrap_or(defaults.graph_spill_bytes),
+        graph_spill_dir: opts.get("graph-spill-dir").map(std::path::PathBuf::from),
         log_requests,
         debug_endpoints,
         session_file: opts.get("session-file").map(std::path::PathBuf::from),

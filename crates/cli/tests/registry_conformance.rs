@@ -232,6 +232,71 @@ fn cli_and_http_agree_byte_for_byte_on_every_objective() {
     }
 }
 
+/// GETs `path` and returns the body text.
+fn get_text(server: &Server, path: &str) -> String {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n").expect("send");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("receive");
+    let head_end = reply
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    String::from_utf8_lossy(&reply[head_end + 4..]).into_owned()
+}
+
+/// The out-of-core path: with `--graph-spill-bytes 0` every flat-capable
+/// request (bandwidth, bottleneck, lexicographic) ingests into
+/// *disk-backed* flat arrays and solves there; the rest falls through to
+/// the registry. Either way the response bytes must still match the CLI
+/// exactly, and `/metrics` must attribute the three flat solves to the
+/// disk backing.
+#[test]
+fn flat_disk_backing_agrees_byte_for_byte_with_the_cli() {
+    for io in modes() {
+        let mut server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            io,
+            graph_spill_bytes: 0,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        for golden in GOLDEN {
+            let (status, http) = post(&server, "/v1/partition", &http_body(golden));
+            assert_eq!(
+                status,
+                200,
+                "[{io:?}] {}: {}",
+                golden.objective,
+                String::from_utf8_lossy(&http)
+            );
+            let cli = cli_bytes(golden);
+            assert_eq!(
+                cli,
+                http,
+                "[{io:?}] {}: disk-backed flat solve differs from CLI\nCLI:  {}\nHTTP: {}",
+                golden.objective,
+                String::from_utf8_lossy(&cli),
+                String::from_utf8_lossy(&http)
+            );
+        }
+        let metrics = get_text(&server, "/metrics");
+        assert!(
+            metrics.contains("tgp_store_backing{kind=\"disk\"} 3"),
+            "[{io:?}] expected 3 disk-backed ingests (bandwidth, bottleneck, \
+             lexicographic):\n{metrics}"
+        );
+        assert!(
+            metrics.contains("tgp_graph_spilled_total 3"),
+            "[{io:?}] {metrics}"
+        );
+        server.shutdown();
+    }
+}
+
 #[test]
 fn undeclared_fields_are_422_unknown_field_for_every_objective() {
     for io in modes() {

@@ -16,10 +16,10 @@
 
 use std::collections::VecDeque;
 
-use tgp_graph::{CutSet, EdgeId, PathGraph, Weight};
+use tgp_graph::{ChainView, CutSet, EdgeId, NodeId, Weight};
 
 use crate::budget::Budget;
-use crate::error::{check_bound, PartitionError};
+use crate::error::{check_bound_nodes, PartitionError};
 
 const INF: u64 = u64::MAX;
 
@@ -50,8 +50,8 @@ const INF: u64 = u64::MAX;
 /// # Ok(())
 /// # }
 /// ```
-pub fn min_bandwidth_cut_bounded(
-    path: &PathGraph,
+pub fn min_bandwidth_cut_bounded<C: ChainView>(
+    path: &C,
     bound: Weight,
     bottleneck_limit: Weight,
 ) -> Result<Option<CutSet>, PartitionError> {
@@ -66,13 +66,16 @@ pub fn min_bandwidth_cut_bounded(
 ///
 /// As [`min_bandwidth_cut_bounded`], plus
 /// [`PartitionError::Interrupted`] when the budget runs out.
-pub fn min_bandwidth_cut_bounded_budgeted(
-    path: &PathGraph,
+pub fn min_bandwidth_cut_bounded_budgeted<C: ChainView>(
+    path: &C,
     bound: Weight,
     bottleneck_limit: Weight,
     budget: &Budget,
 ) -> Result<Option<CutSet>, PartitionError> {
-    check_bound(path.node_weights(), bound)?;
+    check_bound_nodes(
+        (0..path.len()).map(|i| path.node_weight(NodeId::new(i))),
+        bound,
+    )?;
     if path.total_weight() <= bound {
         return Ok(Some(CutSet::empty()));
     }
@@ -163,8 +166,8 @@ pub fn min_bandwidth_cut_bounded_budgeted(
 /// # Ok(())
 /// # }
 /// ```
-pub fn min_bandwidth_cut_lexicographic(
-    path: &PathGraph,
+pub fn min_bandwidth_cut_lexicographic<C: ChainView>(
+    path: &C,
     bound: Weight,
 ) -> Result<CutSet, PartitionError> {
     min_bandwidth_cut_lexicographic_budgeted(path, bound, &Budget::unlimited())
@@ -179,8 +182,8 @@ pub fn min_bandwidth_cut_lexicographic(
 ///
 /// As [`min_bandwidth_cut_lexicographic`], plus
 /// [`PartitionError::Interrupted`] when the budget runs out.
-pub fn min_bandwidth_cut_lexicographic_budgeted(
-    path: &PathGraph,
+pub fn min_bandwidth_cut_lexicographic_budgeted<C: ChainView>(
+    path: &C,
     bound: Weight,
     budget: &Budget,
 ) -> Result<CutSet, PartitionError> {
@@ -247,8 +250,8 @@ pub fn min_bandwidth_cut_lexicographic_budgeted(
 ///
 /// [`PartitionError::BoundTooSmall`] if a single vertex outweighs
 /// `bound` (the cold solve fails identically).
-pub fn min_bandwidth_cut_lexicographic_warm(
-    path: &PathGraph,
+pub fn min_bandwidth_cut_lexicographic_warm<C: ChainView>(
+    path: &C,
     bound: Weight,
     hint_lo: Weight,
     hint_hi: Weight,
@@ -315,6 +318,7 @@ pub fn min_bandwidth_cut_lexicographic_warm(
 mod tests {
     use super::*;
     use crate::bandwidth::min_bandwidth_cut;
+    use tgp_graph::PathGraph;
 
     fn path(nodes: &[u64], edges: &[u64]) -> PathGraph {
         PathGraph::from_raw(nodes, edges).unwrap()

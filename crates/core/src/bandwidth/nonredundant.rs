@@ -5,7 +5,7 @@
 //! S_r". Grouping edges by their prime-subpath membership interval and
 //! keeping only the cheapest representative leaves at most `2p − 1` edges.
 
-use tgp_graph::{EdgeId, PathGraph, Weight};
+use tgp_graph::{ChainView, EdgeId, Weight};
 
 use super::prime::PrimeSubpath;
 
@@ -44,7 +44,7 @@ impl NrEdge {
 /// The result is ordered by edge index, and both `first_prime` and
 /// `last_prime` are strictly increasing across the result (each group has
 /// a distinct membership interval).
-pub fn nonredundant_edges(path: &PathGraph, primes: &[PrimeSubpath]) -> Vec<NrEdge> {
+pub fn nonredundant_edges<C: ChainView>(path: &C, primes: &[PrimeSubpath]) -> Vec<NrEdge> {
     if primes.is_empty() {
         return Vec::new();
     }
@@ -93,6 +93,7 @@ pub fn nonredundant_edges(path: &PathGraph, primes: &[PrimeSubpath]) -> Vec<NrEd
 mod tests {
     use super::*;
     use crate::bandwidth::prime_subpaths;
+    use tgp_graph::PathGraph;
 
     fn path(nodes: &[u64], edges: &[u64]) -> PathGraph {
         PathGraph::from_raw(nodes, edges).unwrap()

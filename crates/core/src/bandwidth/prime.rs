@@ -6,9 +6,9 @@
 //! it contains at least one edge from every prime subpath, which turns
 //! bandwidth minimization into a structured weighted hitting-set problem.
 
-use tgp_graph::{EdgeId, PathGraph, Weight};
+use tgp_graph::{ChainView, EdgeId, NodeId, Weight};
 
-use crate::error::{check_bound, PartitionError};
+use crate::error::{check_bound_nodes, PartitionError};
 
 /// A prime (minimal critical) subpath `P_i` of a path graph.
 ///
@@ -76,11 +76,14 @@ impl PrimeSubpath {
 /// # Ok(())
 /// # }
 /// ```
-pub fn prime_subpaths(
-    path: &PathGraph,
+pub fn prime_subpaths<C: ChainView>(
+    path: &C,
     bound: Weight,
 ) -> Result<Vec<PrimeSubpath>, PartitionError> {
-    check_bound(path.node_weights(), bound)?;
+    check_bound_nodes(
+        (0..path.len()).map(|i| path.node_weight(NodeId::new(i))),
+        bound,
+    )?;
     let n = path.len();
     // For each left end s, t(s) = the smallest t with span(s..=t) > bound,
     // if any. t(s) is non-decreasing in s, so a two-pointer sweep suffices.
@@ -125,6 +128,7 @@ pub fn prime_subpaths(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tgp_graph::PathGraph;
 
     fn path(nodes: &[u64]) -> PathGraph {
         let edges = vec![1u64; nodes.len() - 1];

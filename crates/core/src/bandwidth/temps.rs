@@ -16,7 +16,7 @@
 //! Solution sets are shared structurally (a persistent cons-list arena), so
 //! total space stays `O(n)`.
 
-use tgp_graph::{CutSet, EdgeId, PathGraph, Weight};
+use tgp_graph::{ChainView, CutSet, EdgeId, Weight};
 
 use super::nonredundant::{nonredundant_edges, NrEdge};
 use super::prime::prime_subpaths;
@@ -56,8 +56,8 @@ struct Row {
 }
 
 /// Internal run of the TEMP_S algorithm with telemetry counters.
-struct TempS<'a> {
-    path: &'a PathGraph,
+struct TempS<'a, C: ChainView> {
+    path: &'a C,
     rows: std::collections::VecDeque<Row>,
     arena: Vec<(EdgeId, Option<usize>)>,
     final_cost: Vec<u64>,
@@ -70,8 +70,8 @@ struct TempS<'a> {
     max_deque_len: usize,
 }
 
-impl<'a> TempS<'a> {
-    fn new(path: &'a PathGraph, p: usize) -> Self {
+impl<'a, C: ChainView> TempS<'a, C> {
+    fn new(path: &'a C, p: usize) -> Self {
         TempS {
             path,
             rows: std::collections::VecDeque::with_capacity(p.min(1024)),
@@ -232,7 +232,7 @@ impl<'a> TempS<'a> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn min_bandwidth_cut(path: &PathGraph, bound: Weight) -> Result<CutSet, PartitionError> {
+pub fn min_bandwidth_cut<C: ChainView>(path: &C, bound: Weight) -> Result<CutSet, PartitionError> {
     Ok(analyze_bandwidth(path, bound)?.0)
 }
 
@@ -243,8 +243,8 @@ pub fn min_bandwidth_cut(path: &PathGraph, bound: Weight) -> Result<CutSet, Part
 /// # Errors
 ///
 /// [`PartitionError::BoundTooSmall`] if a single vertex outweighs `bound`.
-pub fn analyze_bandwidth(
-    path: &PathGraph,
+pub fn analyze_bandwidth<C: ChainView>(
+    path: &C,
     bound: Weight,
 ) -> Result<(CutSet, BandwidthStats), PartitionError> {
     analyze_bandwidth_with(path, bound, MergeSearch::Binary)
@@ -259,8 +259,8 @@ pub fn analyze_bandwidth(
 /// # Errors
 ///
 /// [`PartitionError::BoundTooSmall`] if a single vertex outweighs `bound`.
-pub fn analyze_bandwidth_with(
-    path: &PathGraph,
+pub fn analyze_bandwidth_with<C: ChainView>(
+    path: &C,
     bound: Weight,
     policy: MergeSearch,
 ) -> Result<(CutSet, BandwidthStats), PartitionError> {
@@ -280,8 +280,8 @@ pub fn analyze_bandwidth_with(
 ///
 /// [`PartitionError::BoundTooSmall`] if a single vertex outweighs
 /// `bound`; [`PartitionError::Interrupted`] if the budget ran out.
-pub fn analyze_bandwidth_budgeted(
-    path: &PathGraph,
+pub fn analyze_bandwidth_budgeted<C: ChainView>(
+    path: &C,
     bound: Weight,
     policy: MergeSearch,
     budget: &Budget,
@@ -323,6 +323,7 @@ pub fn analyze_bandwidth_budgeted(
 mod tests {
     use super::*;
     use crate::bandwidth::{min_bandwidth_cut_naive, min_bandwidth_cut_oracle};
+    use tgp_graph::PathGraph;
 
     fn path(nodes: &[u64], edges: &[u64]) -> PathGraph {
         PathGraph::from_raw(nodes, edges).unwrap()

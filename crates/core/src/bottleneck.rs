@@ -19,9 +19,9 @@
 //!   tree; the first merge that exceeds `K` pins the minimal feasible
 //!   prefix. `O(n log n)` (dominated by the sort).
 
-use tgp_graph::{CutSet, EdgeId, Tree, UnionFind, Weight};
+use tgp_graph::{CutSet, EdgeId, NodeId, Tree, TreeView, UnionFind, UnionFind32, Weight};
 
-use crate::error::{check_bound, PartitionError};
+use crate::error::{check_bound_nodes, PartitionError};
 
 /// The outcome of bottleneck minimization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,18 +34,40 @@ pub struct BottleneckResult {
 
 /// Edge ids sorted by (weight, id); the id tiebreak makes both
 /// implementations deterministic and identical.
-fn edges_by_weight(tree: &Tree) -> Vec<EdgeId> {
+fn edges_by_weight<T: TreeView>(tree: &T) -> Vec<EdgeId> {
     let mut ids: Vec<EdgeId> = (0..tree.edge_count()).map(EdgeId::new).collect();
     ids.sort_by_key(|&e| (tree.edge_weight(e), e));
     ids
 }
 
-fn result_from_prefix(tree: &Tree, sorted: &[EdgeId], prefix: usize) -> BottleneckResult {
+fn result_from_prefix<T: TreeView>(tree: &T, sorted: &[EdgeId], prefix: usize) -> BottleneckResult {
     let cut = CutSet::new(sorted[..prefix].to_vec());
     let bottleneck = if prefix == 0 {
         Weight::ZERO
     } else {
         tree.edge_weight(sorted[prefix - 1])
+    };
+    BottleneckResult { cut, bottleneck }
+}
+
+/// [`result_from_prefix`] over the compact `u32` id ordering the
+/// optimized solver uses; the cut itself is small (it is the answer),
+/// so widening the prefix back to [`EdgeId`]s costs nothing.
+fn result_from_compact_prefix<T: TreeView>(
+    tree: &T,
+    sorted: &[u32],
+    prefix: usize,
+) -> BottleneckResult {
+    let cut = CutSet::new(
+        sorted[..prefix]
+            .iter()
+            .map(|&e| EdgeId::new(e as usize))
+            .collect(),
+    );
+    let bottleneck = if prefix == 0 {
+        Weight::ZERO
+    } else {
+        tree.edge_weight(EdgeId::new(sorted[prefix - 1] as usize))
     };
     BottleneckResult { cut, bottleneck }
 }
@@ -71,28 +93,49 @@ fn result_from_prefix(tree: &Tree, sorted: &[EdgeId], prefix: usize) -> Bottlene
 /// # Ok(())
 /// # }
 /// ```
-pub fn min_bottleneck_cut(tree: &Tree, bound: Weight) -> Result<BottleneckResult, PartitionError> {
-    check_bound(tree.node_weights(), bound)?;
-    let sorted = edges_by_weight(tree);
+pub fn min_bottleneck_cut<T: TreeView>(
+    tree: &T,
+    bound: Weight,
+) -> Result<BottleneckResult, PartitionError> {
+    check_bound_nodes(
+        (0..tree.len()).map(|i| tree.node_weight(NodeId::new(i))),
+        bound,
+    )?;
+    // The solver's working set is what bounds how far past RAM an
+    // out-of-core solve can go (the graph itself streams from its spill
+    // file, but these temporaries are anonymous memory): 20 bytes per
+    // node — u32 sorted ids (the sort is in-place; keys are unique so
+    // an unstable sort is deterministic), a u32 union-find, and the
+    // component weights. Graphs beyond u32 indices would not fit any
+    // real machine's address space alongside their own weights, and
+    // `FlatTreeBuilder` refuses them outright.
+    assert!(
+        u32::try_from(tree.len()).is_ok(),
+        "tree node count exceeds u32 indices"
+    );
+    let mut sorted: Vec<u32> = (0..tree.edge_count() as u32).collect();
+    sorted.sort_unstable_by_key(|&e| (tree.edge_weight(EdgeId::new(e as usize)), e));
     // Re-insert edges from heaviest to lightest. Cutting the prefix
     // `sorted[..i]` keeps exactly the edges `sorted[i..]`; the first merge
     // that exceeds the bound (at sorted index `i0`) proves prefix `i0 + 1`
     // is the minimal feasible one.
-    let mut uf = UnionFind::new(tree.len());
-    let mut comp_weight: Vec<u64> = tree.node_weights().iter().map(|w| w.get()).collect();
+    let mut uf = UnionFind32::new(tree.len());
+    let mut comp_weight: Vec<u64> = (0..tree.len())
+        .map(|i| tree.node_weight(NodeId::new(i)).get())
+        .collect();
     for idx in (0..sorted.len()).rev() {
-        let e = tree.edge(sorted[idx]);
-        let (ra, rb) = (uf.find(e.a.index()), uf.find(e.b.index()));
-        let merged = comp_weight[ra] + comp_weight[rb];
+        let e = tree.edge(EdgeId::new(sorted[idx] as usize));
+        let (ra, rb) = (uf.find(e.a.index() as u32), uf.find(e.b.index() as u32));
+        let merged = comp_weight[ra as usize] + comp_weight[rb as usize];
         if merged > bound.get() {
-            return Ok(result_from_prefix(tree, &sorted, idx + 1));
+            return Ok(result_from_compact_prefix(tree, &sorted, idx + 1));
         }
         uf.union(ra, rb);
         let root = uf.find(ra);
-        comp_weight[root] = merged;
+        comp_weight[root as usize] = merged;
     }
     // All edges re-inserted without violation: the empty cut is feasible.
-    Ok(result_from_prefix(tree, &sorted, 0))
+    Ok(result_from_compact_prefix(tree, &sorted, 0))
 }
 
 /// Bottleneck minimization — the literal Algorithm 2.1, `O(n²)`.
@@ -107,7 +150,7 @@ pub fn min_bottleneck_cut_paper(
     tree: &Tree,
     bound: Weight,
 ) -> Result<BottleneckResult, PartitionError> {
-    check_bound(tree.node_weights(), bound)?;
+    check_bound_nodes(tree.node_weights().iter().copied(), bound)?;
     let sorted = edges_by_weight(tree);
     // "for i ← 1 to n−1 do S ← S ∪ {e_i}; if all components ≤ K, output S"
     // — with i = 0 meaning the empty cut, checked first.
@@ -123,9 +166,16 @@ pub fn min_bottleneck_cut_paper(
 
 /// Whether cutting the prefix `sorted[..prefix]` leaves every component
 /// within `bound`. `O(n α(n))` via a union-find over the kept edges.
-fn prefix_is_feasible(tree: &Tree, sorted: &[EdgeId], prefix: usize, bound: Weight) -> bool {
+fn prefix_is_feasible<T: TreeView>(
+    tree: &T,
+    sorted: &[EdgeId],
+    prefix: usize,
+    bound: Weight,
+) -> bool {
     let mut uf = UnionFind::new(tree.len());
-    let mut comp_weight: Vec<u64> = tree.node_weights().iter().map(|w| w.get()).collect();
+    let mut comp_weight: Vec<u64> = (0..tree.len())
+        .map(|i| tree.node_weight(NodeId::new(i)).get())
+        .collect();
     for &id in &sorted[prefix..] {
         let e = tree.edge(id);
         let (ra, rb) = (uf.find(e.a.index()), uf.find(e.b.index()));
@@ -156,13 +206,16 @@ fn prefix_is_feasible(tree: &Tree, sorted: &[EdgeId], prefix: usize, bound: Weig
 ///
 /// [`PartitionError::BoundTooSmall`] if a single vertex outweighs
 /// `bound` (the cold solve fails identically).
-pub fn min_bottleneck_cut_warm(
-    tree: &Tree,
+pub fn min_bottleneck_cut_warm<T: TreeView>(
+    tree: &T,
     bound: Weight,
     hint_lo: Weight,
     hint_hi: Weight,
 ) -> Result<Option<BottleneckResult>, PartitionError> {
-    check_bound(tree.node_weights(), bound)?;
+    check_bound_nodes(
+        (0..tree.len()).map(|i| tree.node_weight(NodeId::new(i))),
+        bound,
+    )?;
     if hint_lo > hint_hi {
         return Ok(None);
     }

@@ -72,7 +72,18 @@ impl From<crate::budget::Exceeded> for PartitionError {
 ///
 /// [`PartitionError::BoundTooSmall`] naming the first over-weight vertex.
 pub(crate) fn check_bound(node_weights: &[Weight], bound: Weight) -> Result<(), PartitionError> {
-    for (i, &w) in node_weights.iter().enumerate() {
+    check_bound_nodes(node_weights.iter().copied(), bound)
+}
+
+/// [`check_bound`] over any weight sequence — the solver hot paths are
+/// generic over graph views, which expose weights by index rather than
+/// as a slice. Names the first over-weight vertex in iteration order,
+/// exactly as [`check_bound`] does.
+pub(crate) fn check_bound_nodes<I>(weights: I, bound: Weight) -> Result<(), PartitionError>
+where
+    I: IntoIterator<Item = Weight>,
+{
+    for (i, w) in weights.into_iter().enumerate() {
         if w > bound {
             return Err(PartitionError::BoundTooSmall {
                 node: NodeId::new(i),

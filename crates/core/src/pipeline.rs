@@ -9,7 +9,9 @@
 //! For linear task graphs the bandwidth-minimization algorithm applies
 //! directly; [`partition_chain`] wraps it with the same report type.
 
-use tgp_graph::{contract, Components, CutSet, NodeId, PathGraph, Segment, Tree, TreeEdge, Weight};
+use tgp_graph::{
+    contract, ChainView, Components, CutSet, NodeId, PathGraph, Segment, Tree, TreeEdge, Weight,
+};
 
 use crate::bandwidth::{analyze_bandwidth_budgeted, min_bandwidth_cut, MergeSearch};
 use crate::bottleneck::min_bottleneck_cut;
@@ -118,7 +120,10 @@ pub struct ChainPartition {
 /// # Ok(())
 /// # }
 /// ```
-pub fn partition_chain(path: &PathGraph, bound: Weight) -> Result<ChainPartition, PartitionError> {
+pub fn partition_chain<C: ChainView>(
+    path: &C,
+    bound: Weight,
+) -> Result<ChainPartition, PartitionError> {
     let cut = min_bandwidth_cut(path, bound)?;
     finish_chain(path, cut)
 }
@@ -132,8 +137,8 @@ pub fn partition_chain(path: &PathGraph, bound: Weight) -> Result<ChainPartition
 ///
 /// As [`partition_chain`], plus [`PartitionError::Interrupted`] when
 /// the budget runs out.
-pub fn partition_chain_budgeted(
-    path: &PathGraph,
+pub fn partition_chain_budgeted<C: ChainView>(
+    path: &C,
     bound: Weight,
     budget: &Budget,
 ) -> Result<ChainPartition, PartitionError> {
@@ -141,7 +146,7 @@ pub fn partition_chain_budgeted(
     finish_chain(path, cut)
 }
 
-fn finish_chain(path: &PathGraph, cut: CutSet) -> Result<ChainPartition, PartitionError> {
+fn finish_chain<C: ChainView>(path: &C, cut: CutSet) -> Result<ChainPartition, PartitionError> {
     let segments = path.segments(&cut)?;
     let bandwidth = path.cut_weight(&cut)?;
     let bottleneck = path.bottleneck(&cut)?;

@@ -81,7 +81,7 @@ impl CutSet {
         self.iter().all(|e| other.contains(e))
     }
 
-    fn check_range(&self, edge_count: usize) -> Result<(), GraphError> {
+    pub(crate) fn check_range(&self, edge_count: usize) -> Result<(), GraphError> {
         if let Some(&last) = self.edges.last() {
             if last.index() >= edge_count {
                 return Err(GraphError::EdgeOutOfRange {

@@ -56,6 +56,7 @@ pub mod spanning;
 pub mod supergraph;
 mod tree;
 mod union_find;
+mod view;
 mod weight;
 
 pub use contraction::{contract, Contraction};
@@ -65,5 +66,6 @@ pub use ids::{EdgeId, NodeId};
 pub use path::PathGraph;
 pub use process::{ProcessEdge, ProcessGraph};
 pub use tree::{Tree, TreeEdge};
-pub use union_find::UnionFind;
+pub use union_find::{UnionFind, UnionFind32};
+pub use view::{ChainView, TreeView};
 pub use weight::Weight;

@@ -98,6 +98,104 @@ impl UnionFind {
     }
 }
 
+/// A compact [`UnionFind`] over `u32` indices — half the memory, same
+/// semantics.
+///
+/// The out-of-core solvers allocate a disjoint-set forest over every
+/// node of a graph that may itself barely fit in the memory budget, so
+/// the forest's footprint is load-bearing: 8 bytes per element here
+/// versus 16 for [`UnionFind`]. Capacity is capped at `u32::MAX`
+/// elements, which every flat graph already guarantees
+/// (`FlatTreeBuilder` refuses larger node counts).
+///
+/// # Examples
+///
+/// ```
+/// use tgp_graph::UnionFind32;
+///
+/// let mut uf = UnionFind32::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0));
+/// assert_eq!(uf.find(0), uf.find(1));
+/// assert_eq!(uf.component_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind32 {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind32 {
+    /// Creates `len` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > u32::MAX`; use [`UnionFind`] for larger
+    /// universes.
+    pub fn new(len: usize) -> Self {
+        assert!(
+            u32::try_from(len).is_ok(),
+            "UnionFind32 holds at most u32::MAX elements (got {len})"
+        );
+        UnionFind32 {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements in the structure.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Returns the canonical representative of `x`'s set, with path
+    /// halving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b` (union by size).
+    ///
+    /// Returns `true` if two distinct sets were merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +244,36 @@ mod tests {
         let uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.component_count(), 0);
+    }
+
+    #[test]
+    fn compact_matches_wide_on_random_unions() {
+        // xorshift-driven random union sequence; both structures must
+        // agree on every merge outcome and component count.
+        let n = 257usize;
+        let mut wide = UnionFind::new(n);
+        let mut compact = UnionFind32::new(n);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = (x as usize) % n;
+            let b = ((x >> 32) as usize) % n;
+            assert_eq!(wide.union(a, b), compact.union(a as u32, b as u32));
+            assert_eq!(wide.component_count(), compact.component_count());
+            assert_eq!(
+                wide.same_set(a, b),
+                compact.find(a as u32) == compact.find(b as u32)
+            );
+        }
+        assert_eq!(compact.len(), n);
+        assert!(!compact.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most u32::MAX")]
+    fn compact_refuses_oversized_universe() {
+        let _ = UnionFind32::new(u32::MAX as usize + 1);
     }
 }

@@ -1,0 +1,327 @@
+//! Read-only access traits the solver hot paths are generic over.
+//!
+//! The paper's algorithms only ever *read* a graph: weights by index,
+//! O(1) span sums on chains, edge endpoints on trees. [`ChainView`] and
+//! [`TreeView`] capture exactly that surface, with method names (and
+//! panic contracts) identical to the inherent methods of [`PathGraph`]
+//! and [`Tree`] — so a solver body written against the concrete types
+//! compiles unchanged once its signature is made generic. `tgp-store`
+//! implements the same traits for its flat SoA/CSR representations,
+//! which is how one solver code path serves pointer graphs, flat
+//! in-RAM graphs, and mmap-backed out-of-core graphs alike.
+//!
+//! [`PathGraph`]: crate::PathGraph
+//! [`Tree`]: crate::Tree
+
+use crate::{CutSet, EdgeId, GraphError, NodeId, PathGraph, Segment, Tree, TreeEdge, Weight};
+
+/// Read access to a linear task graph `v_0 — v_1 — … — v_{n-1}`.
+///
+/// Implementations must be non-empty (`len() >= 1`) and uphold the
+/// crate-wide invariant that the combined total of all vertex and edge
+/// weights is below `u64::MAX`, so downstream arithmetic cannot
+/// overflow. Index-out-of-range access may panic, as on [`PathGraph`].
+pub trait ChainView {
+    /// Number of nodes `n` (always ≥ 1).
+    fn len(&self) -> usize;
+
+    /// Always `false`: chains are non-empty by construction.
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of edges (`n - 1`).
+    fn edge_count(&self) -> usize {
+        self.len() - 1
+    }
+
+    /// Weight `α_i` of node `i`.
+    fn node_weight(&self, node: NodeId) -> Weight;
+
+    /// Weight `β_i` of edge `i` (connecting nodes `i` and `i + 1`).
+    fn edge_weight(&self, edge: EdgeId) -> Weight;
+
+    /// Sum of vertex weights over the inclusive span `lo..=hi`; O(1)
+    /// on every provided implementation (prefix sums).
+    fn span_weight(&self, lo: usize, hi: usize) -> Weight;
+
+    /// Total vertex weight of the whole chain.
+    fn total_weight(&self) -> Weight {
+        self.span_weight(0, self.len() - 1)
+    }
+
+    /// The maximum single vertex weight (the feasibility floor for the
+    /// load bound `K`).
+    fn max_node_weight(&self) -> Weight {
+        (0..self.len())
+            .map(|i| self.node_weight(NodeId::new(i)))
+            .max()
+            .expect("chains are non-empty")
+    }
+
+    /// Total weight of the cut edges (the "bandwidth" objective,
+    /// `β(S)`); same contract as `PathGraph::cut_weight`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] if the cut refers to an edge this
+    /// chain does not have.
+    fn cut_weight(&self, cut: &CutSet) -> Result<Weight, GraphError> {
+        cut.check_range(self.edge_count())?;
+        Ok(cut.iter().map(|e| self.edge_weight(e)).sum())
+    }
+
+    /// Maximum weight over the cut edges (the "bottleneck" objective);
+    /// zero for the empty cut.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] if the cut refers to an edge this
+    /// chain does not have.
+    fn bottleneck(&self, cut: &CutSet) -> Result<Weight, GraphError> {
+        cut.check_range(self.edge_count())?;
+        Ok(cut
+            .iter()
+            .map(|e| self.edge_weight(e))
+            .max()
+            .unwrap_or(Weight::ZERO))
+    }
+
+    /// The maximal contiguous segments of `P − S`, left to right; same
+    /// contract (and output) as `PathGraph::segments`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] if the cut refers to an edge this
+    /// chain does not have.
+    fn segments(&self, cut: &CutSet) -> Result<Vec<Segment>, GraphError> {
+        cut.check_range(self.edge_count())?;
+        let mut segments = Vec::with_capacity(cut.len() + 1);
+        let mut start = 0usize;
+        for e in cut.iter() {
+            // Cutting edge e = (v_e, v_{e+1}) ends a segment at node e.
+            let end = e.index();
+            segments.push(Segment {
+                start,
+                end,
+                weight: self.span_weight(start, end),
+            });
+            start = end + 1;
+        }
+        let last = self.len() - 1;
+        segments.push(Segment {
+            start,
+            end: last,
+            weight: self.span_weight(start, last),
+        });
+        Ok(segments)
+    }
+
+    /// Returns `true` if every segment of `P − S` weighs at most
+    /// `bound`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] if the cut refers to an edge this
+    /// chain does not have.
+    fn is_feasible_cut(&self, cut: &CutSet, bound: Weight) -> Result<bool, GraphError> {
+        Ok(self
+            .segments(cut)?
+            .iter()
+            .all(|segment| segment.weight <= bound))
+    }
+}
+
+impl ChainView for PathGraph {
+    fn len(&self) -> usize {
+        PathGraph::len(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        PathGraph::edge_count(self)
+    }
+
+    fn node_weight(&self, node: NodeId) -> Weight {
+        PathGraph::node_weight(self, node)
+    }
+
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        PathGraph::edge_weight(self, edge)
+    }
+
+    fn span_weight(&self, lo: usize, hi: usize) -> Weight {
+        PathGraph::span_weight(self, lo, hi)
+    }
+
+    fn total_weight(&self) -> Weight {
+        PathGraph::total_weight(self)
+    }
+
+    fn max_node_weight(&self) -> Weight {
+        PathGraph::max_node_weight(self)
+    }
+}
+
+/// Read access to a weighted free tree.
+///
+/// Same invariants as [`ChainView`]: non-empty, combined weight total
+/// below `u64::MAX`, panics on out-of-range ids.
+pub trait TreeView {
+    /// Number of nodes (always ≥ 1).
+    fn len(&self) -> usize;
+
+    /// Always `false`: trees are non-empty by construction.
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of edges (`n - 1`).
+    fn edge_count(&self) -> usize {
+        self.len() - 1
+    }
+
+    /// Weight `ω(v)` of a node.
+    fn node_weight(&self, node: NodeId) -> Weight;
+
+    /// The edge with the given id, endpoints in the orientation the
+    /// graph was built with (solvers and cache keys depend on stable
+    /// orientation).
+    fn edge(&self, edge: EdgeId) -> TreeEdge;
+
+    /// Weight `δ(e)` of an edge.
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        self.edge(edge).weight
+    }
+
+    /// Total vertex weight of the tree.
+    fn total_weight(&self) -> Weight {
+        (0..self.len())
+            .map(|i| self.node_weight(NodeId::new(i)))
+            .sum()
+    }
+
+    /// The maximum single vertex weight (the feasibility floor for the
+    /// load bound `K`).
+    fn max_node_weight(&self) -> Weight {
+        (0..self.len())
+            .map(|i| self.node_weight(NodeId::new(i)))
+            .max()
+            .expect("trees are non-empty")
+    }
+
+    /// Total weight of the cut edges; same contract as
+    /// `Tree::cut_weight`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] if the cut refers to an edge this
+    /// tree does not have.
+    fn cut_weight(&self, cut: &CutSet) -> Result<Weight, GraphError> {
+        cut.check_range(self.edge_count())?;
+        Ok(cut.iter().map(|e| self.edge_weight(e)).sum())
+    }
+
+    /// Maximum weight over the cut edges; zero for the empty cut.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] if the cut refers to an edge this
+    /// tree does not have.
+    fn bottleneck(&self, cut: &CutSet) -> Result<Weight, GraphError> {
+        cut.check_range(self.edge_count())?;
+        Ok(cut
+            .iter()
+            .map(|e| self.edge_weight(e))
+            .max()
+            .unwrap_or(Weight::ZERO))
+    }
+}
+
+impl TreeView for Tree {
+    fn len(&self) -> usize {
+        Tree::len(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        Tree::edge_count(self)
+    }
+
+    fn node_weight(&self, node: NodeId) -> Weight {
+        Tree::node_weight(self, node)
+    }
+
+    fn edge(&self, edge: EdgeId) -> TreeEdge {
+        Tree::edge(self, edge)
+    }
+
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        Tree::edge_weight(self, edge)
+    }
+
+    fn total_weight(&self) -> Weight {
+        Tree::total_weight(self)
+    }
+
+    fn max_node_weight(&self) -> Weight {
+        Tree::max_node_weight(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_view_matches_inherent_methods() {
+        let p = PathGraph::from_raw(&[2, 3, 5, 7], &[10, 20, 30]).unwrap();
+        fn probe<C: ChainView>(c: &C) -> (usize, usize, Weight, Weight, Weight, Weight, Weight) {
+            (
+                c.len(),
+                c.edge_count(),
+                c.node_weight(NodeId::new(2)),
+                c.edge_weight(EdgeId::new(1)),
+                c.span_weight(1, 3),
+                c.total_weight(),
+                c.max_node_weight(),
+            )
+        }
+        assert_eq!(
+            probe(&p),
+            (
+                4,
+                3,
+                Weight::new(5),
+                Weight::new(20),
+                Weight::new(15),
+                Weight::new(17),
+                Weight::new(7)
+            )
+        );
+    }
+
+    #[test]
+    fn tree_view_matches_inherent_methods() {
+        let t = Tree::from_raw(&[1, 2, 3, 4], &[(0, 1, 10), (0, 2, 20), (0, 3, 30)]).unwrap();
+        fn probe<T: TreeView>(t: &T) -> (usize, usize, Weight, TreeEdge, Weight, Weight, Weight) {
+            (
+                t.len(),
+                t.edge_count(),
+                t.node_weight(NodeId::new(3)),
+                t.edge(EdgeId::new(1)),
+                t.edge_weight(EdgeId::new(2)),
+                t.total_weight(),
+                t.max_node_weight(),
+            )
+        }
+        let (n, m, w, e, ew, tw, mw) = probe(&t);
+        assert_eq!((n, m), (4, 3));
+        assert_eq!(w, Weight::new(4));
+        assert_eq!(
+            (e.a, e.b, e.weight),
+            (NodeId::new(0), NodeId::new(2), Weight::new(20))
+        );
+        assert_eq!(ew, Weight::new(30));
+        assert_eq!(tw, Weight::new(10));
+        assert_eq!(mw, Weight::new(4));
+    }
+}

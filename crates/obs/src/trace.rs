@@ -117,6 +117,10 @@ pub enum Stage {
     /// HTTP request parsing (in threads mode this includes the
     /// blocking socket read).
     Parse,
+    /// Streaming flat-array ingest: scanning the raw body straight
+    /// into `tgp-store` arrays without materializing a JSON tree.
+    /// Present only on requests the flat path accepted.
+    Ingest,
     /// Result-cache probe.
     Cache,
     /// Session-store work: resident-graph lookup, edit-batch
@@ -137,9 +141,10 @@ pub enum Stage {
 impl Stage {
     /// All stages, in pipeline order (must match declaration order —
     /// [`Stage::index`] is the discriminant).
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Queue,
         Stage::Parse,
+        Stage::Ingest,
         Stage::Cache,
         Stage::Session,
         Stage::Solve,
@@ -153,6 +158,7 @@ impl Stage {
         match self {
             Stage::Queue => "queue",
             Stage::Parse => "parse",
+            Stage::Ingest => "ingest",
             Stage::Cache => "cache",
             Stage::Session => "session",
             Stage::Solve => "solve",

@@ -43,6 +43,7 @@
 //! requests still hit.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -57,7 +58,7 @@ use tgp_obs::{EventKind, Journal, Stage, TraceId, TraceRecord, TraceStore};
 use tgp_session::{Edit, SessionError, SessionStore, DEFAULT_SESSION_BUDGET};
 use tgp_shmem::machine::{Interconnect, Machine};
 use tgp_shmem::pipeline::{simulate_pipeline, PipelineSpec};
-use tgp_solvers::{KeyBuilder, Registry, SolveError};
+use tgp_solvers::{ingest_flat, FlatObjective, IngestBacking, KeyBuilder, Registry, SolveError};
 
 use crate::cache::{CacheConfig, ResultCache};
 use crate::envelope;
@@ -232,6 +233,11 @@ pub struct AppState {
     /// Written under the resident graph's lock, so per-graph updates
     /// serialize with the solves that produce them.
     last_solves: Mutex<HashMap<(String, Vec<u8>), String>>,
+    /// Bodies at or above this size take the flat-ingest path with
+    /// *disk* (mmap) backing instead of RAM (`--graph-spill-bytes`).
+    graph_spill_bytes: u64,
+    /// Directory for spill files; `None` uses the system temp dir.
+    graph_spill_dir: Option<PathBuf>,
 }
 
 impl AppState {
@@ -250,6 +256,32 @@ impl AppState {
             shed_cost: None,
             shed_remaining: None,
             last_solves: Mutex::new(HashMap::new()),
+            graph_spill_bytes: 64 << 20,
+            graph_spill_dir: None,
+        }
+    }
+
+    /// Sets the flat-ingest spill policy: bodies at or above `bytes`
+    /// ingest into disk-backed (mmap) arrays rooted at `dir` (the
+    /// system temp dir when `None`); smaller eligible bodies use flat
+    /// RAM arrays.
+    pub fn with_graph_spill(mut self, bytes: u64, dir: Option<PathBuf>) -> Self {
+        self.graph_spill_bytes = bytes;
+        self.graph_spill_dir = dir;
+        self
+    }
+
+    /// The HTTP layer's body-spill policy, derived from the same knobs
+    /// as flat ingest: request bodies at or past `--graph-spill-bytes`
+    /// stream into an unlinked spill file while being read instead of
+    /// sitting on a worker's heap.
+    pub(crate) fn body_spill(&self) -> crate::http::BodySpill {
+        crate::http::BodySpill {
+            threshold: usize::try_from(self.graph_spill_bytes).unwrap_or(usize::MAX),
+            dir: self
+                .graph_spill_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir),
         }
     }
 
@@ -899,6 +931,15 @@ fn parse_body_budgeted(
 }
 
 fn partition_endpoint(state: &AppState, body: &[u8], deadline: Option<Instant>) -> ApiResponse {
+    // Streaming flat-ingest fast path: a single request naming a
+    // flat-capable objective scans straight into `tgp-store` arrays
+    // (disk-backed past `--graph-spill-bytes`) without materializing a
+    // JSON tree. Anything else — batches, other objectives, malformed
+    // bodies — falls through untouched, so the legacy registry path
+    // keeps sole ownership of the canonical error behavior.
+    if let Some(response) = partition_flat(state, body, deadline) {
+        return response;
+    }
     let value = match parse_body_budgeted(state, body, deadline) {
         Ok(v) => v,
         Err(failure) => return error_response("partition", &failure),
@@ -995,6 +1036,97 @@ fn partition_endpoint(state: &AppState, body: &[u8], deadline: Option<Instant>) 
     };
     response.objective = objective;
     response
+}
+
+/// The flat-ingest half of `POST /v1/partition`: streams the raw body
+/// into a [`tgp_solvers::FlatRequest`] (RAM arrays below
+/// [`AppState::with_graph_spill`]'s threshold, unlinked-mmap disk
+/// arrays at or above it) and solves over the flat substrate. The
+/// ingest scan is recorded as the `ingest` stage; the graph's backing
+/// and resident bytes land in the `tgp_store_backing` /
+/// `tgp_graph_resident_bytes` series.
+///
+/// Returns `None` when the body is not eligible (batch envelope,
+/// non-flat objective, unexpected field, malformed JSON, spill dir
+/// unwritable…) — responses and cache keys are byte-identical to the
+/// legacy path's, so falling through is always safe, and *only* the
+/// legacy path renders errors, so the two paths cannot drift apart on
+/// failure bodies. The one exception is a deadline that expires during
+/// the ingest scan itself, answered as a parse-stage expiry.
+fn partition_flat(state: &AppState, body: &[u8], deadline: Option<Instant>) -> Option<ApiResponse> {
+    let started = Instant::now();
+    let backing = if body.len() as u64 >= state.graph_spill_bytes {
+        IngestBacking::disk(
+            state
+                .graph_spill_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir),
+        )
+    } else {
+        IngestBacking::Ram
+    };
+    let budget = match deadline {
+        Some(d) => Budget::with_deadline(d),
+        None => Budget::unlimited(),
+    };
+    let (outcome, ingest_done) = timed_stage_from(state, Stage::Ingest, started, || {
+        ingest_flat(body, &backing, &budget)
+    });
+    let request = match outcome {
+        Ok(Some(request)) => request,
+        Ok(None) => return None,
+        Err(error) => {
+            // The budget interrupted the ingest scan: same accounting
+            // as a deadline expiring inside the legacy parse.
+            if matches!(error, SolveError::DeadlineExceeded) {
+                state.metrics.record_deadline_drop("parse");
+            }
+            return Some(error_response("partition", &solve_failure(error)));
+        }
+    };
+    let objective = request.objective.name();
+    state
+        .metrics
+        .record_store_backing(request.graph.backing_kind().as_str());
+    let resident = request.graph.resident_bytes();
+    state.metrics.graph_resident_changed(resident as i64);
+    let key = request.canonical_key();
+    let cost = request.cost_estimate();
+    let outcome = with_cache(state, &key, cost, deadline, || {
+        let (response, solve_done) = timed_stage_from(state, Stage::Solve, ingest_done, || {
+            request.run_budgeted(&budget).map_err(solve_failure)
+        });
+        let response = response?;
+        let (rendered, _) = timed_stage_from(state, Stage::Serialize, solve_done, || {
+            // Identical to the legacy `solver.to_json(&response)`
+            // rendering: the default `to_json` is the response value.
+            response.value.to_string()
+        });
+        Ok(rendered)
+    });
+    state.metrics.graph_resident_changed(-(resident as i64));
+    let registry = Registry::shared();
+    let mut response = match outcome {
+        Ok(rendered) => {
+            if let Some((index, _)) = registry.get(objective) {
+                state
+                    .metrics
+                    .record_objective(index, true, started.elapsed());
+            }
+            json_response(200, "partition", format!("{rendered}\n"))
+        }
+        Err(failure) => {
+            if let Some((index, _)) = registry.get(objective) {
+                state
+                    .metrics
+                    .record_objective(index, false, started.elapsed());
+            }
+            note_interrupt(state, &failure, started);
+            error_response("partition", &failure)
+        }
+    };
+    response.objective = objective;
+    Some(response)
 }
 
 /// One prepared batch item: the request object with its (already
@@ -1547,6 +1679,17 @@ fn session_partition_one(
     let response_mode = take_response_mode(value)?;
     let arc = state.sessions.resident(id).map_err(session_failure)?;
     let mut resident = arc.lock().expect("resident graph poisoned");
+    if let Some(result) = session_flat_solve(
+        state,
+        value,
+        &mut resident,
+        id,
+        response_mode,
+        deadline,
+        session_started,
+    ) {
+        return result;
+    }
     // Move the resident graph into the request object, dispatch, move it
     // back. No early return while the graph is out.
     let graph = std::mem::replace(&mut resident.graph, Value::Null);
@@ -1626,6 +1769,130 @@ fn session_partition_one(
         warm,
         response_mode,
     })
+}
+
+/// The out-of-core session solve: a resident graph at or past
+/// `--graph-spill-bytes` would roughly double its footprint if the
+/// solve materialized another pointer graph, so flat-capable requests
+/// (a flat objective plus just a `bound`) re-ingest the resident JSON
+/// into *disk-backed* flat arrays and solve there, keeping the solve's
+/// own resident cost near zero. Responses, warm windows and delta
+/// bookkeeping are byte-identical to the registry path's.
+///
+/// Returns `None` when the graph is below the threshold or the request
+/// is not flat-eligible (extra params, non-flat objective, malformed
+/// bound…) — the caller then dispatches through the registry, which
+/// owns all error rendering.
+// The arguments mirror the bookkeeping the legacy path does inline;
+// bundling them would just restate `session_partition_one`'s locals.
+#[allow(clippy::too_many_arguments)]
+fn session_flat_solve(
+    state: &AppState,
+    value: &Value,
+    resident: &mut tgp_session::Resident,
+    id: &str,
+    response_mode: Option<&'static str>,
+    deadline: Option<Instant>,
+    session_started: Instant,
+) -> Option<Result<SessionSolve, Failure>> {
+    if resident.resident_bytes() < state.graph_spill_bytes {
+        return None;
+    }
+    let Value::Object(entries) = value else {
+        return None;
+    };
+    // Exactly {"objective", "bound"}: anything else (extra params,
+    // wrong types) must flow through the registry for canonical errors.
+    if entries.len() != 2 {
+        return None;
+    }
+    let objective = value.get("objective")?.as_str()?;
+    FlatObjective::from_name(objective)?;
+    let bound = value.get("bound")?.as_u64()?;
+    // Compose the flat-ingest body around the resident graph's JSON.
+    // The rendered string is transient (dropped after the ingest scan);
+    // the solve itself runs over the disk-backed arrays.
+    let body = format!(
+        "{{\"objective\":\"{objective}\",\"bound\":{bound},\"graph\":{}}}",
+        resident.graph
+    );
+    let backing = IngestBacking::disk(
+        state
+            .graph_spill_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir),
+    );
+    let budget = match deadline {
+        Some(d) => Budget::with_deadline(d),
+        None => Budget::unlimited(),
+    };
+    let session_done = Instant::now();
+    let session_elapsed = session_done.saturating_duration_since(session_started);
+    state.metrics.record_stage(Stage::Session, session_elapsed);
+    trace::record(Stage::Session, session_started, session_elapsed);
+    let (outcome, ingest_done) = timed_stage_from(state, Stage::Ingest, session_done, || {
+        ingest_flat(body.as_bytes(), &backing, &budget)
+    });
+    let request = match outcome {
+        Ok(Some(request)) => request,
+        Ok(None) => return None,
+        Err(error) => {
+            if matches!(error, SolveError::DeadlineExceeded) {
+                state.metrics.record_deadline_drop("parse");
+            }
+            return Some(Err(solve_failure(error)));
+        }
+    };
+    state
+        .metrics
+        .record_store_backing(request.graph.backing_kind().as_str());
+    let key = request.warm_key();
+    let window = resident.warm_window(&key);
+    let ((outcome, warm), solve_done) = timed_stage_from(state, Stage::Solve, ingest_done, || {
+        if let Some((lo, hi)) = window {
+            if let Some(result) = request.run_warm(lo, hi) {
+                return (result.map_err(solve_failure), true);
+            }
+        }
+        (request.run_budgeted(&budget).map_err(solve_failure), false)
+    });
+    let response = match outcome {
+        Ok(response) => response,
+        Err(failure) => return Some(Err(failure)),
+    };
+    let ((rendered_value, rendered, bottleneck), _) =
+        timed_stage_from(state, Stage::Serialize, solve_done, || {
+            // Identical to the legacy `solver.to_json(&response)`
+            // rendering: the default `to_json` is the response value.
+            let rendered_value = response.value;
+            let bottleneck = rendered_value["bottleneck"].as_u64();
+            let rendered = rendered_value.to_string();
+            (rendered_value, rendered, bottleneck)
+        });
+    if let Some(bottleneck) = bottleneck {
+        resident.note_solve(&key, bottleneck);
+    }
+    let previous = state
+        .last_solves
+        .lock()
+        .expect("last solves poisoned")
+        .insert((id.to_string(), key), rendered.clone());
+    let (body, response_mode) = match response_mode {
+        Some("delta") => match previous {
+            Some(previous) => (
+                format!("{}\n", delta_changed(&previous, &rendered_value)),
+                Some("delta"),
+            ),
+            None => (format!("{rendered}\n"), Some("full")),
+        },
+        Some(_) => (format!("{rendered}\n"), Some("full")),
+        None => (format!("{rendered}\n"), None),
+    };
+    Some(Ok(SessionSolve {
+        body,
+        warm,
+        response_mode,
+    }))
 }
 
 /// Removes and validates the session solve's `"response"` field.
@@ -1869,7 +2136,7 @@ mod tests {
             method: "POST".into(),
             path: path.into(),
             headers: Vec::new(),
-            body: body.as_bytes().to_vec(),
+            body: body.as_bytes().to_vec().into(),
             keep_alive: true,
         }
     }
@@ -1879,7 +2146,7 @@ mod tests {
             method: "GET".into(),
             path: path.into(),
             headers: Vec::new(),
-            body: Vec::new(),
+            body: Vec::new().into(),
             keep_alive: true,
         }
     }
@@ -2420,12 +2687,48 @@ mod tests {
             .contains("tgp_requests_total{endpoint=\"healthz\",status=\"200\"} 1"));
     }
 
+    /// Every metric family `/metrics` renders must appear in the
+    /// `docs/SERVICE.md` reference table — new series cannot ship
+    /// undocumented. Traffic is driven through the flat path first so
+    /// the store series (`tgp_graph_*`, `tgp_store_backing`) and the
+    /// per-objective series render.
+    #[test]
+    fn every_rendered_metric_family_is_documented() {
+        let state = AppState::new(CacheConfig::default()).with_graph_spill(1, None);
+        let solve = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
+        assert_eq!(handle(&state, &post("/v1/partition", &solve)).status, 200);
+        let metrics = handle(&state, &get("/metrics")).body;
+        let docs = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/SERVICE.md"
+        ))
+        .expect("read docs/SERVICE.md");
+        let mut missing = Vec::new();
+        for line in metrics.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap_or_default();
+            let family = name
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            if !docs.contains(family) && !missing.iter().any(|m| m == family) {
+                missing.push(family.to_string());
+            }
+        }
+        assert!(
+            missing.is_empty(),
+            "metric families rendered by /metrics but absent from docs/SERVICE.md: {missing:?}"
+        );
+    }
+
     fn request(method: &str, path: &str, body: &str) -> Request {
         Request {
             method: method.into(),
             path: path.into(),
             headers: Vec::new(),
-            body: body.as_bytes().to_vec(),
+            body: body.as_bytes().to_vec().into(),
             keep_alive: true,
         }
     }
@@ -2569,6 +2872,58 @@ mod tests {
             "{}",
             metrics.body
         );
+    }
+
+    #[test]
+    fn session_flat_solve_runs_out_of_core_and_stays_byte_identical() {
+        // Threshold 1: every resident graph is "huge", so session
+        // solves take the disk-backed flat path.
+        let flat = AppState::new(CacheConfig::default()).with_graph_spill(1, None);
+        let legacy = AppState::new(CacheConfig::default());
+        for state in [&flat, &legacy] {
+            let r = handle(
+                state,
+                &post("/v1/graphs", &format!(r#"{{"graph": {CHAIN}}}"#)),
+            );
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+        let solve = r#"{"objective": "lexicographic", "bound": 10}"#;
+        let cold_flat = handle(&flat, &post("/v1/graphs/g1/partition", solve));
+        let cold_legacy = handle(&legacy, &post("/v1/graphs/g1/partition", solve));
+        assert_eq!(cold_flat.status, 200, "{}", cold_flat.body);
+        assert_eq!(solve_header(&cold_flat), Some("cold"));
+        assert_eq!(
+            cold_flat.body, cold_legacy.body,
+            "out-of-core session solve must match the registry path"
+        );
+        // The flat path honors the same warm-window contract.
+        let warm_flat = handle(&flat, &post("/v1/graphs/g1/partition", solve));
+        assert_eq!(solve_header(&warm_flat), Some("warm"));
+        assert_eq!(warm_flat.body, cold_flat.body);
+        let metrics = handle(&flat, &get("/metrics"));
+        assert!(
+            metrics.body.contains("tgp_store_backing{kind=\"disk\"} 2"),
+            "{}",
+            metrics.body
+        );
+        // Requests the flat path cannot serve fall back to the registry
+        // (here: an objective outside the flat trio).
+        let other = handle(
+            &flat,
+            &post(
+                "/v1/graphs/g1/partition",
+                r#"{"objective": "min_cuts", "bound": 10}"#,
+            ),
+        );
+        let other_legacy = handle(
+            &legacy,
+            &post(
+                "/v1/graphs/g1/partition",
+                r#"{"objective": "min_cuts", "bound": 10}"#,
+            ),
+        );
+        assert_eq!(other.status, other_legacy.status);
+        assert_eq!(other.body, other_legacy.body);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--connections N] [--seconds S]
 //!         [--timeout SECS] [--nodes N] [--distinct D]
-//!         [--mix chain|tree|simulate|session|adversarial]
+//!         [--mix chain|tree|simulate|session|adversarial|outofcore]
 //!         [--deadline-ms MS] [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX]
+//!         [--verify-addr HOST:PORT]
 //!         [--strict] [--latency-budget MS] [--p999-budget MS]
 //! ```
 //!
@@ -63,6 +64,18 @@
 //!   under `--strict` every warm re-solve is verified byte-for-byte
 //!   against a stateless cold `/v1/partition` of the same edited
 //!   graph; any divergence fails the run.
+//! * `outofcore` — huge-graph uploads: each connection cycles its own
+//!   distinct set of large chains (`--nodes`) through `/v1/partition`,
+//!   so its first pass is cold — against a server whose
+//!   `--graph-spill-bytes` is at or below the body size, the upload
+//!   streams into spill storage and ingests into disk-backed flat
+//!   arrays — and repeats are warm result-cache hits; the report splits
+//!   the two. Under `--strict` every cold (spilled) solve is
+//!   byte-compared against the same request answered by an *in-RAM
+//!   control* server (`--verify-addr`: the same binary with
+//!   `--graph-spill-bytes` above the body size); any divergence fails
+//!   the run. Raise the spill server's `--max-body-bytes` above the
+//!   rendered body size or the uploads are refused with 413.
 //!
 //! `--strict` exits 1 when any response was a 5xx other than a 503
 //! shed or an intended deadline 504 (for CI smoke runs, where sheds
@@ -93,6 +106,7 @@ enum Mix {
     Simulate,
     Session,
     Adversarial,
+    OutOfCore,
 }
 
 impl Mix {
@@ -103,6 +117,7 @@ impl Mix {
             Mix::Simulate => "simulate",
             Mix::Session => "session",
             Mix::Adversarial => "adversarial",
+            Mix::OutOfCore => "outofcore",
         }
     }
 }
@@ -138,6 +153,13 @@ struct Config {
     deadline_ms: Option<u64>,
     /// Node count of the adversarial mix's huge chains.
     huge_nodes: usize,
+    /// Out-of-core mix: address of the in-RAM control server that
+    /// `--strict` byte-compares every spilled solve against. It must be
+    /// a *separate* server (with `--graph-spill-bytes` above the body
+    /// size) because a re-ask of the spill server would be answered
+    /// from its result cache — the same bytes, not an independent
+    /// in-RAM recompute.
+    verify_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -157,6 +179,7 @@ fn parse_args() -> Result<Config, String> {
         p999_budget: None,
         deadline_ms: None,
         huge_nodes: 1_000_000,
+        verify_addr: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -209,10 +232,11 @@ fn parse_args() -> Result<Config, String> {
                     "simulate" => Mix::Simulate,
                     "session" => Mix::Session,
                     "adversarial" => Mix::Adversarial,
+                    "outofcore" => Mix::OutOfCore,
                     other => {
                         return Err(format!(
-                            "--mix must be chain, tree, simulate, session or adversarial, \
-                             got {other:?}"
+                            "--mix must be chain, tree, simulate, session, adversarial or \
+                             outofcore, got {other:?}"
                         ))
                     }
                 }
@@ -255,6 +279,7 @@ fn parse_args() -> Result<Config, String> {
                 }
                 config.sweep = Some((lo, hi));
             }
+            "--verify-addr" => config.verify_addr = Some(value("--verify-addr")?),
             "--strict" => config.strict = true,
             "--latency-budget" => {
                 let ms: u64 = value("--latency-budget")?
@@ -278,8 +303,9 @@ fn parse_args() -> Result<Config, String> {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--connections N] \
                      [--seconds S] [--timeout SECS] [--nodes N] [--distinct D] \
-                     [--mix chain|tree|simulate|session|adversarial] [--deadline-ms MS] \
-                     [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX] \
+                     [--mix chain|tree|simulate|session|adversarial|outofcore] \
+                     [--deadline-ms MS] [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX] \
+                     [--verify-addr HOST:PORT] \
                      [--strict] [--latency-budget MS] [--p999-budget MS]"
                 );
                 std::process::exit(0);
@@ -304,6 +330,25 @@ fn parse_args() -> Result<Config, String> {
     }
     if config.mix == Mix::Adversarial && config.deadline_ms.is_none() {
         config.deadline_ms = Some(50);
+    }
+    if config.mix == Mix::OutOfCore {
+        if config.rate.is_some() {
+            // An out-of-core iteration is an upload plus (under
+            // --strict) a dependent verification exchange; a fixed
+            // per-request schedule has no meaningful phase to pin to.
+            return Err("--rate does not apply to the outofcore mix".into());
+        }
+        if config.strict && config.verify_addr.is_none() {
+            return Err(
+                "--mix outofcore --strict needs --verify-addr pointing at an in-RAM \
+                 control server (same binary, --graph-spill-bytes above the body size); \
+                 re-asking the spill server would be answered from its result cache, \
+                 not an independent recompute"
+                    .into(),
+            );
+        }
+    } else if config.verify_addr.is_some() {
+        return Err("--verify-addr only applies to the outofcore mix".into());
     }
     Ok(config)
 }
@@ -385,6 +430,9 @@ fn request_bodies(mix: Mix, nodes: usize, distinct: usize) -> Vec<RequestBody> {
                     ),
                 },
                 Mix::Session => unreachable!("session workers build their own requests"),
+                Mix::OutOfCore => {
+                    unreachable!("out-of-core workers build their own requests")
+                }
             }
         })
         .collect()
@@ -771,6 +819,122 @@ fn session_loop(
     Err(())
 }
 
+/// The per-slot knobs of the out-of-core mix, plus the upload counter
+/// that survives reconnects so a re-dialed slot keeps its warm/cold
+/// bookkeeping instead of re-counting repeats as cold.
+struct OutOfCoreSlot {
+    nodes: usize,
+    distinct: usize,
+    index: usize,
+    strict: bool,
+    verify_addr: Option<String>,
+    timeout: Duration,
+    sent: usize,
+}
+
+/// Dials a keep-alive connection and returns the buffered reader /
+/// writer pair the exchange helpers expect.
+fn connect_pair(addr: &str, timeout: Duration) -> Option<(BufReader<TcpStream>, TcpStream)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let writer = stream.try_clone().ok()?;
+    Some((BufReader::new(stream), writer))
+}
+
+/// Drives one connection of the out-of-core mix until `stop`: cycle the
+/// slot's own `distinct` huge chains through `/v1/partition`, so the
+/// first pass over the set is cold (spilled ingest + solve on a server
+/// whose `--graph-spill-bytes` is at or below the body size) and every
+/// repeat is a warm result-cache hit. Chain variants are slot-disjoint
+/// (`index * distinct + i`), so a slot-local first send is server-cold
+/// too. Under `--strict`, each cold solve is byte-compared against the
+/// same request answered by the in-RAM control server at `verify_addr`.
+/// Returns `Ok(())` to reconnect and `Err(())` when the run is over.
+#[allow(clippy::result_unit_err)]
+fn outofcore_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    slot: &mut OutOfCoreSlot,
+    stop: &AtomicBool,
+    tally: &mut Tally,
+) -> Result<(), ()> {
+    let bound = 4 * slot.nodes / 3;
+    // The verification connection is dialed lazily and re-dialed after
+    // any transport error.
+    let mut verify: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    while !stop.load(Ordering::Relaxed) {
+        let i = slot.sent % slot.distinct;
+        let cold = slot.sent < slot.distinct;
+        let body = format!(
+            r#"{{"objective":"bandwidth","bound":{bound},"graph":{}}}"#,
+            chain_graph(slot.nodes, slot.index * slot.distinct + i)
+        );
+        let started = Instant::now();
+        let response = match exchange(reader, writer, "", "/v1/partition", &body) {
+            Ok(response) => response,
+            Err(_) => {
+                // The upload may or may not have been solved before the
+                // connection died, so whether the retry is really cold
+                // is unknowable; leaving `sent` alone keeps the counts
+                // conservative (at most one mislabeled sample).
+                tally.transport_errors += 1;
+                return Ok(());
+            }
+        };
+        slot.sent += 1;
+        let micros = started.elapsed().as_micros() as u64;
+        tally.latency.record(micros);
+        tally.responses += 1;
+        if response.status != 200 {
+            tally.note_error(response.status, &response.body, false);
+            if response.status == 503 {
+                return Ok(());
+            }
+            continue;
+        }
+        tally.ok_200 += 1;
+        if cold {
+            tally.cold_latency.record(micros);
+            tally.cold_solves += 1;
+        } else {
+            tally.warm_latency.record(micros);
+            tally.warm_solves += 1;
+        }
+
+        // Cross-check every cold (spilled) solve against the in-RAM
+        // control server, byte for byte.
+        if slot.strict && cold {
+            let Some(addr) = slot.verify_addr.as_deref() else {
+                continue;
+            };
+            if verify.is_none() {
+                verify = connect_pair(addr, slot.timeout);
+            }
+            let Some((verify_reader, verify_writer)) = verify.as_mut() else {
+                tally.transport_errors += 1;
+                continue;
+            };
+            let verify_started = Instant::now();
+            match exchange(verify_reader, verify_writer, "", "/v1/partition", &body) {
+                Ok(verification) => {
+                    tally
+                        .verify_latency
+                        .record(verify_started.elapsed().as_micros() as u64);
+                    if verification.status != 200 || verification.body != response.body {
+                        tally.verify_mismatches += 1;
+                    }
+                }
+                Err(_) => {
+                    tally.transport_errors += 1;
+                    verify = None;
+                }
+            }
+        }
+    }
+    Err(())
+}
+
 fn main() {
     let config = match parse_args() {
         Ok(c) => c,
@@ -781,8 +945,8 @@ fn main() {
     };
     let bodies = Arc::new(match (config.sweep, config.mix) {
         (Some((lo, hi)), _) => sweep_bodies(config.nodes, lo, hi),
-        // Session workers render their requests from live state.
-        (None, Mix::Session) => Vec::new(),
+        // Session and out-of-core workers render their own requests.
+        (None, Mix::Session | Mix::OutOfCore) => Vec::new(),
         (None, mix) => request_bodies(mix, config.nodes, config.distinct),
     });
     let stop = Arc::new(AtomicBool::new(false));
@@ -809,6 +973,15 @@ fn main() {
         (None, Mix::Session) => {
             format!("mix session, one resident graph per connection, {SESSION_BATCH}-edit batches")
         }
+        (None, Mix::OutOfCore) => format!(
+            "mix outofcore, {} huge uploads per connection cycled cold-then-warm{}",
+            config.distinct,
+            if config.verify_addr.is_some() {
+                ", cold solves cross-checked in RAM"
+            } else {
+                ""
+            }
+        ),
         (None, Mix::Adversarial) => format!(
             "mix adversarial, {} distinct small bodies + 1/{HUGE_EVERY} huge ({} nodes), \
              {} ms deadlines",
@@ -840,10 +1013,13 @@ fn main() {
 
     let mix = config.mix;
     let nodes = config.nodes;
+    let distinct = config.distinct;
     let strict = config.strict;
+    let verify_addr = config.verify_addr.clone();
     let workers: Vec<_> = (0..slots)
         .map(|c| {
             let addr = config.addr.clone();
+            let verify_addr = verify_addr.clone();
             let bodies = Arc::clone(&bodies);
             let huge_body = Arc::clone(&huge_body);
             let deadline_header = Arc::clone(&deadline_header);
@@ -860,6 +1036,15 @@ fn main() {
                     index: c,
                     strict,
                     tick: c,
+                };
+                let mut outofcore_state = OutOfCoreSlot {
+                    nodes,
+                    distinct,
+                    index: c,
+                    strict,
+                    verify_addr,
+                    timeout,
+                    sent: 0,
                 };
                 'reconnect: while !stop.load(Ordering::Relaxed) {
                     let Ok(stream) = TcpStream::connect(&addr) else {
@@ -880,6 +1065,18 @@ fn main() {
                             &mut reader,
                             &mut writer,
                             &mut slot_state,
+                            &stop,
+                            &mut tally,
+                        ) {
+                            Ok(()) => continue 'reconnect, // re-dial
+                            Err(()) => break 'reconnect,   // run is over
+                        }
+                    }
+                    if mix == Mix::OutOfCore {
+                        match outofcore_loop(
+                            &mut reader,
+                            &mut writer,
+                            &mut outofcore_state,
                             &stop,
                             &mut tally,
                         ) {
@@ -1065,6 +1262,37 @@ fn main() {
             );
         }
     }
+    if config.mix == Mix::OutOfCore {
+        println!(
+            "outofcore:  {} cold (spilled) uploads / {} warm result-cache hits",
+            merged.cold_solves, merged.warm_solves
+        );
+        for (label, h) in [
+            ("cold solve ", &merged.cold_latency),
+            ("warm hit   ", &merged.warm_latency),
+            ("verify ram ", &merged.verify_latency),
+        ] {
+            if h.count() == 0 {
+                continue;
+            }
+            println!(
+                "{label}: p50 {} us, p90 {} us, p99 {} us, max {} us",
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max(),
+            );
+        }
+        if config.strict {
+            println!(
+                "verify:     {} spilled solves cross-checked against the in-RAM control \
+                 at {}, {} mismatches",
+                merged.verify_latency.count(),
+                config.verify_addr.as_deref().unwrap_or("<unset>"),
+                merged.verify_mismatches
+            );
+        }
+    }
     if merged.non_200 > 0 || merged.transport_errors > 0 {
         println!(
             "anomalies:  {} non-200 responses ({} shed 503s, {} deadline 504s, {} other 5xx), \
@@ -1086,11 +1314,30 @@ fn main() {
     if starved > 0 {
         failures.push(format!("{starved} of {slots} connections starved"));
     }
-    if merged.verify_mismatches > 0 {
+    if config.mix == Mix::OutOfCore
+        && config.strict
+        && merged.verify_latency.count() < merged.cold_solves
+    {
+        // A cold solve whose verification exchange failed in transport
+        // went unchecked; strict runs refuse to vouch for it.
         failures.push(format!(
-            "{} warm re-solves differed from their cold verification",
-            merged.verify_mismatches
+            "only {} of {} spilled solves were cross-checked in RAM",
+            merged.verify_latency.count(),
+            merged.cold_solves
         ));
+    }
+    if merged.verify_mismatches > 0 {
+        failures.push(if config.mix == Mix::OutOfCore {
+            format!(
+                "{} spilled solves differed from the in-RAM control",
+                merged.verify_mismatches
+            )
+        } else {
+            format!(
+                "{} warm re-solves differed from their cold verification",
+                merged.verify_mismatches
+            )
+        });
     }
     if merged.envelope_violations > 0 {
         failures.push(format!(

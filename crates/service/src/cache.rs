@@ -32,18 +32,32 @@
 //!
 //! # Persistence
 //!
-//! [`ResultCache::dump`] serialises live entries to a versioned,
-//! FNV-checksummed file (written to a temp sibling, then renamed);
-//! [`ResultCache::load`] warm-loads one on boot. A file that fails any
-//! validation — magic, version, checksum, per-entry bounds — is
-//! rejected with an error and never partially trusted. Entries carry
-//! their remaining TTL across the restart.
+//! Two mechanisms share the on-disk duty:
+//!
+//! - [`ResultCache::dump`] / [`ResultCache::load`]: the legacy
+//!   whole-file snapshot (versioned, FNV-checksummed, written to a
+//!   temp sibling then renamed). Still used by tests and as the
+//!   migration source for old files.
+//! - [`ResultCache::attach_journal`]: the append-on-ack snapshot+log
+//!   discipline `--cache-file` uses (see the `cache_journal` module).
+//!   Every admitted insert appends one record, so `kill -9` loses at
+//!   most a torn tail; boot replays the longest intact prefix, and a
+//!   grown log is compacted back to a snapshot (periodically, and on
+//!   graceful shutdown). Cached values are pure functions of their
+//!   canonical keys, so replaying an insert whose TTL elapsed since
+//!   the append can only re-serve a still-correct response; TTL here
+//!   is a freshness/memory policy, not a correctness guard.
+//!
+//! A file that fails validation — magic, version, checksum, per-entry
+//! bounds — is rejected with an error and never partially trusted.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::cache_journal::{self, CacheJournal};
 
 /// Number of independently locked shards (power of two).
 const SHARDS: usize = 8;
@@ -327,6 +341,21 @@ pub struct ResultCache {
     rejected_oversize: AtomicU64,
     expired: AtomicU64,
     warm_loaded: AtomicU64,
+    /// Insert log attached by [`ResultCache::attach_journal`]; `None`
+    /// runs memory-only. Dropped (with a log line) on the first append
+    /// failure, so a full disk degrades persistence, not serving.
+    journal: Mutex<Option<CacheJournal>>,
+}
+
+/// What [`ResultCache::attach_journal`] found at the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttachReport {
+    /// Entries admitted from the replay.
+    pub admitted: usize,
+    /// Whether a torn/corrupt tail was trimmed.
+    pub truncated: bool,
+    /// Whether a legacy whole-file dump was migrated to journal form.
+    pub migrated: bool,
 }
 
 impl ResultCache {
@@ -349,6 +378,7 @@ impl ResultCache {
             rejected_oversize: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             warm_loaded: AtomicU64::new(0),
+            journal: Mutex::new(None),
         }
     }
 
@@ -421,6 +451,17 @@ impl ResultCache {
         cost: u64,
         expires_at_ms: u64,
     ) -> bool {
+        self.insert_inner(key, value, cost, expires_at_ms, true)
+    }
+
+    fn insert_inner(
+        &self,
+        key: &[u8],
+        value: String,
+        cost: u64,
+        expires_at_ms: u64,
+        journal: bool,
+    ) -> bool {
         if self.per_shard_budget == 0 {
             return false;
         }
@@ -434,13 +475,212 @@ impl ResultCache {
             return false;
         }
         let hash = fnv1a(key);
+        // The record is built before the value moves into the shard;
+        // the append itself happens after the insert is in memory
+        // (append-on-ack), outside the shard lock. Skipped entirely
+        // when no journal is attached.
+        let journal = journal
+            && self
+                .journal
+                .lock()
+                .expect("cache journal poisoned")
+                .is_some();
+        let record = if journal {
+            let ttl_remaining = if expires_at_ms == NO_EXPIRY {
+                NO_EXPIRY
+            } else {
+                expires_at_ms.saturating_sub(self.now_ms())
+            };
+            Some(cache_journal::encode_entry(
+                key,
+                &value,
+                cost,
+                ttl_remaining,
+            ))
+        } else {
+            None
+        };
         let evicted = self.shards[Self::shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
             .insert(hash, key, value, cost, expires_at_ms, self.per_shard_budget);
         self.evicted.fetch_add(evicted, Ordering::Relaxed);
         self.generation.fetch_add(1, Ordering::Relaxed);
+        if let Some(record) = record {
+            self.journal_append(&record);
+        }
         true
+    }
+
+    /// Appends one record to the attached journal, detaching it (with
+    /// a log line) on the first IO failure so a full disk degrades
+    /// persistence rather than request serving.
+    fn journal_append(&self, record: &[u8]) {
+        let mut guard = self.journal.lock().expect("cache journal poisoned");
+        if let Some(journal) = guard.as_mut() {
+            if let Err(e) = journal.append(record) {
+                eprintln!("tgp-serve cache journal append failed: {e} (persistence disabled)");
+                *guard = None;
+            }
+        }
+    }
+
+    /// Attaches the append-on-ack journal at `path`, replaying whatever
+    /// is already there through the normal admission path first:
+    ///
+    /// * missing file — a fresh journal is created;
+    /// * an existing journal — the longest intact prefix is replayed
+    ///   (any torn tail from an abrupt kill is trimmed) and appends
+    ///   resume after it;
+    /// * a legacy `TGPCACHE` whole-file dump — loaded with the old
+    ///   validator, then rewritten in journal form (`migrated`).
+    ///
+    /// A file that is neither — foreign magic, future version, or an
+    /// invalid legacy dump — is an error and is left untouched; the
+    /// caller should boot cold and memory-only rather than destroy
+    /// whatever the operator pointed us at.
+    pub fn attach_journal(&self, path: &Path) -> Result<AttachReport, String> {
+        if self.per_shard_budget == 0 {
+            return Err("cache budget is zero; nothing to persist".into());
+        }
+        let mut magic = [0u8; 8];
+        let legacy = match std::fs::File::open(path) {
+            Ok(mut f) => {
+                use std::io::Read as _;
+                let mut n = 0;
+                while n < magic.len() {
+                    match f.read(&mut magic[n..]) {
+                        Ok(0) => break,
+                        Ok(m) => n += m,
+                        Err(e) => return Err(format!("read {}: {e}", path.display())),
+                    }
+                }
+                n == magic.len() && &magic == DUMP_MAGIC
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(format!("open {}: {e}", path.display())),
+        };
+        if legacy {
+            let admitted = self.load(path)?;
+            let mut journal = CacheJournal::create(path)
+                .map_err(|e| format!("rewrite {} as a journal: {e}", path.display()))?;
+            for record in self.snapshot_records() {
+                journal
+                    .append(&record)
+                    .map_err(|e| format!("migrate {}: {e}", path.display()))?;
+            }
+            *self.journal.lock().expect("cache journal poisoned") = Some(journal);
+            return Ok(AttachReport {
+                admitted,
+                truncated: false,
+                migrated: true,
+            });
+        }
+        let replay = cache_journal::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        match replay {
+            None => {
+                let journal = CacheJournal::create(path)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?;
+                *self.journal.lock().expect("cache journal poisoned") = Some(journal);
+                Ok(AttachReport {
+                    admitted: 0,
+                    truncated: false,
+                    migrated: false,
+                })
+            }
+            Some(replay) => {
+                let mut admitted = 0usize;
+                for payload in &replay.records {
+                    // A payload that fails to decode (checksum collision
+                    // let corruption through) is skipped, not trusted.
+                    let Some(rec) = cache_journal::decode_entry(payload) else {
+                        continue;
+                    };
+                    let deadline = self.deadline(rec.ttl_remaining_ms);
+                    if self.insert_inner(&rec.key, rec.value, rec.cost, deadline, false) {
+                        admitted += 1;
+                    }
+                }
+                self.warm_loaded
+                    .fetch_add(admitted as u64, Ordering::Relaxed);
+                let journal = CacheJournal::open_for_append(path, replay.keep_len)
+                    .map_err(|e| format!("open {}: {e}", path.display()))?;
+                *self.journal.lock().expect("cache journal poisoned") = Some(journal);
+                Ok(AttachReport {
+                    admitted,
+                    truncated: replay.truncated,
+                    migrated: false,
+                })
+            }
+        }
+    }
+
+    /// Journal payloads for every live (unexpired) entry, walking each
+    /// shard LRU→MRU so replay restores recency, with remaining TTLs.
+    fn snapshot_records(&self) -> Vec<Vec<u8>> {
+        let now_ms = self.now_ms();
+        let mut records = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let mut i = shard.tail;
+            while i != NIL {
+                let e = &shard.slots[i];
+                if now_ms < e.expires_at_ms {
+                    let ttl_remaining = if e.expires_at_ms == NO_EXPIRY {
+                        NO_EXPIRY
+                    } else {
+                        e.expires_at_ms - now_ms
+                    };
+                    records.push(cache_journal::encode_entry(
+                        &e.key,
+                        &e.value,
+                        e.cost,
+                        ttl_remaining,
+                    ));
+                }
+                i = shard.slots[i].prev;
+            }
+        }
+        records
+    }
+
+    /// Compacts the attached journal to a snapshot of the live entries
+    /// (temp sibling + atomic rename). No-op without a journal. The
+    /// journal lock is held across the snapshot, so an insert that
+    /// already made it into the journal is also in the snapshot — the
+    /// rewrite never loses an acknowledged record.
+    pub fn compact_journal(&self) -> std::io::Result<()> {
+        let mut guard = self.journal.lock().expect("cache journal poisoned");
+        let Some(journal) = guard.as_mut() else {
+            return Ok(());
+        };
+        let records = self.snapshot_records();
+        if let Err(e) = journal.rewrite(&records) {
+            eprintln!("tgp-serve cache journal compaction failed: {e} (persistence disabled)");
+            *guard = None;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Whether the journal has grown enough past the live data to be
+    /// worth compacting (over twice the live bytes, plus slack so tiny
+    /// caches don't compact on every insert).
+    pub fn should_compact(&self) -> bool {
+        match self.journal_len() {
+            Some(len) => len > 2 * self.bytes_used() as u64 + (64 << 10),
+            None => false,
+        }
+    }
+
+    /// Bytes in the attached journal, or `None` when running
+    /// memory-only.
+    pub fn journal_len(&self) -> Option<u64> {
+        self.journal
+            .lock()
+            .expect("cache journal poisoned")
+            .as_ref()
+            .map(CacheJournal::len)
     }
 
     /// Number of cached entries across all shards (including entries
@@ -611,6 +851,11 @@ impl ResultCache {
                 "tgp_cache_bytes_budget",
                 "Configured cache byte budget.",
                 self.budget_bytes as u64,
+            ),
+            (
+                "tgp_cache_journal_bytes",
+                "Bytes in the attached cache journal (0 when memory-only).",
+                self.journal_len().unwrap_or(0),
             ),
         ];
         for (name, help, value) in gauges {
@@ -1019,6 +1264,7 @@ mod tests {
             "tgp_cache_entries 1",
             "tgp_cache_bytes_used",
             "tgp_cache_bytes_budget 1048576",
+            "tgp_cache_journal_bytes 0",
             "tgp_cache_evicted_total 0",
             "tgp_cache_rejected_oversize_total 0",
             "tgp_cache_expired_total 0",
@@ -1026,6 +1272,177 @@ mod tests {
         ] {
             assert!(out.contains(series), "missing {series} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn journal_persists_inserts_across_attach_cycles() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("attach.cachejournal");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = ResultCache::with_budget(1 << 20);
+        let report = cache.attach_journal(&path).unwrap();
+        assert_eq!(
+            report,
+            AttachReport {
+                admitted: 0,
+                truncated: false,
+                migrated: false
+            }
+        );
+        for i in 0..10u64 {
+            cache.insert(format!("key-{i}").as_bytes(), format!("value-{i}"), i);
+        }
+        cache.insert(b"key-3", "updated".into(), 3);
+        drop(cache);
+
+        let restored = ResultCache::with_budget(1 << 20);
+        let report = restored.attach_journal(&path).unwrap();
+        assert_eq!(report.admitted, 11, "log of inserts: every append replays");
+        assert!(!report.truncated);
+        assert!(!report.migrated);
+        assert_eq!(restored.len(), 10, "later insert under the same key wins");
+        assert_eq!(restored.get(b"key-3").as_deref(), Some("updated"));
+        for i in [0u64, 9] {
+            assert_eq!(
+                restored.get(format!("key-{i}").as_bytes()).as_deref(),
+                Some(format!("value-{i}").as_str())
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_torn_tail_replays_prefix_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.cachejournal");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = ResultCache::with_budget(1 << 20);
+        cache.attach_journal(&path).unwrap();
+        cache.insert(b"intact", "v1".into(), 0);
+        cache.insert(b"torn", "v2".into(), 0);
+        drop(cache);
+        // Tear the last record mid-payload, as kill -9 mid-write would.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 2]).unwrap();
+
+        let restored = ResultCache::with_budget(1 << 20);
+        let report = restored.attach_journal(&path).unwrap();
+        assert_eq!(report.admitted, 1);
+        assert!(report.truncated);
+        assert_eq!(restored.get(b"intact").as_deref(), Some("v1"));
+        assert!(restored.get(b"torn").is_none());
+
+        // Appends resume cleanly after the trim.
+        restored.insert(b"after", "v3".into(), 0);
+        let again = ResultCache::with_budget(1 << 20);
+        assert_eq!(again.attach_journal(&path).unwrap().admitted, 2);
+        assert_eq!(again.get(b"after").as_deref(), Some("v3"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_dump_migrates_to_journal_on_attach() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-migrate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.cache");
+
+        let old = ResultCache::with_budget(1 << 20);
+        old.insert(b"carried", "v".into(), 0);
+        old.dump(&path).unwrap();
+
+        let cache = ResultCache::with_budget(1 << 20);
+        let report = cache.attach_journal(&path).unwrap();
+        assert_eq!(report.admitted, 1);
+        assert!(report.migrated);
+        assert_eq!(cache.get(b"carried").as_deref(), Some("v"));
+        cache.insert(b"new", "w".into(), 0);
+        drop(cache);
+
+        // The file is now a journal: reattach replays both entries.
+        let restored = ResultCache::with_budget(1 << 20);
+        let report = restored.attach_journal(&path).unwrap();
+        assert!(!report.migrated, "already journal form");
+        assert_eq!(report.admitted, 2);
+        assert_eq!(restored.get(b"new").as_deref(), Some("w"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_fails_attach_and_is_left_untouched() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-foreign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.bin");
+        let original = b"operator data that is not ours, well past sixteen bytes".to_vec();
+        std::fs::write(&path, &original).unwrap();
+
+        let cache = ResultCache::with_budget(1 << 20);
+        assert!(cache.attach_journal(&path).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(std::fs::read(&path).unwrap(), original, "never overwritten");
+        // The cache still works memory-only after the failed attach.
+        assert!(cache.insert(b"k", "v".into(), 0));
+        assert!(cache.journal_len().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_the_journal_and_keeps_entries() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.cachejournal");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = ResultCache::with_budget(1 << 20);
+        cache.attach_journal(&path).unwrap();
+        // Re-insert one key many times: memory holds one entry, the
+        // log holds every insert.
+        let filler = "x".repeat(1024);
+        for _ in 0..256 {
+            cache.insert(b"hot", filler.clone(), 0);
+        }
+        assert!(cache.should_compact(), "log far exceeds live bytes");
+        let before = cache.journal_len().unwrap();
+        cache.compact_journal().unwrap();
+        let after = cache.journal_len().unwrap();
+        assert!(after < before, "compaction shrank {before} -> {after}");
+        assert!(!cache.should_compact());
+
+        let restored = ResultCache::with_budget(1 << 20);
+        assert_eq!(restored.attach_journal(&path).unwrap().admitted, 1);
+        assert_eq!(restored.get(b"hot").as_deref(), Some(filler.as_str()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_preserves_remaining_ttl_across_attach() {
+        let dir = std::env::temp_dir().join(format!("tgp-cache-jttl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ttl.cachejournal");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = ResultCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ttl: Some(Duration::from_millis(100)),
+            max_entry_bytes: 1 << 16,
+        });
+        cache.attach_journal(&path).unwrap();
+        cache.insert(b"k", "v".into(), 0);
+        drop(cache);
+
+        let restored = ResultCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ttl: Some(Duration::from_millis(100)),
+            max_entry_bytes: 1 << 16,
+        });
+        restored.attach_journal(&path).unwrap();
+        assert_eq!(restored.get(b"k").as_deref(), Some("v"));
+        restored.advance(Duration::from_millis(100));
+        assert!(restored.get(b"k").is_none(), "replayed TTL still expires");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Append-on-ack journal for `--cache-file`, ported from the session
+//! store's snapshot+log discipline (`tgp-session`'s journal): every
+//! admitted insert appends one checksummed record with a single
+//! `write_all`, so an abrupt kill (`kill -9`) loses at most one torn
+//! tail record instead of everything since the last whole-file dump.
+//!
+//! On boot the longest intact prefix is replayed through the normal
+//! admission path and the torn tail (if any) is truncated; a growing
+//! log is periodically *compacted* — rewritten as a snapshot of the
+//! live entries via a temp sibling and an atomic rename — which is
+//! also what graceful shutdown does.
+//!
+//! File layout:
+//!
+//! ```text
+//! magic "TGPCJRNL" | version u64 LE          (16-byte header)
+//! [payload_len u64 LE | fnv1a(payload) u64 LE | payload]*
+//! ```
+//!
+//! Each payload is one cache entry (the journal is a log of inserts;
+//! replay applies them in order, so a later insert under the same key
+//! wins, exactly as it did live):
+//!
+//! ```text
+//! key_len u64 LE | cost u64 LE | ttl_remaining_ms u64 LE | key | value
+//! ```
+//!
+//! Unlike the session journal, payloads are raw bytes, not JSON —
+//! canonical cache keys are binary.
+//!
+//! A legacy `TGPCACHE` dump at the same path is migrated on attach:
+//! loaded with the old validator, then rewritten in journal form.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::cache::fnv1a;
+
+const MAGIC: &[u8; 8] = b"TGPCJRNL";
+const FORMAT_VERSION: u64 = 1;
+const HEADER_LEN: u64 = 16;
+/// Record frame: payload length + checksum.
+const FRAME_LEN: usize = 16;
+/// Upper bound on a single record, against absurd corrupted lengths.
+const MAX_RECORD_LEN: u64 = 1 << 32;
+/// Entry payload prefix: key_len + cost + ttl_remaining.
+pub(crate) const ENTRY_PREFIX: usize = 24;
+
+/// One cache entry decoded from a journal record.
+pub(crate) struct EntryRecord {
+    pub key: Vec<u8>,
+    pub value: String,
+    pub cost: u64,
+    pub ttl_remaining_ms: u64,
+}
+
+/// Encodes one entry as a record payload.
+pub(crate) fn encode_entry(key: &[u8], value: &str, cost: u64, ttl_remaining_ms: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(ENTRY_PREFIX + key.len() + value.len());
+    payload.extend_from_slice(&(key.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&cost.to_le_bytes());
+    payload.extend_from_slice(&ttl_remaining_ms.to_le_bytes());
+    payload.extend_from_slice(key);
+    payload.extend_from_slice(value.as_bytes());
+    payload
+}
+
+/// Decodes a record payload. `None` for a structurally invalid payload
+/// (possible only if a checksum collision let corruption through —
+/// the record is skipped, never trusted).
+pub(crate) fn decode_entry(payload: &[u8]) -> Option<EntryRecord> {
+    if payload.len() < ENTRY_PREFIX {
+        return None;
+    }
+    let key_len = u64::from_le_bytes(payload[0..8].try_into().ok()?) as usize;
+    let cost = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let ttl_remaining_ms = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    let body = &payload[ENTRY_PREFIX..];
+    if key_len > body.len() {
+        return None;
+    }
+    let value = std::str::from_utf8(&body[key_len..]).ok()?.to_string();
+    Some(EntryRecord {
+        key: body[..key_len].to_vec(),
+        value,
+        cost,
+        ttl_remaining_ms,
+    })
+}
+
+/// The longest intact prefix of a journal file.
+pub(crate) struct Replay {
+    /// Record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the intact prefix (where appends must resume).
+    pub keep_len: u64,
+    /// Whether a torn/corrupt tail was found past `keep_len`.
+    pub truncated: bool,
+}
+
+/// Reads the journal at `path`. `Ok(None)` when the file does not
+/// exist (first boot). A file that is not a cache journal at all —
+/// foreign magic, future version — is an error, so it is never
+/// silently truncated or overwritten. Corruption *after* a valid
+/// header only shortens the replay.
+pub(crate) fn read(path: &Path) -> io::Result<Option<Replay>> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if data.len() < HEADER_LEN as usize || &data[0..8] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a tgp cache journal (bad magic)",
+        ));
+    }
+    let version = u64::from_le_bytes(data[8..16].try_into().expect("sliced 8"));
+    if version != FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported cache journal version {version}"),
+        ));
+    }
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    loop {
+        let remaining = data.len() - offset;
+        if remaining == 0 {
+            return Ok(Some(Replay {
+                records,
+                keep_len: offset as u64,
+                truncated: false,
+            }));
+        }
+        if remaining < FRAME_LEN {
+            break; // torn frame
+        }
+        let len = u64::from_le_bytes(data[offset..offset + 8].try_into().expect("sliced 8"));
+        let sum = u64::from_le_bytes(data[offset + 8..offset + 16].try_into().expect("sliced 8"));
+        if len > MAX_RECORD_LEN || len as usize > remaining - FRAME_LEN {
+            break; // absurd or torn payload length
+        }
+        let payload = &data[offset + FRAME_LEN..offset + FRAME_LEN + len as usize];
+        if fnv1a(payload) != sum {
+            break; // corrupt payload
+        }
+        records.push(payload.to_vec());
+        offset += FRAME_LEN + len as usize;
+    }
+    Ok(Some(Replay {
+        records,
+        keep_len: offset as u64,
+        truncated: true,
+    }))
+}
+
+/// An open journal positioned for appends.
+#[derive(Debug)]
+pub(crate) struct CacheJournal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl CacheJournal {
+    /// Creates a fresh journal (header only), truncating whatever was
+    /// at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(CacheJournal {
+            file,
+            path: path.to_path_buf(),
+            len: HEADER_LEN,
+        })
+    }
+
+    /// Opens an existing journal for appending, truncating any torn
+    /// tail past `keep_len` (as reported by [`read`]).
+    pub fn open_for_append(path: &Path, keep_len: u64) -> io::Result<Self> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep_len)?;
+        let mut journal = CacheJournal {
+            file,
+            path: path.to_path_buf(),
+            len: keep_len,
+        };
+        journal.file.seek(SeekFrom::End(0))?;
+        Ok(journal)
+    }
+
+    /// Appends one record with a single `write_all`, so an abrupt kill
+    /// leaves at most one torn tail for [`read`] to trim.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Compacts the journal to exactly `records` (a snapshot of the
+    /// live entries): writes a temp sibling, renames it over the
+    /// journal, and reopens for appends. Readers never observe a
+    /// partial file.
+    pub fn rewrite(&mut self, records: &[Vec<u8>]) -> io::Result<()> {
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut replacement = CacheJournal::create(&tmp)?;
+            for record in records {
+                replacement.append(record)?;
+            }
+            replacement.file.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().write(true).open(&self.path)?;
+        self.len = self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    /// Current journal length in bytes (header + intact records).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tgp-cache-journal-{tag}-{}", std::process::id()))
+    }
+
+    fn entry(i: u64) -> Vec<u8> {
+        encode_entry(
+            format!("key-{i}").as_bytes(),
+            &format!("value-{i}"),
+            i,
+            u64::MAX,
+        )
+    }
+
+    #[test]
+    fn round_trips_records_through_create_append_read() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = CacheJournal::create(&path).unwrap();
+        for i in 0..5 {
+            journal.append(&entry(i)).unwrap();
+        }
+        let replay = read(&path).unwrap().expect("file exists");
+        assert_eq!(replay.records.len(), 5);
+        assert!(!replay.truncated);
+        assert_eq!(replay.keep_len, journal.len());
+        let decoded = decode_entry(&replay.records[3]).unwrap();
+        assert_eq!(decoded.key, b"key-3");
+        assert_eq!(decoded.value, "value-3");
+        assert_eq!(decoded.cost, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_as_none() {
+        assert!(read(&temp_path("missing")).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_trimmed_and_appends_resume() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = CacheJournal::create(&path).unwrap();
+        journal.append(&entry(0)).unwrap();
+        journal.append(&entry(1)).unwrap();
+        drop(journal);
+        // Tear the last record mid-payload, as kill -9 mid-write would.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 1, "torn record dropped");
+        assert!(replay.truncated);
+
+        let mut journal = CacheJournal::open_for_append(&path, replay.keep_len).unwrap();
+        journal.append(&entry(2)).unwrap();
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.truncated);
+        assert_eq!(decode_entry(&replay.records[1]).unwrap().key, b"key-2");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_and_absurd_length_stop_the_replay() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = CacheJournal::create(&path).unwrap();
+        journal.append(&entry(0)).unwrap();
+        let boundary = journal.len();
+        journal.append(&entry(1)).unwrap();
+        drop(journal);
+
+        // Flip a payload byte in the second record.
+        let mut data = std::fs::read(&path).unwrap();
+        let i = boundary as usize + FRAME_LEN;
+        data[i] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.truncated);
+        assert_eq!(replay.keep_len, boundary);
+
+        // Absurd length field.
+        let mut data = std::fs::read(&path).unwrap();
+        data[boundary as usize..boundary as usize + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.truncated);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_errors_not_truncations() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"totally not a journal, much longer than 16").unwrap();
+        assert!(read(&path).is_err());
+
+        let mut future = Vec::new();
+        future.extend_from_slice(MAGIC);
+        future.extend_from_slice(&99u64.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(read(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts_and_keeps_accepting_appends() {
+        let path = temp_path("rewrite");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = CacheJournal::create(&path).unwrap();
+        for i in 0..50 {
+            journal.append(&entry(i)).unwrap();
+        }
+        let before = journal.len();
+        journal.rewrite(&[entry(7)]).unwrap();
+        assert!(journal.len() < before);
+        journal.append(&entry(8)).unwrap();
+        let replay = read(&path).unwrap().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(decode_entry(&replay.records[0]).unwrap().key, b"key-7");
+        assert_eq!(decode_entry(&replay.records[1]).unwrap().key, b"key-8");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_payload_decodes_to_none() {
+        assert!(decode_entry(b"").is_none());
+        assert!(decode_entry(&[0u8; 23]).is_none());
+        // key_len larger than the body.
+        let mut p = Vec::new();
+        p.extend_from_slice(&100u64.to_le_bytes());
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(b"short");
+        assert!(decode_entry(&p).is_none());
+        // non-UTF-8 value.
+        let mut p = Vec::new();
+        p.extend_from_slice(&1u64.to_le_bytes());
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&[b'k', 0xff, 0xfe]);
+        assert!(decode_entry(&p).is_none());
+    }
+}

@@ -8,6 +8,10 @@
 //! code so malformed input can never panic a worker.
 
 use std::io::{BufRead, Write};
+use std::ops::Deref;
+use std::path::PathBuf;
+
+use tgp_store::SpillBuf;
 
 /// Upper bound on the request line plus headers, in bytes. The epoll
 /// framer in `tgp-net` enforces the same cap, so both `--io` modes
@@ -16,6 +20,59 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Upper bound on the number of headers.
 const MAX_HEADERS: usize = 64;
+
+/// A request body. Small bodies live on the heap; bodies whose declared
+/// `Content-Length` crosses the server's spill threshold stream into an
+/// unlinked [`SpillBuf`] file instead, so one huge upload cannot pin
+/// gigabytes of worker heap. Either way it derefs to `&[u8]`, so
+/// handlers never care where the bytes live.
+pub enum Body {
+    /// Heap-resident body (the common case).
+    Ram(Vec<u8>),
+    /// Body streamed into an unlinked disk mapping while being read.
+    Spilled(SpillBuf),
+}
+
+impl Body {
+    /// Whether the body lives in a spill file rather than on the heap.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self, Body::Spilled(_))
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Body::Ram(v) => v,
+            Body::Spilled(b) => b.as_slice(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Self {
+        Body::Ram(v)
+    }
+}
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.is_spilled() { "Spilled" } else { "Ram" };
+        write!(f, "Body::{kind}({} bytes)", self.len())
+    }
+}
+
+/// Where (and past what size) request bodies spill to disk while being
+/// read. `None` spill policy means every body is heap-resident.
+#[derive(Debug, Clone)]
+pub struct BodySpill {
+    /// Bodies with `Content-Length >= threshold` stream into a spill
+    /// buffer instead of the heap.
+    pub threshold: usize,
+    /// Directory for the (immediately unlinked) spill files.
+    pub dir: PathBuf,
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -28,7 +85,7 @@ pub struct Request {
     /// Lower-cased header names with their values.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Whether the connection should stay open after this exchange.
     pub keep_alive: bool,
 }
@@ -74,6 +131,20 @@ pub enum RecvError {
 /// are rejected *before* reading the body, so an oversized upload costs
 /// the server only the header bytes.
 pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, RecvError> {
+    read_request_spilling(reader, max_body, None)
+}
+
+/// [`read_request`] with an optional body-spill policy: bodies whose
+/// declared length is at or past `spill.threshold` are read in bounded
+/// chunks straight into a [`SpillBuf`], never materializing the whole
+/// payload on the heap. If the spill directory turns out to be
+/// unwritable the read falls back to the heap rather than failing the
+/// request.
+pub fn read_request_spilling<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+    spill: Option<&BodySpill>,
+) -> Result<Request, RecvError> {
     let mut head_bytes = 0usize;
 
     let request_line = read_line(reader, &mut head_bytes)?;
@@ -148,10 +219,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
         });
     }
 
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body).map_err(recv_io_error)?;
-    }
+    let body = read_body(reader, content_length, spill)?;
 
     Ok(Request {
         method,
@@ -160,6 +228,65 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
         body,
         keep_alive,
     })
+}
+
+/// Bytes read per `read_exact` round while streaming a spilled body —
+/// the heap high-water mark of a spilled read.
+const BODY_CHUNK: usize = 64 * 1024;
+
+/// Reads exactly `content_length` body bytes, spilling to disk when the
+/// policy says so.
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    content_length: usize,
+    spill: Option<&BodySpill>,
+) -> Result<Body, RecvError> {
+    if content_length == 0 {
+        return Ok(Body::Ram(Vec::new()));
+    }
+    if let Some(policy) = spill {
+        if content_length >= policy.threshold {
+            return read_body_spilled(reader, content_length, policy);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(recv_io_error)?;
+    Ok(Body::Ram(body))
+}
+
+/// Streams a body into a [`SpillBuf`] in [`BODY_CHUNK`]-sized rounds.
+/// A spill-storage failure (unwritable dir, disk full) degrades to a
+/// heap read — worse for memory, but the request still succeeds.
+fn read_body_spilled<R: BufRead>(
+    reader: &mut R,
+    content_length: usize,
+    policy: &BodySpill,
+) -> Result<Body, RecvError> {
+    // Threshold 0: the very first chunk migrates to disk, so the heap
+    // never holds more than one chunk of a spilled body.
+    let mut buf = SpillBuf::new(0, &policy.dir);
+    let mut chunk = vec![0u8; BODY_CHUNK.min(content_length)];
+    let mut remaining = content_length;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        reader
+            .read_exact(&mut chunk[..take])
+            .map_err(recv_io_error)?;
+        if buf.extend_from_slice(&chunk[..take]).is_err() {
+            let mut body = Vec::with_capacity(content_length);
+            body.extend_from_slice(buf.as_slice());
+            body.extend_from_slice(&chunk[..take]);
+            remaining -= take;
+            let start = body.len();
+            body.resize(start + remaining, 0);
+            reader
+                .read_exact(&mut body[start..])
+                .map_err(recv_io_error)?;
+            return Ok(Body::Ram(body));
+        }
+        remaining -= take;
+    }
+    Ok(Body::Spilled(buf))
 }
 
 /// Maps a transport error to the matching [`RecvError`]: deadline
@@ -342,6 +469,74 @@ mod tests {
         for s in [200, 400, 404, 405, 409, 413, 422, 500, 503, 504] {
             assert_ne!(reason(s), "Unknown");
         }
+    }
+
+    fn framed_post(body: &[u8]) -> Vec<u8> {
+        let mut wire = format!(
+            "POST /v1/partition HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body);
+        wire
+    }
+
+    #[test]
+    fn large_body_spills_and_round_trips_byte_identically() {
+        // 3 chunks + a ragged tail, so the chunked loop exercises both
+        // full and partial rounds.
+        let payload: Vec<u8> = (0..BODY_CHUNK * 3 + 17).map(|i| (i % 251) as u8).collect();
+        let wire = framed_post(&payload);
+        let spill = BodySpill {
+            threshold: 1024,
+            dir: std::env::temp_dir(),
+        };
+        let req = read_request_spilling(&mut wire.as_slice(), usize::MAX, Some(&spill)).unwrap();
+        assert!(req.body.is_spilled(), "{:?}", req.body);
+        assert_eq!(&req.body[..], &payload[..]);
+    }
+
+    #[test]
+    fn small_body_stays_on_the_heap() {
+        let wire = framed_post(b"{\"small\":true}");
+        let spill = BodySpill {
+            threshold: 1024,
+            dir: std::env::temp_dir(),
+        };
+        let req = read_request_spilling(&mut wire.as_slice(), usize::MAX, Some(&spill)).unwrap();
+        assert!(!req.body.is_spilled());
+        assert_eq!(&req.body[..], b"{\"small\":true}");
+    }
+
+    #[test]
+    fn unwritable_spill_dir_falls_back_to_heap() {
+        let payload: Vec<u8> = (0..BODY_CHUNK + 5).map(|i| (i % 13) as u8).collect();
+        let wire = framed_post(&payload);
+        let spill = BodySpill {
+            threshold: 1,
+            dir: std::path::PathBuf::from("/definitely/not/a/real/dir"),
+        };
+        let req = read_request_spilling(&mut wire.as_slice(), usize::MAX, Some(&spill)).unwrap();
+        assert!(!req.body.is_spilled(), "must degrade to RAM, not fail");
+        assert_eq!(&req.body[..], &payload[..]);
+    }
+
+    #[test]
+    fn spilled_body_still_enforces_max_body_before_reading() {
+        let payload = vec![7u8; 4096];
+        let wire = framed_post(&payload);
+        let spill = BodySpill {
+            threshold: 1,
+            dir: std::env::temp_dir(),
+        };
+        let err = read_request_spilling(&mut wire.as_slice(), 100, Some(&spill)).unwrap_err();
+        assert_eq!(
+            err,
+            RecvError::BodyTooLarge {
+                declared: 4096,
+                limit: 100
+            }
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@
 
 pub mod api;
 pub mod cache;
+mod cache_journal;
 pub mod envelope;
 pub mod http;
 pub mod metrics;

@@ -52,6 +52,10 @@ const STATUSES: [u16; 10] = [200, 400, 404, 405, 409, 413, 422, 503, 504, 500];
 /// its deadline expired or its remaining time was shed.
 pub const DEADLINE_DROP_SITES: [&str; 5] = ["admission", "queue", "parse", "solve", "batch"];
 
+/// Label values of the `tgp_store_backing{kind=...}` family: which
+/// `tgp-store` memory backing a flat-ingested graph landed on.
+pub const STORE_BACKINGS: [&str; 2] = ["ram", "disk"];
+
 /// Per-objective counters, indexed by the solver's registry index so the
 /// hot path never touches the objective name.
 #[derive(Debug, Default)]
@@ -100,6 +104,15 @@ pub struct Metrics {
     shed_by_cost: AtomicU64,
     /// Deadline-driven drops, indexed like [`DEADLINE_DROP_SITES`].
     deadline_drops: [AtomicU64; DEADLINE_DROP_SITES.len()],
+    /// Heap bytes currently pinned by flat graph arrays (gauge;
+    /// disk-backed graphs pin none — their pages live in the page
+    /// cache).
+    graph_resident_bytes: AtomicU64,
+    /// Graphs ingested into disk-backed arrays because their body
+    /// crossed the `--graph-spill-bytes` threshold.
+    graph_spilled: AtomicU64,
+    /// Flat-ingested graphs by backing, indexed like [`STORE_BACKINGS`].
+    store_backing: [AtomicU64; STORE_BACKINGS.len()],
     /// Connection-layer counters, shared with the transport (the epoll
     /// loop, or the threads-mode connection servers).
     net: Arc<NetCounters>,
@@ -127,6 +140,9 @@ impl Default for Metrics {
             busy_workers: AtomicU64::new(0),
             shed_by_cost: AtomicU64::new(0),
             deadline_drops: std::array::from_fn(|_| AtomicU64::new(0)),
+            graph_resident_bytes: AtomicU64::new(0),
+            graph_spilled: AtomicU64::new(0),
+            store_backing: std::array::from_fn(|_| AtomicU64::new(0)),
             net: Arc::new(NetCounters::default()),
         }
     }
@@ -272,6 +288,29 @@ impl Metrics {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Adjusts the resident-flat-graph-bytes gauge: `+bytes` when a
+    /// flat graph is built, `-bytes` when it is dropped.
+    pub fn graph_resident_changed(&self, delta: i64) {
+        adjust_gauge(&self.graph_resident_bytes, delta);
+    }
+
+    /// Records one graph ingested onto the named backing (`ram` or
+    /// `disk`; unknown names are ignored). Disk ingests also advance
+    /// the spill counter.
+    pub fn record_store_backing(&self, kind: &str) {
+        if let Some(i) = STORE_BACKINGS.iter().position(|k| *k == kind) {
+            self.store_backing[i].fetch_add(1, Ordering::Relaxed);
+        }
+        if kind == "disk" {
+            self.graph_spilled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total graphs spilled to disk so far (used by tests).
+    pub fn graphs_spilled(&self) -> u64 {
+        self.graph_spilled.load(Ordering::Relaxed)
     }
 
     /// The connection-layer counters. The transport increments them (the
@@ -425,6 +464,32 @@ impl Metrics {
                 "tgp_deadline_drops_total{{where=\"{}\"}} {}\n",
                 site,
                 self.deadline_drops[i].load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str(
+            "# HELP tgp_graph_resident_bytes Heap bytes pinned by resident flat graph arrays (disk-backed graphs pin none).\n",
+        );
+        out.push_str("# TYPE tgp_graph_resident_bytes gauge\n");
+        out.push_str(&format!(
+            "tgp_graph_resident_bytes {}\n",
+            self.graph_resident_bytes.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP tgp_graph_spilled_total Graphs ingested into disk-backed (mmap) arrays because they crossed the spill threshold.\n",
+        );
+        out.push_str("# TYPE tgp_graph_spilled_total counter\n");
+        out.push_str(&format!(
+            "tgp_graph_spilled_total {}\n",
+            self.graph_spilled.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP tgp_store_backing Flat-ingested graphs by memory backing.\n");
+        out.push_str("# TYPE tgp_store_backing counter\n");
+        for (i, kind) in STORE_BACKINGS.iter().enumerate() {
+            out.push_str(&format!(
+                "tgp_store_backing{{kind=\"{}\"}} {}\n",
+                kind,
+                self.store_backing[i].load(Ordering::Relaxed)
             ));
         }
 
@@ -618,6 +683,42 @@ mod tests {
             "{text}"
         );
         assert_eq!(m.deadline_drops(), 3);
+    }
+
+    #[test]
+    fn store_series_render_and_track_backings() {
+        let m = Metrics::default();
+        // Zero-valued series render from the first scrape.
+        let quiet = m.render();
+        assert!(quiet.contains("tgp_graph_resident_bytes 0"), "{quiet}");
+        assert!(quiet.contains("tgp_graph_spilled_total 0"), "{quiet}");
+        assert!(
+            quiet.contains("tgp_store_backing{kind=\"ram\"} 0"),
+            "{quiet}"
+        );
+        assert!(
+            quiet.contains("tgp_store_backing{kind=\"disk\"} 0"),
+            "{quiet}"
+        );
+
+        m.record_store_backing("ram");
+        m.record_store_backing("ram");
+        m.record_store_backing("disk");
+        m.record_store_backing("floppy"); // ignored, not a panic
+        m.graph_resident_changed(4096);
+        m.graph_resident_changed(-1024);
+        let text = m.render();
+        assert!(text.contains("tgp_graph_resident_bytes 3072"), "{text}");
+        assert!(text.contains("tgp_graph_spilled_total 1"), "{text}");
+        assert!(text.contains("tgp_store_backing{kind=\"ram\"} 2"), "{text}");
+        assert!(
+            text.contains("tgp_store_backing{kind=\"disk\"} 1"),
+            "{text}"
+        );
+        assert_eq!(m.graphs_spilled(), 1);
+        // The gauge never wraps below zero.
+        m.graph_resident_changed(-1_000_000);
+        assert!(m.render().contains("tgp_graph_resident_bytes 0"));
     }
 
     #[test]

@@ -21,11 +21,15 @@
 //! the door with a 503 carrying a `retry-after` derived from the queue
 //! depth.
 //!
-//! With a cache file configured, the server warm-loads the result cache
-//! on boot (a corrupt file is logged and ignored — never trusted), and
-//! a flusher thread persists the cache whenever it changed, so even an
-//! abrupt kill loses at most one flush interval of entries. A graceful
-//! [`Server::shutdown`] writes a final dump.
+//! With a cache file configured, the server attaches an append-on-ack
+//! journal (see `cache_journal`): boot replays the longest intact
+//! prefix (a corrupt tail is trimmed; a foreign file is logged and left
+//! untouched — never trusted), every admitted insert appends one
+//! record, and a maintenance thread compacts a grown log back to a
+//! snapshot of the live entries, as does a graceful
+//! [`Server::shutdown`]. An abrupt kill (`kill -9`) therefore loses at
+//! most one torn record. Legacy whole-file `TGPCACHE` dumps are
+//! migrated to journal form on boot.
 //!
 //! Shutdown: in threads mode, [`Server::shutdown`] raises a flag,
 //! connects to the listener once to unblock `accept()`, and the exiting
@@ -48,8 +52,8 @@ use crate::api::{handle_traced, AppState, RequestCtx, DEADLINE_HEADER};
 use crate::cache::CacheConfig;
 use crate::envelope::envelope_body;
 use crate::http::{
-    overloaded_response, read_request, retry_after_secs, write_response, write_response_with,
-    RecvError, MAX_HEAD_BYTES,
+    overloaded_response, read_request_spilling, retry_after_secs, write_response,
+    write_response_with, RecvError, MAX_HEAD_BYTES,
 };
 use crate::pool::{BoundedQueue, PushError, Work};
 use tgp_net::{request_header_value, Action, ConnId, EventLoop, FrameError, LoopHandle, NetConfig};
@@ -107,12 +111,13 @@ pub struct ServerConfig {
     /// Result-cache policy: byte budget, TTL, admission limit. A zero
     /// budget disables caching.
     pub cache: CacheConfig,
-    /// Persist the result cache here: warm-load on boot, flush
-    /// periodically and on graceful shutdown. `None` keeps the cache
-    /// memory-only.
+    /// Persist the result cache here as an append-on-ack journal:
+    /// replayed on boot, appended to on every admitted insert,
+    /// compacted when grown and on graceful shutdown. `None` keeps the
+    /// cache memory-only.
     pub cache_file: Option<PathBuf>,
-    /// How often the flusher re-dumps a changed cache to `cache_file`;
-    /// also the most data an abrupt kill can lose.
+    /// How often the maintenance thread checks whether the cache
+    /// journal has outgrown the live entries and compacts it.
     pub cache_flush_interval: Duration,
     /// Connections allowed to wait for a worker before the acceptor
     /// sheds load with 503.
@@ -159,6 +164,14 @@ pub struct ServerConfig {
     /// Byte budget for resident session graphs; registrations beyond it
     /// are refused with 413 (`session_budget_exceeded`).
     pub session_budget: u64,
+    /// Request bodies at or above this many bytes take the streaming
+    /// flat-ingest path with *disk* (mmap) backing instead of RAM, so a
+    /// graph bigger than memory still solves (`tgp-store`'s `DiskVec`).
+    /// Smaller eligible bodies ingest into flat RAM arrays.
+    pub graph_spill_bytes: u64,
+    /// Directory for spill files (unlinked once mapped). `None` uses
+    /// the system temp directory.
+    pub graph_spill_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -182,6 +195,8 @@ impl Default for ServerConfig {
             debug_endpoints: false,
             session_file: None,
             session_budget: tgp_session::DEFAULT_SESSION_BUDGET,
+            graph_spill_bytes: 64 << 20, // 64 MiB
+            graph_spill_dir: None,
         }
     }
 }
@@ -203,9 +218,9 @@ pub struct Server {
 impl Server {
     /// Binds the listener and spawns the connection front-end
     /// (acceptor thread or epoll event loop, per `config.io`) plus the
-    /// worker pool. With a `cache_file`, warm-loads the cache first
-    /// (rejecting, with a log line, any file that fails validation) and
-    /// spawns the periodic flusher.
+    /// worker pool. With a `cache_file`, attaches the cache journal
+    /// first — replaying what survives, rejecting (with a log line) any
+    /// file that fails validation — and spawns the compaction thread.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -241,6 +256,7 @@ impl Server {
                 .with_debug_endpoints(config.debug_endpoints)
                 .with_shed_cost(config.shed_cost)
                 .with_shed_remaining(config.shed_remaining)
+                .with_graph_spill(config.graph_spill_bytes, config.graph_spill_dir.clone())
                 .with_sessions(sessions),
         );
         let stop = Arc::new(AtomicBool::new(false));
@@ -249,17 +265,26 @@ impl Server {
         state.attach_pool(Arc::clone(&queue));
 
         if let Some(path) = &config.cache_file {
-            if path.exists() {
-                match state.cache.load(path) {
-                    Ok(n) => eprintln!(
-                        "tgp-serve warm-loaded {n} cache entries from {}",
-                        path.display()
-                    ),
-                    Err(why) => eprintln!(
-                        "tgp-serve ignoring cache file {}: {why} (booting cold)",
-                        path.display()
-                    ),
-                }
+            match state.cache.attach_journal(path) {
+                Ok(report) => eprintln!(
+                    "tgp-serve cache journal {} replayed: {} entries{}{}",
+                    path.display(),
+                    report.admitted,
+                    if report.truncated {
+                        " (torn tail trimmed)"
+                    } else {
+                        ""
+                    },
+                    if report.migrated {
+                        " (migrated from legacy dump)"
+                    } else {
+                        ""
+                    },
+                ),
+                Err(why) => eprintln!(
+                    "tgp-serve ignoring cache file {}: {why} (cache is memory-only)",
+                    path.display()
+                ),
             }
         }
 
@@ -435,41 +460,34 @@ impl Server {
             }
         };
 
-        let flusher = config.cache_file.clone().map(|path| {
+        // Appends make every insert durable on their own; this thread
+        // only keeps the journal from growing without bound.
+        let flusher = config.cache_file.is_some().then(|| {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
             let interval = config.cache_flush_interval.max(Duration::from_millis(50));
             std::thread::Builder::new()
-                .name("tgp-cache-flusher".into())
-                .spawn(move || {
-                    let mut dumped_generation = state.cache.generation();
-                    loop {
-                        // Sleep in short steps so shutdown is never
-                        // delayed by a long flush interval.
-                        let mut slept = Duration::ZERO;
-                        while slept < interval && !stop.load(Ordering::SeqCst) {
-                            let step = Duration::from_millis(50).min(interval - slept);
-                            std::thread::sleep(step);
-                            slept += step;
-                        }
-                        let generation = state.cache.generation();
-                        if generation != dumped_generation {
-                            match state.cache.dump(&path) {
-                                Ok(()) => dumped_generation = generation,
-                                Err(e) => {
-                                    eprintln!(
-                                        "tgp-serve cache dump to {} failed: {e}",
-                                        path.display()
-                                    );
-                                }
-                            }
-                        }
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
+                .name("tgp-cache-compactor".into())
+                .spawn(move || loop {
+                    // Sleep in short steps so shutdown is never
+                    // delayed by a long compaction interval.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop.load(Ordering::SeqCst) {
+                        let step = Duration::from_millis(50).min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if state.cache.should_compact() {
+                        // compact_journal logs its own failures and
+                        // detaches the journal, so an error here needs
+                        // no extra handling.
+                        let _ = state.cache.compact_journal();
                     }
                 })
-                .expect("spawn flusher")
+                .expect("spawn cache compactor")
         });
 
         Ok(Server {
@@ -509,7 +527,7 @@ impl Server {
     }
 
     /// Stops accepting, drains in-flight work, joins all threads, and
-    /// (with a cache file configured) writes the final cache dump.
+    /// (with a cache file configured) compacts the cache journal.
     ///
     /// In epoll mode the event loop drains *before* the queue closes:
     /// dispatched requests still have live workers to compute them and
@@ -536,6 +554,9 @@ impl Server {
                 eprintln!("tgp-serve session journal compaction failed: {e}");
             }
         }
+        // Same discipline for the cache journal: restart replays one
+        // record per live entry instead of the whole insert history.
+        let _ = self.state.cache.compact_journal();
     }
 }
 
@@ -659,7 +680,12 @@ fn respond_to_bytes(
 ) -> (Vec<u8>, bool, TraceId, Option<u64>) {
     let mut reader = bytes;
     let mut out = Vec::new();
-    match read_request(&mut reader, max_body) {
+    // Epoll mode frames the whole request on the heap; re-parsing it
+    // through the spilling reader moves a huge body into an unlinked
+    // spill mapping, so the frame buffer can be dropped before the
+    // (long) solve phase holds the bytes.
+    let spill = state.body_spill();
+    match read_request_spilling(&mut reader, max_body, Some(&spill)) {
         Ok(request) => {
             let parse = dequeued_at.elapsed();
             let ctx = RequestCtx {
@@ -804,12 +830,13 @@ fn serve_connection_inner(
     // Only the connection's first request waited on the worker queue;
     // later keep-alive requests start their trace at read time.
     let mut pending_enqueue = Some(enqueued_at);
+    let spill = state.body_spill();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let read_started = Instant::now();
-        match read_request(&mut reader, max_body) {
+        match read_request_spilling(&mut reader, max_body, Some(&spill)) {
             Ok(request) => {
                 // In threads mode the parse span includes the blocking
                 // socket read (the two are one pass over the stream);

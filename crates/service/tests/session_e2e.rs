@@ -599,7 +599,7 @@ fn dispatch(state: &AppState, method: &str, path: &str, body: &str) -> ApiRespon
             method: method.into(),
             path: path.into(),
             headers: Vec::new(),
-            body: body.as_bytes().to_vec(),
+            body: body.as_bytes().to_vec().into(),
             keep_alive: false,
         },
     )

@@ -262,6 +262,14 @@ pub struct Resident {
 }
 
 impl Resident {
+    /// The graph's deterministic resident-size estimate — the figure
+    /// the store's byte budget charges for it. The service compares
+    /// this against `--graph-spill-bytes` to decide whether a solve on
+    /// this graph should run out-of-core (disk-backed flat arrays).
+    pub fn resident_bytes(&self) -> u64 {
+        resident_cost(self.kind, self.nodes, self.edges)
+    }
+
     /// The warm bottleneck window for a solve keyed by `key`:
     /// `[prev − Δ, prev + Δ]`, or `None` when no prior solve exists or
     /// the edits since it invalidated the bound (the caller then solves

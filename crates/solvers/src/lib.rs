@@ -32,12 +32,16 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flat;
+mod ingest;
 mod key;
 mod objectives;
 mod registry;
 mod request;
 
 pub use error::SolveError;
+pub use flat::{FlatGraph, FlatObjective, FlatRequest};
+pub use ingest::{ingest_flat, IngestBacking};
 pub use key::KeyBuilder;
 pub use objectives::{MAX_SPEEDS, MAX_TREE_BANDWIDTH_COST};
 pub use registry::{Registry, Solver};

@@ -70,8 +70,50 @@ const HOST_SATELLITE_PARAMS: &[ParamSpec] = &[
     ParamSpec::optional("root", ParamKind::U64),
 ];
 
-fn cut_json(cut: impl Iterator<Item = EdgeId>) -> Value {
+pub(crate) fn cut_json(cut: impl Iterator<Item = EdgeId>) -> Value {
     Value::Array(cut.map(|e| Value::from(e.index())).collect())
+}
+
+/// Renders the `bandwidth` response shape. Shared by the legacy solver
+/// and the flat-substrate path so the two stay byte-identical.
+pub(crate) fn render_bandwidth(
+    bound: Weight,
+    part: &tgp_core::pipeline::ChainPartition,
+) -> Response {
+    Bandwidth::render("bandwidth", bound, part)
+}
+
+/// Renders the `bottleneck` response shape from its parts.
+pub(crate) fn render_bottleneck(
+    bound: Weight,
+    cut: &tgp_graph::CutSet,
+    bottleneck: Weight,
+    components: usize,
+) -> Response {
+    Response::new(json!({
+        "objective": "bottleneck",
+        "bound": bound.get(),
+        "cut": cut_json(cut.iter()),
+        "bottleneck": bottleneck.get(),
+        "components": components,
+    }))
+}
+
+/// Renders the `lexicographic` response shape, computing the derived
+/// quantities from any chain view.
+pub(crate) fn render_lexicographic<C: tgp_graph::ChainView>(
+    chain: &C,
+    bound: Weight,
+    cut: &tgp_graph::CutSet,
+) -> Result<Response, SolveError> {
+    Ok(Response::new(json!({
+        "objective": "lexicographic",
+        "bound": bound.get(),
+        "cut": cut_json(cut.iter()),
+        "bottleneck": chain.bottleneck(cut).map_err(SolveError::infeasible)?.get(),
+        "bandwidth": chain.cut_weight(cut).map_err(SolveError::infeasible)?.get(),
+        "processors": cut.len() + 1,
+    })))
 }
 
 fn bound_of(request: &Request) -> Weight {
@@ -158,13 +200,7 @@ impl Solver for Bottleneck {
             .components(&r.cut)
             .map_err(SolveError::infeasible)?
             .count();
-        Ok(Response::new(json!({
-            "objective": self.name(),
-            "bound": bound.get(),
-            "cut": cut_json(r.cut.iter()),
-            "bottleneck": r.bottleneck.get(),
-            "components": components,
-        })))
+        Ok(render_bottleneck(bound, &r.cut, r.bottleneck, components))
     }
     fn run_warm(
         &self,
@@ -265,28 +301,14 @@ impl Solver for Lexicographic {
         let bound = bound_of(request);
         let chain = request.graph.chain();
         let cut = min_bandwidth_cut_lexicographic(chain, bound).map_err(SolveError::infeasible)?;
-        Ok(Response::new(json!({
-            "objective": self.name(),
-            "bound": bound.get(),
-            "cut": cut_json(cut.iter()),
-            "bottleneck": chain.bottleneck(&cut).map_err(SolveError::infeasible)?.get(),
-            "bandwidth": chain.cut_weight(&cut).map_err(SolveError::infeasible)?.get(),
-            "processors": cut.len() + 1,
-        })))
+        render_lexicographic(chain, bound, &cut)
     }
     fn run_budgeted(&self, request: &Request, budget: &Budget) -> Result<Response, SolveError> {
         let bound = bound_of(request);
         let chain = request.graph.chain();
         let cut = min_bandwidth_cut_lexicographic_budgeted(chain, bound, budget)
             .map_err(SolveError::from_partition)?;
-        Ok(Response::new(json!({
-            "objective": self.name(),
-            "bound": bound.get(),
-            "cut": cut_json(cut.iter()),
-            "bottleneck": chain.bottleneck(&cut).map_err(SolveError::infeasible)?.get(),
-            "bandwidth": chain.cut_weight(&cut).map_err(SolveError::infeasible)?.get(),
-            "processors": cut.len() + 1,
-        })))
+        render_lexicographic(chain, bound, &cut)
     }
     fn run_warm(
         &self,

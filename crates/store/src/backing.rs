@@ -1,0 +1,442 @@
+//! The [`MemoryBacking`] trait and its two implementations: heap
+//! vectors and mmap-backed spill files.
+
+#![allow(unsafe_code)]
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::marker::PhantomData;
+use std::os::unix::io::AsRawFd;
+use std::path::{Path, PathBuf};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sys;
+
+/// Smallest file size a [`DiskVec`] maps — one growth unit. Growing
+/// doubles from here, so a million-element array needs ~9 remaps.
+const MIN_MAP_BYTES: usize = 64 * 1024;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// Element types an [`Array`] may hold: fixed-size primitives that are
+/// valid for every bit pattern, so a page-aligned mapping of them can
+/// be viewed as a slice. Sealed — the safety of [`DiskVec`] rests on
+/// this list staying primitives-only.
+pub trait Pod: sealed::Sealed + Copy + Send + Sync + Default + 'static {}
+
+impl Pod for u8 {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+
+/// Which medium holds an array — the `/metrics` label value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackingKind {
+    /// Heap memory.
+    Ram,
+    /// An mmap-backed spill file.
+    Disk,
+}
+
+impl BackingKind {
+    /// The lowercase label used in metrics and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackingKind::Ram => "ram",
+            BackingKind::Disk => "disk",
+        }
+    }
+}
+
+/// A growable typed array, the uniform accessor over both backings.
+///
+/// `mmap` gives contiguous addressable memory, so even the disk
+/// implementation exposes a plain slice — solver hot paths index it
+/// with zero per-access overhead and the kernel pages data in and out
+/// underneath.
+pub trait Array<T: Pod> {
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the array holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The elements as a contiguous slice.
+    fn as_slice(&self) -> &[T];
+
+    /// The elements as a mutable contiguous slice.
+    fn as_mut_slice(&mut self) -> &mut [T];
+
+    /// Appends one element, growing the storage if needed.
+    ///
+    /// # Errors
+    ///
+    /// Growth failure (`ENOSPC` on a spill file); heap growth aborts
+    /// instead, as all Rust allocation does.
+    fn push(&mut self, value: T) -> io::Result<()>;
+
+    /// Appends a run of elements.
+    ///
+    /// # Errors
+    ///
+    /// As [`Array::push`].
+    fn extend_from_slice(&mut self, values: &[T]) -> io::Result<()> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes of *RAM* this array pins (a disk array pins none — its
+    /// pages live in the reclaimable page cache).
+    fn resident_bytes(&self) -> u64;
+
+    /// Logical payload size in bytes, whichever medium holds it.
+    fn byte_len(&self) -> u64 {
+        (self.len() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+/// A heap-backed array: a thin wrapper over `Vec<T>`.
+#[derive(Debug, Default)]
+pub struct RamVec<T: Pod>(Vec<T>);
+
+impl<T: Pod> RamVec<T> {
+    /// Creates an empty array with the given capacity hint.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RamVec(Vec::with_capacity(capacity))
+    }
+}
+
+impl<T: Pod> Array<T> for RamVec<T> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn as_slice(&self) -> &[T] {
+        &self.0
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.0
+    }
+
+    fn push(&mut self, value: T) -> io::Result<()> {
+        self.0.push(value);
+        Ok(())
+    }
+
+    fn extend_from_slice(&mut self, values: &[T]) -> io::Result<()> {
+        self.0.extend_from_slice(values);
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (self.0.capacity() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+/// Distinguishes concurrently created spill files within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// An mmap-backed growable array over an *unlinked* spill file.
+///
+/// The file is created in the spill directory, opened, and immediately
+/// removed from the namespace — the kernel keeps it alive while the fd
+/// is open and reclaims the space automatically on drop or crash, so
+/// spill files can never leak. Growth doubles the file with
+/// `ftruncate` and remaps (`MAP_SHARED` mappings of the same file see
+/// the same pages, so data survives the remap).
+#[derive(Debug)]
+pub struct DiskVec<T: Pod> {
+    file: File,
+    ptr: NonNull<u8>,
+    map_bytes: usize,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the mapping is owned exclusively by this value (the file is
+// unlinked and the fd private), `T` is a sealed primitive, and all
+// access flows through &self / &mut self — the usual container rules.
+unsafe impl<T: Pod> Send for DiskVec<T> {}
+// SAFETY: &DiskVec only hands out &[T]; interior mutation is impossible.
+unsafe impl<T: Pod> Sync for DiskVec<T> {}
+
+impl<T: Pod> DiskVec<T> {
+    /// Creates an empty disk array spilling into `dir`, sized for
+    /// `capacity` elements up front (it still grows beyond that).
+    ///
+    /// # Errors
+    ///
+    /// File creation, truncation or mapping failure.
+    pub fn with_capacity_in(dir: &Path, capacity: usize) -> io::Result<Self> {
+        let name = format!(
+            "tgp-spill-{}-{}.bin",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let path: PathBuf = dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // Unlink immediately: the mapping keeps the inode alive and the
+        // space is reclaimed automatically however the process exits.
+        std::fs::remove_file(&path)?;
+        let want = capacity.saturating_mul(std::mem::size_of::<T>());
+        let map_bytes = want.next_power_of_two().max(MIN_MAP_BYTES);
+        sys::truncate(file.as_raw_fd(), map_bytes as u64)?;
+        let ptr = sys::map_shared(file.as_raw_fd(), map_bytes)?;
+        Ok(DiskVec {
+            file,
+            ptr,
+            map_bytes,
+            len: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.map_bytes / std::mem::size_of::<T>()
+    }
+
+    fn grow_to_fit(&mut self, extra: usize) -> io::Result<()> {
+        let need = (self.len + extra).saturating_mul(std::mem::size_of::<T>());
+        if need <= self.map_bytes {
+            return Ok(());
+        }
+        let new_bytes = need.next_power_of_two().max(self.map_bytes * 2);
+        sys::unmap(self.ptr, self.map_bytes);
+        sys::truncate(self.file.as_raw_fd(), new_bytes as u64)?;
+        self.ptr = sys::map_shared(self.file.as_raw_fd(), new_bytes)?;
+        self.map_bytes = new_bytes;
+        Ok(())
+    }
+
+    /// Flushes dirty pages to the spill file.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `msync` failure.
+    pub fn sync(&self) -> io::Result<()> {
+        sys::sync(self.ptr, self.map_bytes)
+    }
+}
+
+impl<T: Pod> Array<T> for DiskVec<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn as_slice(&self) -> &[T] {
+        // SAFETY: the mapping is page-aligned (so aligned for any Pod),
+        // at least `len * size_of::<T>()` bytes long, and every byte of
+        // it is initialized (fresh ftruncate pages read as zero, and
+        // Pod types are valid for all bit patterns).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr().cast::<T>(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as in `as_slice`, plus &mut self guarantees
+        // exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr().cast::<T>(), self.len) }
+    }
+
+    fn push(&mut self, value: T) -> io::Result<()> {
+        if self.len == self.capacity() {
+            self.grow_to_fit(1)?;
+        }
+        // SAFETY: `len < capacity` after the growth check, so the write
+        // lands inside the mapping.
+        unsafe {
+            self.ptr.as_ptr().cast::<T>().add(self.len).write(value);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn extend_from_slice(&mut self, values: &[T]) -> io::Result<()> {
+        self.grow_to_fit(values.len())?;
+        // SAFETY: capacity covers `len + values.len()` after the growth
+        // check; source and destination cannot overlap (the mapping is
+        // private to this value).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                values.as_ptr(),
+                self.ptr.as_ptr().cast::<T>().add(self.len),
+                values.len(),
+            );
+        }
+        self.len += values.len();
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        0 // pages live in the reclaimable page cache, not process RAM
+    }
+}
+
+impl<T: Pod> Drop for DiskVec<T> {
+    fn drop(&mut self) {
+        sys::unmap(self.ptr, self.map_bytes);
+        // The unlinked file's space is reclaimed when `self.file` closes.
+    }
+}
+
+/// Chooses where arrays live. Graph builders are generic over this, so
+/// one code path serves both media.
+pub trait MemoryBacking {
+    /// The array type this backing produces.
+    type Array<T: Pod>: Array<T>;
+
+    /// Which medium this backing allocates on.
+    fn kind(&self) -> BackingKind;
+
+    /// Allocates an empty array sized for `capacity` elements.
+    ///
+    /// # Errors
+    ///
+    /// Spill-file creation failure ([`DiskBacking`] only).
+    fn new_array<T: Pod>(&self, capacity: usize) -> io::Result<Self::Array<T>>;
+}
+
+/// Heap backing: arrays are `Vec`s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RamBacking;
+
+impl MemoryBacking for RamBacking {
+    type Array<T: Pod> = RamVec<T>;
+
+    fn kind(&self) -> BackingKind {
+        BackingKind::Ram
+    }
+
+    fn new_array<T: Pod>(&self, capacity: usize) -> io::Result<RamVec<T>> {
+        Ok(RamVec::with_capacity(capacity))
+    }
+}
+
+/// Disk backing: arrays are mmap-backed spill files in a directory.
+#[derive(Debug, Clone)]
+pub struct DiskBacking {
+    dir: PathBuf,
+}
+
+impl DiskBacking {
+    /// A backing that spills into `dir` (which must exist and be
+    /// writable — ideally a real filesystem, not tmpfs, so spilled
+    /// pages are actually evictable under memory pressure).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskBacking { dir: dir.into() }
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl MemoryBacking for DiskBacking {
+    type Array<T: Pod> = DiskVec<T>;
+
+    fn kind(&self) -> BackingKind {
+        BackingKind::Disk
+    }
+
+    fn new_array<T: Pod>(&self, capacity: usize) -> io::Result<DiskVec<T>> {
+        DiskVec::with_capacity_in(&self.dir, capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        std::env::temp_dir()
+    }
+
+    #[test]
+    fn ram_array_roundtrip() {
+        let backing = RamBacking;
+        assert_eq!(backing.kind(), BackingKind::Ram);
+        let mut a = backing.new_array::<u64>(4).unwrap();
+        for i in 0..100u64 {
+            a.push(i * 3).unwrap();
+        }
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.as_slice()[77], 231);
+        a.as_mut_slice()[77] = 1;
+        assert_eq!(a.as_slice()[77], 1);
+        assert!(a.resident_bytes() >= a.byte_len());
+    }
+
+    #[test]
+    fn disk_array_roundtrip_and_growth() {
+        let backing = DiskBacking::new(tmp());
+        assert_eq!(backing.kind(), BackingKind::Disk);
+        let mut a = backing.new_array::<u64>(8).unwrap();
+        // Push well past the initial 64 KiB mapping to force remaps.
+        let n = 64 * 1024;
+        for i in 0..n as u64 {
+            a.push(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).unwrap();
+        }
+        assert_eq!(a.len(), n);
+        for (i, &v) in a.as_slice().iter().enumerate() {
+            assert_eq!(v, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        assert_eq!(a.resident_bytes(), 0);
+        assert_eq!(a.byte_len(), (n * 8) as u64);
+        a.sync().unwrap();
+    }
+
+    #[test]
+    fn disk_extend_matches_push() {
+        let backing = DiskBacking::new(tmp());
+        let mut a = backing.new_array::<u32>(0).unwrap();
+        let vals: Vec<u32> = (0..50_000).collect();
+        a.extend_from_slice(&vals).unwrap();
+        a.extend_from_slice(&vals).unwrap();
+        assert_eq!(a.len(), 100_000);
+        assert_eq!(&a.as_slice()[..50_000], &vals[..]);
+        assert_eq!(&a.as_slice()[50_000..], &vals[..]);
+    }
+
+    fn spill_file_count(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("tgp-spill-"))
+            .count()
+    }
+
+    #[test]
+    fn spill_files_do_not_linger() {
+        let dir = tmp();
+        let before = spill_file_count(&dir);
+        let a = DiskVec::<u64>::with_capacity_in(&dir, 1024).unwrap();
+        // Even while alive, the file is already unlinked.
+        assert_eq!(spill_file_count(&dir), before);
+        drop(a);
+        assert_eq!(spill_file_count(&dir), before);
+    }
+
+    #[test]
+    fn mutation_through_mut_slice_persists() {
+        let mut a = DiskVec::<u64>::with_capacity_in(&tmp(), 16).unwrap();
+        for _ in 0..16 {
+            a.push(0).unwrap();
+        }
+        a.as_mut_slice()[9] = 42;
+        assert_eq!(a.as_slice()[9], 42);
+    }
+}

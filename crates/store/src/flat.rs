@@ -1,0 +1,740 @@
+//! Flat SoA/CSR graph representations over a [`MemoryBacking`].
+//!
+//! [`FlatPath`] and [`FlatTree`] hold the same information as
+//! `tgp_graph::PathGraph` / `tgp_graph::Tree`, but as parallel primitive
+//! arrays (`u64` weights, `u32` edge endpoints, prefix-sum adjacency)
+//! that can live on either backing. Their builders are *incremental* —
+//! weights and edges stream in one at a time, which is what lets the
+//! service parse a huge JSON upload directly into (possibly disk-backed)
+//! arrays without ever materializing the document tree.
+//!
+//! Builders reproduce the exact validation sequence — and the exact
+//! [`GraphError`] values — of the legacy constructors, so a request
+//! routed through the flat substrate fails (or succeeds) byte-for-byte
+//! identically to one routed through the pointer graphs.
+
+use std::fmt;
+use std::io;
+
+use tgp_graph::{ChainView, EdgeId, GraphError, NodeId, TreeEdge, TreeView, UnionFind32, Weight};
+
+use crate::backing::{Array, BackingKind, MemoryBacking};
+
+/// Why a flat graph could not be built.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The input does not describe a valid graph; carries the same
+    /// error value the legacy constructor would produce.
+    Graph(GraphError),
+    /// The backing failed (spill-file creation or growth).
+    Io(io::Error),
+    /// More nodes than the compact `u32` index space can address.
+    TooLarge {
+        /// The offending node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Graph(e) => e.fmt(f),
+            BuildError::Io(e) => write!(f, "backing error: {e}"),
+            BuildError::TooLarge { nodes } => {
+                write!(f, "{nodes} node(s) exceed the u32 index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<GraphError> for BuildError {
+    fn from(e: GraphError) -> Self {
+        BuildError::Graph(e)
+    }
+}
+
+impl From<io::Error> for BuildError {
+    fn from(e: io::Error) -> Self {
+        BuildError::Io(e)
+    }
+}
+
+/// The crate-wide weight budget: the combined total of all vertex and
+/// edge weights must stay *below* `u64::MAX` (same rule as
+/// `tgp_graph::weight::check_combined_total`).
+fn combined_total_ok(nodes: u128, edges: u128) -> bool {
+    nodes + edges < u128::from(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// FlatPath
+// ---------------------------------------------------------------------------
+
+/// A linear task graph as three parallel arrays: node weights, edge
+/// weights, and vertex-weight prefix sums (length `n + 1`).
+#[derive(Debug)]
+pub struct FlatPath<B: MemoryBacking> {
+    node_w: B::Array<u64>,
+    edge_w: B::Array<u64>,
+    prefix: B::Array<u64>,
+    max_node: u64,
+    kind: BackingKind,
+}
+
+impl<B: MemoryBacking> FlatPath<B> {
+    /// Which medium holds this graph.
+    pub fn backing_kind(&self) -> BackingKind {
+        self.kind
+    }
+
+    /// All node weights as raw `u64`s, in index order.
+    pub fn node_w(&self) -> &[u64] {
+        self.node_w.as_slice()
+    }
+
+    /// All edge weights as raw `u64`s, in index order.
+    pub fn edge_w(&self) -> &[u64] {
+        self.edge_w.as_slice()
+    }
+
+    /// Bytes of process RAM the graph pins (0 when disk-backed).
+    pub fn resident_bytes(&self) -> u64 {
+        self.node_w.resident_bytes() + self.edge_w.resident_bytes() + self.prefix.resident_bytes()
+    }
+
+    /// Logical size of the graph's arrays in bytes, whichever medium
+    /// holds them.
+    pub fn byte_len(&self) -> u64 {
+        self.node_w.byte_len() + self.edge_w.byte_len() + self.prefix.byte_len()
+    }
+}
+
+impl<B: MemoryBacking> ChainView for FlatPath<B> {
+    fn len(&self) -> usize {
+        self.node_w.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_w.len()
+    }
+
+    fn node_weight(&self, node: NodeId) -> Weight {
+        Weight::new(self.node_w.as_slice()[node.index()])
+    }
+
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        Weight::new(self.edge_w.as_slice()[edge.index()])
+    }
+
+    #[inline]
+    fn span_weight(&self, lo: usize, hi: usize) -> Weight {
+        debug_assert!(lo <= hi, "span lo {lo} must be <= hi {hi}");
+        let p = self.prefix.as_slice();
+        Weight::new(p[hi + 1] - p[lo])
+    }
+
+    fn total_weight(&self) -> Weight {
+        Weight::new(*self.prefix.as_slice().last().expect("prefix never empty"))
+    }
+
+    fn max_node_weight(&self) -> Weight {
+        Weight::new(self.max_node)
+    }
+}
+
+/// Incremental builder for [`FlatPath`]: stream node weights and edge
+/// weights in order, then [`finish`](FlatPathBuilder::finish).
+pub struct FlatPathBuilder<B: MemoryBacking> {
+    node_w: B::Array<u64>,
+    edge_w: B::Array<u64>,
+    prefix: B::Array<u64>,
+    node_total: u128,
+    edge_total: u128,
+    max_node: u64,
+    kind: BackingKind,
+}
+
+impl<B: MemoryBacking> FlatPathBuilder<B> {
+    /// A builder allocating on `backing`, sized for `nodes_hint` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Backing allocation failure.
+    pub fn new(backing: &B, nodes_hint: usize) -> io::Result<Self> {
+        let mut prefix = backing.new_array::<u64>(nodes_hint + 1)?;
+        prefix.push(0)?;
+        Ok(FlatPathBuilder {
+            node_w: backing.new_array::<u64>(nodes_hint)?,
+            edge_w: backing.new_array::<u64>(nodes_hint.saturating_sub(1))?,
+            prefix,
+            node_total: 0,
+            edge_total: 0,
+            max_node: 0,
+            kind: backing.kind(),
+        })
+    }
+
+    /// Appends the next node weight.
+    ///
+    /// # Errors
+    ///
+    /// Backing growth failure.
+    pub fn push_node(&mut self, weight: u64) -> io::Result<()> {
+        self.node_w.push(weight)?;
+        self.node_total += u128::from(weight);
+        if self.node_total <= u128::from(u64::MAX) {
+            self.prefix.push(self.node_total as u64)?;
+        }
+        // An overflowing total surfaces as WeightOverflow in finish();
+        // the truncated prefix is never observed.
+        self.max_node = self.max_node.max(weight);
+        Ok(())
+    }
+
+    /// Appends the next edge weight.
+    ///
+    /// # Errors
+    ///
+    /// Backing growth failure.
+    pub fn push_edge(&mut self, weight: u64) -> io::Result<()> {
+        self.edge_w.push(weight)?;
+        self.edge_total += u128::from(weight);
+        Ok(())
+    }
+
+    /// Number of nodes pushed so far.
+    pub fn nodes(&self) -> usize {
+        self.node_w.len()
+    }
+
+    /// Number of edges pushed so far.
+    pub fn edges(&self) -> usize {
+        self.edge_w.len()
+    }
+
+    /// Validates and seals the graph. The checks run in the same order
+    /// as `PathGraph::from_weights`, producing identical errors.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Empty`], [`GraphError::WrongEdgeCount`] or
+    /// [`GraphError::WeightOverflow`], exactly as the legacy
+    /// constructor reports them.
+    pub fn finish(self) -> Result<FlatPath<B>, BuildError> {
+        let n = self.node_w.len();
+        if n == 0 {
+            return Err(GraphError::Empty.into());
+        }
+        if self.edge_w.len() != n - 1 {
+            return Err(GraphError::WrongEdgeCount {
+                nodes: n,
+                edges: self.edge_w.len(),
+            }
+            .into());
+        }
+        if !combined_total_ok(self.node_total, self.edge_total) {
+            return Err(GraphError::WeightOverflow.into());
+        }
+        debug_assert_eq!(self.prefix.len(), n + 1);
+        Ok(FlatPath {
+            node_w: self.node_w,
+            edge_w: self.edge_w,
+            prefix: self.prefix,
+            max_node: self.max_node,
+            kind: self.kind,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlatTree
+// ---------------------------------------------------------------------------
+
+/// A weighted free tree as parallel arrays plus a CSR adjacency:
+/// `edge_a[i]`/`edge_b[i]` are edge `i`'s endpoints in input
+/// orientation, and `child_edge[child_start[v]..child_start[v+1]]`
+/// lists the edges incident to node `v` in increasing edge order.
+#[derive(Debug)]
+pub struct FlatTree<B: MemoryBacking> {
+    node_w: B::Array<u64>,
+    edge_a: B::Array<u32>,
+    edge_b: B::Array<u32>,
+    edge_w: B::Array<u64>,
+    child_start: B::Array<u32>,
+    child_edge: B::Array<u32>,
+    total: u64,
+    max_node: u64,
+    kind: BackingKind,
+}
+
+impl<B: MemoryBacking> FlatTree<B> {
+    /// Which medium holds this graph.
+    pub fn backing_kind(&self) -> BackingKind {
+        self.kind
+    }
+
+    /// All node weights as raw `u64`s, in index order.
+    pub fn node_w(&self) -> &[u64] {
+        self.node_w.as_slice()
+    }
+
+    /// All edge weights as raw `u64`s, in edge order.
+    pub fn edge_w(&self) -> &[u64] {
+        self.edge_w.as_slice()
+    }
+
+    /// Edge `i`'s endpoints in the orientation the graph was built
+    /// with (`a`, `b`).
+    pub fn endpoints_raw(&self, edge: usize) -> (usize, usize) {
+        (
+            self.edge_a.as_slice()[edge] as usize,
+            self.edge_b.as_slice()[edge] as usize,
+        )
+    }
+
+    /// Ids of the edges incident to `node`, in increasing edge order.
+    pub fn incident_edges(&self, node: usize) -> &[u32] {
+        let start = self.child_start.as_slice()[node] as usize;
+        let end = self.child_start.as_slice()[node + 1] as usize;
+        &self.child_edge.as_slice()[start..end]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.incident_edges(node).len()
+    }
+
+    /// Bytes of process RAM the graph pins (0 when disk-backed).
+    pub fn resident_bytes(&self) -> u64 {
+        self.node_w.resident_bytes()
+            + self.edge_a.resident_bytes()
+            + self.edge_b.resident_bytes()
+            + self.edge_w.resident_bytes()
+            + self.child_start.resident_bytes()
+            + self.child_edge.resident_bytes()
+    }
+
+    /// Logical size of the graph's arrays in bytes, whichever medium
+    /// holds them.
+    pub fn byte_len(&self) -> u64 {
+        self.node_w.byte_len()
+            + self.edge_a.byte_len()
+            + self.edge_b.byte_len()
+            + self.edge_w.byte_len()
+            + self.child_start.byte_len()
+            + self.child_edge.byte_len()
+    }
+}
+
+impl<B: MemoryBacking> TreeView for FlatTree<B> {
+    fn len(&self) -> usize {
+        self.node_w.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_w.len()
+    }
+
+    fn node_weight(&self, node: NodeId) -> Weight {
+        Weight::new(self.node_w.as_slice()[node.index()])
+    }
+
+    fn edge(&self, edge: EdgeId) -> TreeEdge {
+        let i = edge.index();
+        TreeEdge::new(
+            NodeId::new(self.edge_a.as_slice()[i] as usize),
+            NodeId::new(self.edge_b.as_slice()[i] as usize),
+            Weight::new(self.edge_w.as_slice()[i]),
+        )
+    }
+
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        Weight::new(self.edge_w.as_slice()[edge.index()])
+    }
+
+    fn total_weight(&self) -> Weight {
+        Weight::new(self.total)
+    }
+
+    fn max_node_weight(&self) -> Weight {
+        Weight::new(self.max_node)
+    }
+}
+
+/// Incremental builder for [`FlatTree`]: stream node weights, then (or
+/// interleaved) edges, then [`finish`](FlatTreeBuilder::finish).
+pub struct FlatTreeBuilder<B: MemoryBacking> {
+    backing: B,
+    node_w: B::Array<u64>,
+    edge_a: B::Array<u32>,
+    edge_b: B::Array<u32>,
+    edge_w: B::Array<u64>,
+    /// `(edge index, endpoint-is-b, value)` for endpoints too large to
+    /// store as `u32`; only invalid inputs land here, and validation
+    /// consults it so the out-of-range error names the original value.
+    oversized: Vec<(usize, bool, usize)>,
+    node_total: u128,
+    edge_total: u128,
+    max_node: u64,
+}
+
+impl<B: MemoryBacking> FlatTreeBuilder<B> {
+    /// A builder allocating on `backing`, sized for `nodes_hint` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Backing allocation failure.
+    pub fn new(backing: B, nodes_hint: usize) -> io::Result<Self> {
+        let m = nodes_hint.saturating_sub(1);
+        Ok(FlatTreeBuilder {
+            node_w: backing.new_array::<u64>(nodes_hint)?,
+            edge_a: backing.new_array::<u32>(m)?,
+            edge_b: backing.new_array::<u32>(m)?,
+            edge_w: backing.new_array::<u64>(m)?,
+            backing,
+            oversized: Vec::new(),
+            node_total: 0,
+            edge_total: 0,
+            max_node: 0,
+        })
+    }
+
+    /// Appends the next node weight.
+    ///
+    /// # Errors
+    ///
+    /// Backing growth failure.
+    pub fn push_node(&mut self, weight: u64) -> io::Result<()> {
+        self.node_w.push(weight)?;
+        self.node_total += u128::from(weight);
+        self.max_node = self.max_node.max(weight);
+        Ok(())
+    }
+
+    /// Appends the next edge `(a, b, weight)` in input orientation.
+    ///
+    /// # Errors
+    ///
+    /// Backing growth failure.
+    pub fn push_edge(&mut self, a: usize, b: usize, weight: u64) -> io::Result<()> {
+        let i = self.edge_w.len();
+        for (value, is_b) in [(a, false), (b, true)] {
+            if u32::try_from(value).is_err() {
+                self.oversized.push((i, is_b, value));
+            }
+        }
+        self.edge_a.push(a.min(u32::MAX as usize) as u32)?;
+        self.edge_b.push(b.min(u32::MAX as usize) as u32)?;
+        self.edge_w.push(weight)?;
+        self.edge_total += u128::from(weight);
+        Ok(())
+    }
+
+    /// Number of nodes pushed so far.
+    pub fn nodes(&self) -> usize {
+        self.node_w.len()
+    }
+
+    /// Number of edges pushed so far.
+    pub fn edges(&self) -> usize {
+        self.edge_w.len()
+    }
+
+    fn endpoint(&self, edge: usize, is_b: bool) -> usize {
+        if let Some(&(_, _, v)) = self
+            .oversized
+            .iter()
+            .find(|&&(e, side, _)| e == edge && side == is_b)
+        {
+            return v;
+        }
+        if is_b {
+            self.edge_b.as_slice()[edge] as usize
+        } else {
+            self.edge_a.as_slice()[edge] as usize
+        }
+    }
+
+    /// Validates the edge set and seals the graph, building the CSR
+    /// adjacency. The checks run in the same order as
+    /// `Tree::from_edges`, producing identical errors — including the
+    /// duplicate-edge / cycle distinction.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GraphError`] the legacy constructor reports, or
+    /// [`BuildError::TooLarge`] for node counts beyond `u32`.
+    pub fn finish(self) -> Result<FlatTree<B>, BuildError> {
+        let n = self.node_w.len();
+        if n == 0 {
+            return Err(GraphError::Empty.into());
+        }
+        if n > u32::MAX as usize {
+            return Err(BuildError::TooLarge { nodes: n });
+        }
+        let m = self.edge_w.len();
+        if m != n - 1 {
+            return Err(GraphError::WrongEdgeCount { nodes: n, edges: m }.into());
+        }
+        if !combined_total_ok(self.node_total, self.edge_total) {
+            return Err(GraphError::WeightOverflow.into());
+        }
+        let mut uf = UnionFind32::new(n);
+        for i in 0..m {
+            let a = self.endpoint(i, false);
+            let b = self.endpoint(i, true);
+            for endpoint in [a, b] {
+                if endpoint >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: NodeId::new(endpoint),
+                        len: n,
+                    }
+                    .into());
+                }
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop {
+                    node: NodeId::new(a),
+                }
+                .into());
+            }
+            if !uf.union(a as u32, b as u32) {
+                // The edge closed a cycle; distinguish a parallel edge
+                // for a friendlier message, exactly as Tree::from_edges.
+                if (0..i).any(|j| {
+                    let (fa, fb) = (self.endpoint(j, false), self.endpoint(j, true));
+                    (fa, fb) == (a, b) || (fa, fb) == (b, a)
+                }) {
+                    return Err(GraphError::DuplicateEdge {
+                        a: NodeId::new(a),
+                        b: NodeId::new(b),
+                    }
+                    .into());
+                }
+                return Err(GraphError::Cycle {
+                    edge: EdgeId::new(i),
+                }
+                .into());
+            }
+        }
+        // n - 1 successful unions on n nodes guarantee connectivity.
+        // CSR adjacency by counting sort: degrees → prefix offsets →
+        // scatter (each edge appears under both endpoints, increasing
+        // edge order within a node).
+        let edge_a = self.edge_a.as_slice();
+        let edge_b = self.edge_b.as_slice();
+        let mut degree = vec![0u32; n];
+        for i in 0..m {
+            degree[edge_a[i] as usize] += 1;
+            degree[edge_b[i] as usize] += 1;
+        }
+        let mut child_start = self.backing.new_array::<u32>(n + 1)?;
+        let mut acc = 0u32;
+        child_start.push(0)?;
+        for &d in &degree {
+            acc += d;
+            child_start.push(acc)?;
+        }
+        let mut cursor: Vec<u32> = child_start.as_slice()[..n].to_vec();
+        let mut child_edge = self.backing.new_array::<u32>(2 * m)?;
+        // Fill with zeros first, then scatter through as_mut_slice.
+        for _ in 0..2 * m {
+            child_edge.push(0)?;
+        }
+        {
+            let out = child_edge.as_mut_slice();
+            for i in 0..m {
+                for v in [edge_a[i] as usize, edge_b[i] as usize] {
+                    out[cursor[v] as usize] = i as u32;
+                    cursor[v] += 1;
+                }
+            }
+        }
+        let kind = self.backing.kind();
+        Ok(FlatTree {
+            node_w: self.node_w,
+            edge_a: self.edge_a,
+            edge_b: self.edge_b,
+            edge_w: self.edge_w,
+            child_start,
+            child_edge,
+            total: self.node_total as u64,
+            max_node: self.max_node,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::{DiskBacking, RamBacking};
+    use tgp_graph::{PathGraph, Tree};
+
+    fn build_path<B: MemoryBacking>(
+        backing: &B,
+        nodes: &[u64],
+        edges: &[u64],
+    ) -> Result<FlatPath<B>, BuildError> {
+        let mut b = FlatPathBuilder::new(backing, nodes.len()).unwrap();
+        for &w in nodes {
+            b.push_node(w).unwrap();
+        }
+        for &w in edges {
+            b.push_edge(w).unwrap();
+        }
+        b.finish()
+    }
+
+    fn build_tree<B: MemoryBacking + Clone>(
+        backing: &B,
+        nodes: &[u64],
+        edges: &[(usize, usize, u64)],
+    ) -> Result<FlatTree<B>, BuildError> {
+        let mut b = FlatTreeBuilder::new(backing.clone(), nodes.len()).unwrap();
+        for &w in nodes {
+            b.push_node(w).unwrap();
+        }
+        for &(a, bb, w) in edges {
+            b.push_edge(a, bb, w).unwrap();
+        }
+        b.finish()
+    }
+
+    fn graph_err(e: BuildError) -> GraphError {
+        match e {
+            BuildError::Graph(g) => g,
+            other => panic!("expected graph error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn flat_path_matches_pathgraph_views() {
+        let nodes = [2u64, 3, 5, 7, 11];
+        let edges = [1u64, 2, 3, 4];
+        let legacy = PathGraph::from_raw(&nodes, &edges).unwrap();
+        for kind in 0..2 {
+            let assert_same = |flat: &dyn ChainView| {
+                assert_eq!(flat.len(), legacy.len());
+                assert_eq!(flat.edge_count(), legacy.edge_count());
+                assert_eq!(flat.total_weight(), legacy.total_weight());
+                assert_eq!(flat.max_node_weight(), legacy.max_node_weight());
+                for lo in 0..nodes.len() {
+                    for hi in lo..nodes.len() {
+                        assert_eq!(flat.span_weight(lo, hi), legacy.span_weight(lo, hi));
+                    }
+                }
+                for i in 0..edges.len() {
+                    assert_eq!(
+                        flat.edge_weight(EdgeId::new(i)),
+                        legacy.edge_weight(EdgeId::new(i))
+                    );
+                }
+            };
+            if kind == 0 {
+                let flat = build_path(&RamBacking, &nodes, &edges).unwrap();
+                assert_eq!(flat.backing_kind(), BackingKind::Ram);
+                assert_same(&flat);
+            } else {
+                let flat =
+                    build_path(&DiskBacking::new(std::env::temp_dir()), &nodes, &edges).unwrap();
+                assert_eq!(flat.backing_kind(), BackingKind::Disk);
+                assert_eq!(flat.resident_bytes(), 0);
+                assert_same(&flat);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_path_error_parity() {
+        let cases: &[(&[u64], &[u64])] = &[
+            (&[], &[]),
+            (&[1, 2], &[1, 2]),
+            (&[1, 2, 3], &[1]),
+            (&[u64::MAX, 1], &[1]),
+            (&[u64::MAX - 1, 1], &[]),
+        ];
+        for &(nodes, edges) in cases {
+            let legacy = PathGraph::from_raw(nodes, edges).unwrap_err();
+            let flat = graph_err(build_path(&RamBacking, nodes, edges).unwrap_err());
+            assert_eq!(flat, legacy, "nodes={nodes:?} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn flat_tree_matches_tree_views() {
+        let nodes = [1u64, 2, 3, 4, 5, 6, 7];
+        let edges = [
+            (0usize, 1usize, 10u64),
+            (1, 2, 20),
+            (2, 3, 30),
+            (1, 4, 40),
+            (1, 5, 50),
+            (2, 6, 60),
+        ];
+        let legacy = Tree::from_raw(&nodes, &edges).unwrap();
+        let flat = build_tree(&DiskBacking::new(std::env::temp_dir()), &nodes, &edges).unwrap();
+        assert_eq!(TreeView::len(&flat), legacy.len());
+        assert_eq!(TreeView::edge_count(&flat), legacy.edge_count());
+        assert_eq!(TreeView::total_weight(&flat), legacy.total_weight());
+        assert_eq!(TreeView::max_node_weight(&flat), legacy.max_node_weight());
+        for i in 0..edges.len() {
+            assert_eq!(
+                TreeView::edge(&flat, EdgeId::new(i)),
+                legacy.edge(EdgeId::new(i))
+            );
+        }
+        for v in 0..nodes.len() {
+            assert_eq!(flat.degree(v), legacy.degree(NodeId::new(v)));
+            let incident: Vec<usize> = flat.incident_edges(v).iter().map(|&e| e as usize).collect();
+            let mut legacy_incident: Vec<usize> = legacy
+                .neighbors(NodeId::new(v))
+                .iter()
+                .map(|&(_, e)| e.index())
+                .collect();
+            legacy_incident.sort_unstable();
+            assert_eq!(incident, legacy_incident, "node {v}");
+        }
+    }
+
+    #[test]
+    fn flat_tree_error_parity() {
+        type Case = (&'static [u64], &'static [(usize, usize, u64)]);
+        let cases: &[Case] = &[
+            (&[], &[]),
+            (&[1, 2, 3], &[(0, 1, 1)]),
+            (&[1, 2], &[(1, 1, 5)]),
+            (&[1, 2], &[(0, 5, 1)]),
+            (&[1, 2, 3, 4], &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]),
+            (&[1, 2, 3], &[(0, 1, 1), (1, 0, 2)]),
+            (&[1, 1, 1, 1], &[(0, 1, 1), (0, 1, 2), (2, 3, 1)]),
+            (&[u64::MAX, 1], &[(0, 1, 1)]),
+        ];
+        for &(nodes, edges) in cases {
+            let legacy = Tree::from_raw(nodes, edges).unwrap_err();
+            let flat = graph_err(build_tree(&RamBacking, nodes, edges).unwrap_err());
+            assert_eq!(flat, legacy, "nodes={nodes:?} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_endpoint_reports_original_value() {
+        let big = u32::MAX as usize + 7;
+        let err = {
+            let mut b = FlatTreeBuilder::new(RamBacking, 2).unwrap();
+            b.push_node(1).unwrap();
+            b.push_node(2).unwrap();
+            b.push_edge(0, big, 1).unwrap();
+            graph_err(b.finish().unwrap_err())
+        };
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(big),
+                len: 2
+            }
+        );
+    }
+}

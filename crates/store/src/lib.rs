@@ -1,0 +1,42 @@
+//! Out-of-core graph substrate: pluggable memory backing and flat
+//! SoA/CSR graph representations.
+//!
+//! The paper's algorithms scan vertices in index order, so a graph is
+//! fundamentally a handful of parallel arrays — vertex weights, edge
+//! weights, prefix sums, and (for trees) a CSR adjacency. This crate
+//! stores those arrays behind a [`MemoryBacking`] so the *same* solver
+//! code runs over heap memory ([`RamBacking`]) or an mmap-backed spill
+//! file ([`DiskBacking`]), letting the service partition graphs larger
+//! than RAM while the kernel pages the arrays in and out.
+//!
+//! * [`MemoryBacking`] — chooses where arrays live; [`Array`] is the
+//!   uniform accessor both backings provide (`mmap` gives contiguous
+//!   addressable memory, so a disk array is still a plain slice).
+//! * [`RamVec`] / [`DiskVec`] — the two array implementations.
+//! * [`FlatPath`] / [`FlatTree`] — flat graph representations that
+//!   implement [`tgp_graph::ChainView`] / [`tgp_graph::TreeView`], the
+//!   access traits the solver hot paths are generic over. Their
+//!   builders reproduce the exact validation (and [`GraphError`]
+//!   values) of the legacy pointer graphs, so responses stay
+//!   byte-identical whichever representation served them.
+//! * [`SpillBuf`] — a request-body buffer that starts on the heap and
+//!   spills to an unlinked mmap-backed file past a threshold, bounding
+//!   the RAM a single huge upload can pin.
+//!
+//! The only `unsafe` in the crate is the minimal mmap FFI surface in
+//! [`sys`], mirroring the epoll layer in `tgp-net`.
+//!
+//! [`GraphError`]: tgp_graph::GraphError
+
+#![warn(missing_docs)]
+
+mod backing;
+mod flat;
+mod spill;
+pub mod sys;
+
+pub use backing::{
+    Array, BackingKind, DiskBacking, DiskVec, MemoryBacking, Pod, RamBacking, RamVec,
+};
+pub use flat::{BuildError, FlatPath, FlatPathBuilder, FlatTree, FlatTreeBuilder};
+pub use spill::SpillBuf;

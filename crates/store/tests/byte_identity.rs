@@ -1,0 +1,204 @@
+//! Byte-identity property suite: every solver must produce *identical*
+//! results — cut edge sets, weights, segment lists — whether the graph is
+//! the legacy pointer representation (`PathGraph`/`Tree`), a RAM-backed
+//! flat graph, or a disk-backed (mmap) flat graph.
+//!
+//! 64 random cases (32 chains, 32 trees) spanning tiny to moderately
+//! large instances, plus several bounds per instance. Any divergence —
+//! in `Ok` payloads *or* in error values — fails the test.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tgp_core::bandwidth::{min_bandwidth_cut, min_bandwidth_cut_lexicographic, prime_subpaths};
+use tgp_core::bottleneck::{min_bottleneck_cut, min_bottleneck_cut_warm};
+use tgp_core::pipeline::partition_chain;
+use tgp_graph::{ChainView, PathGraph, Tree, TreeView, Weight};
+use tgp_store::{
+    DiskBacking, FlatPath, FlatPathBuilder, FlatTree, FlatTreeBuilder, MemoryBacking, RamBacking,
+};
+
+fn flat_path<B: MemoryBacking>(backing: &B, nodes: &[u64], edges: &[u64]) -> FlatPath<B> {
+    let mut b = FlatPathBuilder::new(backing, nodes.len()).unwrap();
+    for &w in nodes {
+        b.push_node(w).unwrap();
+    }
+    for &w in edges {
+        b.push_edge(w).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn flat_tree<B: MemoryBacking + Clone>(
+    backing: &B,
+    nodes: &[u64],
+    edges: &[(usize, usize, u64)],
+) -> FlatTree<B> {
+    let mut b = FlatTreeBuilder::new(backing.clone(), nodes.len()).unwrap();
+    for &w in nodes {
+        b.push_node(w).unwrap();
+    }
+    for &(a, bb, w) in edges {
+        b.push_edge(a, bb, w).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+/// Runs every chain solver on one view and returns a canonical transcript
+/// of everything the service would serialize. Comparing transcripts across
+/// representations is exactly the byte-identity contract.
+fn chain_transcript<C: ChainView>(path: &C, bounds: &[u64]) -> String {
+    let mut out = String::new();
+    for &k in bounds {
+        let bound = Weight::new(k);
+        match prime_subpaths(path, bound) {
+            Ok(primes) => {
+                out.push_str(&format!("primes k={k}: {primes:?}\n"));
+            }
+            Err(e) => out.push_str(&format!("primes k={k}: ERR {e:?}\n")),
+        }
+        match min_bandwidth_cut(path, bound) {
+            Ok(cut) => {
+                let edges: Vec<usize> = cut.iter().map(|e| e.index()).collect();
+                out.push_str(&format!(
+                    "bw k={k}: cut={edges:?} w={:?} bn={:?}\n",
+                    path.cut_weight(&cut).unwrap(),
+                    path.bottleneck(&cut).unwrap(),
+                ));
+            }
+            Err(e) => out.push_str(&format!("bw k={k}: ERR {e:?}\n")),
+        }
+        match min_bandwidth_cut_lexicographic(path, bound) {
+            Ok(cut) => {
+                let edges: Vec<usize> = cut.iter().map(|e| e.index()).collect();
+                out.push_str(&format!(
+                    "lex k={k}: cut={edges:?} w={:?} bn={:?} segs={:?}\n",
+                    path.cut_weight(&cut).unwrap(),
+                    path.bottleneck(&cut).unwrap(),
+                    path.segments(&cut).unwrap(),
+                ));
+            }
+            Err(e) => out.push_str(&format!("lex k={k}: ERR {e:?}\n")),
+        }
+        match partition_chain(path, bound) {
+            Ok(p) => out.push_str(&format!(
+                "pipe k={k}: procs={} bw={:?} bn={:?} segs={:?}\n",
+                p.processors, p.bandwidth, p.bottleneck, p.segments,
+            )),
+            Err(e) => out.push_str(&format!("pipe k={k}: ERR {e:?}\n")),
+        }
+    }
+    out
+}
+
+/// Same idea for trees: bottleneck solve (cold and warm-start paths).
+fn tree_transcript<T: TreeView>(tree: &T, bounds: &[u64]) -> String {
+    let mut out = String::new();
+    for &k in bounds {
+        let bound = Weight::new(k);
+        match min_bottleneck_cut(tree, bound) {
+            Ok(r) => {
+                let edges: Vec<usize> = r.cut.iter().map(|e| e.index()).collect();
+                out.push_str(&format!(
+                    "bn k={k}: cut={edges:?} bn={:?} w={:?}\n",
+                    r.bottleneck,
+                    tree.cut_weight(&r.cut).unwrap(),
+                ));
+                // Warm re-solve with an exact hint window must certify and
+                // reproduce the cold result on every backing.
+                let warm =
+                    min_bottleneck_cut_warm(tree, bound, r.bottleneck, r.bottleneck).unwrap();
+                match warm {
+                    Some(w) => {
+                        let warm_edges: Vec<usize> = w.cut.iter().map(|e| e.index()).collect();
+                        out.push_str(&format!(
+                            "warm k={k}: cut={warm_edges:?} bn={:?}\n",
+                            w.bottleneck
+                        ));
+                    }
+                    None => out.push_str(&format!("warm k={k}: MISS\n")),
+                }
+            }
+            Err(e) => out.push_str(&format!("bn k={k}: ERR {e:?}\n")),
+        }
+    }
+    out
+}
+
+#[test]
+fn chain_solvers_are_byte_identical_across_backings() {
+    let mut rng = SmallRng::seed_from_u64(0x5107e);
+    let spill = DiskBacking::new(std::env::temp_dir());
+    for case in 0..32 {
+        let n = rng.gen_range(1..200);
+        let nodes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..40)).collect();
+        let edges: Vec<u64> = (0..n - 1).map(|_| rng.gen_range(1..100)).collect();
+        let max = *nodes.iter().max().unwrap();
+        let total: u64 = nodes.iter().sum();
+        let bounds = [
+            max.saturating_sub(1).max(1), // often infeasible
+            max,
+            max + rng.gen_range(0..30),
+            total, // trivially feasible
+        ];
+        let legacy = PathGraph::from_raw(&nodes, &edges).unwrap();
+        let ram = flat_path(&RamBacking, &nodes, &edges);
+        let disk = flat_path(&spill, &nodes, &edges);
+        let want = chain_transcript(&legacy, &bounds);
+        assert_eq!(
+            chain_transcript(&ram, &bounds),
+            want,
+            "case {case}: RAM flat diverged (n={n})"
+        );
+        assert_eq!(
+            chain_transcript(&disk, &bounds),
+            want,
+            "case {case}: disk flat diverged (n={n})"
+        );
+    }
+}
+
+#[test]
+fn tree_solvers_are_byte_identical_across_backings() {
+    let mut rng = SmallRng::seed_from_u64(0xb10b);
+    let spill = DiskBacking::new(std::env::temp_dir());
+    for case in 0..32 {
+        let n = rng.gen_range(1..150);
+        let nodes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..40)).collect();
+        // Random attachment tree; shuffle edge insertion order away from
+        // parent order by occasionally flipping the orientation.
+        let edges: Vec<(usize, usize, u64)> = (1..n)
+            .map(|v| {
+                let parent = rng.gen_range(0..v);
+                let w = rng.gen_range(1..100);
+                if rng.gen_bool(0.5) {
+                    (parent, v, w)
+                } else {
+                    (v, parent, w)
+                }
+            })
+            .collect();
+        let max = *nodes.iter().max().unwrap();
+        let total: u64 = nodes.iter().sum();
+        let bounds = [
+            max.saturating_sub(1).max(1),
+            max,
+            max + rng.gen_range(0..40),
+            total,
+        ];
+        let legacy = Tree::from_raw(&nodes, &edges).unwrap();
+        let ram = flat_tree(&RamBacking, &nodes, &edges);
+        let disk = flat_tree(&spill, &nodes, &edges);
+        let want = tree_transcript(&legacy, &bounds);
+        assert_eq!(
+            tree_transcript(&ram, &bounds),
+            want,
+            "case {case}: RAM flat diverged (n={n})"
+        );
+        assert_eq!(
+            tree_transcript(&disk, &bounds),
+            want,
+            "case {case}: disk flat diverged (n={n})"
+        );
+    }
+}
