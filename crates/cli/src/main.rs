@@ -106,11 +106,13 @@ USAGE:
   tgp simulate --bound K --items N [--processors P]
                [--interconnect bus|crossbar] [--input FILE]
   tgp serve [--addr 127.0.0.1:7070] [--io threads|epoll] [--workers 4]
+            [--loops N|auto]  # epoll event loops, one per core by default
             [--cache-bytes 33554432] [--cache-ttl SECS] [--cache-file PATH]
             [--queue-depth 64] [--max-connections 1024] [--shed-cost UNITS]
             [--shed-remaining MS] [--max-body-bytes N]
             [--graph-spill-bytes N] [--graph-spill-dir PATH]
             [--read-timeout SECS] [--write-timeout SECS] [--idle-timeout SECS]
+            [--write-min-bytes N]  # write-deadline progress floor (0 = total)
             [--session-file PATH] [--session-budget BYTES]
             [--log-requests] [--debug-endpoints]  # HTTP partition service
   tgp sessions [--addr HOST:PORT | --file PATH]   # resident session graphs
@@ -644,12 +646,23 @@ fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult
             None => defaults.io,
         },
         workers: opts.num("workers")?.unwrap_or(4),
+        // The CLI defaults to auto (0 = one loop per core); the library
+        // default stays 1 so embedders opt in explicitly.
+        loops: match opts.get("loops") {
+            None | Some("auto") => 0,
+            Some(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| format!("--loops: expected a count or \"auto\", got {raw:?}"))?,
+        },
         cache,
         cache_file: opts.get("cache-file").map(std::path::PathBuf::from),
         queue_depth: opts.num("queue-depth")?.unwrap_or(64),
         max_connections: opts.num("max-connections")?.unwrap_or(1024),
         read_timeout: secs("read-timeout", defaults.read_timeout)?,
         write_timeout: secs("write-timeout", defaults.write_timeout)?,
+        write_min_bytes: opts
+            .num("write-min-bytes")?
+            .unwrap_or(defaults.write_min_bytes),
         idle_timeout: secs("idle-timeout", defaults.idle_timeout)?,
         shed_cost: opts.num("shed-cost")?,
         shed_remaining: opts.num("shed-remaining")?,
@@ -671,13 +684,17 @@ fn serve(opts: &Options, log_requests: bool, debug_endpoints: bool) -> CliResult
     let workers = config.workers;
     let io = config.io;
     let mut server = Server::start(config)?;
+    let loops = match server.net_loops() {
+        0 => String::new(),
+        n => format!(", {n} loops"),
+    };
     let debug_note = if debug_endpoints {
         ", GET /debug/*"
     } else {
         ""
     };
     eprintln!(
-        "tgp serve: listening on http://{} ({workers} workers, {io:?} io); \
+        "tgp serve: listening on http://{} ({workers} workers, {io:?} io{loops}); \
          endpoints: POST /v1/partition, POST /v1/simulate, /v1/graphs sessions, \
          GET /healthz, GET /metrics{debug_note}",
         server.local_addr()

@@ -344,6 +344,98 @@ fn wrong_graph_shape_is_422_wrong_graph_kind_for_every_objective() {
     }
 }
 
+/// The sharded runtime must be invisible in the bytes: under two
+/// `SO_REUSEPORT` event loops every objective still answers exactly
+/// the CLI's output, on every connection (each golden gets a fresh
+/// connection so the kernel is free to spread them across loops), and
+/// every request gets a globally unique trace id even though two loops
+/// mint them concurrently.
+#[test]
+#[cfg(target_os = "linux")]
+fn two_loop_server_stays_byte_identical_with_unique_traces() {
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        io: IoMode::Epoll,
+        loops: 2,
+        debug_endpoints: true,
+        cache: tgp_service::CacheConfig::with_budget(0), // every request solves
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    assert_eq!(server.net_loops(), 2, "server did not start two loops");
+    // Three passes over the golden set: 39 fresh connections, hashed
+    // across the two accept queues by the kernel.
+    for _ in 0..3 {
+        for golden in GOLDEN {
+            let (status, http) = post(&server, "/v1/partition", &http_body(golden));
+            assert_eq!(
+                status,
+                200,
+                "[2 loops] {}: {}",
+                golden.objective,
+                String::from_utf8_lossy(&http)
+            );
+            let cli = cli_bytes(golden);
+            assert_eq!(
+                cli,
+                http,
+                "[2 loops] {}: CLI bytes differ from HTTP body\nCLI:  {}\nHTTP: {}",
+                golden.objective,
+                String::from_utf8_lossy(&cli),
+                String::from_utf8_lossy(&http)
+            );
+        }
+    }
+    // Both loops' counters must account for every accepted connection
+    // (the unlabeled family is the render-time sum of the two).
+    let metrics = get_text(&server, "/metrics");
+    let accepted: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("tgp_accepted_connections_total "))
+        .expect("unlabeled accepted sum rendered")
+        .trim()
+        .parse()
+        .expect("numeric accepted sum");
+    let per_loop: u64 = (0..2)
+        .map(|i| {
+            metrics
+                .lines()
+                .find_map(|l| {
+                    l.strip_prefix(&format!("tgp_accepted_connections_total{{loop=\"{i}\"}} "))
+                })
+                .unwrap_or_else(|| panic!("loop {i} accepted series rendered\n{metrics}"))
+                .trim()
+                .parse::<u64>()
+                .expect("numeric per-loop accepted")
+        })
+        .sum();
+    assert_eq!(accepted, per_loop, "unlabeled sum != sum of loop series");
+    // 39 goldens + the scrape itself have been accepted by now.
+    assert!(accepted >= 39, "accepted {accepted} < 39 exchanges");
+    // Every retained trace id is unique: the mint counter is global,
+    // not per-loop, so two loops can never stamp the same id.
+    let slow = get_text(&server, "/debug/slow?n=64");
+    let parsed = tgp_graph::json::Value::parse(slow.trim()).expect("debug/slow JSON");
+    let mut ids: Vec<String> = match &parsed["traces"] {
+        tgp_graph::json::Value::Array(traces) => traces
+            .iter()
+            .map(|t| {
+                t["trace"]
+                    .as_str()
+                    .expect("trace id is a string")
+                    .to_string()
+            })
+            .collect(),
+        other => panic!("traces is not an array: {other:?}"),
+    };
+    let total = ids.len();
+    assert!(total >= 39, "only {total} traces retained");
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), total, "duplicate trace ids across loops");
+    server.shutdown();
+}
+
 #[test]
 fn cli_rejects_flags_outside_the_schema() {
     let out = Command::new(env!("CARGO_BIN_EXE_tgp"))

@@ -20,9 +20,17 @@
 //!
 //! Timeout policy (one armed timer per connection, superseded by
 //! generation bump): *read* = total deadline per request from its
-//! first byte; *write* = total deadline per response; *idle* = quiet
-//! keep-alive connection. Dispatched connections carry no timer — the
-//! worker pool owns their latency.
+//! first byte; *write* = progress-based deadline per response (the
+//! timer renews while at least `write_min_bytes` reach the socket per
+//! interval, so large responses to slow-but-live readers survive while
+//! byte-at-a-time readers still reap); *idle* = quiet keep-alive
+//! connection. Dispatched connections carry no timer — the worker pool
+//! owns their latency.
+//!
+//! One `EventLoop` is a complete single-threaded runtime; a
+//! [`crate::LoopSet`] runs several of them over `SO_REUSEPORT` listener
+//! shards, each loop carrying its own `shard` id so [`ConnId`]s stay
+//! distinct across loops.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -121,7 +129,20 @@ impl std::fmt::Debug for EventLoop {
 impl EventLoop {
     /// Takes ownership of `listener` and starts the loop thread.
     /// Requests surface through `handler`; counters through `counters`.
+    /// A standalone loop is shard 0.
     pub fn spawn(
+        listener: TcpListener,
+        config: NetConfig,
+        counters: Arc<NetCounters>,
+        handler: Arc<dyn Handler>,
+    ) -> io::Result<EventLoop> {
+        EventLoop::spawn_shard(0, listener, config, counters, handler)
+    }
+
+    /// [`EventLoop::spawn`] for one shard of a [`crate::LoopSet`]:
+    /// `shard` is stamped into every [`ConnId`] the loop hands out.
+    pub fn spawn_shard(
+        shard: u32,
         listener: TcpListener,
         config: NetConfig,
         counters: Arc<NetCounters>,
@@ -140,6 +161,7 @@ impl EventLoop {
             shared: Arc::clone(&shared),
         };
         let state = Loop {
+            shard,
             poller,
             listener,
             accept_paused: false,
@@ -160,7 +182,7 @@ impl EventLoop {
             drain_deadline: None,
         };
         let thread = thread::Builder::new()
-            .name("tgp-net-loop".into())
+            .name(format!("tgp-net-loop-{shard}"))
             .spawn(move || state.run())?;
         Ok(EventLoop { handle, thread })
     }
@@ -198,6 +220,9 @@ struct Connection {
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
     written: usize,
+    /// `written` as of the last write-timer arm/renewal; the progress
+    /// baseline the next firing compares against.
+    write_mark: usize,
     /// Reuse the connection after the current response.
     keep_alive: bool,
     /// Peer half-closed (EPOLLRDHUP): finish the in-flight response,
@@ -216,6 +241,9 @@ struct Slot {
 }
 
 struct Loop {
+    /// This loop's id within its [`crate::LoopSet`] (0 standalone);
+    /// stamped into every [`ConnId`] handed across the thread boundary.
+    shard: u32,
     poller: Poller,
     listener: TcpListener,
     accept_paused: bool,
@@ -312,6 +340,9 @@ impl Loop {
                 .and_then(|slot| slot.conn.as_ref())
                 .is_some_and(|conn| conn.timer_gen == expired.generation);
             if live {
+                if expired.kind == TimeoutKind::Write && self.renew_write_timer(expired.conn) {
+                    continue;
+                }
                 self.counters
                     .timeout_closes(expired.kind)
                     .fetch_add(1, Ordering::Relaxed);
@@ -327,6 +358,29 @@ impl Loop {
                 self.close_conn(expired.conn);
             }
         }
+    }
+
+    /// A live write timer fired: renew it (and return `true`) if the
+    /// connection flushed at least `write_min_bytes` since the timer
+    /// was armed — the reader is slow but draining. `write_min_bytes`
+    /// of 0 keeps the old total-per-response behavior: never renew.
+    fn renew_write_timer(&mut self, idx: usize) -> bool {
+        let min = self.config.write_min_bytes;
+        let progressed = self.slots[idx]
+            .conn
+            .as_mut()
+            .filter(|conn| conn.state == ConnState::Writing)
+            .is_some_and(|conn| {
+                let moved = min > 0 && conn.written.saturating_sub(conn.write_mark) >= min;
+                if moved {
+                    conn.write_mark = conn.written;
+                }
+                moved
+            });
+        if progressed {
+            self.arm_timer(idx, TimeoutKind::Write);
+        }
+        progressed
     }
 
     // ---- accept ---------------------------------------------------
@@ -411,6 +465,7 @@ impl Loop {
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             written: 0,
+            write_mark: 0,
             keep_alive: true,
             rdhup: false,
             write_started: None,
@@ -419,17 +474,22 @@ impl Loop {
         self.counters
             .open_connections
             .fetch_add(1, Ordering::Relaxed);
+        self.counters.accepted_total.fetch_add(1, Ordering::Relaxed);
         self.journal_event(EventKind::Accept, idx as u64, 0);
         // The first request's total deadline starts at accept.
         self.arm_timer(idx, TimeoutKind::Read);
     }
 
     fn token_of(&self, idx: usize) -> Token {
+        self.conn_id(idx).token()
+    }
+
+    fn conn_id(&self, idx: usize) -> ConnId {
         ConnId {
+            shard: self.shard,
             index: idx as u32,
             generation: self.slots[idx].generation,
         }
-        .token()
     }
 
     fn close_conn(&mut self, idx: usize) {
@@ -474,7 +534,7 @@ impl Loop {
     // ---- readiness dispatch --------------------------------------
 
     fn conn_event(&mut self, token: Token, event: Event) {
-        let id = ConnId::from_token(token);
+        let id = ConnId::from_token(token, self.shard);
         let idx = id.index as usize;
         let (state, rdhup_recorded) = {
             let Some(slot) = self.slots.get_mut(idx) else {
@@ -629,10 +689,7 @@ impl Loop {
                 false
             }
             FrameStatus::Complete { len } => {
-                let id = ConnId {
-                    index: idx as u32,
-                    generation: self.slots[idx].generation,
-                };
+                let id = self.conn_id(idx);
                 let request = {
                     let conn = self.slots[idx].conn.as_mut().unwrap();
                     conn.read_buf.drain(..len).collect::<Vec<u8>>()
@@ -665,6 +722,7 @@ impl Loop {
             let conn = self.slots[idx].conn.as_mut().unwrap();
             conn.write_buf = bytes;
             conn.written = 0;
+            conn.write_mark = 0;
             conn.keep_alive = keep_alive && !conn.rdhup;
             conn.state = ConnState::Writing;
             conn.write_started = Some(Instant::now());
@@ -715,10 +773,7 @@ impl Loop {
                 .unwrap_or_default();
             (conn.keep_alive && self.drain_deadline.is_none(), elapsed)
         };
-        let id = ConnId {
-            index: idx as u32,
-            generation: self.slots[idx].generation,
-        };
+        let id = self.conn_id(idx);
         self.handler.on_write_complete(id, write_elapsed);
         if !keep_alive {
             self.close_conn(idx);
@@ -772,6 +827,9 @@ impl Loop {
     fn drain_completions(&mut self) {
         let completions = std::mem::take(&mut *self.handle.shared.completions.lock().unwrap());
         for completion in completions {
+            if completion.conn.shard != self.shard {
+                continue; // submitted through the wrong loop's handle
+            }
             let idx = completion.conn.index as usize;
             let live = self
                 .slots

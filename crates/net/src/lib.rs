@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub mod framer;
+pub mod shard;
 pub mod timer;
 
 #[cfg(target_os = "linux")]
@@ -55,30 +56,43 @@ mod stub;
 pub use stub::{EventLoop, LoopHandle};
 
 pub use framer::{request_header_value, FrameError, FrameLimits, FrameStatus};
+pub use shard::{LoopSet, ShardSpec};
 pub use timer::TimeoutKind;
 
 /// Identifies one accepted connection across the loop / worker
 /// boundary. The `generation` makes stale completions harmless: if a
 /// connection dies while its request is in flight, the slab slot is
 /// reused under a new generation and the late [`LoopHandle::submit`]
-/// is dropped instead of answering the wrong peer.
+/// is dropped instead of answering the wrong peer. With a sharded
+/// [`LoopSet`], every loop has its own slab and generation space, so
+/// `shard` is what distinguishes loop 0's connection 3 from loop 1's —
+/// cross-loop consumers (the service's write-span table) must key on
+/// all three fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConnId {
-    /// Slab slot of the connection inside the event loop.
+    /// Which event loop of the [`LoopSet`] owns the connection
+    /// (0 for a standalone loop).
+    pub shard: u32,
+    /// Slab slot of the connection inside its owning event loop.
     pub index: u32,
     /// Reuse counter of that slot at the time the request was framed.
     pub generation: u32,
 }
 
 impl ConnId {
-    /// Packs the id into an epoll registration token.
+    /// Packs the id into an epoll registration token. Tokens are
+    /// per-loop (each loop has its own epoll set), so the shard is not
+    /// encoded — [`ConnId::from_token`] restores it from the loop's
+    /// own id.
     pub fn token(self) -> u64 {
         (u64::from(self.generation) << 32) | u64::from(self.index)
     }
 
-    /// Recovers the id from a token produced by [`ConnId::token`].
-    pub fn from_token(token: u64) -> ConnId {
+    /// Recovers the id from a token produced by [`ConnId::token`], on
+    /// behalf of the loop `shard`.
+    pub fn from_token(token: u64, shard: u32) -> ConnId {
         ConnId {
+            shard,
             index: (token & 0xffff_ffff) as u32,
             generation: (token >> 32) as u32,
         }
@@ -95,8 +109,16 @@ pub struct NetConfig {
     /// its first byte (or from accept, for the first request). Not
     /// reset by progress — byte-at-a-time senders still time out.
     pub read_timeout: Duration,
-    /// Total deadline for writing one complete response.
+    /// Deadline for writing a response: the timer renews each time it
+    /// fires if at least [`NetConfig::write_min_bytes`] were flushed
+    /// during the elapsed interval, so a slow-but-live reader of a
+    /// large response survives. A reader draining below that rate is
+    /// closed as before.
     pub write_timeout: Duration,
+    /// Minimum write progress (bytes flushed to the socket) per
+    /// `write_timeout` interval for the response timer to renew.
+    /// `0` disables renewal, restoring the total-per-response deadline.
+    pub write_min_bytes: usize,
     /// How long a keep-alive connection may sit with no request bytes
     /// buffered before it is closed.
     pub idle_timeout: Duration,
@@ -118,6 +140,7 @@ impl Default for NetConfig {
             max_connections: 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            write_min_bytes: 1024,
             idle_timeout: Duration::from_secs(60),
             max_head_bytes: 16 * 1024,
             max_body_bytes: 1024 * 1024,
@@ -134,6 +157,10 @@ impl Default for NetConfig {
 pub struct NetCounters {
     /// Currently open connections (gauge).
     pub open_connections: AtomicU64,
+    /// Connections accepted since the loop started. With a sharded
+    /// [`LoopSet`] this is the per-loop fairness signal: every loop of
+    /// a healthy set should accept a share of the traffic.
+    pub accepted_total: AtomicU64,
     /// Times the accept loop paused because the connection cap was hit.
     pub accept_backpressure: AtomicU64,
     /// Connections closed by the per-request read deadline.

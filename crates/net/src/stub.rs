@@ -43,6 +43,17 @@ impl EventLoop {
         ))
     }
 
+    /// Always fails with [`io::ErrorKind::Unsupported`] off Linux.
+    pub fn spawn_shard(
+        _shard: u32,
+        listener: TcpListener,
+        config: NetConfig,
+        counters: Arc<NetCounters>,
+        handler: Arc<dyn Handler>,
+    ) -> io::Result<EventLoop> {
+        EventLoop::spawn(listener, config, counters, handler)
+    }
+
     /// Unreachable: no [`EventLoop`] can exist on this target.
     pub fn handle(&self) -> LoopHandle {
         LoopHandle { _private: () }

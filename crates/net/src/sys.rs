@@ -1,7 +1,8 @@
 //! Raw `extern "C"` bindings to the handful of Linux syscalls the event
 //! loop needs: `epoll_create1`/`epoll_ctl`/`epoll_wait` for readiness,
-//! `eventfd` for cross-thread wakeups, and `read`/`write`/`close` on the
-//! eventfd itself.
+//! `eventfd` for cross-thread wakeups, `read`/`write`/`close` on the
+//! eventfd itself, and `socket`/`setsockopt`/`bind`/`listen` for the
+//! `SO_REUSEPORT` listener shards of the multi-loop runtime.
 //!
 //! This is the only module in the workspace that uses `unsafe` — the
 //! same vendoring philosophy as the in-tree `rand`/`proptest` shims: no
@@ -12,8 +13,9 @@
 #![allow(unsafe_code)]
 
 use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::os::raw::{c_int, c_uint, c_void};
-use std::os::unix::io::RawFd;
+use std::os::unix::io::{FromRawFd, RawFd};
 
 /// Readiness flag: the fd is readable.
 pub const EPOLLIN: u32 = 0x001;
@@ -65,6 +67,36 @@ pub struct EpollEvent {
     pub data: u64,
 }
 
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+
+/// `struct sockaddr_in` (IPv4), as the kernel lays it out.
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    /// Network byte order.
+    sin_port: u16,
+    /// Network byte order (the octets in memory order).
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` (IPv6), as the kernel lays it out.
+#[repr(C)]
+struct SockaddrIn6 {
+    sin6_family: u16,
+    /// Network byte order.
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -73,6 +105,16 @@ extern "C" {
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
 }
 
 fn check(ret: c_int) -> io::Result<c_int> {
@@ -181,4 +223,90 @@ pub fn close_fd(fd: RawFd) {
     // SAFETY: the caller asserts ownership; double-close is prevented by
     // the owning types calling this exactly once, in `Drop`.
     let _ = unsafe { close(fd) };
+}
+
+fn set_sockopt_one(fd: RawFd, optname: c_int) -> io::Result<()> {
+    let one: c_int = 1;
+    // SAFETY: optval points at a live c_int of the declared length; the
+    // kernel copies it before returning.
+    check(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            optname,
+            (&raw const one).cast::<c_void>(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })
+    .map(|_| ())
+}
+
+fn bind_addr(fd: RawFd, addr: &SocketAddr) -> io::Result<()> {
+    match addr {
+        SocketAddr::V4(a) => {
+            let sa = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: a.port().to_be(),
+                sin_addr: u32::from_ne_bytes(a.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            // SAFETY: the pointer/length pair describes a live, fully
+            // initialized sockaddr_in; the kernel copies it.
+            check(unsafe {
+                bind(
+                    fd,
+                    (&raw const sa).cast::<c_void>(),
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            })
+            .map(|_| ())
+        }
+        SocketAddr::V6(a) => {
+            let sa = SockaddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: a.port().to_be(),
+                sin6_flowinfo: a.flowinfo().to_be(),
+                sin6_addr: a.ip().octets(),
+                sin6_scope_id: a.scope_id(),
+            };
+            // SAFETY: as in the V4 arm, with sockaddr_in6.
+            check(unsafe {
+                bind(
+                    fd,
+                    (&raw const sa).cast::<c_void>(),
+                    std::mem::size_of::<SockaddrIn6>() as u32,
+                )
+            })
+            .map(|_| ())
+        }
+    }
+}
+
+/// Creates a TCP listener with `SO_REUSEPORT` (and `SO_REUSEADDR`) set
+/// *before* bind — std's `TcpListener::bind` offers no hook for that.
+/// Multiple listeners bound this way to the same address share the
+/// port, and the kernel hashes incoming connections across their accept
+/// queues: the fan-out primitive of the sharded runtime. The returned
+/// listener is a normal `TcpListener` owning its fd.
+pub fn reuseport_listener(addr: &SocketAddr) -> io::Result<TcpListener> {
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: no pointers involved; the return value is checked.
+    let fd = check(unsafe { socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    let configured = set_sockopt_one(fd, SO_REUSEADDR)
+        .and_then(|_| set_sockopt_one(fd, SO_REUSEPORT))
+        .and_then(|_| bind_addr(fd, addr))
+        // SAFETY: no pointers involved; the return value is checked.
+        .and_then(|_| check(unsafe { listen(fd, 1024) }).map(|_| ()));
+    match configured {
+        // SAFETY: `fd` is a freshly created, bound, listening socket we
+        // exclusively own; from_raw_fd transfers that ownership.
+        Ok(()) => Ok(unsafe { TcpListener::from_raw_fd(fd) }),
+        Err(e) => {
+            close_fd(fd);
+            Err(e)
+        }
+    }
 }

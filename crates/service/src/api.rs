@@ -64,7 +64,7 @@ use crate::cache::{CacheConfig, ResultCache};
 use crate::envelope;
 use crate::http::Request;
 use crate::metrics::Metrics;
-use crate::pool::{BoundedQueue, Work};
+use crate::pool::{QueueSet, Work};
 
 /// Events the in-memory journal retains (see `GET /debug/events`).
 const JOURNAL_CAPACITY: usize = 4096;
@@ -108,14 +108,17 @@ const SHED_OCCUPANCY_DEN: usize = 4;
 const WRITE_PENDING_SLOTS: usize = 1024;
 
 /// Lock-free table of "response in flight on this connection" trace
-/// ids, indexed by the connection's slab slot. The epoll loop frames
-/// one request per connection at a time, so insert (worker, before
-/// submit) and remove (loop, at write completion) for one connection
-/// never race each other; the table only has to tolerate *different*
-/// connections sharing a masked slot. On such a collision the later
-/// insert wins and the earlier connection's removal sees a token
-/// mismatch — its write span is dropped (a debug-only loss), never
-/// misattributed. This used to be a `Mutex<HashMap>`, but two lock
+/// ids, indexed by the connection's slab slot (spread by its owning
+/// loop's shard id, since every loop has its own slot 0). The epoll
+/// loop frames one request per connection at a time, so insert (worker,
+/// before submit) and remove (loop, at write completion) for one
+/// connection never race each other; the table only has to tolerate
+/// *different* connections sharing a masked slot. On such a collision
+/// the later insert wins and the earlier connection's removal sees a
+/// token/shard mismatch — its write span is dropped (a debug-only
+/// loss), never misattributed; the shard check is what keeps that
+/// guarantee across loops, where `(index, generation)` alone can
+/// coincide. This used to be a `Mutex<HashMap>`, but two lock
 /// acquisitions per request on the hot path is exactly the kind of
 /// overhead the <2% tracing budget (EXPERIMENTS.md §OBS) rules out.
 struct WritePending {
@@ -124,6 +127,7 @@ struct WritePending {
 
 struct PendingSlot {
     token: AtomicU64,
+    shard: AtomicU64,
     trace: AtomicU64,
     seq: AtomicU64,
 }
@@ -138,6 +142,7 @@ impl WritePending {
             slots: (0..WRITE_PENDING_SLOTS)
                 .map(|_| PendingSlot {
                     token: AtomicU64::new(WRITE_PENDING_EMPTY),
+                    shard: AtomicU64::new(0),
                     trace: AtomicU64::new(0),
                     seq: AtomicU64::new(0),
                 })
@@ -146,21 +151,28 @@ impl WritePending {
     }
 
     fn slot(&self, conn: ConnId) -> &PendingSlot {
-        &self.slots[conn.index as usize & (WRITE_PENDING_SLOTS - 1)]
+        // Offset each loop's slab by a stride co-prime with the table
+        // size, so concurrent loops' low slab indexes do not all fight
+        // over the same few slots.
+        let spread = (conn.index as usize).wrapping_add(conn.shard as usize * 61);
+        &self.slots[spread & (WRITE_PENDING_SLOTS - 1)]
     }
 
     fn insert(&self, conn: ConnId, trace: TraceId, seq: u64) {
         let slot = self.slot(conn);
+        slot.shard.store(u64::from(conn.shard), Ordering::Relaxed);
         slot.trace.store(trace.as_u64(), Ordering::Relaxed);
         slot.seq.store(seq, Ordering::Relaxed);
         // Release-publish after the payload stores so a remover that
-        // sees our token also sees our trace id and sequence.
+        // sees our token also sees our shard, trace id and sequence.
         slot.token.store(conn.token(), Ordering::Release);
     }
 
     fn remove(&self, conn: ConnId) -> Option<(TraceId, u64)> {
         let slot = self.slot(conn);
-        if slot.token.load(Ordering::Acquire) != conn.token() {
+        if slot.token.load(Ordering::Acquire) != conn.token()
+            || slot.shard.load(Ordering::Relaxed) != u64::from(conn.shard)
+        {
             return None; // canned error, or lost to a collision
         }
         slot.token.store(WRITE_PENDING_EMPTY, Ordering::Relaxed);
@@ -212,10 +224,11 @@ pub struct AppState {
     /// connection). Lets [`AppState::complete_write`] attribute the
     /// write duration to the right trace after commit.
     write_pending: WritePending,
-    /// The worker-pool queue batch handlers scatter subtasks onto. Unset
-    /// when the state runs without a pool (unit tests, embedders calling
+    /// The worker-pool queues batch handlers scatter subtasks onto —
+    /// one per event loop, round-robined by [`QueueSet`]. Unset when
+    /// the state runs without a pool (unit tests, embedders calling
     /// [`handle`] directly) — batches then execute inline.
-    fanout: OnceLock<Arc<BoundedQueue<Work>>>,
+    fanout: OnceLock<Arc<QueueSet<Work>>>,
     /// Cost-based admission limit: with `Some(limit)`, a cache-missing
     /// request whose [`tgp_solvers::Solver::cost_estimate`] exceeds
     /// `limit` is refused with 503 (`shed_expensive`) while the worker
@@ -411,11 +424,18 @@ impl AppState {
         None
     }
 
-    /// Attaches the worker-pool queue so batch requests can scatter
-    /// subtasks onto it. Called once by [`crate::server::Server::start`];
-    /// later calls are ignored.
-    pub fn attach_pool(&self, pool: Arc<BoundedQueue<Work>>) {
+    /// Attaches the worker-pool queues so batch requests can scatter
+    /// subtasks across them. Called once by
+    /// [`crate::server::Server::start`]; later calls are ignored.
+    pub fn attach_pool(&self, pool: Arc<QueueSet<Work>>) {
         let _ = self.fanout.set(pool);
+    }
+
+    /// Grows the per-loop connection counters to `loops` sets (see
+    /// [`Metrics::set_net_loops`]); call before the state is shared.
+    pub fn with_net_loops(mut self, loops: usize) -> Self {
+        self.metrics.set_net_loops(loops);
+        self
     }
 }
 
@@ -1205,7 +1225,7 @@ fn run_batch(state: &AppState, items: Vec<BatchItem>) -> Vec<Result<String, Fail
             start,
             end,
         };
-        if pool.try_push(Work::Batch(subtask)).is_err() {
+        if pool.try_push_rotating(Work::Batch(subtask)).is_err() {
             state.metrics.queue_changed(-1);
             break;
         }
@@ -2128,6 +2148,7 @@ fn with_cache(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::BoundedQueue;
     use tgp_core::pipeline::partition_chain;
     use tgp_solvers::GraphKind;
 
@@ -2336,7 +2357,7 @@ mod tests {
         use std::sync::Arc;
         let state = Arc::new(AppState::new(CacheConfig::default()));
         let pool = Arc::new(BoundedQueue::<Work>::new(64));
-        state.attach_pool(Arc::clone(&pool));
+        state.attach_pool(Arc::new(QueueSet::single(Arc::clone(&pool))));
         // Two pool "workers" draining subtasks, as the server would.
         let workers: Vec<_> = (0..2)
             .map(|_| {
@@ -2394,7 +2415,7 @@ mod tests {
         use std::sync::Arc;
         let state = Arc::new(AppState::new(CacheConfig::default()));
         let pool = Arc::new(BoundedQueue::<Work>::new(256));
-        state.attach_pool(Arc::clone(&pool));
+        state.attach_pool(Arc::new(QueueSet::single(Arc::clone(&pool))));
         let popped_subtasks = Arc::new(AtomicUsize::new(0));
         let workers: Vec<_> = (0..2)
             .map(|_| {
@@ -2460,7 +2481,7 @@ mod tests {
         use std::sync::Arc;
         let state = Arc::new(AppState::new(CacheConfig::default()).with_shed_cost(Some(0)));
         let pool = Arc::new(BoundedQueue::<Work>::new(4));
-        state.attach_pool(Arc::clone(&pool));
+        state.attach_pool(Arc::new(QueueSet::single(Arc::clone(&pool))));
         let body = format!(r#"{{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}}"#);
 
         // Queue below 3/4 capacity: nothing is shed.
@@ -2510,7 +2531,7 @@ mod tests {
         use std::sync::Arc;
         let state = Arc::new(AppState::new(CacheConfig::default()));
         let pool = Arc::new(BoundedQueue::<Work>::new(1));
-        state.attach_pool(Arc::clone(&pool));
+        state.attach_pool(Arc::new(QueueSet::single(Arc::clone(&pool))));
         let inert = Arc::new(BatchJob::new(Vec::new()));
         pool.try_push(Work::Batch(BatchSubtask {
             job: inert,
@@ -2534,7 +2555,7 @@ mod tests {
         // the coordinator must steal everything back and still answer.
         let state = Arc::new(AppState::new(CacheConfig::default()));
         let pool = Arc::new(BoundedQueue::<Work>::new(1));
-        state.attach_pool(Arc::clone(&pool));
+        state.attach_pool(Arc::new(QueueSet::single(Arc::clone(&pool))));
         let body = format!(
             r#"{{"requests": [
                 {{"objective": "bandwidth", "bound": 10, "graph": {CHAIN}}},

@@ -5,7 +5,7 @@
 //!         [--timeout SECS] [--nodes N] [--distinct D]
 //!         [--mix chain|tree|simulate|session|adversarial|outofcore]
 //!         [--deadline-ms MS] [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX]
-//!         [--verify-addr HOST:PORT]
+//!         [--sweep-loops MIN..MAX] [--verify-addr HOST:PORT]
 //!         [--strict] [--latency-budget MS] [--p999-budget MS]
 //! ```
 //!
@@ -37,6 +37,15 @@
 //! chain partitioned under every bound in the inclusive range — the
 //! schedule-tuning workload the result cache is built for. Repeating a
 //! sweep (or restarting a `--cache-file` server) hits warm entries.
+//!
+//! `--sweep-loops MIN..MAX` measures multi-loop scaling instead of
+//! hitting `--addr`: for each loop count in the range it starts an
+//! embedded epoll server (`ServerConfig { loops, .. }`) on an
+//! ephemeral port, runs the closed-loop chain workload against it,
+//! and reports throughput and p99 per point plus the last/first
+//! scaling factor (EXPERIMENTS.md §SRV-SHARD). `--strict` fails the
+//! process if any point starved a connection or answered a non-shed
+//! 5xx.
 //!
 //! `--mix` picks the request population:
 //!
@@ -141,6 +150,11 @@ struct Config {
     rate: Option<f64>,
     /// Bound-sweep range (inclusive); replaces the `--distinct` bodies.
     sweep: Option<(u64, u64)>,
+    /// Loop-count sweep (inclusive): for each count, start an embedded
+    /// epoll server with that many event loops on an ephemeral port,
+    /// run the chain workload against it, and report throughput + p99
+    /// per point. Ignores `--addr` (the target is in-process).
+    sweep_loops: Option<(usize, usize)>,
     strict: bool,
     /// With `--strict`, fail the run when client-side p99 latency
     /// exceeds this budget.
@@ -174,6 +188,7 @@ fn parse_args() -> Result<Config, String> {
         mix: Mix::Chain,
         rate: None,
         sweep: None,
+        sweep_loops: None,
         strict: false,
         latency_budget: None,
         p999_budget: None,
@@ -279,6 +294,24 @@ fn parse_args() -> Result<Config, String> {
                 }
                 config.sweep = Some((lo, hi));
             }
+            "--sweep-loops" => {
+                let raw = value("--sweep-loops")?;
+                let (lo, hi) = raw
+                    .split_once("..")
+                    .ok_or_else(|| format!("--sweep-loops expects MIN..MAX, got {raw:?}"))?;
+                let lo: usize = lo
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--sweep-loops min: {e}"))?;
+                let hi: usize = hi
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--sweep-loops max: {e}"))?;
+                if lo == 0 || lo > hi {
+                    return Err(format!("--sweep-loops: bad range {lo}..{hi}"));
+                }
+                config.sweep_loops = Some((lo, hi));
+            }
             "--verify-addr" => config.verify_addr = Some(value("--verify-addr")?),
             "--strict" => config.strict = true,
             "--latency-budget" => {
@@ -305,7 +338,7 @@ fn parse_args() -> Result<Config, String> {
                      [--seconds S] [--timeout SECS] [--nodes N] [--distinct D] \
                      [--mix chain|tree|simulate|session|adversarial|outofcore] \
                      [--deadline-ms MS] [--huge-nodes N] [--rate RPS] [--sweep MIN..MAX] \
-                     [--verify-addr HOST:PORT] \
+                     [--sweep-loops MIN..MAX] [--verify-addr HOST:PORT] \
                      [--strict] [--latency-budget MS] [--p999-budget MS]"
                 );
                 std::process::exit(0);
@@ -321,6 +354,19 @@ fn parse_args() -> Result<Config, String> {
     }
     if config.sweep.is_some() && config.mix != Mix::Chain {
         return Err("--sweep only applies to the chain mix".into());
+    }
+    if config.sweep_loops.is_some() {
+        if config.mix != Mix::Chain {
+            return Err("--sweep-loops only applies to the chain mix".into());
+        }
+        if config.sweep.is_some() {
+            return Err("--sweep-loops and --sweep are mutually exclusive".into());
+        }
+        if config.rate.is_some() {
+            // Scaling is a saturation question; an open-loop schedule
+            // would measure the schedule, not the server.
+            return Err("--sweep-loops is closed-loop; drop --rate".into());
+        }
     }
     if config.mix == Mix::Session && config.rate.is_some() {
         // A session iteration is several dependent requests (register,
@@ -935,6 +981,219 @@ fn outofcore_loop(
     Err(())
 }
 
+/// One point of a `--sweep-loops` run.
+struct LoopPoint {
+    loops: usize,
+    throughput: f64,
+    p99_us: u64,
+    starved: usize,
+    other_5xx: u64,
+    transport_errors: u64,
+}
+
+/// A lean closed-loop chain run against `addr`: `slots` persistent
+/// connections hammer the body set for `seconds`, with the same
+/// starvation accounting as the main path (a slot whose only responses
+/// were shed 503s never got real work done).
+fn closed_loop_run(
+    addr: &str,
+    slots: usize,
+    seconds: u64,
+    timeout: Duration,
+    bodies: &Arc<Vec<RequestBody>>,
+) -> LoopPoint {
+    let stop = Arc::new(AtomicBool::new(false));
+    let empty_header = Arc::new(String::new());
+    let workers: Vec<_> = (0..slots)
+        .map(|c| {
+            let addr = addr.to_string();
+            let bodies = Arc::clone(bodies);
+            let stop = Arc::clone(&stop);
+            let deadline_header = Arc::clone(&empty_header);
+            std::thread::spawn(move || {
+                let latency = Histogram::new();
+                let mut served = 0u64;
+                let mut shed = 0u64;
+                let mut other_5xx = 0u64;
+                let mut transport_errors = 0u64;
+                let mut i = c;
+                'reconnect: while !stop.load(Ordering::Relaxed) {
+                    let Ok(stream) = TcpStream::connect(&addr) else {
+                        transport_errors += 1;
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    };
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(timeout));
+                    let Ok(mut writer) = stream.try_clone() else {
+                        transport_errors += 1;
+                        continue;
+                    };
+                    let mut reader = BufReader::new(stream);
+                    while !stop.load(Ordering::Relaxed) {
+                        let body = &bodies[i % bodies.len()];
+                        i += 1;
+                        let started = Instant::now();
+                        match exchange(
+                            &mut reader,
+                            &mut writer,
+                            &deadline_header,
+                            body.path,
+                            &body.body,
+                        ) {
+                            Ok(response) => {
+                                latency.record(started.elapsed().as_micros() as u64);
+                                match response.status {
+                                    503 => {
+                                        shed += 1;
+                                        continue 'reconnect;
+                                    }
+                                    s if s >= 500 => other_5xx += 1,
+                                    // 200 and 4xx both mean the solver
+                                    // ran; the slot was served.
+                                    _ => served += 1,
+                                }
+                            }
+                            Err(_) => {
+                                transport_errors += 1;
+                                continue 'reconnect;
+                            }
+                        }
+                    }
+                }
+                (latency, served, shed, other_5xx, transport_errors)
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Relaxed);
+
+    let latency = Histogram::new();
+    let mut completed = 0u64;
+    let mut starved = 0usize;
+    let mut other_5xx = 0u64;
+    let mut transport_errors = 0u64;
+    for worker in workers {
+        let (slot_latency, served, _shed, slot_5xx, slot_transport) =
+            worker.join().expect("sweep client thread panicked");
+        latency.merge(&slot_latency);
+        completed += served + slot_5xx;
+        if served == 0 {
+            starved += 1;
+        }
+        other_5xx += slot_5xx;
+        transport_errors += slot_transport;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    LoopPoint {
+        loops: 0, // stamped by the caller
+        throughput: completed as f64 / elapsed,
+        p99_us: latency.quantile(0.99),
+        starved,
+        other_5xx,
+        transport_errors,
+    }
+}
+
+/// `--sweep-loops MIN..MAX`: for each loop count, start an embedded
+/// epoll server on an ephemeral port with that many `SO_REUSEPORT`
+/// event loops (worker count and everything else held constant), run
+/// the closed-loop chain workload, and report throughput and p99 per
+/// point plus the scaling factor of the last point over the first.
+/// Under `--strict` the process exits 1 if any point starved a
+/// connection slot or answered a non-shed 5xx.
+fn sweep_loops_run(config: &Config, lo: usize, hi: usize) -> ! {
+    use tgp_service::{IoMode, Server, ServerConfig};
+
+    let bodies = Arc::new(request_bodies(Mix::Chain, config.nodes, config.distinct));
+    let slots = config.connections.unwrap_or(config.clients).max(1);
+    // Held constant across points so the only variable is the loop
+    // count; sized to the machine so workers are not the bottleneck.
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .max(4);
+    println!(
+        "loadgen: sweeping --loops {lo}..{hi}, {slots} persistent connections x {}s per point \
+         (embedded epoll server, {workers} workers, {} distinct chain bodies, {} nodes/graph)",
+        config.seconds, config.distinct, config.nodes
+    );
+
+    let mut points: Vec<LoopPoint> = Vec::new();
+    let mut failures = Vec::new();
+    for loops in lo..=hi {
+        let server_config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            io: IoMode::Epoll,
+            loops,
+            workers,
+            queue_depth: 256,
+            max_connections: 4096,
+            ..ServerConfig::default()
+        };
+        let mut server = match Server::start(server_config) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("loadgen: --sweep-loops: starting the {loops}-loop server: {e}");
+                std::process::exit(2);
+            }
+        };
+        let addr = server.local_addr().to_string();
+        // A short unmeasured warmup fills the result cache and settles
+        // connection establishment out of the measured window.
+        let _ = closed_loop_run(&addr, slots, 1, config.timeout, &bodies);
+        let mut point = closed_loop_run(&addr, slots, config.seconds, config.timeout, &bodies);
+        point.loops = loops;
+        server.shutdown();
+        println!(
+            "loops={loops}: throughput {:.0} req/s, p99 {} us, {}/{} connections starved{}",
+            point.throughput,
+            point.p99_us,
+            point.starved,
+            slots,
+            if point.other_5xx > 0 || point.transport_errors > 0 {
+                format!(
+                    " ({} non-shed 5xx, {} transport errors)",
+                    point.other_5xx, point.transport_errors
+                )
+            } else {
+                String::new()
+            }
+        );
+        if point.starved > 0 {
+            failures.push(format!(
+                "loops={loops}: {} of {slots} connections starved",
+                point.starved
+            ));
+        }
+        if point.other_5xx > 0 {
+            failures.push(format!(
+                "loops={loops}: {} 5xx responses besides load sheds",
+                point.other_5xx
+            ));
+        }
+        points.push(point);
+    }
+    if let (Some(first), Some(last)) = (points.first(), points.last()) {
+        if points.len() > 1 && first.throughput > 0.0 && first.p99_us > 0 {
+            println!(
+                "scaling:    {:.2}x throughput at loops={} vs loops={}, p99 {:.2}x",
+                last.throughput / first.throughput,
+                last.loops,
+                first.loops,
+                last.p99_us as f64 / first.p99_us as f64,
+            );
+        }
+    }
+    if config.strict && !failures.is_empty() {
+        eprintln!("loadgen: --strict: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let config = match parse_args() {
         Ok(c) => c,
@@ -943,6 +1202,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some((lo, hi)) = config.sweep_loops {
+        sweep_loops_run(&config, lo, hi);
+    }
     let bodies = Arc::new(match (config.sweep, config.mix) {
         (Some((lo, hi)), _) => sweep_bodies(config.nodes, lo, hi),
         // Session and out-of-core workers render their own requests.

@@ -59,8 +59,14 @@ use std::time::{Duration, Instant};
 
 use crate::cache_journal::{self, CacheJournal};
 
-/// Number of independently locked shards (power of two).
+/// Default number of independently locked shards (power of two).
+/// Multi-loop servers raise it via [`CacheConfig::shards`] so each
+/// event loop's workers rarely contend on the same shard mutex.
 const SHARDS: usize = 8;
+
+/// Upper bound on [`CacheConfig::shards`]: past this, per-shard budgets
+/// get too small to admit normal entries.
+const MAX_SHARDS: usize = 256;
 
 const NIL: usize = usize::MAX;
 
@@ -113,6 +119,12 @@ pub struct CacheConfig {
     /// compute). Clamped to the per-shard budget so an admitted entry
     /// always fits.
     pub max_entry_bytes: usize,
+    /// Number of independently locked shards. Rounded up to a power of
+    /// two and clamped to `[1, 256]`. The default (8) suits a
+    /// single-loop server; the sharded runtime scales this with the
+    /// loop count so concurrent loops' workers land on distinct shard
+    /// mutexes for all but genuinely colliding keys.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -129,7 +141,15 @@ impl CacheConfig {
             budget_bytes,
             ttl: None,
             max_entry_bytes: (budget_bytes / 64).max(4096),
+            shards: SHARDS,
         }
+    }
+
+    /// Returns the config with its shard count raised to cover `loops`
+    /// event loops (8 shards per loop, power-of-two, never lowered).
+    pub fn scaled_for_loops(mut self, loops: usize) -> Self {
+        self.shards = self.shards.max(loops.max(1) * SHARDS);
+        self
     }
 }
 
@@ -362,9 +382,14 @@ impl ResultCache {
     /// Creates a cache with the given sizing and lifetime policy.
     /// A zero byte budget disables caching (every lookup misses).
     pub fn new(config: CacheConfig) -> Self {
-        let per_shard_budget = config.budget_bytes.div_ceil(SHARDS);
+        let shard_count = config
+            .shards
+            .clamp(1, MAX_SHARDS)
+            .next_power_of_two()
+            .min(MAX_SHARDS);
+        let per_shard_budget = config.budget_bytes.div_ceil(shard_count);
         ResultCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
             per_shard_budget,
             max_entry_bytes: config.max_entry_bytes.min(per_shard_budget),
             budget_bytes: config.budget_bytes,
@@ -387,9 +412,14 @@ impl ResultCache {
         ResultCache::new(CacheConfig::with_budget(budget_bytes))
     }
 
-    fn shard_index(key_hash: u64) -> usize {
-        // Top bits pick the shard; the full hash buckets within it.
-        (key_hash >> 61) as usize & (SHARDS - 1)
+    fn shard_index(&self, key_hash: u64) -> usize {
+        let n = self.shards.len();
+        if n == 1 {
+            return 0;
+        }
+        // Top log2(n) bits pick the shard; the full hash buckets within
+        // it. (For the default 8 shards this is the historical `>> 61`.)
+        (key_hash >> (64 - n.trailing_zeros())) as usize & (n - 1)
     }
 
     fn now_ms(&self) -> u64 {
@@ -421,7 +451,7 @@ impl ResultCache {
         }
         let now_ms = self.now_ms();
         let hash = fnv1a(key);
-        let outcome = self.shards[Self::shard_index(hash)]
+        let outcome = self.shards[self.shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
             .get(hash, key, now_ms);
@@ -500,7 +530,7 @@ impl ResultCache {
         } else {
             None
         };
-        let evicted = self.shards[Self::shard_index(hash)]
+        let evicted = self.shards[self.shard_index(hash)]
             .lock()
             .expect("cache shard poisoned")
             .insert(hash, key, value, cost, expires_at_ms, self.per_shard_budget);
@@ -914,11 +944,14 @@ mod tests {
     /// Keys (as strings) that all land in one shard, for deterministic
     /// LRU ordering tests.
     fn colliding_keys(n: usize) -> Vec<Vec<u8>> {
-        let target = ResultCache::shard_index(fnv1a(b"k0"));
+        // Shard routing depends only on the shard count; any
+        // default-config cache reproduces the routing under test.
+        let router = ResultCache::with_budget(1);
+        let target = router.shard_index(fnv1a(b"k0"));
         let mut keys = Vec::new();
         for i in 0u32.. {
             let key = format!("k{i}").into_bytes();
-            if ResultCache::shard_index(fnv1a(&key)) == target {
+            if router.shard_index(fnv1a(&key)) == target {
                 keys.push(key);
                 if keys.len() == n {
                     return keys;
@@ -1004,6 +1037,7 @@ mod tests {
             budget_bytes: SHARDS * per_shard,
             ttl: None,
             max_entry_bytes: per_shard,
+            shards: SHARDS,
         });
         let keys = colliding_keys(4);
         for key in &keys[..3] {
@@ -1044,6 +1078,7 @@ mod tests {
             budget_bytes: 1 << 20,
             ttl: None,
             max_entry_bytes: 1024,
+            shards: SHARDS,
         });
         let big = "x".repeat(2048);
         assert!(!cache.insert(b"big", big, 0));
@@ -1069,6 +1104,7 @@ mod tests {
             budget_bytes: SHARDS * 256,
             ttl: None,
             max_entry_bytes: usize::MAX,
+            shards: SHARDS,
         });
         assert!(!cache.insert(b"k", "x".repeat(512), COSTLY_WORK_UNITS));
         assert!(cache.is_empty());
@@ -1080,6 +1116,7 @@ mod tests {
             budget_bytes: 1 << 20,
             ttl: Some(Duration::from_millis(50)),
             max_entry_bytes: 1 << 16,
+            shards: SHARDS,
         });
         cache.insert(b"k", "v".into(), 0);
         cache.advance(Duration::from_millis(49));
@@ -1142,6 +1179,7 @@ mod tests {
             budget_bytes: 1 << 20,
             ttl: Some(Duration::from_millis(100)),
             max_entry_bytes: 1 << 16,
+            shards: SHARDS,
         });
         cache.insert(b"doomed", "v".into(), 0);
         cache.advance(Duration::from_millis(60));
@@ -1236,6 +1274,7 @@ mod tests {
             budget_bytes: 1 << 20,
             ttl: None,
             max_entry_bytes: 1024,
+            shards: SHARDS,
         });
         assert_eq!(tight.load(&path).unwrap(), 1, "oversized entry refused");
         assert!(tight.get(b"small").is_some());
@@ -1428,6 +1467,7 @@ mod tests {
             budget_bytes: 1 << 20,
             ttl: Some(Duration::from_millis(100)),
             max_entry_bytes: 1 << 16,
+            shards: SHARDS,
         });
         cache.attach_journal(&path).unwrap();
         cache.insert(b"k", "v".into(), 0);
@@ -1437,6 +1477,7 @@ mod tests {
             budget_bytes: 1 << 20,
             ttl: Some(Duration::from_millis(100)),
             max_entry_bytes: 1 << 16,
+            shards: SHARDS,
         });
         restored.attach_journal(&path).unwrap();
         assert_eq!(restored.get(b"k").as_deref(), Some("v"));

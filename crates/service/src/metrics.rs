@@ -113,9 +113,13 @@ pub struct Metrics {
     graph_spilled: AtomicU64,
     /// Flat-ingested graphs by backing, indexed like [`STORE_BACKINGS`].
     store_backing: [AtomicU64; STORE_BACKINGS.len()],
-    /// Connection-layer counters, shared with the transport (the epoll
-    /// loop, or the threads-mode connection servers).
-    net: Arc<NetCounters>,
+    /// Connection-layer counters, one set per event loop (threads mode
+    /// and single-loop epoll have exactly one). `/metrics` renders the
+    /// *sum* for the unlabeled totals — summing at render time means a
+    /// loop that is torn down (its gauge already decremented by its own
+    /// force-close path) can never double-count — plus per-loop
+    /// `loop="i"` series when more than one loop runs.
+    nets: Vec<Arc<NetCounters>>,
 }
 
 impl Default for Metrics {
@@ -143,7 +147,7 @@ impl Default for Metrics {
             graph_resident_bytes: AtomicU64::new(0),
             graph_spilled: AtomicU64::new(0),
             store_backing: std::array::from_fn(|_| AtomicU64::new(0)),
-            net: Arc::new(NetCounters::default()),
+            nets: vec![Arc::new(NetCounters::default())],
         }
     }
 }
@@ -313,12 +317,42 @@ impl Metrics {
         self.graph_spilled.load(Ordering::Relaxed)
     }
 
-    /// The connection-layer counters. The transport increments them (the
-    /// epoll loop for open connections, backpressure, timeouts and
-    /// wakeups; the threads-mode servers for open connections and
-    /// timeouts) and `/metrics` renders them.
+    /// The connection-layer counters of loop 0. The transport
+    /// increments them (the epoll loop for open connections,
+    /// backpressure, timeouts and wakeups; the threads-mode servers for
+    /// open connections and timeouts) and `/metrics` renders them.
+    /// Multi-loop servers address their other loops via
+    /// [`Metrics::net_for`].
     pub fn net(&self) -> &Arc<NetCounters> {
-        &self.net
+        &self.nets[0]
+    }
+
+    /// The connection-layer counters of event loop `i` (`None` beyond
+    /// the configured loop count).
+    pub fn net_for(&self, i: usize) -> Option<&Arc<NetCounters>> {
+        self.nets.get(i)
+    }
+
+    /// Grows the per-loop counter list to `loops` entries. Called once
+    /// at server wiring time, before the metrics are shared; existing
+    /// entries (and anything recorded on them) are kept.
+    pub fn set_net_loops(&mut self, loops: usize) {
+        while self.nets.len() < loops.max(1) {
+            self.nets.push(Arc::new(NetCounters::default()));
+        }
+    }
+
+    /// How many event loops the connection-layer series cover.
+    pub fn net_loops(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Sums one counter across every loop's [`NetCounters`].
+    fn net_sum(&self, field: impl Fn(&NetCounters) -> &AtomicU64) -> u64 {
+        self.nets
+            .iter()
+            .map(|net| field(net).load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total cache hits so far (used by tests asserting hit behaviour).
@@ -493,35 +527,66 @@ impl Metrics {
             ));
         }
 
-        out.push_str("# HELP tgp_open_connections Currently open client connections.\n");
-        out.push_str("# TYPE tgp_open_connections gauge\n");
-        out.push_str(&format!(
-            "tgp_open_connections {}\n",
-            self.net.open_connections.load(Ordering::Relaxed)
-        ));
-        out.push_str("# HELP tgp_accept_backpressure_total Times accepting paused because the connection cap was reached.\n");
-        out.push_str("# TYPE tgp_accept_backpressure_total counter\n");
-        out.push_str(&format!(
-            "tgp_accept_backpressure_total {}\n",
-            self.net.accept_backpressure.load(Ordering::Relaxed)
-        ));
+        // Connection-level series: the unlabeled line is always the sum
+        // over loops (so totals survive loop teardown without
+        // double-counting — each loop only ever touches its own
+        // counters), and a multi-loop server additionally renders one
+        // `loop="i"`-labeled line per loop.
+        let multi = self.nets.len() > 1;
+        let net_family = |out: &mut String,
+                          name: &str,
+                          help: &str,
+                          kind: &str,
+                          field: &dyn Fn(&NetCounters) -> &AtomicU64| {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            out.push_str(&format!("{name} {}\n", self.net_sum(field)));
+            if multi {
+                for (i, net) in self.nets.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{name}{{loop=\"{i}\"}} {}\n",
+                        field(net).load(Ordering::Relaxed)
+                    ));
+                }
+            }
+        };
+        net_family(
+            &mut out,
+            "tgp_open_connections",
+            "Currently open client connections.",
+            "gauge",
+            &|net| &net.open_connections,
+        );
+        net_family(
+            &mut out,
+            "tgp_accepted_connections_total",
+            "Connections accepted since start.",
+            "counter",
+            &|net| &net.accepted_total,
+        );
+        net_family(
+            &mut out,
+            "tgp_accept_backpressure_total",
+            "Times accepting paused because the connection cap was reached.",
+            "counter",
+            &|net| &net.accept_backpressure,
+        );
         out.push_str("# HELP tgp_timeout_closes_total Connections closed by a timeout, by kind.\n");
         out.push_str("# TYPE tgp_timeout_closes_total counter\n");
         for kind in [TimeoutKind::Read, TimeoutKind::Write, TimeoutKind::Idle] {
             out.push_str(&format!(
                 "tgp_timeout_closes_total{{kind=\"{}\"}} {}\n",
                 kind.as_str(),
-                self.net.timeout_closes(kind).load(Ordering::Relaxed)
+                self.net_sum(|net| net.timeout_closes(kind))
             ));
         }
-        out.push_str(
-            "# HELP tgp_readiness_wakeups_total epoll_wait returns that delivered events.\n",
+        net_family(
+            &mut out,
+            "tgp_readiness_wakeups_total",
+            "epoll_wait returns that delivered events.",
+            "counter",
+            &|net| &net.readiness_wakeups,
         );
-        out.push_str("# TYPE tgp_readiness_wakeups_total counter\n");
-        out.push_str(&format!(
-            "tgp_readiness_wakeups_total {}\n",
-            self.net.readiness_wakeups.load(Ordering::Relaxed)
-        ));
 
         out
     }
@@ -654,6 +719,79 @@ mod tests {
         );
         assert!(text.contains("tgp_accept_backpressure_total 1"), "{text}");
         assert!(text.contains("tgp_readiness_wakeups_total 0"), "{text}");
+    }
+
+    #[test]
+    fn net_series_sum_across_two_loops_with_per_loop_labels() {
+        let mut m = Metrics::default();
+        m.set_net_loops(2);
+        let loop0 = Arc::clone(m.net_for(0).unwrap());
+        let loop1 = Arc::clone(m.net_for(1).unwrap());
+        loop0.open_connections.fetch_add(3, Ordering::Relaxed);
+        loop1.open_connections.fetch_add(5, Ordering::Relaxed);
+        loop0.accepted_total.fetch_add(7, Ordering::Relaxed);
+        loop1.accepted_total.fetch_add(2, Ordering::Relaxed);
+        loop0.accept_backpressure.fetch_add(1, Ordering::Relaxed);
+        loop1.accept_backpressure.fetch_add(4, Ordering::Relaxed);
+        loop0
+            .timeout_closes(TimeoutKind::Write)
+            .fetch_add(2, Ordering::Relaxed);
+        loop1
+            .timeout_closes(TimeoutKind::Write)
+            .fetch_add(1, Ordering::Relaxed);
+
+        let text = m.render();
+        // The unlabeled line is the sum over loops...
+        assert!(text.contains("tgp_open_connections 8\n"), "{text}");
+        assert!(
+            text.contains("tgp_accepted_connections_total 9\n"),
+            "{text}"
+        );
+        assert!(text.contains("tgp_accept_backpressure_total 5\n"), "{text}");
+        assert!(
+            text.contains("tgp_timeout_closes_total{kind=\"write\"} 3"),
+            "{text}"
+        );
+        // ...and every loop renders its own labeled series.
+        assert!(
+            text.contains("tgp_open_connections{loop=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_open_connections{loop=\"1\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_accepted_connections_total{loop=\"0\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tgp_accepted_connections_total{loop=\"1\"} 2"),
+            "{text}"
+        );
+
+        // Loop teardown: the dying loop's own close path decrements its
+        // gauge; because the total is a render-time sum (never copied
+        // into a global), the aggregate drops by exactly that amount.
+        loop1.open_connections.fetch_sub(5, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("tgp_open_connections 3\n"), "{text}");
+        assert!(
+            text.contains("tgp_open_connections{loop=\"1\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn single_loop_renders_no_loop_labels() {
+        let m = Metrics::default();
+        m.net().accepted_total.fetch_add(2, Ordering::Relaxed);
+        let text = m.render();
+        assert!(
+            text.contains("tgp_accepted_connections_total 2\n"),
+            "{text}"
+        );
+        assert!(!text.contains("loop=\""), "{text}");
     }
 
     #[test]

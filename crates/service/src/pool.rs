@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 use std::net::TcpStream;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::api::BatchSubtask;
@@ -146,10 +146,145 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// The per-loop queues of a sharded server, behind one facade.
+///
+/// Each event loop of a [`tgp_net::LoopSet`] pushes its framed requests
+/// onto its *own* [`BoundedQueue`], and its pinned worker slice pops
+/// only from that queue — the request hot path never takes a queue lock
+/// that another loop contends on. The cross-loop surface is limited to:
+///
+/// - **batch scatter** ([`QueueSet::try_push_rotating`]): a coordinator
+///   spreads subtasks round-robin across all shards so a big batch uses
+///   every core, not just its own loop's workers (a full shard is
+///   skipped; if all are full the push fails and the coordinator runs
+///   the chunk inline — same no-deadlock argument as before);
+/// - **occupancy reads** ([`QueueSet::len`]/[`QueueSet::capacity`]):
+///   admission control sheds on *total* occupancy, one lock per shard
+///   per probe, off the per-request path of other loops.
+#[derive(Debug)]
+pub struct QueueSet<T = Work> {
+    shards: Vec<Arc<BoundedQueue<T>>>,
+    /// Round-robin cursor for batch scatter.
+    rr: std::sync::atomic::AtomicUsize,
+}
+
+impl<T> QueueSet<T> {
+    /// Wraps per-loop queues; `shards` must be non-empty.
+    pub fn new(shards: Vec<Arc<BoundedQueue<T>>>) -> QueueSet<T> {
+        assert!(!shards.is_empty(), "QueueSet needs at least one shard");
+        QueueSet {
+            shards,
+            rr: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// A single-queue set (threads mode, or a 1-loop server).
+    pub fn single(queue: Arc<BoundedQueue<T>>) -> QueueSet<T> {
+        QueueSet::new(vec![queue])
+    }
+
+    /// Shard `i`'s queue (`None` beyond the shard count).
+    pub fn shard(&self, i: usize) -> Option<&Arc<BoundedQueue<T>>> {
+        self.shards.get(i)
+    }
+
+    /// Number of per-loop queues.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pushes onto the next shard in round-robin order, falling through
+    /// full shards; fails only when *every* shard refuses. Used by
+    /// batch scatter so subtasks spread across all loops' workers.
+    pub fn try_push_rotating(&self, mut item: T) -> Result<(), PushError<T>> {
+        let start = self.rr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut last = None;
+        for offset in 0..self.shards.len() {
+            let shard = &self.shards[(start + offset) % self.shards.len()];
+            match shard.try_push(item) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Full(back)) => {
+                    item = back;
+                    last = Some(false);
+                }
+                Err(PushError::Closed(back)) => {
+                    item = back;
+                    last = Some(true);
+                }
+            }
+        }
+        Err(if last == Some(true) {
+            PushError::Closed(item)
+        } else {
+            PushError::Full(item)
+        })
+    }
+
+    /// Total queued items across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|q| q.len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across every shard.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|q| q.capacity()).sum()
+    }
+
+    /// Closes every shard (shutdown).
+    pub fn close(&self) {
+        for shard in &self.shards {
+            shard.close();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+
+    #[test]
+    fn queue_set_rotates_and_falls_through_full_shards() {
+        let shards = [
+            Arc::new(BoundedQueue::new(1)),
+            Arc::new(BoundedQueue::new(1)),
+        ];
+        let set = QueueSet::new(vec![Arc::clone(&shards[0]), Arc::clone(&shards[1])]);
+        set.try_push_rotating(10).unwrap();
+        set.try_push_rotating(20).unwrap();
+        // Round-robin: one item per shard, not two on one.
+        assert_eq!(shards[0].len(), 1);
+        assert_eq!(shards[1].len(), 1);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.capacity(), 2);
+        // Every shard full → the item comes back.
+        match set.try_push_rotating(30) {
+            Err(PushError::Full(30)) => {}
+            other => panic!("expected Full(30), got {other:?}"),
+        }
+        // One shard drains → the rotating push lands there even if the
+        // cursor points at the still-full one.
+        assert!(shards[0].pop().is_some());
+        set.try_push_rotating(40).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn queue_set_close_closes_every_shard() {
+        let set: QueueSet<u32> = QueueSet::new(vec![
+            Arc::new(BoundedQueue::new(2)),
+            Arc::new(BoundedQueue::new(2)),
+        ]);
+        set.close();
+        match set.try_push_rotating(1) {
+            Err(PushError::Closed(1)) => {}
+            other => panic!("expected Closed(1), got {other:?}"),
+        }
+    }
 
     #[test]
     fn push_pop_fifo() {

@@ -8,12 +8,21 @@
 //! pins a worker, so persistent connections beyond `--workers` starve
 //! (EXPERIMENTS.md §SRV-OPEN / §SRV-EPOLL).
 //!
-//! **Epoll mode** (`--io epoll`, Linux): a single `tgp-net` event-loop
-//! thread owns accept, request framing, timeouts, and response writes.
-//! Only *complete* requests reach the queue (as [`Work::Request`]), so
-//! workers always compute instead of babysitting sockets; thousands of
+//! **Epoll mode** (`--io epoll`, Linux): `tgp-net` event-loop threads
+//! own accept, request framing, timeouts, and response writes. Only
+//! *complete* requests reach a queue (as [`Work::Request`]), so workers
+//! always compute instead of babysitting sockets; thousands of
 //! connections can be open while `--workers` stays small. Responses
 //! travel back through a [`LoopHandle`].
+//!
+//! With `loops > 1` (`--loops N`, default `auto` at the CLI), epoll
+//! mode runs a [`LoopSet`]: N `SO_REUSEPORT` listeners on one address,
+//! one event loop per core, each with its own accept path, timer
+//! wheel, wake channel, per-loop [`Work`] queue, and a pinned slice of
+//! the worker pool — the request hot path never crosses a loop
+//! boundary. The result cache shards scale with the loop count and the
+//! session/store state stays global behind its existing locks (see
+//! docs/SERVICE.md "Multi-core model" for the cross-loop semantics).
 //!
 //! Both modes share the queue, the worker pool, the HTTP parser and
 //! serializer, and the handler — responses are byte-identical; only the
@@ -41,7 +50,7 @@
 //! pool joined. The final cache dump happens after both.
 
 use std::io::{BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -55,8 +64,10 @@ use crate::http::{
     overloaded_response, read_request_spilling, retry_after_secs, write_response,
     write_response_with, RecvError, MAX_HEAD_BYTES,
 };
-use crate::pool::{BoundedQueue, PushError, Work};
-use tgp_net::{request_header_value, Action, ConnId, EventLoop, FrameError, LoopHandle, NetConfig};
+use crate::pool::{BoundedQueue, PushError, QueueSet, Work};
+use tgp_net::{
+    request_header_value, Action, ConnId, FrameError, LoopHandle, LoopSet, NetConfig, ShardSpec,
+};
 use tgp_obs::{EventKind, Stage, TraceId};
 
 /// Which connection model the server runs.
@@ -108,6 +119,12 @@ pub struct ServerConfig {
     pub io: IoMode,
     /// Number of worker threads.
     pub workers: usize,
+    /// Event loops in epoll mode: each gets its own `SO_REUSEPORT`
+    /// listener, timer wheel, request queue, and worker slice. `0`
+    /// means auto (one per available core, capped at [`MAX_LOOPS`]).
+    /// Ignored in threads mode. The library default is 1 — embedders
+    /// and tests get the single-loop behavior unless they opt in.
+    pub loops: usize,
     /// Result-cache policy: byte budget, TTL, admission limit. A zero
     /// budget disables caching.
     pub cache: CacheConfig,
@@ -136,6 +153,13 @@ pub struct ServerConfig {
     /// Total deadline for writing one complete response (epoll mode);
     /// per-write-syscall deadline in threads mode.
     pub write_timeout: Duration,
+    /// Progress floor for the write deadline (epoll mode): a connection
+    /// that accepts at least this many response bytes per
+    /// `write_timeout` window keeps its timer renewed, so a large
+    /// response to a slow-but-live reader survives while a stalled one
+    /// still closes within one window. `0` restores the legacy total
+    /// deadline.
+    pub write_min_bytes: usize,
     /// How long a keep-alive connection may sit idle between requests
     /// (epoll mode). Threads mode folds idle time into `read_timeout`.
     pub idle_timeout: Duration,
@@ -180,6 +204,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7070".into(),
             io: IoMode::default(),
             workers: 4,
+            loops: 1,
             cache: CacheConfig::default(),
             cache_file: None,
             cache_flush_interval: Duration::from_secs(2),
@@ -188,6 +213,7 @@ impl Default for ServerConfig {
             max_connections: 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            write_min_bytes: 1024,
             idle_timeout: Duration::from_secs(60),
             shed_cost: None,
             shed_remaining: None,
@@ -201,6 +227,22 @@ impl Default for ServerConfig {
     }
 }
 
+/// Upper bound on `--loops`: beyond this, extra loops only add epoll
+/// sets and timer wheels without more cores to run them.
+pub const MAX_LOOPS: usize = 64;
+
+/// Resolves a configured loop count: `0` means one loop per available
+/// core (the `--loops auto` default at the CLI).
+fn resolve_loops(configured: usize) -> usize {
+    let n = match configured {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    };
+    n.clamp(1, MAX_LOOPS)
+}
+
 /// A running server; dropping it without [`Server::shutdown`] detaches
 /// the threads (they keep serving until the process exits).
 #[derive(Debug)]
@@ -208,9 +250,9 @@ pub struct Server {
     local_addr: SocketAddr,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
-    queue: Arc<BoundedQueue<Work>>,
+    queues: Arc<QueueSet<Work>>,
     acceptor: Option<JoinHandle<()>>,
-    event_loop: Option<EventLoop>,
+    loops: Option<LoopSet>,
     workers: Vec<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
 }
@@ -222,8 +264,37 @@ impl Server {
     /// first — replaying what survives, rejecting (with a log line) any
     /// file that fails validation — and spawns the compaction thread.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
+        let loop_count = match config.io {
+            IoMode::Epoll => resolve_loops(config.loops),
+            IoMode::Threads => 1,
+        };
+        // Bind before anything else so a bad address fails fast. A
+        // single loop binds a plain listener (no `SO_REUSEPORT`), so
+        // double-binding a busy port still fails loudly; multi-loop
+        // binds `loop_count` reuseport listeners sharing the address
+        // and lets the kernel hash connections across them.
+        let (threads_listener, shard_listeners, local_addr) = match (config.io, loop_count) {
+            (IoMode::Threads, _) => {
+                let listener = TcpListener::bind(&config.addr)?;
+                let addr = listener.local_addr()?;
+                (Some(listener), Vec::new(), addr)
+            }
+            (IoMode::Epoll, 1) => {
+                let listener = TcpListener::bind(&config.addr)?;
+                let addr = listener.local_addr()?;
+                (None, vec![listener], addr)
+            }
+            (IoMode::Epoll, n) => {
+                let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "bind address resolved to nothing",
+                    )
+                })?;
+                let (listeners, addr) = LoopSet::bind(&addr, n)?;
+                (None, listeners, addr)
+            }
+        };
         // Journal-backed sessions replay before the listener serves a
         // request, so clients never observe a pre-replay store. A file
         // that fails validation is left untouched and sessions run
@@ -251,18 +322,37 @@ impl Server {
             None => Arc::new(tgp_session::SessionStore::new(config.session_budget)),
         };
         let state = Arc::new(
-            AppState::new(config.cache.clone())
+            // More loops insert into the cache concurrently, so its
+            // shard count scales with the loop count (never below the
+            // configured shards).
+            AppState::new(config.cache.clone().scaled_for_loops(loop_count))
                 .with_access_log(config.log_requests)
                 .with_debug_endpoints(config.debug_endpoints)
                 .with_shed_cost(config.shed_cost)
                 .with_shed_remaining(config.shed_remaining)
                 .with_graph_spill(config.graph_spill_bytes, config.graph_spill_dir.clone())
-                .with_sessions(sessions),
+                .with_sessions(sessions)
+                .with_net_loops(loop_count),
         );
         let stop = Arc::new(AtomicBool::new(false));
         let worker_count = config.workers.max(1);
-        let queue = Arc::new(BoundedQueue::<Work>::new(config.queue_depth.max(1)));
-        state.attach_pool(Arc::clone(&queue));
+        // Each loop owns a queue slice of the configured depth and a
+        // pinned worker slice: loop i's workers pop only from queue i,
+        // so the request hot path never takes a lock another loop's
+        // requests contend on. Worker shares differ by at most one,
+        // and every loop gets at least one worker even when
+        // `workers < loops`.
+        let per_loop_depth = config.queue_depth.max(1).div_ceil(loop_count);
+        let shard_queues: Vec<Arc<BoundedQueue<Work>>> = (0..loop_count)
+            .map(|_| Arc::new(BoundedQueue::new(per_loop_depth)))
+            .collect();
+        let worker_shares: Vec<usize> = (0..loop_count)
+            .map(|i| {
+                (worker_count / loop_count + usize::from(i < worker_count % loop_count)).max(1)
+            })
+            .collect();
+        let queues = Arc::new(QueueSet::new(shard_queues.clone()));
+        state.attach_pool(Arc::clone(&queues));
 
         if let Some(path) = &config.cache_file {
             match state.cache.attach_journal(path) {
@@ -288,16 +378,22 @@ impl Server {
             }
         }
 
-        let workers = (0..worker_count)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
+        let mut workers = Vec::new();
+        for (shard, share) in worker_shares.iter().enumerate() {
+            for slot in 0..*share {
+                let queue = Arc::clone(&shard_queues[shard]);
                 let state = Arc::clone(&state);
                 let stop = Arc::clone(&stop);
                 let max_body = config.max_body_bytes;
                 let read_timeout = config.read_timeout;
                 let write_timeout = config.write_timeout;
-                std::thread::Builder::new()
-                    .name(format!("tgp-worker-{i}"))
+                let name = if loop_count == 1 {
+                    format!("tgp-worker-{slot}")
+                } else {
+                    format!("tgp-worker-{shard}-{slot}")
+                };
+                let worker = std::thread::Builder::new()
+                    .name(name)
                     .spawn(move || {
                         while let Some(work) = queue.pop() {
                             state.metrics.queue_changed(-1);
@@ -377,13 +473,15 @@ impl Server {
                             state.metrics.workers_changed(-1);
                         }
                     })
-                    .expect("spawn worker")
-            })
-            .collect();
+                    .expect("spawn worker");
+                workers.push(worker);
+            }
+        }
 
-        let (acceptor, event_loop) = match config.io {
+        let (acceptor, loop_set) = match config.io {
             IoMode::Threads => {
-                let queue = Arc::clone(&queue);
+                let listener = threads_listener.expect("threads mode bound a listener");
+                let queue = Arc::clone(&shard_queues[0]);
                 let state = Arc::clone(&state);
                 let stop = Arc::clone(&stop);
                 let acceptor = std::thread::Builder::new()
@@ -436,27 +534,35 @@ impl Server {
             }
             IoMode::Epoll => {
                 let net_config = NetConfig {
-                    max_connections: config.max_connections.max(1),
+                    // The connection cap splits across loops so the
+                    // configured total still bounds the whole server.
+                    max_connections: config.max_connections.max(1).div_ceil(loop_count),
                     read_timeout: config.read_timeout,
                     write_timeout: config.write_timeout,
+                    write_min_bytes: config.write_min_bytes,
                     idle_timeout: config.idle_timeout,
                     max_head_bytes: MAX_HEAD_BYTES,
                     max_body_bytes: config.max_body_bytes as u64,
                     journal: state.debug_endpoints.then(|| Arc::clone(&state.journal)),
                     ..NetConfig::default()
                 };
-                let handler = Arc::new(EpollHandler {
-                    state: Arc::clone(&state),
-                    queue: Arc::clone(&queue),
-                    workers: worker_count,
-                });
-                let event_loop = EventLoop::spawn(
-                    listener,
-                    net_config,
-                    Arc::clone(state.metrics.net()),
-                    handler,
-                )?;
-                (None, Some(event_loop))
+                let shards = shard_listeners
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, listener)| ShardSpec {
+                        listener,
+                        counters: Arc::clone(
+                            state.metrics.net_for(i).expect("metrics sized for loops"),
+                        ),
+                        handler: Arc::new(EpollHandler {
+                            state: Arc::clone(&state),
+                            queue: Arc::clone(&shard_queues[i]),
+                            workers: worker_shares[i],
+                        }),
+                    })
+                    .collect();
+                let loop_set = LoopSet::spawn(shards, &net_config)?;
+                (None, Some(loop_set))
             }
         };
 
@@ -494,9 +600,9 @@ impl Server {
             local_addr,
             state,
             stop,
-            queue,
+            queues,
             acceptor,
-            event_loop,
+            loops: loop_set,
             workers,
             flusher,
         })
@@ -510,6 +616,21 @@ impl Server {
     /// Handler state, exposed for tests and embedding.
     pub fn state(&self) -> &Arc<AppState> {
         &self.state
+    }
+
+    /// Number of event loops serving (epoll mode; 0 in threads mode).
+    pub fn net_loops(&self) -> usize {
+        self.loops.as_ref().map_or(0, LoopSet::len)
+    }
+
+    /// Shuts down event loop `i` alone, closing its listener so the
+    /// kernel redistributes new connections across the remaining loops
+    /// — the degraded-capacity path, exposed for robustness tests.
+    /// The loop's pinned workers stay alive (batch scatter still uses
+    /// them via the shared [`QueueSet`]). Returns `false` when there is
+    /// no such loop or it is already down.
+    pub fn kill_loop(&mut self, i: usize) -> bool {
+        self.loops.as_mut().is_some_and(|set| set.shutdown_one(i))
     }
 
     /// Blocks until the server stops (i.e. forever, unless another
@@ -529,12 +650,13 @@ impl Server {
     /// Stops accepting, drains in-flight work, joins all threads, and
     /// (with a cache file configured) compacts the cache journal.
     ///
-    /// In epoll mode the event loop drains *before* the queue closes:
+    /// In epoll mode the event loops drain *before* the queues close:
     /// dispatched requests still have live workers to compute them and
-    /// a live loop to flush their responses.
+    /// a live loop to flush their responses. Multi-loop teardown drains
+    /// every loop concurrently — one drain window total.
     pub fn shutdown(&mut self) {
-        if let Some(event_loop) = self.event_loop.take() {
-            event_loop.shutdown();
+        if let Some(loop_set) = self.loops.take() {
+            loop_set.shutdown();
         }
         self.stop.store(true, Ordering::SeqCst);
         if self.acceptor.is_some() {
@@ -543,8 +665,8 @@ impl Server {
             // closes the queue on its way out.
             let _ = TcpStream::connect(self.local_addr);
         } else {
-            // Epoll mode has no acceptor to close the queue.
-            self.queue.close();
+            // Epoll mode has no acceptor to close the queues.
+            self.queues.close();
         }
         self.wait();
         // Compact the session journal to a snapshot: restart replays one

@@ -14,12 +14,13 @@ use tgp_graph::json::Value;
 use tgp_service::envelope::parse_envelope;
 use tgp_service::{IoMode, Server, ServerConfig};
 
-/// The io modes this target can run.
-fn modes() -> Vec<IoMode> {
+/// The `(io, loops)` configurations this target can run: threads,
+/// single-loop epoll, and the sharded two-loop epoll runtime.
+fn modes() -> Vec<(IoMode, usize)> {
     if cfg!(target_os = "linux") {
-        vec![IoMode::Threads, IoMode::Epoll]
+        vec![(IoMode::Threads, 1), (IoMode::Epoll, 1), (IoMode::Epoll, 2)]
     } else {
-        vec![IoMode::Threads]
+        vec![(IoMode::Threads, 1)]
     }
 }
 
@@ -104,9 +105,10 @@ fn deadline_drops(server: &Server) -> u64 {
 /// a deadline actually bites.
 #[test]
 fn generous_deadline_is_byte_identical_to_no_deadline() {
-    for io in modes() {
+    for (io, loops) in modes() {
         let mut server = start(ServerConfig {
             io,
+            loops,
             ..ServerConfig::default()
         });
         let body = format!(r#"{{"objective":"bandwidth","bound":12,"graph":{CHAIN}}}"#);
@@ -128,9 +130,10 @@ fn generous_deadline_is_byte_identical_to_no_deadline() {
 /// counters advance.
 #[test]
 fn expired_deadline_is_dropped_with_a_504_envelope() {
-    for io in modes() {
+    for (io, loops) in modes() {
         let mut server = start(ServerConfig {
             io,
+            loops,
             ..ServerConfig::default()
         });
         let before = deadline_drops(&server);
@@ -176,9 +179,10 @@ fn malformed_deadline_header_is_rejected() {
 /// modes.
 #[test]
 fn mid_solve_cancellation_frees_the_worker() {
-    for io in modes() {
+    for (io, loops) in modes() {
         let mut server = start(ServerConfig {
             io,
+            loops,
             max_body_bytes: 16 << 20,
             ..ServerConfig::default()
         });

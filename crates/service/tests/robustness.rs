@@ -264,6 +264,59 @@ fn chunked_transfer_encoding_is_rejected_not_smuggled() {
     });
 }
 
+/// Killing one of two event loops is a capacity event, not an outage:
+/// its `SO_REUSEPORT` listener closes, the kernel redistributes new
+/// connections to the survivor, and every fresh request keeps
+/// answering 200. Double-killing the same loop is a no-op.
+#[cfg(target_os = "linux")]
+#[test]
+fn losing_one_loop_degrades_capacity_not_service() {
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        io: IoMode::Epoll,
+        loops: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    assert_eq!(server.net_loops(), 2, "expected a two-loop runtime");
+
+    // Both loops serving: a burst of fresh connections lands on both
+    // shards (kernel 4-tuple hashing) and every one must answer.
+    let body = r#"{"objective":"bandwidth","bound":12,"graph":{"node_weights":[2,3,5,7],"edge_weights":[10,1,10]}}"#;
+    for _ in 0..8 {
+        let (status, reply) = send_raw(&server, &post_json(body)).expect("pre-kill response");
+        assert_eq!(status, 200, "{reply}");
+    }
+
+    assert!(server.kill_loop(0), "first kill must take down loop 0");
+    assert!(
+        !server.kill_loop(0),
+        "second kill of loop 0 must be a no-op"
+    );
+
+    // Every *new* connection now lands on the surviving listener; the
+    // service stays correct, just smaller.
+    for _ in 0..16 {
+        let (status, reply) = send_raw(&server, &post_json(body)).expect("post-kill response");
+        assert_eq!(status, 200, "degraded server failed a solve: {reply}");
+    }
+    assert_alive(&server);
+
+    // Metrics still render (summation must tolerate the dead shard) and
+    // the survivor keeps counting accepts.
+    let (status, metrics) = send_raw(
+        &server,
+        b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n",
+    )
+    .expect("metrics response");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("tgp_accepted_connections_total"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn infeasible_bounds_get_422() {
     for_each_mode(|server| {

@@ -19,19 +19,22 @@ use tgp_service::http::Request;
 use tgp_service::{AppState, CacheConfig, IoMode, Server, ServerConfig};
 use tgp_session::SessionStore;
 
-/// The io modes this target can run.
-fn modes() -> Vec<IoMode> {
+/// The `(io, loops)` configurations this target can run: threads,
+/// single-loop epoll, and the sharded two-loop epoll runtime (sessions
+/// are global state, so byte-identity must hold across loops too).
+fn modes() -> Vec<(IoMode, usize)> {
     if cfg!(target_os = "linux") {
-        vec![IoMode::Threads, IoMode::Epoll]
+        vec![(IoMode::Threads, 1), (IoMode::Epoll, 1), (IoMode::Epoll, 2)]
     } else {
-        vec![IoMode::Threads]
+        vec![(IoMode::Threads, 1)]
     }
 }
 
-fn start(io: IoMode) -> Server {
+fn start(io: IoMode, loops: usize) -> Server {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
         io,
+        loops,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
@@ -413,8 +416,8 @@ fn patch_and_compare(
 /// so in `x-tgp-response`.
 #[test]
 fn delta_responses_reconstruct_to_the_full_body() {
-    for io in modes() {
-        let mut server = start(io);
+    for (io, loops) in modes() {
+        let mut server = start(io, loops);
         let mut rng = Rng(0xdeca_0007);
         let mut mirror = Mirror::chain(
             (0..24).map(|_| rng.next() % 9 + 1).collect(),
@@ -515,8 +518,8 @@ fn delta_responses_reconstruct_to_the_full_body() {
 
 #[test]
 fn chain_edge_edits_stay_warm_and_byte_identical() {
-    for io in modes() {
-        let mut server = start(io);
+    for (io, loops) in modes() {
+        let mut server = start(io, loops);
         let mut rng = Rng(0x5eed_0001);
         let mut mirror = Mirror::chain(
             (0..32).map(|_| rng.next() % 9 + 1).collect(),
@@ -546,8 +549,8 @@ fn chain_edge_edits_stay_warm_and_byte_identical() {
 
 #[test]
 fn random_edit_batches_match_scratch_solves_over_http() {
-    for io in modes() {
-        let mut server = start(io);
+    for (io, loops) in modes() {
+        let mut server = start(io, loops);
         for (seed, tree) in [(0xaaaa_0001u64, false), (0xbbbb_0002, true)] {
             let mut rng = Rng(seed);
             let node_weights: Vec<u64> = (0..20).map(|_| rng.next() % 9 + 1).collect();
